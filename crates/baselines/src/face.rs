@@ -1,0 +1,369 @@
+//! GPSR-style greedy + perimeter (face) routing.
+//!
+//! The geographic-routing baseline the paper's §5 actually cites:
+//! greedy forwarding with *perimeter mode* recovery on a planarized
+//! connectivity graph (Karp & Kung, MobiCom '00). We planarize with
+//! the **Gabriel graph** test (an edge survives iff no witness node
+//! lies strictly inside the circle whose diameter is the edge) and
+//! recover with the standard face traversal, returning to greedy as
+//! soon as the packet is closer to the destination than where
+//! perimeter mode began.
+//!
+//! The point of carrying this baseline is the paper's critique: the
+//! machinery below needs accurate per-node positions and per-neighbor
+//! state at every hop, and face traversal degrades when positions are
+//! noisy — all of which CityMesh's map-based conduits avoid. Here the
+//! baseline gets perfect positions, so its numbers are an upper bound
+//! on its real behaviour.
+
+use citymesh_core::ApGraph;
+
+/// Result of a GPSR routing attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpsrOutcome {
+    /// Whether an AP of the destination building was reached.
+    pub delivered: bool,
+    /// Forwarding transmissions used.
+    pub transmissions: u64,
+    /// How many times the packet entered perimeter mode.
+    pub perimeter_entries: u64,
+}
+
+/// Computes the Gabriel subgraph adjacency of `apg`: for each node,
+/// the surviving neighbor list. O(Σ deg²) — each edge is tested
+/// against the union of its endpoints' neighbors.
+pub fn gabriel_adjacency(apg: &ApGraph) -> Vec<Vec<u32>> {
+    let n = apg.len();
+    let mut out = vec![Vec::new(); n];
+    for u in 0..n as u32 {
+        let pu = apg.position(u);
+        'edges: for e in apg.graph().neighbors(u) {
+            let v = e.to;
+            if v < u {
+                continue; // handle each undirected edge once
+            }
+            let pv = apg.position(v);
+            let mid = pu.midpoint(pv);
+            let r2 = pu.dist2(pv) / 4.0;
+            // Witness search among both endpoints' neighbors (any
+            // witness inside the diameter circle is adjacent to at
+            // least one endpoint in a unit-disk graph).
+            for f in apg
+                .graph()
+                .neighbors(u)
+                .iter()
+                .chain(apg.graph().neighbors(v))
+            {
+                let w = f.to;
+                if w == u || w == v {
+                    continue;
+                }
+                if apg.position(w).dist2(mid) < r2 - 1e-9 {
+                    continue 'edges; // removed by the Gabriel test
+                }
+            }
+            out[u as usize].push(v);
+            out[v as usize].push(u);
+        }
+    }
+    // Deterministic neighbor order for the angular sweeps below.
+    for list in &mut out {
+        list.sort_unstable();
+        list.dedup();
+    }
+    out
+}
+
+/// Routes from `src_ap` toward `dst_building` with GPSR.
+pub fn gpsr_route(apg: &ApGraph, src_ap: u32, dst_building: u32) -> GpsrOutcome {
+    assert!((src_ap as usize) < apg.len(), "source AP out of range");
+    let planar = gabriel_adjacency(apg);
+    gpsr_route_on(apg, &planar, src_ap, dst_building)
+}
+
+/// Like [`gpsr_route`] but reusing a precomputed Gabriel adjacency
+/// (planarization is per-topology, not per-packet).
+pub fn gpsr_route_on(
+    apg: &ApGraph,
+    planar: &[Vec<u32>],
+    src_ap: u32,
+    dst_building: u32,
+) -> GpsrOutcome {
+    let mut outcome = GpsrOutcome {
+        delivered: false,
+        transmissions: 0,
+        perimeter_entries: 0,
+    };
+    let dst_aps = apg.aps_in_building(dst_building);
+    let Some(&target_ap) = dst_aps.first() else {
+        return outcome;
+    };
+    let target = apg.position(target_ap);
+    let arrived = |ap: u32| apg.building_of(ap) == dst_building;
+
+    if arrived(src_ap) {
+        outcome.delivered = true;
+        return outcome;
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Greedy,
+        /// Perimeter mode remembers where it began (`entry_dist` to
+        /// the target) and the first directed planar edge taken, to
+        /// detect a completed (hence hopeless) face loop.
+        Perimeter {
+            entry_dist: f64,
+            first_edge: (u32, u32),
+        },
+    }
+
+    let mut mode = Mode::Greedy;
+    let mut current = src_ap;
+    let mut prev: Option<u32> = None;
+    // Generous budget: every directed planar edge at most twice.
+    let budget: u64 = planar.iter().map(|l| l.len() as u64).sum::<u64>() * 2 + 16;
+
+    while outcome.transmissions < budget {
+        if arrived(current) {
+            outcome.delivered = true;
+            return outcome;
+        }
+        match mode {
+            Mode::Greedy => {
+                let d_cur = apg.position(current).dist(target);
+                // Full-graph greedy step.
+                let mut best: Option<(u32, f64)> = None;
+                for e in apg.graph().neighbors(current) {
+                    let d = apg.position(e.to).dist(target);
+                    if d < d_cur && best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((e.to, d));
+                    }
+                }
+                match best {
+                    Some((next, _)) => {
+                        prev = Some(current);
+                        current = next;
+                        outcome.transmissions += 1;
+                    }
+                    None => {
+                        // Local minimum: enter perimeter mode on the
+                        // planar graph, starting with the first edge
+                        // counterclockwise from the direction to the
+                        // target.
+                        outcome.perimeter_entries += 1;
+                        let to_target = (target - apg.position(current)).angle();
+                        let Some(next) = next_ccw(apg, planar, current, to_target) else {
+                            return outcome; // isolated in the planar graph
+                        };
+                        mode = Mode::Perimeter {
+                            entry_dist: d_cur,
+                            first_edge: (current, next),
+                        };
+                        prev = Some(current);
+                        current = next;
+                        outcome.transmissions += 1;
+                    }
+                }
+            }
+            Mode::Perimeter {
+                entry_dist,
+                first_edge,
+            } => {
+                if apg.position(current).dist(target) < entry_dist {
+                    // Progress made: back to greedy.
+                    mode = Mode::Greedy;
+                    continue;
+                }
+                // Right-hand rule: next edge is the first one
+                // counterclockwise from the reverse of the arrival
+                // edge.
+                let from = prev.expect("perimeter mode always has a predecessor");
+                let back_angle = (apg.position(from) - apg.position(current)).angle();
+                let Some(next) = next_ccw(apg, planar, current, back_angle) else {
+                    return outcome;
+                };
+                if (current, next) == first_edge {
+                    // Completed the face without progress: the
+                    // destination is unreachable from this face.
+                    return outcome;
+                }
+                prev = Some(current);
+                current = next;
+                outcome.transmissions += 1;
+            }
+        }
+    }
+    outcome
+}
+
+/// The planar neighbor of `v` whose edge angle is the first strictly
+/// counterclockwise from `from_angle` (wrapping), i.e. the smallest
+/// positive angular difference. Returns the `from_angle` edge itself
+/// only when it is the sole edge.
+fn next_ccw(apg: &ApGraph, planar: &[Vec<u32>], v: u32, from_angle: f64) -> Option<u32> {
+    let pv = apg.position(v);
+    let mut best: Option<(f64, u32)> = None;
+    for &w in &planar[v as usize] {
+        let a = (apg.position(w) - pv).angle();
+        let mut delta = a - from_angle;
+        while delta <= 1e-12 {
+            delta += std::f64::consts::TAU;
+        }
+        if best.is_none_or(|(bd, _)| delta < bd) {
+            best = Some((delta, w));
+        }
+    }
+    best.map(|(_, w)| w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citymesh_core::{place_aps, Ap, ApGraph};
+    use citymesh_geo::Point;
+    use citymesh_map::CityArchetype;
+    use citymesh_simcore::SimRng;
+
+    fn ap(id: u32, x: f64, y: f64, building: u32) -> Ap {
+        Ap {
+            id,
+            pos: Point::new(x, y),
+            building,
+        }
+    }
+
+    /// A concave void between the greedy dead end and the target: the
+    /// straight-line corridor toward the target ends at a local
+    /// minimum, and the only way onward is an arc over the top that
+    /// initially moves *away* from the target.
+    ///
+    /// ```text
+    ///            3 — 4 — 5
+    ///            |        \ 6
+    ///  0 — 1 — 2 (stuck)     \ 7
+    ///                          target(8)
+    /// ```
+    fn u_trap() -> ApGraph {
+        let coords = [
+            (0.0, 80.0),    // 0 src
+            (40.0, 80.0),   // 1
+            (80.0, 80.0),   // 2 local minimum
+            (80.0, 120.0),  // 3 arc
+            (120.0, 135.0), // 4
+            (160.0, 135.0), // 5
+            (195.0, 120.0), // 6
+            (215.0, 95.0),  // 7
+            (240.0, 80.0),  // 8 target
+        ];
+        let aps: Vec<Ap> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| ap(i as u32, *x, *y, i as u32))
+            .collect();
+        ApGraph::build(&aps, 50.0)
+    }
+
+    #[test]
+    fn gabriel_graph_is_subgraph_and_connected() {
+        let map = CityArchetype::SurveyDowntown.generate(4);
+        let mut rng = SimRng::new(4);
+        let aps = place_aps(&map, 200.0, &mut rng);
+        let apg = ApGraph::build(&aps, 50.0);
+        let planar = gabriel_adjacency(&apg);
+        let planar_edges: usize = planar.iter().map(Vec::len).sum::<usize>() / 2;
+        assert!(planar_edges > 0);
+        assert!(
+            planar_edges < apg.graph().num_edges(),
+            "planarization must remove crossing edges"
+        );
+        // Every planar edge exists in the original graph.
+        for (u, list) in planar.iter().enumerate() {
+            for &v in list {
+                assert!(apg.graph().has_edge(u as u32, v));
+            }
+        }
+        // Gabriel planarization preserves connectivity of unit-disk
+        // graphs: same number of components via a quick union-find.
+        let mut uf = citymesh_graph::UnionFind::new(apg.len());
+        for (u, list) in planar.iter().enumerate() {
+            for &v in list {
+                uf.union(u as u32, v);
+            }
+        }
+        assert_eq!(uf.num_components(), apg.num_components());
+    }
+
+    #[test]
+    fn straight_line_stays_greedy() {
+        let aps: Vec<Ap> = (0..5).map(|i| ap(i, i as f64 * 40.0, 0.0, i)).collect();
+        let g = ApGraph::build(&aps, 50.0);
+        let out = gpsr_route(&g, 0, 4);
+        assert!(out.delivered);
+        assert_eq!(out.transmissions, 4);
+        assert_eq!(out.perimeter_entries, 0);
+    }
+
+    #[test]
+    fn perimeter_mode_escapes_the_trap() {
+        let g = u_trap();
+        // Sanity: the trap actually traps pure greedy.
+        let greedy = crate::greedy_route(&g, 0, 8, crate::GreedyPolicy::Pure);
+        assert!(!greedy.delivered, "trap must defeat pure greedy");
+        // GPSR recovers via the face walk.
+        let out = gpsr_route(&g, 0, 8);
+        assert!(out.delivered, "perimeter mode must recover");
+        assert!(out.perimeter_entries >= 1);
+        let ideal = g.ideal_hops_to_building(0, 8).unwrap();
+        assert!(out.transmissions >= ideal);
+    }
+
+    #[test]
+    fn disconnected_terminates_undelivered() {
+        let aps = vec![ap(0, 0.0, 0.0, 0), ap(1, 500.0, 0.0, 1)];
+        let g = ApGraph::build(&aps, 50.0);
+        let out = gpsr_route(&g, 0, 1);
+        assert!(!out.delivered);
+        // Termination is by face-loop detection or isolation, well
+        // under the budget.
+        assert!(out.transmissions < 10);
+    }
+
+    #[test]
+    fn same_building_is_free() {
+        let g = u_trap();
+        let out = gpsr_route(&g, 2, 2);
+        assert!(out.delivered);
+        assert_eq!(out.transmissions, 0);
+    }
+
+    #[test]
+    fn city_scale_delivery_rate_is_high() {
+        let map = CityArchetype::SurveyDowntown.generate(8);
+        let mut rng = SimRng::new(8);
+        let aps = place_aps(&map, 200.0, &mut rng);
+        let apg = ApGraph::build(&aps, 50.0);
+        let planar = gabriel_adjacency(&apg);
+        let mut delivered = 0;
+        let mut attempted = 0;
+        for k in 0..30u64 {
+            let src = rng.below(apg.len() as u64) as u32;
+            let dst_b = apg.building_of(rng.below(apg.len() as u64) as u32);
+            if !apg.buildings_reachable(apg.building_of(src), dst_b) {
+                continue;
+            }
+            attempted += 1;
+            if gpsr_route_on(&apg, &planar, src, dst_b).delivered {
+                delivered += 1;
+            }
+            let _ = k;
+        }
+        assert!(attempted > 10);
+        // GPSR with perfect positions on a connected dense mesh should
+        // deliver the vast majority.
+        assert!(
+            delivered * 10 >= attempted * 8,
+            "GPSR delivered only {delivered}/{attempted}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Baseline benches: per-message cost of flooding and greedy routing
+//! against CityMesh's event simulation on the same topology (the §5
+//! data-plane comparison).
+
+use citymesh_baselines::{flood, greedy_route, ideal_path, GreedyPolicy};
+use citymesh_core::{place_aps, postbox_ap, ApGraph};
+use citymesh_geo::Point;
+use citymesh_map::CityArchetype;
+use citymesh_simcore::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    let map = CityArchetype::SurveyDowntown.generate(1);
+    let mut rng = SimRng::new(1);
+    let aps = place_aps(&map, 200.0, &mut rng);
+    let apg = ApGraph::build(&aps, 50.0);
+    let src_b = map.nearest_building(Point::new(60.0, 60.0)).unwrap().id;
+    let dst_b = map.nearest_building(Point::new(700.0, 700.0)).unwrap().id;
+    let src_ap = postbox_ap(&aps, &map, src_b).unwrap();
+
+    group.bench_function("flood/unbounded", |b| {
+        b.iter(|| std::hint::black_box(flood(&apg, src_ap, dst_b, None)))
+    });
+    group.bench_function("flood/ttl_20", |b| {
+        b.iter(|| std::hint::black_box(flood(&apg, src_ap, dst_b, Some(20))))
+    });
+    group.bench_function("greedy/pure", |b| {
+        b.iter(|| std::hint::black_box(greedy_route(&apg, src_ap, dst_b, GreedyPolicy::Pure)))
+    });
+    group.bench_function("greedy/backtrack", |b| {
+        b.iter(|| std::hint::black_box(greedy_route(&apg, src_ap, dst_b, GreedyPolicy::Backtrack)))
+    });
+    group.bench_function("ideal/bfs_path", |b| {
+        b.iter(|| std::hint::black_box(ideal_path(&apg, src_ap, dst_b)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benches for the deployment-support subsystems: the device map-cache
+//! codec (encode/decode of a full city), the island-bridging planner,
+//! and GPSR planarization — the operations a real rollout performs
+//! once per map update rather than per packet.
+
+use citymesh_baselines::gabriel_adjacency;
+use citymesh_core::{place_aps, plan_bridges, ApGraph};
+use citymesh_map::{decode_map, encode_map, CityArchetype, DEFAULT_QUANTUM_MM};
+use citymesh_simcore::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_map_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_codec");
+    let map = CityArchetype::Chicago.generate(1); // the largest archetype
+    let encoded = encode_map(&map, DEFAULT_QUANTUM_MM);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function(format!("encode/{}_buildings", map.len()), |b| {
+        b.iter(|| std::hint::black_box(encode_map(&map, DEFAULT_QUANTUM_MM)))
+    });
+    group.bench_function(format!("decode/{}_buildings", map.len()), |b| {
+        b.iter(|| std::hint::black_box(decode_map(&encoded).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(10);
+    // A fractured city: the planner has real work to do.
+    let map = CityArchetype::WashingtonDc.generate(1);
+    let mut rng = SimRng::new(1);
+    let aps = place_aps(&map, 200.0, &mut rng);
+    let apg = ApGraph::build(&aps, 50.0);
+    group.bench_function(
+        format!("plan_bridges/{}_islands", apg.num_components()),
+        |b| b.iter(|| std::hint::black_box(plan_bridges(&apg, 100, 0.8))),
+    );
+    group.bench_function(format!("gabriel_planarize/{}_aps", apg.len()), |b| {
+        b.iter(|| std::hint::black_box(gabriel_adjacency(&apg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_map_codec, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Crypto primitive benches: the per-message cost of the postbox
+//! security layer on commodity (router-class) hardware is what decides
+//! whether sealing is deployable; these measure it.
+
+use citymesh_crypto::{
+    aead, hmac::hmac_sha256, identity::SealedMessage, sha256, sha512, x25519, Keypair,
+    PostboxAddress,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for len in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xA5u8; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_function(format!("sha256/{len}B"), |b| {
+            b.iter(|| std::hint::black_box(sha256(&data)))
+        });
+        group.bench_function(format!("sha512/{len}B"), |b| {
+            b.iter(|| std::hint::black_box(sha512(&data)))
+        });
+        group.bench_function(format!("hmac_sha256/{len}B"), |b| {
+            b.iter(|| std::hint::black_box(hmac_sha256(b"key", &data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aead");
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    for len in [64usize, 1024, 1400] {
+        let plaintext = vec![0x42u8; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_function(format!("seal/{len}B"), |b| {
+            b.iter(|| std::hint::black_box(aead::seal(&key, &nonce, b"aad", &plaintext)))
+        });
+        let sealed = aead::seal(&key, &nonce, b"aad", &plaintext);
+        group.bench_function(format!("open/{len}B"), |b| {
+            b.iter(|| std::hint::black_box(aead::open(&key, &nonce, b"aad", &sealed).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x25519");
+    group.sample_size(20);
+    let scalar = [0x77u8; 32];
+    group.bench_function("scalar_mult_basepoint", |b| {
+        b.iter(|| std::hint::black_box(x25519::public_key(&scalar)))
+    });
+    let bob = Keypair::from_entropy([0xB0; 32]);
+    let addr = PostboxAddress {
+        public_key: bob.public,
+        building_id: 1,
+    };
+    group.bench_function("seal_message_128B", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                SealedMessage::seal(&addr, [0x11; 32], b"aad", &[0u8; 128]).unwrap(),
+            )
+        })
+    });
+    let sealed = SealedMessage::seal(&addr, [0x11; 32], b"aad", &[0u8; 128]).unwrap();
+    group.bench_function("open_message_128B", |b| {
+        b.iter(|| std::hint::black_box(sealed.open(&bob, b"aad").unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_aead, bench_x25519);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Event-simulation benches: the cost of one Figure-6/Figure-7
+//! delivery run and of the supporting AP-fabric construction. These
+//! bound how large a city the evaluation pipeline can sweep.
+
+use citymesh_core::{
+    compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
+    BuildingGraphParams, DeliveryParams,
+};
+use citymesh_geo::Point;
+use citymesh_map::CityArchetype;
+use citymesh_net::CityMeshHeader;
+use citymesh_simcore::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric");
+    group.sample_size(10);
+    let map = CityArchetype::SurveyDowntown.generate(1);
+    group.bench_function("place_aps/downtown", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(1);
+            std::hint::black_box(place_aps(&map, 200.0, &mut rng))
+        })
+    });
+    let mut rng = SimRng::new(1);
+    let aps = place_aps(&map, 200.0, &mut rng);
+    group.bench_function(format!("ap_graph/{}aps", aps.len()), |b| {
+        b.iter(|| std::hint::black_box(ApGraph::build(&aps, 50.0)))
+    });
+    group.finish();
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delivery");
+    group.sample_size(20);
+    let map = CityArchetype::SurveyDowntown.generate(1);
+    let mut rng = SimRng::new(1);
+    let aps = place_aps(&map, 200.0, &mut rng);
+    let apg = ApGraph::build(&aps, 50.0);
+    let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+    let src = map.nearest_building(Point::new(60.0, 60.0)).unwrap().id;
+    let dst = map.nearest_building(Point::new(700.0, 700.0)).unwrap().id;
+    let route = plan_route(&bg, src, dst).unwrap();
+    let compressed = compress_route(&bg, &route, 50.0);
+    let header = CityMeshHeader::new(1, 50.0, compressed.waypoints);
+    let src_ap = postbox_ap(&aps, &map, src).unwrap();
+
+    group.bench_function("event_sim/downtown_cross_city", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(7);
+            std::hint::black_box(simulate_delivery(
+                &map,
+                &apg,
+                &header,
+                src_ap,
+                DeliveryParams::default(),
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric, bench_delivery);
+criterion_main!(benches);

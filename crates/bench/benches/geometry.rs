@@ -1,0 +1,70 @@
+//! Geometry microbenches: the inner-loop primitives every simulation
+//! second is made of — point-in-polygon, spatial-index range queries,
+//! and conduit membership.
+
+use citymesh_geo::{GridIndex, OrientedRect, Point, Polygon, Segment};
+use citymesh_simcore::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_polygon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polygon");
+    let poly = Polygon::circle(Point::new(0.0, 0.0), 50.0, 16).unwrap();
+    let inside = Point::new(10.0, 5.0);
+    let outside = Point::new(80.0, 80.0);
+    group.bench_function("contains/inside_16gon", |b| {
+        b.iter(|| std::hint::black_box(poly.contains(inside)))
+    });
+    group.bench_function("contains/outside_16gon", |b| {
+        b.iter(|| std::hint::black_box(poly.contains(outside)))
+    });
+    let other = poly.translated(120.0, 0.0);
+    group.bench_function("polygon_gap_distance", |b| {
+        b.iter(|| std::hint::black_box(poly.dist_to_polygon(&other)))
+    });
+    group.finish();
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_index");
+    let mut rng = SimRng::new(3);
+    let pts: Vec<Point> = (0..50_000)
+        .map(|_| {
+            Point::new(
+                rng.uniform_range(0.0, 3000.0),
+                rng.uniform_range(0.0, 3000.0),
+            )
+        })
+        .collect();
+    group.bench_function("build/50k_points", |b| {
+        b.iter(|| std::hint::black_box(GridIndex::build(&pts, 50.0)))
+    });
+    let idx = GridIndex::build(&pts, 50.0);
+    let center = Point::new(1500.0, 1500.0);
+    group.bench_function("query_circle/r50", |b| {
+        b.iter(|| std::hint::black_box(idx.query_circle(center, 50.0)))
+    });
+    group.bench_function("nearest", |b| {
+        b.iter(|| std::hint::black_box(idx.nearest(center)))
+    });
+    group.finish();
+}
+
+fn bench_conduit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conduit");
+    let conduit = OrientedRect::new(
+        Segment::new(Point::new(0.0, 0.0), Point::new(400.0, 300.0)),
+        50.0,
+    );
+    let near = Point::new(200.0, 160.0);
+    let far = Point::new(50.0, 280.0);
+    group.bench_function("contains/near_spine", |b| {
+        b.iter(|| std::hint::black_box(conduit.contains(near)))
+    });
+    group.bench_function("contains/far", |b| {
+        b.iter(|| std::hint::black_box(conduit.contains(far)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_polygon, bench_grid, bench_conduit);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Wire-format benches backing the §4 header-size claims: encoding and
+//! decoding the compressed source-route header and full packets, for
+//! both route encodings.
+
+use bytes::Bytes;
+use citymesh_net::{BitReader, BitWriter, CityMeshHeader, Packet, RouteEncoding};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn typical_header(waypoints: usize, encoding: RouteEncoding) -> CityMeshHeader {
+    // IDs in a ~20k-building city (the paper's "typical city" regime).
+    let wps: Vec<u32> = (0..waypoints as u32).map(|i| 9_000 + i * 137).collect();
+    let mut h = CityMeshHeader::new(0xABCD_EF01, 50.0, wps);
+    h.encoding = encoding;
+    h
+}
+
+fn bench_header(c: &mut Criterion) {
+    let mut group = c.benchmark_group("header");
+    for (label, encoding) in [
+        ("absolute", RouteEncoding::Absolute),
+        ("delta", RouteEncoding::Delta),
+    ] {
+        for waypoints in [4usize, 10, 30] {
+            let h = typical_header(waypoints, encoding);
+            group.bench_function(format!("encode/{label}/{waypoints}wp"), |b| {
+                b.iter(|| {
+                    let mut w = BitWriter::new();
+                    h.encode(&mut w).unwrap();
+                    std::hint::black_box(w.into_bytes())
+                })
+            });
+            let mut w = BitWriter::new();
+            h.encode(&mut w).unwrap();
+            let bytes = w.into_bytes();
+            group.bench_function(format!("decode/{label}/{waypoints}wp"), |b| {
+                b.iter(|| {
+                    let mut r = BitReader::new(&bytes);
+                    std::hint::black_box(CityMeshHeader::decode(&mut r).unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet");
+    let header = typical_header(10, RouteEncoding::Absolute);
+    for payload_len in [64usize, 512, 1400] {
+        let packet = Packet::new(header.clone(), Bytes::from(vec![0x5A; payload_len]));
+        group.bench_function(format!("encode/{payload_len}B"), |b| {
+            b.iter(|| std::hint::black_box(packet.encode().unwrap()))
+        });
+        let wire = packet.encode().unwrap();
+        group.bench_function(format!("decode/{payload_len}B"), |b| {
+            b.iter_batched(
+                || wire.clone(),
+                |w| std::hint::black_box(Packet::decode(&w).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_header, bench_packet);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Whole-pipeline bench: one Figure-6 city evaluation end to end
+//! (prepare + reachability + deliverability), the unit of work the
+//! eight-city sweep repeats.
+
+use citymesh_core::{CityExperiment, ExperimentConfig};
+use citymesh_map::CityArchetype;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let map = CityArchetype::SurveyDowntown.generate(1);
+    let config = ExperimentConfig {
+        seed: 1,
+        reachability_pairs: 200,
+        delivery_pairs: 5,
+        ..ExperimentConfig::default()
+    };
+    group.bench_function("prepare/downtown", |b| {
+        b.iter(|| std::hint::black_box(CityExperiment::prepare(map.clone(), config)))
+    });
+    let exp = CityExperiment::prepare(map.clone(), config);
+    group.bench_function("run/200reach_5deliver", |b| {
+        b.iter(|| std::hint::black_box(exp.run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

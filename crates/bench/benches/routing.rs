@@ -1,0 +1,74 @@
+//! Routing benches: the sender-side cost of CityMesh (Figure 6's
+//! machinery) — building-graph construction from a map, route
+//! planning, and conduit compression — plus the per-AP rebroadcast
+//! decision, which is the cost that matters at relay time.
+
+use citymesh_core::{
+    compress_route, plan_route, reconstruct_conduits, within_conduits, BuildingGraph,
+    BuildingGraphParams,
+};
+use citymesh_geo::Point;
+use citymesh_map::CityArchetype;
+use citymesh_net::CityMeshHeader;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_building_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("building_graph");
+    group.sample_size(10);
+    for arch in [CityArchetype::SurveyDowntown, CityArchetype::Boston] {
+        let map = arch.generate(1);
+        group.bench_function(format!("build/{}", arch.label()), |b| {
+            b.iter(|| {
+                std::hint::black_box(BuildingGraph::build(&map, BuildingGraphParams::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_route_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    let map = CityArchetype::Boston.generate(1);
+    let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+    let src = map.nearest_building(Point::new(100.0, 100.0)).unwrap().id;
+    let dst = map.nearest_building(Point::new(1300.0, 1100.0)).unwrap().id;
+    group.bench_function("plan/boston_cross_city", |b| {
+        b.iter(|| std::hint::black_box(plan_route(&bg, src, dst).unwrap()))
+    });
+    let route = plan_route(&bg, src, dst).unwrap();
+    group.bench_function(format!("compress/{}_buildings", route.len()), |b| {
+        b.iter(|| std::hint::black_box(compress_route(&bg, &route, 50.0)))
+    });
+    group.finish();
+}
+
+fn bench_relay_decision(c: &mut Criterion) {
+    // The per-packet work of an AP: reconstruct conduits from the
+    // header + map, then a point-membership test.
+    let mut group = c.benchmark_group("relay");
+    let map = CityArchetype::Boston.generate(1);
+    let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+    let src = map.nearest_building(Point::new(100.0, 100.0)).unwrap().id;
+    let dst = map.nearest_building(Point::new(1300.0, 1100.0)).unwrap().id;
+    let route = plan_route(&bg, src, dst).unwrap();
+    let compressed = compress_route(&bg, &route, 50.0);
+    let header = CityMeshHeader::new(1, 50.0, compressed.waypoints);
+
+    group.bench_function("reconstruct_conduits", |b| {
+        b.iter(|| std::hint::black_box(reconstruct_conduits(&map, &header.waypoints, 50.0)))
+    });
+    let conduits = reconstruct_conduits(&map, &header.waypoints, 50.0);
+    let probe = Point::new(700.0, 600.0);
+    group.bench_function("membership_test", |b| {
+        b.iter(|| std::hint::black_box(within_conduits(&conduits, probe)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_building_graph,
+    bench_route_planning,
+    bench_relay_decision
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Survey benches: the cost of regenerating the §2 artifacts (Table 1,
+//! Figures 1a/1b/2) from the synthetic wardriving pipeline.
+
+use citymesh_map::CityArchetype;
+use citymesh_measure::{Survey, SurveyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_survey(c: &mut Criterion) {
+    let mut group = c.benchmark_group("survey");
+    group.sample_size(10);
+    let map = CityArchetype::SurveyDowntown.generate(1);
+    for scans in [100usize, 400] {
+        group.bench_function(format!("run/{scans}_scans"), |b| {
+            b.iter(|| {
+                let cfg = SurveyConfig {
+                    scans,
+                    seed: 1,
+                    ..SurveyConfig::default()
+                };
+                std::hint::black_box(Survey::run(&map, &cfg))
+            })
+        });
+    }
+    let cfg = SurveyConfig {
+        scans: 400,
+        seed: 1,
+        ..SurveyConfig::default()
+    };
+    let survey = Survey::run(&map, &cfg);
+    group.bench_function("fig1a_macs_cdf", |b| {
+        b.iter(|| std::hint::black_box(survey.macs_per_scan_cdf()))
+    });
+    group.bench_function("fig1b_spread_cdf", |b| {
+        b.iter(|| std::hint::black_box(survey.spread_cdf()))
+    });
+    let edges: Vec<f64> = (0..=8).map(|i| i as f64 * 50.0).collect();
+    group.bench_function("fig2_common_by_distance", |b| {
+        b.iter(|| std::hint::black_box(survey.common_aps_by_distance(&edges, 20_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_survey);
+criterion_main!(benches);

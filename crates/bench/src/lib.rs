@@ -1,0 +1,27 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §3 for the index and
+//! EXPERIMENTS.md for recorded paper-vs-measured comparisons).
+//!
+//! Each figure is a pure function from a seed to a data structure, so
+//! integration tests can assert on the numbers and the `figures`
+//! binary only does formatting. The split per module:
+//!
+//! * [`survey_figs`] — Table 1, Figure 1a, Figure 1b, Figure 2 (§2).
+//! * [`eval_figs`] — Figure 6 (reachability / deliverability /
+//!   overhead per city) and the §4 header-size statistics.
+//! * [`render`] — Figure 5 and Figure 7 (map renders, SVG + ASCII).
+//! * [`scaling`] — the §5 control-overhead scaling comparison and the
+//!   flooding-vs-CityMesh transmission comparison.
+//! * [`ablation`] — sweeps over the design choices DESIGN.md calls
+//!   out: weight exponent, conduit width, AP density, range, and
+//!   route encoding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod eval_figs;
+pub mod render;
+pub mod scaling;
+pub mod survey_figs;
+pub mod text;

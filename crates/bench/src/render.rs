@@ -1,0 +1,240 @@
+//! Map renders: Figure 5 (footprints + AP fabric) and Figure 7 (one
+//! delivery with its conduit membership), as SVG and terminal ASCII.
+
+use citymesh_core::{reconstruct_conduits, Ap, ApGraph, ApRole, DeliveryReport};
+use citymesh_geo::{Point, Rect};
+use citymesh_map::CityMap;
+use citymesh_net::CityMeshHeader;
+
+/// Builds the Figure-5 SVG: building footprints in red, APs as white
+/// dots, gray links between APs within range (the paper renders a
+/// downtown section exactly this way).
+pub fn fig5_svg(map: &CityMap, aps: &[Ap], apg: &ApGraph) -> String {
+    let mut svg = SvgCanvas::new(map.bounds());
+    svg.comment("Figure 5: downtown section, footprints + AP mesh");
+    for b in map.buildings() {
+        svg.polygon(b.footprint.ring(), "#b03030", "#802020", 0.5);
+    }
+    // Links first so dots draw on top.
+    for ap in aps {
+        for e in apg.graph().neighbors(ap.id) {
+            if e.to > ap.id {
+                svg.line(ap.pos, apg.position(e.to), "#9a9a9a", 0.4);
+            }
+        }
+    }
+    for ap in aps {
+        svg.circle(ap.pos, 1.6, "#ffffff", "#555555");
+    }
+    svg.finish()
+}
+
+/// Builds the Figure-7 SVG: the chosen building route in green, APs
+/// colored by role — light blue for relays (inside the conduit), red
+/// for heard-but-silent, light gray for untouched — and the conduit
+/// outlines.
+pub fn fig7_svg(
+    map: &CityMap,
+    apg: &ApGraph,
+    header: &CityMeshHeader,
+    report: &DeliveryReport,
+) -> String {
+    let mut svg = SvgCanvas::new(map.bounds());
+    svg.comment("Figure 7: one simulated delivery");
+    for b in map.buildings() {
+        svg.polygon(b.footprint.ring(), "#d8d8d8", "#bbbbbb", 0.3);
+    }
+    let conduits = reconstruct_conduits(map, &header.waypoints, header.conduit_width_m());
+    for c in &conduits {
+        svg.polygon(&c.corners(), "none", "#30a030", 1.0);
+    }
+    // Route spine.
+    let spine: Vec<Point> = header
+        .waypoints
+        .iter()
+        .map(|w| map.building(*w).expect("valid waypoint").centroid)
+        .collect();
+    svg.polyline(&spine, "#108010", 2.0);
+
+    for id in 0..apg.len() as u32 {
+        let (fill, r) = match report.roles[id as usize] {
+            ApRole::Relayed => ("#58b8e8", 2.2),
+            ApRole::HeardOnly => ("#d04040", 1.8),
+            ApRole::Silent => ("#eeeeee", 1.0),
+        };
+        svg.circle(apg.position(id), r, fill, "none");
+    }
+    svg.finish()
+}
+
+/// A compact terminal render: buildings as `#`, the route as `*`.
+/// Width is in character cells; aspect ratio follows the map.
+pub fn ascii_map(map: &CityMap, route: &[u32], width: usize) -> String {
+    let bounds = map.bounds();
+    let width = width.max(10);
+    let height =
+        ((bounds.height() / bounds.width().max(1.0)) * width as f64 * 0.5).round() as usize;
+    let height = height.clamp(5, 200);
+    let mut grid = vec![vec![' '; width]; height];
+    let cell = |p: Point| -> (usize, usize) {
+        let cx =
+            ((p.x - bounds.min.x) / bounds.width().max(1e-9) * (width - 1) as f64).round() as usize;
+        let cy = ((p.y - bounds.min.y) / bounds.height().max(1e-9) * (height - 1) as f64).round()
+            as usize;
+        (cx.min(width - 1), (height - 1) - cy.min(height - 1))
+    };
+    for b in map.buildings() {
+        let (cx, cy) = cell(b.centroid);
+        grid[cy][cx] = '#';
+    }
+    for id in route {
+        if let Some(b) = map.building(*id) {
+            let (cx, cy) = cell(b.centroid);
+            grid[cy][cx] = '*';
+        }
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Minimal SVG document builder with a y-flip (map y grows north, SVG
+/// y grows down).
+struct SvgCanvas {
+    bounds: Rect,
+    body: String,
+}
+
+impl SvgCanvas {
+    fn new(bounds: Rect) -> Self {
+        SvgCanvas {
+            bounds,
+            body: String::new(),
+        }
+    }
+
+    fn tx(&self, p: Point) -> (f64, f64) {
+        (p.x - self.bounds.min.x, self.bounds.max.y - p.y)
+    }
+
+    fn comment(&mut self, text: &str) {
+        self.body.push_str(&format!("<!-- {text} -->\n"));
+    }
+
+    fn polygon(&mut self, ring: &[Point], fill: &str, stroke: &str, stroke_w: f64) {
+        let pts: Vec<String> = ring
+            .iter()
+            .map(|p| {
+                let (x, y) = self.tx(*p);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        self.body.push_str(&format!(
+            "<polygon points=\"{}\" fill=\"{fill}\" stroke=\"{stroke}\" stroke-width=\"{stroke_w}\"/>\n",
+            pts.join(" ")
+        ));
+    }
+
+    fn polyline(&mut self, pts: &[Point], stroke: &str, stroke_w: f64) {
+        let pts: Vec<String> = pts
+            .iter()
+            .map(|p| {
+                let (x, y) = self.tx(*p);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        self.body.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{stroke_w}\"/>\n",
+            pts.join(" ")
+        ));
+    }
+
+    fn line(&mut self, a: Point, b: Point, stroke: &str, stroke_w: f64) {
+        let (x1, y1) = self.tx(a);
+        let (x2, y2) = self.tx(b);
+        self.body.push_str(&format!(
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"{stroke}\" stroke-width=\"{stroke_w}\"/>\n"
+        ));
+    }
+
+    fn circle(&mut self, center: Point, r: f64, fill: &str, stroke: &str) {
+        let (cx, cy) = self.tx(center);
+        self.body.push_str(&format!(
+            "<circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"{r:.1}\" fill=\"{fill}\" stroke=\"{stroke}\" stroke-width=\"0.3\"/>\n"
+        ));
+    }
+
+    fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {:.0} {:.0}\" \
+             width=\"1000\">\n<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n{}</svg>\n",
+            self.bounds.width(),
+            self.bounds.height(),
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citymesh_core::{
+        compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, BuildingGraph,
+        BuildingGraphParams, DeliveryParams,
+    };
+    use citymesh_map::CityArchetype;
+    use citymesh_simcore::SimRng;
+
+    fn setup() -> (CityMap, Vec<Ap>, ApGraph) {
+        let map = CityArchetype::SurveyDowntown.generate(2);
+        let mut rng = SimRng::new(2);
+        let aps = place_aps(&map, 200.0, &mut rng);
+        let apg = ApGraph::build(&aps, 50.0);
+        (map, aps, apg)
+    }
+
+    #[test]
+    fn fig5_svg_is_well_formed() {
+        let (map, aps, apg) = setup();
+        let svg = fig5_svg(&map, &aps, &apg);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), aps.len());
+        assert!(svg.matches("<polygon").count() >= map.len());
+        assert!(svg.contains("<line"), "AP links must render");
+    }
+
+    #[test]
+    fn fig7_svg_colors_roles() {
+        let (map, aps, apg) = setup();
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        let route = plan_route(&bg, 0, (map.len() - 1) as u32).unwrap();
+        let compressed = compress_route(&bg, &route, 50.0);
+        let header = CityMeshHeader::new(1, 50.0, compressed.waypoints);
+        let src = postbox_ap(&aps, &map, 0).unwrap();
+        let mut rng = SimRng::new(3);
+        let report = simulate_delivery(
+            &map,
+            &apg,
+            &header,
+            src,
+            DeliveryParams::default(),
+            &mut rng,
+        );
+        let svg = fig7_svg(&map, &apg, &header, &report);
+        assert!(svg.contains("#58b8e8"), "relays rendered");
+        assert!(svg.contains("<polyline"), "route spine rendered");
+        assert_eq!(svg.matches("<circle").count(), apg.len());
+    }
+
+    #[test]
+    fn ascii_map_marks_route() {
+        let (map, _, _) = setup();
+        let out = ascii_map(&map, &[0, 5, 10], 60);
+        assert!(out.contains('#'));
+        assert!(out.contains('*'));
+        let widths: std::collections::HashSet<usize> = out.lines().map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "all rows equal width");
+    }
+}

@@ -1,0 +1,222 @@
+//! §5 scaling comparison: control overhead of classic MANET protocols
+//! versus CityMesh's zero, and data-plane cost of flooding versus
+//! conduit-scoped rebroadcast.
+
+use citymesh_baselines::{
+    aodv_discovery_cost, dsdv_update_cost, flood, gabriel_adjacency, gpsr_route_on, greedy_route,
+    olsr_update_cost, GreedyPolicy, ManetScale,
+};
+use citymesh_core::{CityExperiment, ExperimentConfig};
+use citymesh_map::CityArchetype;
+use citymesh_simcore::{split_seed, SimRng};
+
+/// One row of the control-overhead scaling table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingRow {
+    /// Network size (nodes).
+    pub nodes: u64,
+    /// DSDV table-entry transmissions per update interval.
+    pub dsdv: u64,
+    /// OLSR TC transmissions per interval.
+    pub olsr: u64,
+    /// AODV transmissions per route discovery.
+    pub aodv: u64,
+    /// CityMesh control transmissions (always zero).
+    pub citymesh: u64,
+}
+
+/// Control overhead across N = 10²…10⁶ at the paper's mesh density.
+pub fn control_scaling() -> Vec<ScalingRow> {
+    [100u64, 1_000, 10_000, 100_000, 1_000_000]
+        .into_iter()
+        .map(|nodes| {
+            let scale = ManetScale::uniform(nodes, 13.0);
+            ScalingRow {
+                nodes,
+                dsdv: dsdv_update_cost(scale),
+                olsr: olsr_update_cost(scale),
+                aodv: aodv_discovery_cost(scale),
+                citymesh: 0,
+            }
+        })
+        .collect()
+}
+
+/// Data-plane comparison on one concrete city: per routing scheme, the
+/// mean broadcasts per delivered message and the delivery rate.
+#[derive(Clone, Debug)]
+pub struct DataPlaneRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Delivered fraction of attempted pairs.
+    pub delivery_rate: f64,
+    /// Mean transmissions per *delivered* message.
+    pub mean_tx: f64,
+}
+
+/// Runs CityMesh, flooding, and greedy routing over the same pairs of
+/// one city and reports their delivery/transmission trade-offs.
+pub fn data_plane_comparison(seed: u64, pairs: usize) -> Vec<DataPlaneRow> {
+    let map = CityArchetype::Cambridge.generate(seed);
+    let config = ExperimentConfig {
+        seed,
+        reachability_pairs: pairs * 4,
+        delivery_pairs: pairs,
+        ..ExperimentConfig::default()
+    };
+    let exp = CityExperiment::prepare(map, config);
+    let mut pair_rng = SimRng::new(split_seed(seed, 0x9A195));
+    let mut sim_rng = SimRng::new(split_seed(seed, 0xDE11FE7));
+    let sampled = exp.sample_pairs(pairs * 4, &mut pair_rng);
+    let reachable: Vec<(u32, u32)> = sampled
+        .into_iter()
+        .filter(|(s, d)| exp.reachable(*s, *d))
+        .take(pairs)
+        .collect();
+
+    let mut rows = Vec::new();
+
+    // CityMesh.
+    let mut delivered = 0usize;
+    let mut tx = 0u64;
+    for (i, (src, dst)) in reachable.iter().enumerate() {
+        let o = exp.run_pair(*src, *dst, split_seed(seed, i as u64), &mut sim_rng);
+        if o.delivered {
+            delivered += 1;
+            tx += o.broadcasts;
+        }
+    }
+    rows.push(DataPlaneRow {
+        scheme: "citymesh".into(),
+        delivery_rate: delivered as f64 / reachable.len().max(1) as f64,
+        mean_tx: if delivered > 0 {
+            tx as f64 / delivered as f64
+        } else {
+            0.0
+        },
+    });
+
+    // Flooding.
+    let mut delivered = 0usize;
+    let mut tx = 0u64;
+    for (src, dst) in &reachable {
+        let Some(src_ap) = citymesh_core::postbox_ap(exp.aps(), exp.map(), *src) else {
+            continue;
+        };
+        let out = flood(exp.ap_graph(), src_ap, *dst, None);
+        if out.delivered {
+            delivered += 1;
+            tx += out.broadcasts;
+        }
+    }
+    rows.push(DataPlaneRow {
+        scheme: "flooding".into(),
+        delivery_rate: delivered as f64 / reachable.len().max(1) as f64,
+        mean_tx: if delivered > 0 {
+            tx as f64 / delivered as f64
+        } else {
+            0.0
+        },
+    });
+
+    // Full GPSR (greedy + perimeter recovery on the Gabriel graph).
+    let planar = gabriel_adjacency(exp.ap_graph());
+    let mut delivered = 0usize;
+    let mut tx = 0u64;
+    for (src, dst) in &reachable {
+        let Some(src_ap) = citymesh_core::postbox_ap(exp.aps(), exp.map(), *src) else {
+            continue;
+        };
+        let out = gpsr_route_on(exp.ap_graph(), &planar, src_ap, *dst);
+        if out.delivered {
+            delivered += 1;
+            tx += out.transmissions;
+        }
+    }
+    rows.push(DataPlaneRow {
+        scheme: "gpsr".into(),
+        delivery_rate: delivered as f64 / reachable.len().max(1) as f64,
+        mean_tx: if delivered > 0 {
+            tx as f64 / delivered as f64
+        } else {
+            0.0
+        },
+    });
+
+    // Greedy geographic (pure, then with backtracking).
+    for (label, policy) in [
+        ("greedy", GreedyPolicy::Pure),
+        ("greedy+backtrack", GreedyPolicy::Backtrack),
+    ] {
+        let mut delivered = 0usize;
+        let mut tx = 0u64;
+        for (src, dst) in &reachable {
+            let Some(src_ap) = citymesh_core::postbox_ap(exp.aps(), exp.map(), *src) else {
+                continue;
+            };
+            let out = greedy_route(exp.ap_graph(), src_ap, *dst, policy);
+            if out.delivered {
+                delivered += 1;
+                tx += out.transmissions;
+            }
+        }
+        rows.push(DataPlaneRow {
+            scheme: label.into(),
+            delivery_rate: delivered as f64 / reachable.len().max(1) as f64,
+            mean_tx: if delivered > 0 {
+                tx as f64 / delivered as f64
+            } else {
+                0.0
+            },
+        });
+    }
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_scaling_shapes() {
+        let rows = control_scaling();
+        assert_eq!(rows.len(), 5);
+        for w in rows.windows(2) {
+            // DSDV grows ~quadratically: 10× nodes ⇒ 100× cost.
+            assert_eq!(w[1].dsdv / w[0].dsdv, 100);
+            // AODV grows ~linearly.
+            let aodv_ratio = w[1].aodv as f64 / w[0].aodv as f64;
+            assert!((5.0..20.0).contains(&aodv_ratio), "aodv ratio {aodv_ratio}");
+            // CityMesh stays at zero.
+            assert_eq!(w[1].citymesh, 0);
+        }
+        // At a million nodes DSDV ships 10^12 entries per interval.
+        assert_eq!(rows[4].dsdv, 1_000_000_000_000);
+    }
+
+    #[test]
+    fn data_plane_ordering() {
+        let rows = data_plane_comparison(5, 12);
+        let by = |name: &str| rows.iter().find(|r| r.scheme == name).unwrap();
+        let citymesh = by("citymesh");
+        let flooding = by("flooding");
+        let greedy = by("greedy");
+        let rescue = by("greedy+backtrack");
+
+        // Flooding delivers everything reachable.
+        assert!((flooding.delivery_rate - 1.0).abs() < 1e-9);
+        // CityMesh transmits far less than flooding.
+        assert!(
+            citymesh.mean_tx < flooding.mean_tx,
+            "citymesh {} vs flooding {}",
+            citymesh.mean_tx,
+            flooding.mean_tx
+        );
+        // Pure greedy drops some packets at dead ends; backtracking
+        // recovers them.
+        assert!(greedy.delivery_rate <= rescue.delivery_rate);
+        // Greedy (when it works) is cheap — it is unicast.
+        assert!(greedy.mean_tx < citymesh.mean_tx);
+    }
+}

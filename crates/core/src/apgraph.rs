@@ -1,0 +1,240 @@
+//! The ground-truth AP connectivity graph (paper §4).
+//!
+//! "Connects these APs into a graph where the inter-AP distance is
+//! below a configurable transmission range." This graph is the
+//! *simulation's truth*: reachability is membership in the same
+//! connected component, and the BFS hop count between endpoints is the
+//! paper's ideal-unicast lower bound for transmission overhead.
+//!
+//! CityMesh itself never sees this graph — routing uses only the
+//! building map. Keeping the two rigidly separated is what makes the
+//! evaluation honest.
+
+use citymesh_geo::{GridIndex, Point};
+use citymesh_graph::{bfs, connected_components, Graph};
+
+use crate::placement::Ap;
+
+/// AP graph plus the indexes the simulator needs.
+#[derive(Clone, Debug)]
+pub struct ApGraph {
+    graph: Graph,
+    index: GridIndex,
+    range_m: f64,
+    building_of: Vec<u32>,
+    components: Vec<u32>,
+    num_components: usize,
+}
+
+impl ApGraph {
+    /// Builds the unit-disk graph over `aps` with cutoff `range_m`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive range.
+    pub fn build(aps: &[Ap], range_m: f64) -> Self {
+        assert!(range_m > 0.0, "range must be positive");
+        let positions: Vec<Point> = aps.iter().map(|a| a.pos).collect();
+        let index = GridIndex::build(&positions, range_m.max(1.0));
+        let mut graph = Graph::new(aps.len());
+        for ap in aps {
+            index.for_each_in_circle(ap.pos, range_m, |other, _| {
+                if other > ap.id {
+                    graph.add_edge(ap.id, other, 1.0);
+                }
+            });
+        }
+        let (components, num_components) = connected_components(&graph);
+        ApGraph {
+            graph,
+            index,
+            range_m,
+            building_of: aps.iter().map(|a| a.building).collect(),
+            components,
+            num_components,
+        }
+    }
+
+    /// Number of APs.
+    pub fn len(&self) -> usize {
+        self.building_of.len()
+    }
+
+    /// Whether there are no APs.
+    pub fn is_empty(&self) -> bool {
+        self.building_of.is_empty()
+    }
+
+    /// The underlying unweighted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The transmission range used to build the graph.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// Position of AP `id`.
+    pub fn position(&self, id: u32) -> Point {
+        self.index.position(id)
+    }
+
+    /// Building containing AP `id`.
+    pub fn building_of(&self, id: u32) -> u32 {
+        self.building_of[id as usize]
+    }
+
+    /// All AP ids within `radius` of `p` (the broadcast audience).
+    pub fn for_each_in_range(&self, p: Point, f: impl FnMut(u32, Point)) {
+        self.index.for_each_in_circle(p, self.range_m, f);
+    }
+
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        self.num_components
+    }
+
+    /// Whether APs `a` and `b` are in the same component — the paper's
+    /// *reachability* predicate.
+    pub fn reachable(&self, a: u32, b: u32) -> bool {
+        self.components[a as usize] == self.components[b as usize]
+    }
+
+    /// Whether any AP of `building_a` can reach any AP of
+    /// `building_b`. Buildings host ≥ 1 AP each by placement
+    /// construction, and all APs of one building share a component in
+    /// practice; this checks all pairs for robustness.
+    pub fn buildings_reachable(&self, building_a: u32, building_b: u32) -> bool {
+        let comps_a: Vec<u32> = self
+            .components
+            .iter()
+            .zip(&self.building_of)
+            .filter(|(_, b)| **b == building_a)
+            .map(|(c, _)| *c)
+            .collect();
+        self.components
+            .iter()
+            .zip(&self.building_of)
+            .any(|(c, b)| *b == building_b && comps_a.contains(c))
+    }
+
+    /// Minimum hop count from AP `src` to **any** AP inside
+    /// `dst_building` — the ideal-unicast transmission count (§4's
+    /// overhead denominator). `None` when unreachable.
+    pub fn ideal_hops_to_building(&self, src: u32, dst_building: u32) -> Option<u64> {
+        let result = bfs(&self.graph, src);
+        let mut best = f64::INFINITY;
+        for (id, b) in self.building_of.iter().enumerate() {
+            if *b == dst_building {
+                best = best.min(result.dist[id]);
+            }
+        }
+        best.is_finite().then_some(best as u64)
+    }
+
+    /// All AP ids belonging to `building`.
+    pub fn aps_in_building(&self, building: u32) -> Vec<u32> {
+        self.building_of
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == building)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Mean node degree (a connectivity health indicator reported in
+    /// experiment summaries).
+    pub fn mean_degree(&self) -> f64 {
+        self.graph.mean_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Ap;
+
+    fn ap(id: u32, x: f64, y: f64, building: u32) -> Ap {
+        Ap {
+            id,
+            pos: Point::new(x, y),
+            building,
+        }
+    }
+
+    /// Two clusters 40 m apart internally, 500 m between clusters.
+    fn two_cluster_aps() -> Vec<Ap> {
+        vec![
+            ap(0, 0.0, 0.0, 0),
+            ap(1, 40.0, 0.0, 0),
+            ap(2, 80.0, 0.0, 1),
+            ap(3, 500.0, 0.0, 2),
+            ap(4, 540.0, 0.0, 2),
+        ]
+    }
+
+    #[test]
+    fn edges_respect_range_cutoff() {
+        let g = ApGraph::build(&two_cluster_aps(), 50.0);
+        assert!(g.graph().has_edge(0, 1));
+        assert!(g.graph().has_edge(1, 2));
+        assert!(!g.graph().has_edge(0, 2)); // 80 m
+        assert!(g.graph().has_edge(3, 4));
+        assert!(!g.graph().has_edge(2, 3)); // 420 m
+    }
+
+    #[test]
+    fn components_and_reachability() {
+        let g = ApGraph::build(&two_cluster_aps(), 50.0);
+        assert_eq!(g.num_components(), 2);
+        assert!(g.reachable(0, 2));
+        assert!(!g.reachable(0, 3));
+        assert!(g.buildings_reachable(0, 1));
+        assert!(!g.buildings_reachable(0, 2));
+        assert!(g.buildings_reachable(2, 2));
+    }
+
+    #[test]
+    fn ideal_hops() {
+        let g = ApGraph::build(&two_cluster_aps(), 50.0);
+        // AP0 → building 1 (AP2): 0→1→2 = 2 hops.
+        assert_eq!(g.ideal_hops_to_building(0, 1), Some(2));
+        // AP0 → its own building: AP0 is already there, 0 hops.
+        assert_eq!(g.ideal_hops_to_building(0, 0), Some(0));
+        // Unreachable cluster.
+        assert_eq!(g.ideal_hops_to_building(0, 2), None);
+    }
+
+    #[test]
+    fn building_ap_lookup() {
+        let g = ApGraph::build(&two_cluster_aps(), 50.0);
+        assert_eq!(g.aps_in_building(0), vec![0, 1]);
+        assert_eq!(g.aps_in_building(2), vec![3, 4]);
+        assert!(g.aps_in_building(9).is_empty());
+        assert_eq!(g.building_of(2), 1);
+    }
+
+    #[test]
+    fn broadcast_audience_query() {
+        let g = ApGraph::build(&two_cluster_aps(), 50.0);
+        let mut heard = Vec::new();
+        g.for_each_in_range(Point::new(40.0, 0.0), |id, _| heard.push(id));
+        heard.sort_unstable();
+        // Within 50 m of (40,0): APs 0, 1, 2. (Note: includes self.)
+        assert_eq!(heard, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exact_range_boundary_is_connected() {
+        let aps = vec![ap(0, 0.0, 0.0, 0), ap(1, 50.0, 0.0, 1)];
+        let g = ApGraph::build(&aps, 50.0);
+        assert!(g.graph().has_edge(0, 1), "d == range must connect");
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = ApGraph::build(&[], 50.0);
+        assert!(g.is_empty());
+        assert_eq!(g.num_components(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The building graph: predicted inter-building connectivity.
+//!
+//! Built from footprints alone — no information from the network
+//! (paper §3 step 2). Two buildings get an edge when the gap between
+//! their footprints is small enough that APs inside them are likely to
+//! hear each other; edges are weighted by the **cubed** centroid
+//! distance so route planning strongly prefers short hops, the ones
+//! most likely to have real AP coverage.
+
+use citymesh_geo::Point;
+use citymesh_graph::{connected_components, Graph};
+use citymesh_map::CityMap;
+
+/// Parameters for building-graph construction.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildingGraphParams {
+    /// Maximum footprint-to-footprint gap, meters, for a predicted
+    /// link. The default is `0.8 ×` the transmission range: APs sit
+    /// inside buildings, not on facing walls, so the usable range
+    /// across a street is discounted.
+    pub max_gap_m: f64,
+    /// Exponent applied to the centroid distance for edge weights.
+    /// The paper uses 3 (cubed); 1 and 2 are ablation settings.
+    pub weight_exponent: f64,
+}
+
+impl BuildingGraphParams {
+    /// The paper's defaults for a given transmission range.
+    pub fn for_range(range_m: f64) -> Self {
+        BuildingGraphParams {
+            max_gap_m: 0.8 * range_m,
+            weight_exponent: 3.0,
+        }
+    }
+}
+
+impl Default for BuildingGraphParams {
+    fn default() -> Self {
+        Self::for_range(crate::DEFAULT_RANGE_M)
+    }
+}
+
+/// The predicted-connectivity graph over a city's buildings.
+///
+/// Wraps the generic [`Graph`] with the map-derived context route
+/// planning needs (centroids for heuristics and conduit geometry).
+#[derive(Clone, Debug)]
+pub struct BuildingGraph {
+    graph: Graph,
+    centroids: Vec<Point>,
+    params: BuildingGraphParams,
+}
+
+impl BuildingGraph {
+    /// Builds the graph for `map`.
+    ///
+    /// Candidate pairs come from a spatial query (centroids within
+    /// `max_gap + 2 × max building radius`), then the exact footprint
+    /// gap decides. O(B · k) where k is the candidate count per
+    /// building.
+    pub fn build(map: &CityMap, params: BuildingGraphParams) -> Self {
+        assert!(params.max_gap_m >= 0.0, "max_gap_m must be non-negative");
+        assert!(
+            params.weight_exponent > 0.0,
+            "weight_exponent must be positive"
+        );
+        let n = map.len();
+        let mut graph = Graph::new(n);
+        let centroids: Vec<Point> = map.buildings().iter().map(|b| b.centroid).collect();
+
+        // Conservative query radius: centroid distance can exceed the
+        // footprint gap by both buildings' "radius" (bbox half-diagonal).
+        let max_radius = map
+            .buildings()
+            .iter()
+            .map(|b| {
+                let bb = b.footprint.bbox();
+                bb.width().hypot(bb.height()) / 2.0
+            })
+            .fold(0.0, f64::max);
+        let query_r = params.max_gap_m + 2.0 * max_radius;
+
+        for b in map.buildings() {
+            for other_id in map.buildings_within(b.centroid, query_r) {
+                // Each unordered pair once.
+                if other_id <= b.id {
+                    continue;
+                }
+                let other = map.building(other_id).expect("index yields valid ids");
+                let gap = b.footprint.dist_to_polygon(&other.footprint);
+                if gap <= params.max_gap_m {
+                    let d = b.centroid.dist(other.centroid).max(1.0);
+                    graph.add_edge(b.id, other_id, d.powf(params.weight_exponent));
+                }
+            }
+        }
+
+        BuildingGraph {
+            graph,
+            centroids,
+            params,
+        }
+    }
+
+    /// The underlying weighted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> BuildingGraphParams {
+        self.params
+    }
+
+    /// Centroid of building `id`.
+    pub fn centroid(&self, id: u32) -> Point {
+        self.centroids[id as usize]
+    }
+
+    /// Number of buildings (vertices).
+    pub fn len(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// Number of predicted links.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// `(component labels, component count)` over predicted links —
+    /// how the *map* expects the city to fragment.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        connected_components(&self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citymesh_geo::{Polygon, Rect};
+    use citymesh_map::CityMap;
+
+    fn square_at(x: f64, y: f64, side: f64) -> Polygon {
+        Polygon::rect(Rect::from_corners(
+            Point::new(x, y),
+            Point::new(x + side, y + side),
+        ))
+    }
+
+    /// Three buildings in a row, 20 m gaps, plus one isolated 500 m away.
+    fn row_map() -> CityMap {
+        CityMap::new(
+            "row",
+            vec![
+                square_at(0.0, 0.0, 10.0),
+                square_at(30.0, 0.0, 10.0),
+                square_at(60.0, 0.0, 10.0),
+                square_at(500.0, 0.0, 10.0),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn links_neighbors_within_gap() {
+        let map = row_map();
+        let bg = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 25.0,
+                weight_exponent: 3.0,
+            },
+        );
+        assert_eq!(bg.len(), 4);
+        // Adjacent pairs (gap 20) link; skip-one pairs (gap 50) do not.
+        assert!(bg.graph().has_edge(0, 1));
+        assert!(bg.graph().has_edge(1, 2));
+        assert!(!bg.graph().has_edge(0, 2));
+        assert_eq!(bg.graph().degree(3), 0, "distant building stays isolated");
+        let (_, count) = bg.components();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn weights_are_cubed_centroid_distance() {
+        let map = row_map();
+        let bg = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 25.0,
+                weight_exponent: 3.0,
+            },
+        );
+        let e = bg
+            .graph()
+            .neighbors(0)
+            .iter()
+            .find(|e| e.to == 1)
+            .expect("edge 0-1");
+        // Centroid distance 30 m → weight 27000.
+        assert!((e.weight - 27_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_exponent_ablation() {
+        let map = row_map();
+        let linear = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 25.0,
+                weight_exponent: 1.0,
+            },
+        );
+        let e = linear
+            .graph()
+            .neighbors(0)
+            .iter()
+            .find(|e| e.to == 1)
+            .unwrap();
+        assert!((e.weight - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_gap_touching_buildings_link() {
+        let map = CityMap::new(
+            "touching",
+            vec![square_at(0.0, 0.0, 10.0), square_at(10.0, 0.0, 10.0)],
+            vec![],
+        );
+        let bg = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 0.0,
+                weight_exponent: 3.0,
+            },
+        );
+        assert!(bg.graph().has_edge(0, 1));
+        // Weight floor: centroid distance clamps at 1 m so zero-weight
+        // edges cannot make Dijkstra prefer arbitrarily long chains.
+        let e = bg.graph().neighbors(0)[0];
+        assert!(e.weight >= 1.0);
+    }
+
+    #[test]
+    fn synthetic_city_is_mostly_connected() {
+        let map = citymesh_map::CityArchetype::SurveyDowntown.generate(1);
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        assert!(
+            bg.num_edges() > map.len(),
+            "downtown should be densely linked"
+        );
+        let (labels, _) = bg.components();
+        let mut sizes = std::collections::HashMap::new();
+        for l in &labels {
+            *sizes.entry(*l).or_insert(0usize) += 1;
+        }
+        let largest = sizes.values().copied().max().unwrap();
+        assert!(
+            largest as f64 / map.len() as f64 > 0.95,
+            "downtown largest component covers {largest}/{}",
+            map.len()
+        );
+    }
+
+    #[test]
+    fn empty_map_builds_empty_graph() {
+        let map = CityMap::new("empty", vec![], vec![]);
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        assert!(bg.is_empty());
+        assert_eq!(bg.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_gap_m")]
+    fn negative_gap_panics() {
+        let map = row_map();
+        BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: -1.0,
+                weight_exponent: 3.0,
+            },
+        );
+    }
+}

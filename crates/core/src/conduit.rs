@@ -1,0 +1,287 @@
+//! Route compression into conduits (paper §3 step 2, Figure 4).
+//!
+//! Instead of shipping the full building list, the sender keeps only
+//! *waypoint* buildings. Between consecutive waypoints lies a conduit:
+//! an oriented rectangle of width `W` whose spine joins the waypoint
+//! centroids. The compression invariant is that **every building on
+//! the original route falls inside some conduit**, so the rebroadcast
+//! region always covers the planned path — and, because the region is
+//! wider than the path, the scheme tolerates mispredicted
+//! inter-building links (nearby off-route buildings also relay).
+
+use citymesh_geo::{OrientedRect, Point, Segment};
+use citymesh_map::CityMap;
+
+use crate::buildgraph::BuildingGraph;
+
+/// A compressed route: the waypoint buildings plus the conduit width
+/// they were compressed against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressedRoute {
+    /// Waypoint building IDs; first is the source's building, last the
+    /// destination postbox building. Never empty.
+    pub waypoints: Vec<u32>,
+    /// Conduit width `W`, meters.
+    pub width_m: f64,
+}
+
+impl CompressedRoute {
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.waypoints.len()
+    }
+
+    /// Always false (a route has at least one waypoint).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Compresses `route` (building IDs from [`crate::plan_route`]) into
+/// waypoints using the paper's greedy cover algorithm:
+///
+/// > place the starting edge of the first conduit on the centroid of
+/// > the first building in the route. We then find the latest building
+/// > in the route at which we can place the ending edge of the conduit
+/// > and cover all buildings in the route that precede it.
+///
+/// ```
+/// use citymesh_core::{compress_route, plan_route, BuildingGraph, BuildingGraphParams};
+/// use citymesh_map::CityArchetype;
+///
+/// let map = CityArchetype::SurveyDowntown.generate(1);
+/// let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+/// let route = plan_route(&bg, 0, 100).unwrap();
+/// let compressed = compress_route(&bg, &route, 50.0);
+/// assert!(compressed.waypoints.len() <= route.len());
+/// assert_eq!(compressed.waypoints[0], route[0]);
+/// ```
+///
+/// # Panics
+/// Panics on an empty route or non-positive width; both are caller
+/// bugs, not data conditions.
+pub fn compress_route(bg: &BuildingGraph, route: &[u32], width_m: f64) -> CompressedRoute {
+    assert!(!route.is_empty(), "cannot compress an empty route");
+    assert!(width_m > 0.0, "conduit width must be positive");
+
+    let mut waypoints = vec![route[0]];
+    let mut start = 0usize; // index of the current waypoint within `route`
+
+    while start + 1 < route.len() {
+        let a = bg.centroid(route[start]);
+        // Find the farthest j > start whose conduit covers all
+        // intermediate buildings.
+        let mut best = start + 1; // adjacent always trivially covers
+        for j in (start + 1)..route.len() {
+            let spine = Segment::new(a, bg.centroid(route[j]));
+            let conduit = OrientedRect::new(spine, width_m);
+            let all_covered = route[start + 1..j]
+                .iter()
+                .all(|&b| conduit.contains(bg.centroid(b)));
+            if all_covered {
+                best = j;
+            }
+            // No early break: coverage is not monotone in j (a farther
+            // endpoint can swing the spine back over a missed building).
+        }
+        waypoints.push(route[best]);
+        start = best;
+    }
+
+    CompressedRoute { waypoints, width_m }
+}
+
+/// Reconstructs the conduit rectangles for a waypoint list — the
+/// operation every relaying AP performs from the packet header and its
+/// cached map (paper §3 step 3).
+///
+/// A single-waypoint route yields one degenerate conduit (a disc of
+/// radius `W/2` around the destination building's centroid).
+pub fn reconstruct_conduits(map: &CityMap, waypoints: &[u32], width_m: f64) -> Vec<OrientedRect> {
+    let centroid = |id: u32| -> Point {
+        map.building(id)
+            .unwrap_or_else(|| panic!("waypoint {id} not in map"))
+            .centroid
+    };
+    if waypoints.len() == 1 {
+        let c = centroid(waypoints[0]);
+        return vec![OrientedRect::new(Segment::new(c, c), width_m)];
+    }
+    waypoints
+        .windows(2)
+        .map(|w| OrientedRect::new(Segment::new(centroid(w[0]), centroid(w[1])), width_m))
+        .collect()
+}
+
+/// Whether `p` lies within any of `conduits` (the rebroadcast
+/// predicate's geometric core).
+pub fn within_conduits(conduits: &[OrientedRect], p: Point) -> bool {
+    conduits.iter().any(|c| c.contains(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buildgraph::{BuildingGraph, BuildingGraphParams};
+    use citymesh_geo::{Polygon, Rect};
+    use citymesh_map::CityMap;
+
+    fn square_at(x: f64, y: f64, side: f64) -> Polygon {
+        Polygon::rect(Rect::from_corners(
+            Point::new(x, y),
+            Point::new(x + side, y + side),
+        ))
+    }
+
+    /// A straight row of buildings every 30 m plus helpers.
+    fn straight_city(n: usize) -> (CityMap, BuildingGraph) {
+        let footprints = (0..n)
+            .map(|i| square_at(i as f64 * 30.0, 0.0, 10.0))
+            .collect();
+        let map = CityMap::new("straight", footprints, vec![]);
+        let bg = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 25.0,
+                weight_exponent: 3.0,
+            },
+        );
+        (map, bg)
+    }
+
+    #[test]
+    fn straight_route_compresses_to_two_waypoints() {
+        let (_, bg) = straight_city(12);
+        let route: Vec<u32> = (0..12).collect();
+        let c = compress_route(&bg, &route, 50.0);
+        assert_eq!(
+            c.waypoints,
+            vec![0, 11],
+            "a collinear route needs only its endpoints"
+        );
+    }
+
+    #[test]
+    fn every_routed_building_is_covered() {
+        // An L-shaped route cannot compress to two waypoints.
+        let mut footprints: Vec<Polygon> = (0..6)
+            .map(|i| square_at(i as f64 * 30.0, 0.0, 10.0))
+            .collect();
+        footprints.extend((1..6).map(|i| square_at(150.0, i as f64 * 30.0, 10.0)));
+        let map = CityMap::new("l", footprints, vec![]);
+        let bg = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 25.0,
+                weight_exponent: 3.0,
+            },
+        );
+        let src = map.nearest_building(Point::new(0.0, 0.0)).unwrap().id;
+        let dst = map.nearest_building(Point::new(150.0, 150.0)).unwrap().id;
+        let route = crate::plan_route(&bg, src, dst).unwrap();
+        let c = compress_route(&bg, &route, 40.0);
+        assert!(c.waypoints.len() >= 3, "an L needs a corner waypoint");
+        assert!(c.waypoints.len() < route.len(), "compression must compress");
+
+        let conduits = reconstruct_conduits(&map, &c.waypoints, c.width_m);
+        for &b in &route {
+            assert!(
+                within_conduits(&conduits, bg.centroid(b)),
+                "building {b} escaped the conduit cover"
+            );
+        }
+    }
+
+    #[test]
+    fn narrower_width_needs_more_waypoints() {
+        // A gently zig-zagging route.
+        let footprints: Vec<Polygon> = (0..20)
+            .map(|i| {
+                let y = if i % 2 == 0 { 0.0 } else { 18.0 };
+                square_at(i as f64 * 28.0, y, 10.0)
+            })
+            .collect();
+        let map = CityMap::new("zigzag", footprints, vec![]);
+        let bg = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 30.0,
+                weight_exponent: 3.0,
+            },
+        );
+        let route = crate::plan_route(&bg, 0, (map.len() - 1) as u32).unwrap();
+        let wide = compress_route(&bg, &route, 80.0);
+        let narrow = compress_route(&bg, &route, 22.0);
+        assert!(
+            narrow.len() >= wide.len(),
+            "narrow ({}) should need at least as many waypoints as wide ({})",
+            narrow.len(),
+            wide.len()
+        );
+    }
+
+    #[test]
+    fn endpoints_always_kept() {
+        let (_, bg) = straight_city(5);
+        for width in [10.0, 50.0, 100.0] {
+            let c = compress_route(&bg, &[0, 1, 2, 3, 4], width);
+            assert_eq!(c.waypoints[0], 0);
+            assert_eq!(*c.waypoints.last().unwrap(), 4);
+        }
+    }
+
+    #[test]
+    fn single_building_route() {
+        let (map, bg) = straight_city(3);
+        let c = compress_route(&bg, &[1], 50.0);
+        assert_eq!(c.waypoints, vec![1]);
+        let conduits = reconstruct_conduits(&map, &c.waypoints, 50.0);
+        assert_eq!(conduits.len(), 1);
+        assert!(within_conduits(&conduits, bg.centroid(1)));
+        // The disc covers W/2 around the building.
+        assert!(within_conduits(
+            &conduits,
+            bg.centroid(1) + citymesh_geo::Vec2::new(24.0, 0.0)
+        ));
+        assert!(!within_conduits(
+            &conduits,
+            bg.centroid(1) + citymesh_geo::Vec2::new(26.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn two_building_route() {
+        let (map, bg) = straight_city(2);
+        let c = compress_route(&bg, &[0, 1], 50.0);
+        assert_eq!(c.waypoints, vec![0, 1]);
+        let conduits = reconstruct_conduits(&map, &c.waypoints, 50.0);
+        assert_eq!(conduits.len(), 1);
+    }
+
+    #[test]
+    fn conduits_connect_consecutive_waypoints() {
+        let (map, bg) = straight_city(12);
+        let c = compress_route(&bg, &(0..12).collect::<Vec<u32>>(), 50.0);
+        let conduits = reconstruct_conduits(&map, &c.waypoints, c.width_m);
+        assert_eq!(conduits.len(), c.waypoints.len() - 1);
+        for (i, conduit) in conduits.iter().enumerate() {
+            assert_eq!(conduit.spine.a, bg.centroid(c.waypoints[i]));
+            assert_eq!(conduit.spine.b, bg.centroid(c.waypoints[i + 1]));
+            assert_eq!(conduit.width, 50.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty route")]
+    fn empty_route_panics() {
+        let (_, bg) = straight_city(2);
+        compress_route(&bg, &[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        let (_, bg) = straight_city(2);
+        compress_route(&bg, &[0, 1], 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! CityMesh: building routing for decentralized fallback networks.
+//!
+//! This crate is the paper's primary contribution (HotNets '24,
+//! "The Case for Decentralized Fallback Networks"): a routing system
+//! for city-scale Wi-Fi AP meshes that exchanges **no routing
+//! metadata** between nodes. All shared state is a static geospatial
+//! building map; a sender source-routes by picking a sequence of
+//! buildings, compresses the route into *conduits*, and every AP
+//! independently decides from the packet header plus its cached map
+//! whether to rebroadcast.
+//!
+//! The pieces, in paper order (§3):
+//!
+//! 1. [`buildgraph`] — predict inter-building AP connectivity from
+//!    footprints alone and weight edges by cubed distance.
+//! 2. [`route`] — plan the building route (Dijkstra over the building
+//!    graph).
+//! 3. [`conduit`] — compress the route into waypoint buildings whose
+//!    connecting conduits (width `W`) cover every routed building
+//!    (Figure 4), and reconstruct conduits at relay time.
+//! 4. [`agent`] — the per-AP software agent: duplicate suppression,
+//!    TTL, and the conduit-membership rebroadcast predicate.
+//! 5. [`postbox`] — destination-side store-and-forward with sealed
+//!    (encrypted) messages, retrieval, and push notifications.
+//!
+//! The evaluation machinery (§4) lives alongside:
+//!
+//! * [`placement`] — AP placement inside footprints at a configurable
+//!   density (the paper uses 1 AP / 200 m²).
+//! * [`apgraph`] — the ground-truth AP connectivity graph (unit disk,
+//!   50 m) used for reachability and the ideal-unicast hop count.
+//! * [`sim`] — the event-driven broadcast simulation measuring
+//!   deliverability and transmission overhead.
+//! * [`pipeline`] — one-call experiment runs producing the numbers
+//!   behind every figure (reachability, deliverability, overhead,
+//!   header sizes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod apgraph;
+pub mod bridge;
+pub mod buildgraph;
+pub mod conduit;
+pub mod pipeline;
+pub mod placement;
+pub mod postbox;
+pub mod route;
+pub mod sim;
+
+pub use agent::{ApAgent, RebroadcastScope};
+pub use apgraph::ApGraph;
+pub use bridge::{apply_bridges, extend_placement, plan_bridges, Bridge, BridgePlan};
+pub use buildgraph::{BuildingGraph, BuildingGraphParams};
+pub use conduit::{compress_route, reconstruct_conduits, within_conduits, CompressedRoute};
+pub use pipeline::{CityExperiment, CityResult, ExperimentConfig, PairOutcome};
+pub use placement::{place_aps, postbox_ap, Ap};
+pub use postbox::{Postbox, PostboxError, StoredMessage};
+pub use route::{plan_route, plan_route_avoiding, RouteError};
+pub use sim::{simulate_delivery, ApRole, DeliveryParams, DeliveryReport};
+
+/// The paper's default Wi-Fi transmission range, meters (§4).
+pub const DEFAULT_RANGE_M: f64 = 50.0;
+/// The paper's default AP density: one AP per this many m² of building
+/// footprint (§4).
+pub const DEFAULT_M2_PER_AP: f64 = 200.0;
+/// The paper's default conduit width `W`, meters (§3: "comparable to
+/// the Wi-Fi transmission range, 50 m in our implementation").
+pub const DEFAULT_CONDUIT_WIDTH_M: f64 = 50.0;

@@ -1,0 +1,472 @@
+//! End-to-end experiment pipeline (paper §4).
+//!
+//! One [`CityExperiment`] owns everything a city run needs — the map,
+//! a concrete AP placement, the ground-truth AP graph, and the
+//! map-only building graph — and produces the three Figure-6 metrics:
+//!
+//! * **reachability** — fraction of random building pairs connected
+//!   through the AP graph (1000 pairs in the paper);
+//! * **deliverability** — among reachable pairs, fraction whose packet
+//!   the building-routing algorithm actually delivers in the full
+//!   event simulation (50 pairs in the paper);
+//! * **transmission overhead** — broadcasts ÷ ideal-unicast hops
+//!   (≈ 13× in the paper).
+//!
+//! plus the §4 header statistics (median / 90th-percentile compressed
+//! route bits).
+
+use citymesh_map::CityMap;
+use citymesh_net::CityMeshHeader;
+use citymesh_simcore::{split_seed, SimRng};
+
+use crate::agent::RebroadcastScope;
+use crate::apgraph::ApGraph;
+use crate::buildgraph::{BuildingGraph, BuildingGraphParams};
+use crate::conduit::compress_route;
+use crate::placement::{place_aps, postbox_ap, Ap};
+use crate::route::plan_route;
+use crate::sim::{simulate_delivery, DeliveryParams, DeliveryReport};
+
+/// Experiment parameters (defaults mirror the paper's §4 setup).
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Wi-Fi transmission range, meters.
+    pub range_m: f64,
+    /// Footprint m² per AP.
+    pub m2_per_ap: f64,
+    /// Conduit width `W`, meters.
+    pub conduit_width_m: f64,
+    /// Building-graph construction parameters.
+    pub graph: BuildingGraphParams,
+    /// Rebroadcast geometry policy.
+    pub scope: RebroadcastScope,
+    /// Per-frame reception loss probability (0 = the paper's
+    /// idealized medium; nonzero for the robustness ablation).
+    pub reception_loss: f64,
+    /// Pairs sampled for reachability.
+    pub reachability_pairs: usize,
+    /// Pairs simulated for deliverability (among reachable ones).
+    pub delivery_pairs: usize,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            range_m: crate::DEFAULT_RANGE_M,
+            m2_per_ap: crate::DEFAULT_M2_PER_AP,
+            conduit_width_m: crate::DEFAULT_CONDUIT_WIDTH_M,
+            graph: BuildingGraphParams::for_range(crate::DEFAULT_RANGE_M),
+            scope: RebroadcastScope::Building,
+            reception_loss: 0.0,
+            reachability_pairs: 1000,
+            delivery_pairs: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// One src→dst delivery attempt, fully annotated.
+#[derive(Clone, Debug)]
+pub struct PairOutcome {
+    /// Source building.
+    pub src: u32,
+    /// Destination building.
+    pub dst: u32,
+    /// Ground truth: are the buildings connected through the AP graph?
+    pub reachable: bool,
+    /// Did the building graph predict a route at all?
+    pub route_found: bool,
+    /// Number of buildings on the planned route (0 when none).
+    pub route_len: usize,
+    /// Number of waypoints after compression (0 when no route).
+    pub waypoints: usize,
+    /// Compressed source-route size in bits (0 when no route).
+    pub route_bits: usize,
+    /// Did the event simulation deliver the packet?
+    pub delivered: bool,
+    /// Broadcast count from the simulation.
+    pub broadcasts: u64,
+    /// Simulated first-delivery latency, when delivered.
+    pub latency: Option<citymesh_simcore::SimTime>,
+    /// Ideal-unicast hop count (ground truth), when reachable.
+    pub ideal_hops: Option<u64>,
+    /// Transmission overhead (broadcasts / ideal hops), when delivered.
+    pub overhead: Option<f64>,
+}
+
+/// Aggregated per-city results.
+#[derive(Clone, Debug)]
+pub struct CityResult {
+    /// City name.
+    pub city: String,
+    /// Building count.
+    pub buildings: usize,
+    /// AP count after placement.
+    pub aps: usize,
+    /// Mean AP-graph degree.
+    pub mean_degree: f64,
+    /// AP-graph connected components ("islands").
+    pub components: usize,
+    /// Fraction of sampled pairs reachable through the AP graph.
+    pub reachability: f64,
+    /// Fraction of simulated reachable pairs that were delivered.
+    pub deliverability: f64,
+    /// Median transmission overhead among delivered pairs.
+    pub median_overhead: Option<f64>,
+    /// Median first-delivery latency among delivered pairs, ms.
+    pub median_latency_ms: Option<f64>,
+    /// Median compressed-route size, bits.
+    pub median_route_bits: Option<usize>,
+    /// 90th-percentile compressed-route size, bits.
+    pub p90_route_bits: Option<usize>,
+    /// Every simulated pair, for deeper analysis.
+    pub outcomes: Vec<PairOutcome>,
+}
+
+/// A prepared city: placement + graphs, ready to run pairs.
+#[derive(Clone, Debug)]
+pub struct CityExperiment {
+    map: CityMap,
+    aps: Vec<Ap>,
+    apg: ApGraph,
+    bg: BuildingGraph,
+    config: ExperimentConfig,
+}
+
+impl CityExperiment {
+    /// Places APs and builds both graphs for `map`.
+    pub fn prepare(map: CityMap, config: ExperimentConfig) -> Self {
+        let mut placement_rng = SimRng::new(split_seed(config.seed, 0xA9));
+        let aps = place_aps(&map, config.m2_per_ap, &mut placement_rng);
+        Self::from_parts(map, aps, config)
+    }
+
+    /// Builds both graphs over a caller-supplied placement — used when
+    /// the placement must be preserved across map edits (e.g. after
+    /// [`crate::apply_bridges`] + [`crate::bridge::extend_placement`]).
+    ///
+    /// # Panics
+    /// Panics when any AP references a building outside the map.
+    pub fn from_parts(map: CityMap, aps: Vec<Ap>, config: ExperimentConfig) -> Self {
+        assert!(
+            aps.iter().all(|a| (a.building as usize) < map.len()),
+            "AP references a building outside the map"
+        );
+        let apg = ApGraph::build(&aps, config.range_m);
+        let bg = BuildingGraph::build(&map, config.graph);
+        CityExperiment {
+            map,
+            aps,
+            apg,
+            bg,
+            config,
+        }
+    }
+
+    /// The city map.
+    pub fn map(&self) -> &CityMap {
+        &self.map
+    }
+
+    /// The AP placement.
+    pub fn aps(&self) -> &[Ap] {
+        &self.aps
+    }
+
+    /// The ground-truth AP graph.
+    pub fn ap_graph(&self) -> &ApGraph {
+        &self.apg
+    }
+
+    /// The map-derived building graph.
+    pub fn building_graph(&self) -> &BuildingGraph {
+        &self.bg
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Samples `n` distinct source/destination building pairs.
+    pub fn sample_pairs(&self, n: usize, rng: &mut SimRng) -> Vec<(u32, u32)> {
+        let b = self.map.len() as u64;
+        if b < 2 {
+            return Vec::new();
+        }
+        let mut pairs = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        let mut guard = 0;
+        while pairs.len() < n && guard < n * 20 {
+            guard += 1;
+            let src = rng.below(b) as u32;
+            let dst = rng.below(b) as u32;
+            if src != dst && seen.insert((src, dst)) {
+                pairs.push((src, dst));
+            }
+        }
+        pairs
+    }
+
+    /// Ground-truth reachability for one pair.
+    pub fn reachable(&self, src: u32, dst: u32) -> bool {
+        self.apg.buildings_reachable(src, dst)
+    }
+
+    /// Plans, compresses, simulates, and scores one pair.
+    pub fn run_pair(&self, src: u32, dst: u32, msg_id: u64, rng: &mut SimRng) -> PairOutcome {
+        let reachable = self.reachable(src, dst);
+        let mut outcome = PairOutcome {
+            src,
+            dst,
+            reachable,
+            route_found: false,
+            route_len: 0,
+            waypoints: 0,
+            route_bits: 0,
+            delivered: false,
+            broadcasts: 0,
+            latency: None,
+            ideal_hops: None,
+            overhead: None,
+        };
+        let Ok(route) = plan_route(&self.bg, src, dst) else {
+            return outcome;
+        };
+        outcome.route_found = true;
+        outcome.route_len = route.len();
+        let compressed = compress_route(&self.bg, &route, self.config.conduit_width_m);
+        outcome.waypoints = compressed.len();
+        let header = CityMeshHeader::new(msg_id, self.config.conduit_width_m, compressed.waypoints);
+        outcome.route_bits = header.route_bits();
+
+        let Some(src_ap) = postbox_ap(&self.aps, &self.map, src) else {
+            return outcome;
+        };
+        let report: DeliveryReport = simulate_delivery(
+            &self.map,
+            &self.apg,
+            &header,
+            src_ap,
+            DeliveryParams {
+                scope: self.config.scope,
+                reception_loss: self.config.reception_loss,
+                ..DeliveryParams::default()
+            },
+            rng,
+        );
+        outcome.delivered = report.delivered;
+        outcome.broadcasts = report.broadcasts;
+        outcome.latency = report.first_delivery;
+        outcome.ideal_hops = self.apg.ideal_hops_to_building(src_ap, dst);
+        outcome.overhead = report.overhead(outcome.ideal_hops);
+        outcome
+    }
+
+    /// The full §4 evaluation for this city.
+    pub fn run(&self) -> CityResult {
+        let cfg = &self.config;
+        let mut pair_rng = SimRng::new(split_seed(cfg.seed, 0x9A195));
+        let mut sim_rng = SimRng::new(split_seed(cfg.seed, 0xDE11FE7));
+
+        // Reachability over many pairs (graph query only: cheap).
+        let pairs = self.sample_pairs(cfg.reachability_pairs, &mut pair_rng);
+        let reachable_pairs: Vec<(u32, u32)> = pairs
+            .iter()
+            .copied()
+            .filter(|(s, d)| self.reachable(*s, *d))
+            .collect();
+        let reachability = if pairs.is_empty() {
+            0.0
+        } else {
+            reachable_pairs.len() as f64 / pairs.len() as f64
+        };
+
+        // Deliverability over a subset of reachable pairs (event sim:
+        // expensive), exactly as the paper does.
+        let mut outcomes = Vec::new();
+        for (i, (src, dst)) in reachable_pairs.iter().take(cfg.delivery_pairs).enumerate() {
+            let msg_id = split_seed(cfg.seed, 0x5EED ^ i as u64);
+            outcomes.push(self.run_pair(*src, *dst, msg_id, &mut sim_rng));
+        }
+
+        let delivered: Vec<&PairOutcome> = outcomes.iter().filter(|o| o.delivered).collect();
+        let deliverability = if outcomes.is_empty() {
+            0.0
+        } else {
+            delivered.len() as f64 / outcomes.len() as f64
+        };
+
+        let mut overheads: Vec<f64> = delivered.iter().filter_map(|o| o.overhead).collect();
+        overheads.sort_by(|a, b| a.partial_cmp(b).expect("finite overheads"));
+        let mut latencies: Vec<f64> = delivered
+            .iter()
+            .filter_map(|o| o.latency.map(|t| t.as_millis_f64()))
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mut bits: Vec<usize> = outcomes
+            .iter()
+            .filter(|o| o.route_found)
+            .map(|o| o.route_bits)
+            .collect();
+        bits.sort_unstable();
+
+        CityResult {
+            city: self.map.name().to_string(),
+            buildings: self.map.len(),
+            aps: self.aps.len(),
+            mean_degree: self.apg.mean_degree(),
+            components: self.apg.num_components(),
+            reachability,
+            deliverability,
+            median_overhead: percentile_f(&overheads, 0.5),
+            median_latency_ms: percentile_f(&latencies, 0.5),
+            median_route_bits: percentile_u(&bits, 0.5),
+            p90_route_bits: percentile_u(&bits, 0.9),
+            outcomes,
+        }
+    }
+}
+
+fn percentile_f(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Some(sorted[idx])
+}
+
+fn percentile_u(sorted: &[usize], q: f64) -> Option<usize> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Some(sorted[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citymesh_map::CityArchetype;
+
+    fn small_config(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            reachability_pairs: 200,
+            delivery_pairs: 10,
+            seed,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn downtown_run_has_high_reachability_and_deliverability() {
+        let map = CityArchetype::SurveyDowntown.generate(1);
+        let exp = CityExperiment::prepare(map, small_config(1));
+        let result = exp.run();
+        assert!(
+            result.reachability > 0.9,
+            "downtown reachability {}",
+            result.reachability
+        );
+        assert!(
+            result.deliverability > 0.7,
+            "downtown deliverability {}",
+            result.deliverability
+        );
+        assert_eq!(result.outcomes.len(), 10);
+        let overhead = result.median_overhead.expect("some deliveries succeeded");
+        assert!(
+            overhead > 1.0 && overhead < 60.0,
+            "overhead {overhead} out of plausible range"
+        );
+        let bits = result.median_route_bits.unwrap();
+        assert!(
+            (40..600).contains(&bits),
+            "median route bits {bits} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn river_city_fractures() {
+        let map = CityArchetype::SurveyRiver.generate(2);
+        let exp = CityExperiment::prepare(map, small_config(2));
+        let result = exp.run();
+        assert!(result.components > 1, "the river must split the AP graph");
+        assert!(
+            result.reachability < 0.95,
+            "cross-river pairs should be unreachable, got {}",
+            result.reachability
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic_in_seed() {
+        let map = CityArchetype::SurveyResidential.generate(3);
+        let a = CityExperiment::prepare(map.clone(), small_config(7)).run();
+        let b = CityExperiment::prepare(map, small_config(7)).run();
+        assert_eq!(a.reachability, b.reachability);
+        assert_eq!(a.deliverability, b.deliverability);
+        assert_eq!(a.aps, b.aps);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.broadcasts, y.broadcasts);
+            assert_eq!(x.delivered, y.delivered);
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_placement() {
+        let map = CityArchetype::SurveyResidential.generate(3);
+        let a = CityExperiment::prepare(map.clone(), small_config(7));
+        let b = CityExperiment::prepare(map, small_config(8));
+        assert_ne!(a.aps()[0].pos, b.aps()[0].pos);
+    }
+
+    #[test]
+    fn sample_pairs_distinct_and_in_range() {
+        let map = CityArchetype::SurveyDowntown.generate(4);
+        let exp = CityExperiment::prepare(map, small_config(4));
+        let mut rng = SimRng::new(1);
+        let pairs = exp.sample_pairs(300, &mut rng);
+        assert_eq!(pairs.len(), 300);
+        let n = exp.map().len() as u32;
+        let mut seen = std::collections::HashSet::new();
+        for (s, d) in &pairs {
+            assert!(*s < n && *d < n);
+            assert_ne!(s, d);
+            assert!(seen.insert((*s, *d)), "pairs must be unique");
+        }
+    }
+
+    #[test]
+    fn percentiles() {
+        assert_eq!(percentile_f(&[], 0.5), None);
+        assert_eq!(percentile_f(&[1.0], 0.5), Some(1.0));
+        assert_eq!(percentile_f(&[1.0, 2.0, 3.0], 0.5), Some(2.0));
+        assert_eq!(
+            percentile_u(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100], 0.9),
+            Some(90)
+        );
+    }
+
+    #[test]
+    fn outcome_fields_are_coherent() {
+        let map = CityArchetype::SurveyDowntown.generate(5);
+        let exp = CityExperiment::prepare(map, small_config(5));
+        let result = exp.run();
+        for o in &result.outcomes {
+            assert!(o.reachable, "only reachable pairs are simulated");
+            if o.delivered {
+                assert!(o.route_found);
+                assert!(o.broadcasts > 0);
+                assert!(o.waypoints >= 1 && o.waypoints <= o.route_len);
+                assert!(o.route_bits > 0);
+            }
+            if let Some(ov) = o.overhead {
+                assert!(ov >= 1.0, "cannot beat the ideal unicast: {ov}");
+            }
+        }
+    }
+}

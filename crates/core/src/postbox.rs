@@ -1,0 +1,376 @@
+//! The postbox: destination-side store-and-forward (paper §3 step 4).
+//!
+//! A postbox lives on one AP. It caches sealed messages for its
+//! owners, performs integrity checks (the AEAD tag — the postbox
+//! cannot read contents), serves retrieval on check-in, tracks each
+//! owner's last known building for push notifications, and evicts by
+//! TTL and per-owner capacity.
+
+use std::collections::HashMap;
+
+use citymesh_crypto::{Keypair, NodeId, SealedMessage};
+use citymesh_simcore::SimTime;
+
+/// Postbox service errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PostboxError {
+    /// The addressee is not registered at this postbox.
+    UnknownRecipient,
+    /// The message failed structural validation (too short to be a
+    /// sealed message).
+    Malformed,
+    /// Per-owner storage is full and the incoming message is not newer
+    /// than anything stored.
+    Full,
+}
+
+impl std::fmt::Display for PostboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PostboxError::UnknownRecipient => write!(f, "unknown recipient"),
+            PostboxError::Malformed => write!(f, "malformed sealed message"),
+            PostboxError::Full => write!(f, "postbox full for recipient"),
+        }
+    }
+}
+
+impl std::error::Error for PostboxError {}
+
+/// Result of a retrieve-and-open pass: `(msg_id, plaintext)` pairs
+/// that opened, plus the IDs that failed authentication.
+pub type OpenedMail = (Vec<(u64, Vec<u8>)>, Vec<u64>);
+
+/// A message held by the postbox.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredMessage {
+    /// The sealed payload (opaque to the postbox).
+    pub sealed: SealedMessage,
+    /// Packet-header message ID (dedup across retries).
+    pub msg_id: u64,
+    /// When the postbox accepted it.
+    pub stored_at: SimTime,
+}
+
+/// Per-owner mailbox state.
+#[derive(Clone, Debug, Default)]
+struct Mailbox {
+    messages: Vec<StoredMessage>,
+    /// Owner's last reported building (for push notifications).
+    last_building: Option<u32>,
+    /// Wants pushes?
+    push_enabled: bool,
+}
+
+/// The postbox service state for one AP.
+#[derive(Clone, Debug)]
+pub struct Postbox {
+    boxes: HashMap<NodeId, Mailbox>,
+    /// Messages older than this are evicted on [`Postbox::sweep`].
+    pub retention: SimTime,
+    /// Maximum messages kept per owner.
+    pub per_owner_capacity: usize,
+}
+
+impl Postbox {
+    /// Creates a postbox with the given retention and per-owner cap.
+    pub fn new(retention: SimTime, per_owner_capacity: usize) -> Self {
+        assert!(per_owner_capacity > 0, "capacity must be positive");
+        Postbox {
+            boxes: HashMap::new(),
+            retention,
+            per_owner_capacity,
+        }
+    }
+
+    /// Sensible defaults: 72 h retention (disaster timescale), 256
+    /// messages per owner.
+    pub fn with_defaults() -> Self {
+        Postbox::new(SimTime::from_secs_f64(72.0 * 3600.0), 256)
+    }
+
+    /// Registers `owner` at this postbox. Registration is how a
+    /// device claims the postbox named in its out-of-band address.
+    pub fn register(&mut self, owner: NodeId) {
+        self.boxes.entry(owner).or_default();
+    }
+
+    /// Whether `owner` is registered here.
+    pub fn is_registered(&self, owner: &NodeId) -> bool {
+        self.boxes.contains_key(owner)
+    }
+
+    /// Accepts a sealed message for `recipient` at time `now`.
+    ///
+    /// Duplicate `msg_id`s (network retries / multi-path copies) are
+    /// accepted idempotently: the message is stored once and the call
+    /// reports success.
+    pub fn deposit(
+        &mut self,
+        recipient: NodeId,
+        msg_id: u64,
+        sealed: SealedMessage,
+        now: SimTime,
+    ) -> Result<(), PostboxError> {
+        let mb = self
+            .boxes
+            .get_mut(&recipient)
+            .ok_or(PostboxError::UnknownRecipient)?;
+        if mb.messages.iter().any(|m| m.msg_id == msg_id) {
+            return Ok(()); // idempotent duplicate
+        }
+        if mb.messages.len() >= self.per_owner_capacity {
+            // Evict the oldest to admit the new (fresher news wins in
+            // a disaster scenario).
+            mb.messages.remove(0);
+        }
+        mb.messages.push(StoredMessage {
+            sealed,
+            msg_id,
+            stored_at: now,
+        });
+        Ok(())
+    }
+
+    /// A device checks in: returns (a copy of) all pending messages
+    /// and records the device's current building for push routing.
+    pub fn check_in(
+        &mut self,
+        owner: &NodeId,
+        current_building: u32,
+        enable_push: bool,
+    ) -> Result<Vec<StoredMessage>, PostboxError> {
+        let mb = self
+            .boxes
+            .get_mut(owner)
+            .ok_or(PostboxError::UnknownRecipient)?;
+        mb.last_building = Some(current_building);
+        mb.push_enabled = enable_push;
+        Ok(mb.messages.clone())
+    }
+
+    /// Acknowledges (deletes) messages up to and including `msg_id`s
+    /// in `acked`. Returns how many were removed.
+    pub fn acknowledge(&mut self, owner: &NodeId, acked: &[u64]) -> usize {
+        let Some(mb) = self.boxes.get_mut(owner) else {
+            return 0;
+        };
+        let before = mb.messages.len();
+        mb.messages.retain(|m| !acked.contains(&m.msg_id));
+        before - mb.messages.len()
+    }
+
+    /// Where to push a new message for `owner`: their last known
+    /// building, when pushes are enabled.
+    pub fn push_target(&self, owner: &NodeId) -> Option<u32> {
+        let mb = self.boxes.get(owner)?;
+        if mb.push_enabled {
+            mb.last_building
+        } else {
+            None
+        }
+    }
+
+    /// Evicts expired messages; returns how many were dropped.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let mut dropped = 0;
+        for mb in self.boxes.values_mut() {
+            let before = mb.messages.len();
+            let retention = self.retention;
+            mb.messages
+                .retain(|m| now.saturating_since(m.stored_at) <= retention);
+            dropped += before - mb.messages.len();
+        }
+        dropped
+    }
+
+    /// Total messages stored across all owners.
+    pub fn total_messages(&self) -> usize {
+        self.boxes.values().map(|m| m.messages.len()).sum()
+    }
+
+    /// Convenience for tests and examples: retrieve-and-open all
+    /// pending messages with the owner's keypair, acknowledging the
+    /// ones that opened. Messages that fail to open (tampered or
+    /// misaddressed) are left in place and reported by `msg_id`.
+    pub fn retrieve_and_open(
+        &mut self,
+        owner: &Keypair,
+        current_building: u32,
+        aad_for: impl Fn(u64) -> Vec<u8>,
+    ) -> Result<OpenedMail, PostboxError> {
+        let pending = self.check_in(&owner.node_id(), current_building, true)?;
+        let mut opened = Vec::new();
+        let mut failed = Vec::new();
+        for m in pending {
+            match m.sealed.open(owner, &aad_for(m.msg_id)) {
+                Ok(plain) => opened.push((m.msg_id, plain)),
+                Err(_) => failed.push(m.msg_id),
+            }
+        }
+        let acked: Vec<u64> = opened.iter().map(|(id, _)| *id).collect();
+        self.acknowledge(&owner.node_id(), &acked);
+        Ok((opened, failed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citymesh_crypto::PostboxAddress;
+
+    fn bob() -> Keypair {
+        Keypair::from_entropy([0xB0; 32])
+    }
+
+    fn sealed_to_bob(entropy: u8, msg_id: u64, body: &[u8]) -> SealedMessage {
+        let addr = PostboxAddress {
+            public_key: bob().public,
+            building_id: 7,
+        };
+        SealedMessage::seal(&addr, [entropy; 32], &msg_id.to_le_bytes(), body).unwrap()
+    }
+
+    #[test]
+    fn register_deposit_retrieve() {
+        let mut pb = Postbox::with_defaults();
+        let bob_id = bob().node_id();
+        assert!(!pb.is_registered(&bob_id));
+        pb.register(bob_id);
+        assert!(pb.is_registered(&bob_id));
+
+        pb.deposit(bob_id, 1, sealed_to_bob(1, 1, b"hello"), SimTime::ZERO)
+            .unwrap();
+        pb.deposit(
+            bob_id,
+            2,
+            sealed_to_bob(2, 2, b"again"),
+            SimTime::from_millis(5),
+        )
+        .unwrap();
+        assert_eq!(pb.total_messages(), 2);
+
+        let (opened, failed) = pb
+            .retrieve_and_open(&bob(), 7, |id| id.to_le_bytes().to_vec())
+            .unwrap();
+        assert_eq!(failed, Vec::<u64>::new());
+        assert_eq!(opened.len(), 2);
+        assert_eq!(opened[0].1, b"hello");
+        assert_eq!(opened[1].1, b"again");
+        // Opened messages were acknowledged.
+        assert_eq!(pb.total_messages(), 0);
+    }
+
+    #[test]
+    fn unknown_recipient_rejected() {
+        let mut pb = Postbox::with_defaults();
+        let err = pb
+            .deposit(bob().node_id(), 1, sealed_to_bob(1, 1, b"x"), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, PostboxError::UnknownRecipient);
+        assert_eq!(
+            pb.check_in(&bob().node_id(), 1, false).unwrap_err(),
+            PostboxError::UnknownRecipient
+        );
+    }
+
+    #[test]
+    fn duplicate_msg_id_is_idempotent() {
+        let mut pb = Postbox::with_defaults();
+        pb.register(bob().node_id());
+        let m = sealed_to_bob(3, 42, b"once");
+        pb.deposit(bob().node_id(), 42, m.clone(), SimTime::ZERO)
+            .unwrap();
+        pb.deposit(bob().node_id(), 42, m, SimTime::from_millis(1))
+            .unwrap();
+        assert_eq!(pb.total_messages(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut pb = Postbox::new(SimTime::from_secs_f64(3600.0), 3);
+        pb.register(bob().node_id());
+        for i in 0..5u64 {
+            pb.deposit(
+                bob().node_id(),
+                i,
+                sealed_to_bob(i as u8, i, b"m"),
+                SimTime::from_millis(i),
+            )
+            .unwrap();
+        }
+        assert_eq!(pb.total_messages(), 3);
+        let pending = pb.check_in(&bob().node_id(), 1, false).unwrap();
+        let ids: Vec<u64> = pending.iter().map(|m| m.msg_id).collect();
+        assert_eq!(ids, vec![2, 3, 4], "oldest evicted first");
+    }
+
+    #[test]
+    fn retention_sweep() {
+        let mut pb = Postbox::new(SimTime::from_secs_f64(10.0), 10);
+        pb.register(bob().node_id());
+        pb.deposit(
+            bob().node_id(),
+            1,
+            sealed_to_bob(1, 1, b"old"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        pb.deposit(
+            bob().node_id(),
+            2,
+            sealed_to_bob(2, 2, b"new"),
+            SimTime::from_secs_f64(8.0),
+        )
+        .unwrap();
+        let dropped = pb.sweep(SimTime::from_secs_f64(15.0));
+        assert_eq!(dropped, 1);
+        assert_eq!(pb.total_messages(), 1);
+    }
+
+    #[test]
+    fn push_target_tracks_checkins() {
+        let mut pb = Postbox::with_defaults();
+        pb.register(bob().node_id());
+        assert_eq!(pb.push_target(&bob().node_id()), None);
+        pb.check_in(&bob().node_id(), 55, true).unwrap();
+        assert_eq!(pb.push_target(&bob().node_id()), Some(55));
+        pb.check_in(&bob().node_id(), 66, false).unwrap();
+        assert_eq!(pb.push_target(&bob().node_id()), None, "push disabled");
+    }
+
+    #[test]
+    fn tampered_message_left_in_place() {
+        let mut pb = Postbox::with_defaults();
+        pb.register(bob().node_id());
+        let mut bad = sealed_to_bob(9, 9, b"tamper me");
+        bad.ciphertext[0] ^= 1;
+        pb.deposit(bob().node_id(), 9, bad, SimTime::ZERO).unwrap();
+        let (opened, failed) = pb
+            .retrieve_and_open(&bob(), 7, |id| id.to_le_bytes().to_vec())
+            .unwrap();
+        assert!(opened.is_empty());
+        assert_eq!(failed, vec![9]);
+        assert_eq!(pb.total_messages(), 1, "unopened messages stay stored");
+    }
+
+    #[test]
+    fn acknowledge_counts() {
+        let mut pb = Postbox::with_defaults();
+        pb.register(bob().node_id());
+        for i in 0..3u64 {
+            pb.deposit(
+                bob().node_id(),
+                i,
+                sealed_to_bob(i as u8, i, b"m"),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        assert_eq!(pb.acknowledge(&bob().node_id(), &[0, 2]), 2);
+        assert_eq!(pb.acknowledge(&bob().node_id(), &[0]), 0);
+        assert_eq!(
+            pb.acknowledge(&Keypair::from_entropy([1; 32]).node_id(), &[1]),
+            0
+        );
+    }
+}

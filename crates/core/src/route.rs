@@ -1,0 +1,266 @@
+//! Building-route planning (paper §3 step 2).
+
+use citymesh_graph::dijkstra_path;
+
+use crate::buildgraph::BuildingGraph;
+
+/// Route-planning failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// Source or destination building ID is out of range for the map.
+    UnknownBuilding(u32),
+    /// The building graph predicts no path between the endpoints —
+    /// the endpoints sit on different predicted islands.
+    NoPredictedPath {
+        /// Source building.
+        src: u32,
+        /// Destination building.
+        dst: u32,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::UnknownBuilding(id) => write!(f, "unknown building {id}"),
+            RouteError::NoPredictedPath { src, dst } => {
+                write!(f, "no predicted building path {src} → {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Plans the building route from `src` to `dst` over the predicted
+/// connectivity graph: the cubed-distance-shortest path, as a sequence
+/// of building IDs including both endpoints.
+///
+/// `src == dst` yields the single-building route `[src]`.
+pub fn plan_route(bg: &BuildingGraph, src: u32, dst: u32) -> Result<Vec<u32>, RouteError> {
+    plan_route_avoiding(bg, src, dst, &std::collections::HashSet::new())
+}
+
+/// Like [`plan_route`], but treating every building in `blocked` as
+/// unusable (endpoints are exempt). This is the detour primitive the
+/// DFN security requirement calls for (paper §1: the protocol should
+/// "find a path between two nodes wishing to communicate if there
+/// exists a path that does not traverse a compromised node") — a
+/// sender that learns a region is compromised or destroyed replans
+/// around it.
+pub fn plan_route_avoiding(
+    bg: &BuildingGraph,
+    src: u32,
+    dst: u32,
+    blocked: &std::collections::HashSet<u32>,
+) -> Result<Vec<u32>, RouteError> {
+    let n = bg.len() as u32;
+    for id in [src, dst] {
+        if id >= n {
+            return Err(RouteError::UnknownBuilding(id));
+        }
+    }
+    if src == dst {
+        return Ok(vec![src]);
+    }
+    if blocked.is_empty() {
+        dijkstra_path(bg.graph(), src, dst).ok_or(RouteError::NoPredictedPath { src, dst })
+    } else {
+        citymesh_graph::dijkstra_path_filtered(bg.graph(), src, dst, |v| !blocked.contains(&v))
+            .ok_or(RouteError::NoPredictedPath { src, dst })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buildgraph::BuildingGraphParams;
+    use citymesh_geo::{Point, Polygon, Rect};
+    use citymesh_map::CityMap;
+
+    fn square_at(x: f64, y: f64, side: f64) -> Polygon {
+        Polygon::rect(Rect::from_corners(
+            Point::new(x, y),
+            Point::new(x + side, y + side),
+        ))
+    }
+
+    /// An L-shaped city: a direct diagonal is impossible, the route
+    /// must go through the corner building.
+    ///
+    /// ```text
+    ///   2
+    ///   1
+    ///   0  3  4
+    /// ```
+    fn l_map() -> (CityMap, BuildingGraph) {
+        let map = CityMap::new(
+            "l",
+            vec![
+                square_at(0.0, 0.0, 10.0),  // 0 corner
+                square_at(0.0, 30.0, 10.0), // up
+                square_at(0.0, 60.0, 10.0), // up-up
+                square_at(30.0, 0.0, 10.0), // right
+                square_at(60.0, 0.0, 10.0), // right-right
+            ],
+            vec![],
+        );
+        let bg = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 25.0,
+                weight_exponent: 3.0,
+            },
+        );
+        (map, bg)
+    }
+
+    #[test]
+    fn routes_through_the_corner() {
+        let (map, bg) = l_map();
+        // Identify top (y≈60) and right (x≈60) endpoints by centroid.
+        let top = map
+            .buildings()
+            .iter()
+            .find(|b| b.centroid.y > 50.0)
+            .unwrap()
+            .id;
+        let right = map
+            .buildings()
+            .iter()
+            .find(|b| b.centroid.x > 50.0)
+            .unwrap()
+            .id;
+        let corner = map
+            .buildings()
+            .iter()
+            .find(|b| b.centroid.x < 20.0 && b.centroid.y < 20.0)
+            .unwrap()
+            .id;
+        let route = plan_route(&bg, top, right).unwrap();
+        assert_eq!(route.len(), 5);
+        assert_eq!(route[0], top);
+        assert_eq!(*route.last().unwrap(), right);
+        assert!(route.contains(&corner));
+    }
+
+    #[test]
+    fn trivial_route_to_self() {
+        let (_, bg) = l_map();
+        assert_eq!(plan_route(&bg, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn unknown_building_rejected() {
+        let (_, bg) = l_map();
+        assert_eq!(plan_route(&bg, 0, 99), Err(RouteError::UnknownBuilding(99)));
+        assert_eq!(plan_route(&bg, 99, 0), Err(RouteError::UnknownBuilding(99)));
+    }
+
+    #[test]
+    fn disconnected_endpoints_error() {
+        let map = CityMap::new(
+            "islands",
+            vec![square_at(0.0, 0.0, 10.0), square_at(500.0, 0.0, 10.0)],
+            vec![],
+        );
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        assert_eq!(
+            plan_route(&bg, 0, 1),
+            Err(RouteError::NoPredictedPath { src: 0, dst: 1 })
+        );
+    }
+
+    #[test]
+    fn avoiding_blocked_buildings_detours() {
+        // A 3×3 grid of buildings; block the center column's middle
+        // and the route must arc around it.
+        let mut footprints = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                footprints.push(square_at(x as f64 * 30.0, y as f64 * 30.0, 10.0));
+            }
+        }
+        let map = CityMap::new("grid3", footprints, vec![]);
+        let bg = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 25.0,
+                weight_exponent: 3.0,
+            },
+        );
+        // West-middle → east-middle; center building sits between.
+        let west = map.nearest_building(Point::new(5.0, 35.0)).unwrap().id;
+        let east = map.nearest_building(Point::new(65.0, 35.0)).unwrap().id;
+        let center = map.nearest_building(Point::new(35.0, 35.0)).unwrap().id;
+        let direct = plan_route(&bg, west, east).unwrap();
+        assert!(direct.contains(&center), "cheapest route passes the center");
+        let blocked: std::collections::HashSet<u32> = [center].into_iter().collect();
+        let detour = plan_route_avoiding(&bg, west, east, &blocked).unwrap();
+        assert!(!detour.contains(&center));
+        assert!(detour.len() > direct.len(), "the detour is longer");
+        // Blocking the whole middle row severs the grid horizontally…
+        // except the grid detours via top/bottom rows; block those
+        // center cells too and it truly fails.
+        let all_mid: std::collections::HashSet<u32> = map
+            .buildings()
+            .iter()
+            .filter(|b| (b.centroid.x - 35.0).abs() < 10.0)
+            .map(|b| b.id)
+            .collect();
+        assert_eq!(
+            plan_route_avoiding(&bg, west, east, &all_mid),
+            Err(RouteError::NoPredictedPath {
+                src: west,
+                dst: east
+            })
+        );
+    }
+
+    #[test]
+    fn cubed_weights_prefer_many_short_hops() {
+        // A chain of short hops vs one long direct edge: with cubed
+        // weights the chain wins even though it has more hops.
+        //
+        //  0 -10m- 1 -10m- 2 -10m- 3    and a direct 0–3 edge (gap 50m)
+        let map = CityMap::new(
+            "chain",
+            vec![
+                square_at(0.0, 0.0, 10.0),
+                square_at(20.0, 0.0, 10.0),
+                square_at(40.0, 0.0, 10.0),
+                square_at(60.0, 0.0, 10.0),
+            ],
+            vec![],
+        );
+        let bg = BuildingGraph::build(
+            &map,
+            // Gap 50 still links 0–3 directly.
+            BuildingGraphParams {
+                max_gap_m: 50.0,
+                weight_exponent: 3.0,
+            },
+        );
+        assert!(
+            bg.graph().has_edge(0, 3),
+            "long edge must exist for the test"
+        );
+        let route = plan_route(&bg, 0, 3).unwrap();
+        assert_eq!(
+            route,
+            vec![0, 1, 2, 3],
+            "cubed weights should take the chain"
+        );
+
+        // Ablation: with linear weights the direct edge wins.
+        let bg1 = BuildingGraph::build(
+            &map,
+            BuildingGraphParams {
+                max_gap_m: 50.0,
+                weight_exponent: 1.0,
+            },
+        );
+        let route1 = plan_route(&bg1, 0, 3).unwrap();
+        assert_eq!(route1, vec![0, 3], "linear weights should go direct");
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the core routing invariants.
+
+use citymesh_core::{
+    compress_route, place_aps, plan_route, reconstruct_conduits, within_conduits, BuildingGraph,
+    BuildingGraphParams,
+};
+use citymesh_geo::{Point, Polygon, Rect};
+use citymesh_map::CityMap;
+use citymesh_net::{BitReader, BitWriter, CityMeshHeader};
+use citymesh_simcore::SimRng;
+use proptest::prelude::*;
+
+/// A random small grid city: `cols × rows` buildings on a `pitch`
+/// spacing with some randomly removed.
+#[derive(Debug, Clone)]
+struct GridCity {
+    cols: usize,
+    rows: usize,
+    pitch: f64,
+    removed_seed: u64,
+    removal: f64,
+}
+
+fn grid_city() -> impl Strategy<Value = GridCity> {
+    (
+        3usize..10,
+        3usize..10,
+        25.0..45.0f64,
+        any::<u64>(),
+        0.0..0.3f64,
+    )
+        .prop_map(|(cols, rows, pitch, removed_seed, removal)| GridCity {
+            cols,
+            rows,
+            pitch,
+            removed_seed,
+            removal,
+        })
+}
+
+fn build_map(g: &GridCity) -> CityMap {
+    let mut rng = SimRng::new(g.removed_seed);
+    let mut footprints = Vec::new();
+    for y in 0..g.rows {
+        for x in 0..g.cols {
+            if rng.chance(g.removal) {
+                continue;
+            }
+            let ox = x as f64 * g.pitch;
+            let oy = y as f64 * g.pitch;
+            footprints.push(Polygon::rect(Rect::from_corners(
+                Point::new(ox, oy),
+                Point::new(ox + 12.0, oy + 12.0),
+            )));
+        }
+    }
+    // Guarantee at least two buildings.
+    if footprints.len() < 2 {
+        footprints = vec![
+            Polygon::rect(Rect::from_corners(
+                Point::new(0.0, 0.0),
+                Point::new(12.0, 12.0),
+            )),
+            Polygon::rect(Rect::from_corners(
+                Point::new(30.0, 0.0),
+                Point::new(42.0, 12.0),
+            )),
+        ];
+    }
+    CityMap::new("prop-grid", footprints, vec![])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The paper's central compression invariant: every building on
+    /// the planned route lies inside some reconstructed conduit.
+    #[test]
+    fn conduit_cover_invariant(g in grid_city(), pair_seed in any::<u64>(), width in 20.0..90.0f64) {
+        let map = build_map(&g);
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        let mut rng = SimRng::new(pair_seed);
+        let n = map.len() as u64;
+        let src = rng.below(n) as u32;
+        let dst = rng.below(n) as u32;
+        let Ok(route) = plan_route(&bg, src, dst) else { return Ok(()) };
+        let compressed = compress_route(&bg, &route, width);
+        let conduits = reconstruct_conduits(&map, &compressed.waypoints, width);
+        for &b in &route {
+            prop_assert!(
+                within_conduits(&conduits, bg.centroid(b)),
+                "building {} escaped the cover (width {})", b, width
+            );
+        }
+    }
+
+    /// Compression structure: endpoints preserved, waypoints form a
+    /// subsequence of the route, and never grow past it.
+    #[test]
+    fn compression_structure(g in grid_city(), pair_seed in any::<u64>()) {
+        let map = build_map(&g);
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        let mut rng = SimRng::new(pair_seed);
+        let n = map.len() as u64;
+        let src = rng.below(n) as u32;
+        let dst = rng.below(n) as u32;
+        let Ok(route) = plan_route(&bg, src, dst) else { return Ok(()) };
+        let compressed = compress_route(&bg, &route, 50.0);
+        prop_assert_eq!(compressed.waypoints[0], route[0]);
+        prop_assert_eq!(*compressed.waypoints.last().unwrap(), *route.last().unwrap());
+        prop_assert!(compressed.waypoints.len() <= route.len());
+        // Subsequence check.
+        let mut it = route.iter();
+        for wp in &compressed.waypoints {
+            prop_assert!(
+                it.any(|r| r == wp),
+                "waypoints must be a subsequence of the route"
+            );
+        }
+    }
+
+    /// Planned routes only use predicted links.
+    #[test]
+    fn routes_follow_graph_edges(g in grid_city(), pair_seed in any::<u64>()) {
+        let map = build_map(&g);
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        let mut rng = SimRng::new(pair_seed);
+        let n = map.len() as u64;
+        let src = rng.below(n) as u32;
+        let dst = rng.below(n) as u32;
+        let Ok(route) = plan_route(&bg, src, dst) else { return Ok(()) };
+        for w in route.windows(2) {
+            prop_assert!(bg.graph().has_edge(w[0], w[1]), "route used non-edge {}–{}", w[0], w[1]);
+        }
+    }
+
+    /// Real compressed routes survive header encoding exactly, in both
+    /// encodings.
+    #[test]
+    fn real_routes_survive_wire_encoding(g in grid_city(), pair_seed in any::<u64>(), delta in any::<bool>()) {
+        let map = build_map(&g);
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        let mut rng = SimRng::new(pair_seed);
+        let n = map.len() as u64;
+        let src = rng.below(n) as u32;
+        let dst = rng.below(n) as u32;
+        let Ok(route) = plan_route(&bg, src, dst) else { return Ok(()) };
+        let compressed = compress_route(&bg, &route, 50.0);
+        let mut header = CityMeshHeader::new(pair_seed, 50.0, compressed.waypoints.clone());
+        if delta {
+            header.encoding = citymesh_net::RouteEncoding::Delta;
+        }
+        let mut w = BitWriter::new();
+        header.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let decoded = CityMeshHeader::decode(&mut BitReader::new(&bytes)).unwrap();
+        prop_assert_eq!(decoded.waypoints, compressed.waypoints);
+    }
+
+    /// AP placement invariants on random densities: every AP inside
+    /// its building, ids sequential, every building populated.
+    #[test]
+    fn placement_invariants(g in grid_city(), density in 50.0..2000.0f64, seed in any::<u64>()) {
+        let map = build_map(&g);
+        let mut rng = SimRng::new(seed);
+        let aps = place_aps(&map, density, &mut rng);
+        prop_assert!(aps.len() >= map.len(), "min one AP per building");
+        let mut populated = vec![false; map.len()];
+        for (i, ap) in aps.iter().enumerate() {
+            prop_assert_eq!(ap.id as usize, i);
+            let b = map.building(ap.building).unwrap();
+            prop_assert!(b.footprint.contains(ap.pos));
+            populated[ap.building as usize] = true;
+        }
+        prop_assert!(populated.iter().all(|p| *p));
+    }
+
+    /// Building-graph symmetry: edges are undirected and weights obey
+    /// the configured exponent against centroid distances.
+    #[test]
+    fn building_graph_weight_law(g in grid_city(), exponent in 1.0..4.0f64) {
+        let map = build_map(&g);
+        let params = BuildingGraphParams { max_gap_m: 40.0, weight_exponent: exponent };
+        let bg = BuildingGraph::build(&map, params);
+        for u in 0..map.len() as u32 {
+            for e in bg.graph().neighbors(u) {
+                prop_assert!(bg.graph().has_edge(e.to, u), "undirected symmetry");
+                let d = bg.centroid(u).dist(bg.centroid(e.to)).max(1.0);
+                let expect = d.powf(exponent);
+                prop_assert!(
+                    (e.weight - expect).abs() <= 1e-6 * expect.max(1.0),
+                    "weight law violated: {} vs {}", e.weight, expect
+                );
+            }
+        }
+    }
+}

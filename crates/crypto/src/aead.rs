@@ -1,0 +1,180 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+
+use crate::chacha20::{self, KEY_LEN, NONCE_LEN};
+use crate::poly1305::{Poly1305, TAG_LEN};
+
+/// Authenticated-decryption failure. Carries no detail on purpose:
+/// distinguishing tag failures from format failures builds padding
+/// oracles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AeadError;
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AEAD authentication failed")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// Derives the one-time Poly1305 key: ChaCha20 block 0.
+fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    let block = chacha20::block(key, nonce, 0);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&block[..32]);
+    out
+}
+
+/// Computes the AEAD tag over `aad ‖ pad ‖ ciphertext ‖ pad ‖ lengths`.
+fn compute_tag(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    ciphertext: &[u8],
+) -> [u8; TAG_LEN] {
+    let otk = poly_key(key, nonce);
+    let mut mac = Poly1305::new(&otk);
+    mac.update(aad);
+    mac.update(&[0u8; 16][..pad16(aad.len())]);
+    mac.update(ciphertext);
+    mac.update(&[0u8; 16][..pad16(ciphertext.len())]);
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
+}
+
+fn pad16(len: usize) -> usize {
+    (16 - len % 16) % 16
+}
+
+/// Encrypts `plaintext` with associated data `aad`; returns
+/// `ciphertext ‖ tag`.
+pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    chacha20::xor_stream(key, nonce, 1, &mut out);
+    let tag = compute_tag(key, nonce, aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypts `ciphertext ‖ tag` produced by [`seal`], verifying `aad`.
+///
+/// The tag is checked in constant time **before** any decryption
+/// output is produced.
+pub fn open(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < TAG_LEN {
+        return Err(AeadError);
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let expected = compute_tag(key, nonce, aad, ciphertext);
+    if !crate::ct_eq(&expected, tag) {
+        return Err(AeadError);
+    }
+    let mut out = ciphertext.to_vec();
+    chacha20::xor_stream(key, nonce, 1, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8439 §2.8.2 test vector.
+    #[test]
+    fn rfc8439_seal_vector() {
+        let key: [u8; 32] =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let sealed = seal(&key, &nonce, &aad, plaintext);
+        let expected_ct = unhex(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116",
+        );
+        let expected_tag = unhex("1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(&sealed[..sealed.len() - 16], expected_ct.as_slice());
+        assert_eq!(&sealed[sealed.len() - 16..], expected_tag.as_slice());
+
+        let opened = open(&key, &nonce, &aad, &sealed).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        for len in [0, 1, 15, 16, 17, 63, 64, 65, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let sealed = seal(&key, &nonce, b"aad", &pt);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(
+                open(&key, &nonce, b"aad", &sealed).unwrap(),
+                pt,
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn tampering_rejected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let sealed = seal(&key, &nonce, b"header", b"secret payload");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                open(&key, &nonce, b"header", &bad),
+                Err(AeadError),
+                "byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_aad_nonce_key_rejected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let sealed = seal(&key, &nonce, b"aad", b"msg");
+        assert!(open(&key, &nonce, b"AAD", &sealed).is_err());
+        assert!(open(&key, &[3u8; 12], b"aad", &sealed).is_err());
+        assert!(open(&[9u8; 32], &nonce, b"aad", &sealed).is_err());
+        assert!(open(&key, &nonce, b"aad", &sealed).is_ok());
+    }
+
+    #[test]
+    fn too_short_input_rejected() {
+        let key = [0u8; 32];
+        let nonce = [0u8; 12];
+        assert_eq!(open(&key, &nonce, b"", &[]), Err(AeadError));
+        assert_eq!(open(&key, &nonce, b"", &[0u8; 15]), Err(AeadError));
+    }
+
+    #[test]
+    fn empty_plaintext_with_aad_authentication() {
+        let key = [7u8; 32];
+        let nonce = [8u8; 12];
+        let sealed = seal(&key, &nonce, b"only-aad", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(open(&key, &nonce, b"only-aad", &sealed).unwrap(), b"");
+        assert!(open(&key, &nonce, b"other-aad", &sealed).is_err());
+    }
+}

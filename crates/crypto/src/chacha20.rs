@@ -1,0 +1,159 @@
+//! ChaCha20 stream cipher (RFC 8439 §2.3–2.4).
+
+/// Key length, bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length, bytes (the 96-bit IETF variant).
+pub const NONCE_LEN: usize = 12;
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Produces the 64-byte keystream block for `(key, nonce, counter)`.
+pub fn block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the ChaCha20 keystream into `data` in place, starting at block
+/// `counter`. Encryption and decryption are the same operation.
+///
+/// # Panics
+/// Panics if the keystream would exhaust the 32-bit block counter
+/// (≈ 256 GiB under one nonce) — reusing counter space would be
+/// catastrophic, so it is a hard error.
+pub fn xor_stream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+    let blocks_needed = data.len().div_ceil(64) as u64;
+    assert!(
+        (counter as u64) + blocks_needed <= u32::MAX as u64 + 1,
+        "ChaCha20 block counter would overflow"
+    );
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = block(key, nonce, counter.wrapping_add(i as u32));
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 §2.3.2.
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
+        let out = block(&key, &nonce, 1);
+        let expected = unhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(out.to_vec(), expected);
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        xor_stream(&key, &nonce, 1, &mut data);
+        let expected = unhex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn xor_is_involutive() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let original: Vec<u8> = (0..300u16).map(|i| (i * 7 % 256) as u8).collect();
+        let mut data = original.clone();
+        xor_stream(&key, &nonce, 0, &mut data);
+        assert_ne!(data, original);
+        xor_stream(&key, &nonce, 0, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_different_streams() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        xor_stream(&key, &[0u8; 12], 0, &mut a);
+        xor_stream(&key, &[1u8; 12], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partial_block_lengths() {
+        let key = [3u8; 32];
+        let nonce = [4u8; 12];
+        // A 100-byte stream must equal the prefix of a 200-byte stream.
+        let mut short = vec![0u8; 100];
+        let mut long = vec![0u8; 200];
+        xor_stream(&key, &nonce, 0, &mut short);
+        xor_stream(&key, &nonce, 0, &mut long);
+        assert_eq!(short, long[..100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter")]
+    fn counter_overflow_panics() {
+        let key = [0u8; 32];
+        let nonce = [0u8; 12];
+        let mut data = vec![0u8; 129]; // 3 blocks from u32::MAX - 1
+        xor_stream(&key, &nonce, u32::MAX - 1, &mut data);
+    }
+}

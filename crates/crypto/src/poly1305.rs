@@ -1,0 +1,286 @@
+//! Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! 26-bit limb implementation (the "donna-32" shape): five limbs with
+//! `u64` intermediate products, so the whole computation stays in safe
+//! integer arithmetic with no secret-dependent branches.
+
+/// Key length, bytes (`r ‖ s`).
+pub const KEY_LEN: usize = 32;
+/// Tag length, bytes.
+pub const TAG_LEN: usize = 16;
+
+const MASK26: u32 = 0x3ff_ffff;
+
+/// Incremental Poly1305 state.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    h: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates an authenticator from a 32-byte one-time key.
+    ///
+    /// The key **must never be reused** across messages; the AEAD
+    /// construction derives it per-nonce from ChaCha20 block 0.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let le32 = |i: usize| u32::from_le_bytes(key[i..i + 4].try_into().expect("4 bytes"));
+        // Clamp r per the RFC while splitting into 26-bit limbs.
+        let r = [
+            le32(0) & 0x3ff_ffff,
+            (le32(3) >> 2) & 0x3ff_ff03,
+            (le32(6) >> 4) & 0x3ff_c0ff,
+            (le32(9) >> 6) & 0x3f0_3fff,
+            (le32(12) >> 8) & 0x00f_ffff,
+        ];
+        let s = [le32(16), le32(20), le32(24), le32(28)];
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let (block, rest) = data.split_at(16);
+            self.block(block.try_into().expect("16 bytes"), false);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Pad the final partial block: append 0x01 then zeros, and
+            // process without the implicit high bit.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.block(&block, true);
+        }
+
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        // Full carry propagation.
+        let mut c;
+        c = h1 >> 26;
+        h1 &= MASK26;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= MASK26;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= MASK26;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= MASK26;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= MASK26;
+        h1 += c;
+
+        // Compute h + (-p) to test h ≥ p.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= MASK26;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= MASK26;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= MASK26;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= MASK26;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // mask = all-ones when h < p (select h), zero when h ≥ p (select g).
+        let mask = (g4 >> 31).wrapping_sub(1);
+        let nm = !mask;
+        h0 = (h0 & nm) | (g0 & mask);
+        h1 = (h1 & nm) | (g1 & mask);
+        h2 = (h2 & nm) | (g2 & mask);
+        h3 = (h3 & nm) | (g3 & mask);
+        h4 = (h4 & nm) | (g4 & mask);
+
+        // Repack into 32-bit words and add s mod 2^128.
+        let f0 = (h0 | (h1 << 26)) as u64;
+        let f1 = ((h1 >> 6) | (h2 << 20)) as u64;
+        let f2 = ((h2 >> 12) | (h3 << 14)) as u64;
+        let f3 = ((h3 >> 18) | (h4 << 8)) as u64;
+
+        let mut acc = f0 + self.s[0] as u64;
+        let w0 = acc as u32;
+        acc = f1 + self.s[1] as u64 + (acc >> 32);
+        let w1 = acc as u32;
+        acc = f2 + self.s[2] as u64 + (acc >> 32);
+        let w2 = acc as u32;
+        acc = f3 + self.s[3] as u64 + (acc >> 32);
+        let w3 = acc as u32;
+
+        let mut tag = [0u8; TAG_LEN];
+        tag[0..4].copy_from_slice(&w0.to_le_bytes());
+        tag[4..8].copy_from_slice(&w1.to_le_bytes());
+        tag[8..12].copy_from_slice(&w2.to_le_bytes());
+        tag[12..16].copy_from_slice(&w3.to_le_bytes());
+        tag
+    }
+
+    fn block(&mut self, block: &[u8; 16], is_final_partial: bool) {
+        let le32 = |i: usize| u32::from_le_bytes(block[i..i + 4].try_into().expect("4 bytes"));
+        let hibit: u32 = if is_final_partial { 0 } else { 1 << 24 };
+
+        let h0 = (self.h[0] + (le32(0) & MASK26)) as u64;
+        let h1 = (self.h[1] + ((le32(3) >> 2) & MASK26)) as u64;
+        let h2 = (self.h[2] + ((le32(6) >> 4) & MASK26)) as u64;
+        let h3 = (self.h[3] + ((le32(9) >> 6) & MASK26)) as u64;
+        let h4 = (self.h[4] + ((le32(12) >> 8) | hibit)) as u64;
+
+        let [r0, r1, r2, r3, r4] = self.r.map(|x| x as u64);
+        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Partial carry reduction.
+        let mut c = d0 >> 26;
+        let h0 = (d0 & MASK26 as u64) as u32;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        let h1 = (d1 & MASK26 as u64) as u32;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        let h2 = (d2 & MASK26 as u64) as u32;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        let h3 = (d3 & MASK26 as u64) as u32;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        let h4 = (d4 & MASK26 as u64) as u32;
+        let h0 = h0 + (c * 5) as u32;
+        let c = h0 >> 26;
+        let h0 = h0 & MASK26;
+        let h1 = h1 + c;
+
+        self.h = [h0, h1, h2, h3, h4];
+    }
+}
+
+/// One-shot Poly1305 tag.
+pub fn poly1305(key: &[u8; KEY_LEN], message: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(message);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2.
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
+        let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(tag.to_vec(), unhex("a8061dc1305136c6c22b8baf0c0127a9"));
+    }
+
+    #[test]
+    fn rfc8439_appendix_a3_vector_2() {
+        // A.3 #2: r = 0, s = arbitrary, any message → tag = s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = poly1305(&key, msg);
+        assert_eq!(tag.to_vec(), unhex("36e5f6b5c5e06070f0efca96227a863e"));
+    }
+
+    #[test]
+    fn rfc8439_appendix_a3_vector_3() {
+        // A.3 #3: s = 0.
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = poly1305(&key, msg);
+        assert_eq!(tag.to_vec(), unhex("f3477e7cd95417af89a6b8794c310cf0"));
+    }
+
+    #[test]
+    fn edge_case_h_near_p() {
+        // RFC 8439 A.3 #5: message = 0xFF…FF forces h ≥ p in the final
+        // comparison; r = 2, s = 0.
+        let mut key = [0u8; 32];
+        key[0] = 0x02;
+        let msg = [0xFFu8; 16];
+        let tag = poly1305(&key, &msg);
+        assert_eq!(tag.to_vec(), unhex("03000000000000000000000000000000"));
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let msg: Vec<u8> = (0..259u16).map(|i| (i * 3 % 256) as u8).collect();
+        for chunk in [1, 5, 15, 16, 17, 100] {
+            let mut p = Poly1305::new(&key);
+            for c in msg.chunks(chunk) {
+                p.update(c);
+            }
+            assert_eq!(p.finalize(), poly1305(&key, &msg), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        let key: [u8; 32] = (1u8..33).collect::<Vec<_>>().try_into().unwrap();
+        // Tag of empty message is just s (h stays 0).
+        let tag = poly1305(&key, b"");
+        assert_eq!(&tag, &key[16..32]);
+    }
+
+    #[test]
+    fn tag_depends_on_every_bit() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let msg = b"postbox message integrity".to_vec();
+        let reference = poly1305(&key, &msg);
+        for i in 0..msg.len() {
+            let mut m = msg.clone();
+            m[i] ^= 0x80;
+            assert_ne!(poly1305(&key, &m), reference, "byte {i}");
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! X25519 Diffie–Hellman (RFC 7748).
+//!
+//! Field arithmetic over GF(2²⁵⁵ − 19) with five 51-bit limbs and
+//! `u128` intermediate products; scalar multiplication by the
+//! Montgomery ladder with constant-time conditional swaps (no
+//! secret-dependent branches or indexing).
+
+/// Length of scalars, coordinates, and shared secrets, bytes.
+pub const KEY_LEN: usize = 32;
+
+/// The base point's u-coordinate (9).
+pub const BASEPOINT: [u8; KEY_LEN] = {
+    let mut b = [0u8; KEY_LEN];
+    b[0] = 9;
+    b
+};
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// A field element in GF(2²⁵⁵ − 19), five radix-2⁵¹ limbs.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Parses 32 little-endian bytes, masking the top bit (RFC 7748
+    /// §5: the u-coordinate's bit 255 is ignored).
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    /// Serializes to 32 little-endian bytes in canonical (fully
+    /// reduced) form.
+    fn to_bytes(self) -> [u8; 32] {
+        let mut h = self.weak_reduced().0;
+        // Compute the quotient of (h + 19) / 2^255 to decide whether
+        // h ≥ p, then add 19·q and mask — the standard branch-free
+        // canonicalization.
+        let mut q = (h[0] + 19) >> 51;
+        q = (h[1] + q) >> 51;
+        q = (h[2] + q) >> 51;
+        q = (h[3] + q) >> 51;
+        q = (h[4] + q) >> 51;
+        h[0] += 19 * q;
+        let mut carry;
+        carry = h[0] >> 51;
+        h[0] &= MASK51;
+        h[1] += carry;
+        carry = h[1] >> 51;
+        h[1] &= MASK51;
+        h[2] += carry;
+        carry = h[2] >> 51;
+        h[2] &= MASK51;
+        h[3] += carry;
+        carry = h[3] >> 51;
+        h[3] &= MASK51;
+        h[4] += carry;
+        h[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0;
+        for (i, limb) in h.iter().enumerate() {
+            acc |= (*limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+            let _ = i;
+        }
+        while idx < 32 {
+            out[idx] = acc as u8;
+            acc >>= 8;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Carry-propagates so every limb is below 2⁵¹ + ε.
+    fn weak_reduced(self) -> Fe {
+        let mut h = self.0;
+        let mut carry;
+        carry = h[0] >> 51;
+        h[0] &= MASK51;
+        h[1] += carry;
+        carry = h[1] >> 51;
+        h[1] &= MASK51;
+        h[2] += carry;
+        carry = h[2] >> 51;
+        h[2] &= MASK51;
+        h[3] += carry;
+        carry = h[3] >> 51;
+        h[3] &= MASK51;
+        h[4] += carry;
+        carry = h[4] >> 51;
+        h[4] &= MASK51;
+        h[0] += 19 * carry;
+        carry = h[0] >> 51;
+        h[0] &= MASK51;
+        h[1] += carry;
+        Fe(h)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let mut h = self.0;
+        for (limb, r) in h.iter_mut().zip(rhs.0) {
+            *limb += r;
+        }
+        Fe(h).weak_reduced()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p so every limb difference stays non-negative
+        // (operands are weakly reduced, limbs < 2^52).
+        const TWO_P: [u64; 5] = [
+            0xF_FFFF_FFFF_FFDA,
+            0xF_FFFF_FFFF_FFFE,
+            0xF_FFFF_FFFF_FFFE,
+            0xF_FFFF_FFFF_FFFE,
+            0xF_FFFF_FFFF_FFFE,
+        ];
+        let mut h = [0u64; 5];
+        for i in 0..5 {
+            h[i] = self.0[i] + TWO_P[i] - rhs.0[i];
+        }
+        Fe(h).weak_reduced()
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0.map(|x| x as u128);
+        let b = rhs.0.map(|x| x as u128);
+
+        let t0 = a[0] * b[0] + 19 * (a[1] * b[4] + a[2] * b[3] + a[3] * b[2] + a[4] * b[1]);
+        let t1 = a[0] * b[1] + a[1] * b[0] + 19 * (a[2] * b[4] + a[3] * b[3] + a[4] * b[2]);
+        let t2 = a[0] * b[2] + a[1] * b[1] + a[2] * b[0] + 19 * (a[3] * b[4] + a[4] * b[3]);
+        let t3 = a[0] * b[3] + a[1] * b[2] + a[2] * b[1] + a[3] * b[0] + 19 * (a[4] * b[4]);
+        let t4 = a[0] * b[4] + a[1] * b[3] + a[2] * b[2] + a[3] * b[1] + a[4] * b[0];
+
+        Self::carry(t0, t1, t2, t3, t4)
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiplication by the curve constant (A − 2) / 4 = 121665.
+    fn mul_small_121665(self) -> Fe {
+        let a = self.0.map(|x| x as u128);
+        Self::carry(
+            a[0] * 121665,
+            a[1] * 121665,
+            a[2] * 121665,
+            a[3] * 121665,
+            a[4] * 121665,
+        )
+    }
+
+    fn carry(t0: u128, t1: u128, t2: u128, t3: u128, t4: u128) -> Fe {
+        let m = MASK51 as u128;
+        let mut r = [0u64; 5];
+        let mut c;
+        c = t0 >> 51;
+        r[0] = (t0 & m) as u64;
+        let t1 = t1 + c;
+        c = t1 >> 51;
+        r[1] = (t1 & m) as u64;
+        let t2 = t2 + c;
+        c = t2 >> 51;
+        r[2] = (t2 & m) as u64;
+        let t3 = t3 + c;
+        c = t3 >> 51;
+        r[3] = (t3 & m) as u64;
+        let t4 = t4 + c;
+        c = t4 >> 51;
+        r[4] = (t4 & m) as u64;
+        r[0] += 19 * c as u64;
+        let c2 = r[0] >> 51;
+        r[0] &= MASK51;
+        r[1] += c2;
+        Fe(r)
+    }
+
+    /// Inversion via Fermat: self^(p − 2), square-and-multiply over
+    /// the fixed public exponent.
+    fn invert(self) -> Fe {
+        // p − 2 = 2^255 − 21, little-endian bytes.
+        let mut exp = [0xFFu8; 32];
+        exp[0] = 0xEB;
+        exp[31] = 0x7F;
+
+        let mut result = Fe::ONE;
+        // MSB-first over 255 meaningful bits.
+        for bit in (0..255).rev() {
+            result = result.square();
+            if (exp[bit / 8] >> (bit % 8)) & 1 == 1 {
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Constant-time conditional swap of `a` and `b` when `bit == 1`.
+    fn cswap(bit: u64, a: &mut Fe, b: &mut Fe) {
+        debug_assert!(bit <= 1);
+        let mask = 0u64.wrapping_sub(bit);
+        for (la, lb) in a.0.iter_mut().zip(b.0.iter_mut()) {
+            let x = mask & (*la ^ *lb);
+            *la ^= x;
+            *lb ^= x;
+        }
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748 §5.
+pub fn clamp_scalar(mut scalar: [u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+    scalar
+}
+
+/// X25519 scalar multiplication: `scalar · point`, both as 32-byte
+/// strings per RFC 7748. The scalar is clamped internally.
+pub fn x25519(scalar: &[u8; KEY_LEN], point: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    let k = clamp_scalar(*scalar);
+    let x1 = Fe::from_bytes(point);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small_121665()));
+    }
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// Derives the public key for `scalar`: `scalar · basepoint`.
+pub fn public_key(scalar: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    x25519(scalar, &BASEPOINT)
+}
+
+/// Computes the shared secret between `our_scalar` and `their_public`.
+///
+/// Returns `None` when the result is the all-zero point (inputs in the
+/// small-order subgroup) — RFC 7748 §6.1 requires rejecting it.
+pub fn shared_secret(
+    our_scalar: &[u8; KEY_LEN],
+    their_public: &[u8; KEY_LEN],
+) -> Option<[u8; KEY_LEN]> {
+    let out = x25519(our_scalar, their_public);
+    if crate::ct_eq(&out, &[0u8; KEY_LEN]) {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    #[test]
+    fn field_round_trip() {
+        let x = unhex("0900000000000000000000000000000000000000000000000000000000000000");
+        assert_eq!(Fe::from_bytes(&x).to_bytes(), x);
+        // A value just under p must round-trip canonically.
+        let near_p = unhex("ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+        assert_eq!(Fe::from_bytes(&near_p).to_bytes(), near_p);
+        // p itself reduces to zero.
+        let p = unhex("edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+        assert_eq!(Fe::from_bytes(&p).to_bytes(), [0u8; 32]);
+    }
+
+    #[test]
+    fn field_algebra() {
+        let a = Fe::from_bytes(&unhex(
+            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449a44",
+        ));
+        let b = Fe::from_bytes(&unhex(
+            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c",
+        ));
+        // (a + b) - b == a
+        assert_eq!(a.add(b).sub(b).to_bytes(), a.to_bytes());
+        // a * 1 == a
+        assert_eq!(a.mul(Fe::ONE).to_bytes(), a.to_bytes());
+        // a * a⁻¹ == 1
+        assert_eq!(a.mul(a.invert()).to_bytes(), Fe::ONE.to_bytes());
+        // square == mul self
+        assert_eq!(a.square().to_bytes(), a.mul(a).to_bytes());
+        // distributivity: a(b + 1) = ab + a
+        assert_eq!(a.mul(b.add(Fe::ONE)).to_bytes(), a.mul(b).add(a).to_bytes());
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let expected = unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        assert_eq!(x25519(&scalar, &point), expected);
+    }
+
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let point = unhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let expected = unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+        assert_eq!(x25519(&scalar, &point), expected);
+    }
+
+    #[test]
+    fn rfc7748_iterated_once() {
+        // §5.2: one iteration of k := X25519(k, u) starting from the
+        // base point.
+        let k = BASEPOINT;
+        let u = BASEPOINT;
+        let expected = unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+        assert_eq!(x25519(&k, &u), expected);
+    }
+
+    #[test]
+    fn rfc7748_diffie_hellman() {
+        // §6.1.
+        let alice_priv = unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv = unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pub = public_key(&alice_priv);
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            alice_pub,
+            unhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
+        assert_eq!(
+            bob_pub,
+            unhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
+        let shared_a = shared_secret(&alice_priv, &bob_pub).unwrap();
+        let shared_b = shared_secret(&bob_priv, &alice_pub).unwrap();
+        assert_eq!(shared_a, shared_b);
+        assert_eq!(
+            shared_a,
+            unhex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742")
+        );
+    }
+
+    #[test]
+    fn small_order_point_rejected() {
+        let scalar = unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let zero_point = [0u8; 32];
+        assert!(shared_secret(&scalar, &zero_point).is_none());
+    }
+
+    #[test]
+    fn clamping_is_applied() {
+        // Clamped and unclamped versions of the same scalar agree.
+        let raw = unhex("0101010101010101010101010101010101010101010101010101010101010101");
+        let clamped = clamp_scalar(raw);
+        assert_eq!(x25519(&raw, &BASEPOINT), x25519(&clamped, &BASEPOINT));
+        assert_eq!(clamped[0] & 7, 0);
+        assert_eq!(clamped[31] & 0x80, 0);
+        assert_eq!(clamped[31] & 0x40, 0x40);
+    }
+
+    #[test]
+    fn dh_agreement_random_keys() {
+        // Deterministic "random" keys.
+        for seed in 0u8..4 {
+            let a = [seed.wrapping_mul(17).wrapping_add(3); 32];
+            let b = [seed.wrapping_mul(29).wrapping_add(7); 32];
+            let pa = public_key(&a);
+            let pb = public_key(&b);
+            assert_eq!(
+                shared_secret(&a, &pb).unwrap(),
+                shared_secret(&b, &pa).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Convex hull (Andrew's monotone chain).
+
+use crate::{Point, EPS};
+
+/// Computes the convex hull of `pts`, returned in counterclockwise
+/// order starting from the lowest-leftmost point. Collinear points on
+/// hull edges are dropped.
+///
+/// Degenerate inputs (fewer than 3 distinct points, or all collinear)
+/// return the extreme points found, which may be fewer than 3.
+///
+/// Used by the measurement crate to summarize the sighting region of a
+/// BSSID and by the map generator to merge footprint clusters.
+pub fn convex_hull(pts: &[Point]) -> Vec<Point> {
+    let mut v: Vec<Point> = pts.iter().copied().filter(|p| p.is_finite()).collect();
+    v.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    v.dedup_by(|a, b| a.dist(*b) <= EPS);
+    let n = v.len();
+    if n < 3 {
+        return v;
+    }
+
+    let cross = |o: Point, a: Point, b: Point| (a - o).cross(b - o);
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &v {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in v.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Polygon;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0), // interior
+            Point::new(1.0, 3.0), // interior
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        let poly = Polygon::new(h).unwrap();
+        assert_eq!(poly.area(), 16.0);
+        assert!(poly.signed_area() > 0.0, "hull must be counterclockwise");
+    }
+
+    #[test]
+    fn hull_drops_collinear_boundary_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0), // collinear on bottom edge
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn hull_of_degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        // Duplicates collapse.
+        assert_eq!(
+            convex_hull(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)]).len(),
+            1
+        );
+        // All collinear: returns the sorted distinct points.
+        let line = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ];
+        let h = convex_hull(&line);
+        assert!(h.len() <= 3 && h.len() >= 2);
+    }
+
+    #[test]
+    fn hull_contains_all_input_points() {
+        // A pseudo-random deterministic scatter.
+        let mut pts = Vec::new();
+        let mut s = 42u64;
+        for _ in 0..200 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((s >> 33) % 1000) as f64 / 10.0;
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let y = ((s >> 33) % 1000) as f64 / 10.0;
+            pts.push(Point::new(x, y));
+        }
+        let h = convex_hull(&pts);
+        assert!(h.len() >= 3);
+        let poly = Polygon::new(h).unwrap();
+        for p in &pts {
+            assert!(
+                poly.dist_to_point(*p) < 1e-9,
+                "hull must contain every input point, missing {p:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Planar geometry for CityMesh.
+//!
+//! CityMesh routes packets through a city by reasoning about *building
+//! footprints* on a 2D plane. This crate provides the geometric
+//! vocabulary used everywhere else in the workspace:
+//!
+//! * [`Point`] / [`Vec2`] — positions and displacements in a local
+//!   tangent plane, in **meters**.
+//! * [`Segment`] — line segments with distance / projection queries.
+//! * [`Rect`] — axis-aligned boxes (bounding boxes, coarse culling).
+//! * [`OrientedRect`] — arbitrarily-rotated rectangles. These model the
+//!   paper's *conduits*: rectangles of length `L` and width `W` laid
+//!   over a building route (paper §3, Figure 4).
+//! * [`Polygon`] — simple polygons for building footprints, with area,
+//!   centroid, point-in-polygon, and distance queries.
+//! * [`GridIndex`] — a uniform-grid spatial index for "all APs within
+//!   `r` meters" queries over hundreds of thousands of points.
+//! * [`Projection`] — equirectangular lat/lon ⇄ local-meter conversion,
+//!   used when loading real OpenStreetMap extracts.
+//!
+//! All computation is `f64`. Coordinates are expected to stay within a
+//! city-scale window (tens of kilometers), where an equirectangular
+//! local projection is accurate to well under Wi-Fi range error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod hull;
+mod point;
+mod polygon;
+mod proj;
+mod rect;
+mod segment;
+
+pub use grid::GridIndex;
+pub use hull::convex_hull;
+pub use point::{Point, Vec2};
+pub use polygon::Polygon;
+pub use proj::{LatLon, Projection};
+pub use rect::{OrientedRect, Rect};
+pub use segment::Segment;
+
+/// Comparison tolerance, in meters, used by geometric predicates.
+///
+/// One micrometer: far below construction- or GPS-scale noise, far above
+/// `f64` rounding error at city-scale magnitudes (~1e-10 m at 10 km).
+pub const EPS: f64 = 1e-6;
+
+/// Returns `true` when `a` and `b` differ by at most [`EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}

@@ -1,0 +1,349 @@
+//! Points and vectors in the local tangent plane (meters).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position in the local tangent plane, in meters.
+///
+/// `x` grows eastward, `y` grows northward. Positions are produced
+/// either by the synthetic city generator or by projecting lat/lon
+/// through [`crate::Projection`].
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting, meters.
+    pub x: f64,
+    /// Northing, meters.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s, in meters.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Easting component, meters.
+    pub x: f64,
+    /// Northing component, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from easting/northing meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin of the local plane.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`, meters.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`. Avoids the `sqrt` when
+    /// only comparisons are needed (hot path in radio-range queries).
+    #[inline]
+    pub fn dist2(self, other: Point) -> f64 {
+        (self - other).norm2()
+    }
+
+    /// Linear interpolation: `t = 0` yields `self`, `t = 1` yields `other`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Interprets the point as a displacement from the origin.
+    #[inline]
+    pub fn to_vec(self) -> Vec2 {
+        Vec2 {
+            x: self.x,
+            y: self.y,
+        }
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector from easting/northing components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// The zero displacement.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Euclidean length, meters.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (z-component of the 3D cross product).
+    ///
+    /// Positive when `other` is counterclockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction, or `None` for (near-)zero
+    /// vectors where the direction is undefined.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= crate::EPS {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Rotates 90° counterclockwise. Used to construct conduit walls
+    /// perpendicular to the route direction.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2 {
+            x: -self.y,
+            y: self.x,
+        }
+    }
+
+    /// Angle from the +x axis, radians in `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Unit vector at `angle` radians from the +x axis.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Vec2 {
+        Vec2 {
+            x: angle.cos(),
+            y: angle.sin(),
+        }
+    }
+
+    /// Interprets the displacement as a point offset from the origin.
+    #[inline]
+    pub fn to_point(self) -> Point {
+        Point {
+            x: self.x,
+            y: self.y,
+        }
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point {
+        Point {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point {
+        Point {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vec2> for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2 {
+            x: self.x * rhs,
+            y: self.y * rhs,
+        }
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2 {
+            x: self.x / rhs,
+            y: self.y / rhs,
+        }
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2 {
+            x: -self.x,
+            y: -self.y,
+        }
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Debug for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_positive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(b.dist(a), 5.0);
+        assert_eq!(a.dist2(b), 25.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(5.0, 10.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(3.0, 6.0));
+    }
+
+    #[test]
+    fn cross_sign_indicates_orientation() {
+        let east = Vec2::new(1.0, 0.0);
+        let north = Vec2::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0); // ccw
+        assert!(north.cross(east) < 0.0); // cw
+        assert_eq!(east.cross(east), 0.0); // parallel
+    }
+
+    #[test]
+    fn perp_is_ccw_rotation() {
+        let v = Vec2::new(2.0, 1.0);
+        let p = v.perp();
+        assert_eq!(v.dot(p), 0.0);
+        assert!(v.cross(p) > 0.0);
+        assert_eq!(p.norm(), v.norm());
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_none() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        let u = Vec2::new(0.0, 3.0).normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(u, Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn angle_round_trip() {
+        for deg in [-179, -90, -45, 0, 30, 90, 179] {
+            let a = (deg as f64).to_radians();
+            let v = Vec2::from_angle(a);
+            assert!((v.angle() - a).abs() < 1e-12, "deg={deg}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let p = Point::new(10.0, -2.0);
+        let v = Vec2::new(1.5, 2.5);
+        assert_eq!((p + v) - v, p);
+        assert_eq!((p + v) - p, v);
+        let mut q = p;
+        q += v;
+        q -= v;
+        assert_eq!(q, p);
+        assert_eq!(-v + v, Vec2::ZERO);
+        assert_eq!(v * 2.0 / 2.0, v);
+    }
+}

@@ -1,0 +1,376 @@
+//! Simple polygons — the representation of building footprints.
+
+use crate::{Point, Rect, Segment, EPS};
+
+/// A simple (non-self-intersecting) polygon given by its boundary ring.
+///
+/// The ring is stored without a repeated closing vertex. Vertices may
+/// be in clockwise or counterclockwise order; area and centroid are
+/// computed sign-correctly either way. Building footprints extracted
+/// from OpenStreetMap or produced by the synthetic generator are
+/// `Polygon`s.
+///
+/// ```
+/// use citymesh_geo::{Point, Polygon};
+///
+/// let footprint = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(20.0, 0.0),
+///     Point::new(20.0, 10.0),
+///     Point::new(0.0, 10.0),
+/// ]).expect("a valid ring");
+/// assert_eq!(footprint.area(), 200.0);
+/// assert_eq!(footprint.centroid(), Point::new(10.0, 5.0));
+/// assert!(footprint.contains(Point::new(3.0, 3.0)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polygon {
+    ring: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its boundary ring.
+    ///
+    /// Returns `None` when fewer than 3 vertices are supplied or any
+    /// coordinate is non-finite. A trailing vertex equal to the first
+    /// is dropped (OSM ways close their rings explicitly).
+    pub fn new(mut ring: Vec<Point>) -> Option<Self> {
+        if ring.len() >= 2 && ring.first() == ring.last() {
+            ring.pop();
+        }
+        if ring.len() < 3 || ring.iter().any(|p| !p.is_finite()) {
+            return None;
+        }
+        Some(Polygon { ring })
+    }
+
+    /// An axis-aligned rectangle as a polygon (common for synthetic
+    /// buildings).
+    pub fn rect(r: Rect) -> Self {
+        Polygon {
+            ring: r.corners().to_vec(),
+        }
+    }
+
+    /// A regular `n`-gon approximating a circle (used for towers,
+    /// gas holders, and rounded synthetic buildings).
+    pub fn circle(center: Point, radius: f64, n: usize) -> Option<Self> {
+        if n < 3 || radius <= 0.0 {
+            return None;
+        }
+        let ring = (0..n)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / n as f64;
+                Point::new(center.x + radius * a.cos(), center.y + radius * a.sin())
+            })
+            .collect();
+        Some(Polygon { ring })
+    }
+
+    /// The boundary vertices (no repeated closing vertex).
+    #[inline]
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Always `false`: construction guarantees ≥ 3 vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over boundary edges, each as a [`Segment`].
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.ring.len();
+        (0..n).map(move |i| Segment::new(self.ring[i], self.ring[(i + 1) % n]))
+    }
+
+    /// Signed area via the shoelace formula: positive for
+    /// counterclockwise rings.
+    pub fn signed_area(&self) -> f64 {
+        let n = self.ring.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            acc += p.x * q.y - q.x * p.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area, square meters.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Boundary length, meters.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.len()).sum()
+    }
+
+    /// Area centroid.
+    ///
+    /// Falls back to the vertex mean for (near-)degenerate polygons
+    /// whose area is ~0, so every building always has a usable anchor
+    /// point for routing.
+    pub fn centroid(&self) -> Point {
+        let a = self.signed_area();
+        if a.abs() <= EPS {
+            let n = self.ring.len() as f64;
+            let (sx, sy) = self
+                .ring
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+            return Point::new(sx / n, sy / n);
+        }
+        let n = self.ring.len();
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bbox(&self) -> Rect {
+        Rect::bounding(self.ring.iter().copied()).expect("polygon has at least 3 vertices")
+    }
+
+    /// Point-in-polygon test (ray casting). Points on the boundary are
+    /// reported inside.
+    pub fn contains(&self, p: Point) -> bool {
+        // Boundary check first: ray casting is unreliable exactly on edges.
+        if self.edges().any(|e| e.dist_to_point(p) <= EPS) {
+            return true;
+        }
+        let n = self.ring.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let pi = self.ring[i];
+            let pj = self.ring[j];
+            if (pi.y > p.y) != (pj.y > p.y) {
+                let x_cross = pj.x + (p.y - pj.y) / (pi.y - pj.y) * (pi.x - pj.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Distance from `p` to the polygon: zero inside, else distance to
+    /// the nearest boundary edge.
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        if self.contains(p) {
+            return 0.0;
+        }
+        self.edges()
+            .map(|e| e.dist_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Minimum boundary-to-boundary distance between two polygons
+    /// (zero when they touch, overlap, or one contains the other).
+    ///
+    /// Used by the building-graph builder: two buildings are predicted
+    /// to have AP connectivity when this gap is below a threshold
+    /// derived from the Wi-Fi transmission range.
+    pub fn dist_to_polygon(&self, other: &Polygon) -> f64 {
+        if self.contains(other.ring[0]) || other.contains(self.ring[0]) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for e in self.edges() {
+            for f in other.edges() {
+                best = best.min(e.dist_to_segment(&f));
+                if best == 0.0 {
+                    return 0.0;
+                }
+            }
+        }
+        best
+    }
+
+    /// Translates every vertex by `(dx, dy)` meters.
+    pub fn translated(&self, dx: f64, dy: f64) -> Polygon {
+        Polygon {
+            ring: self
+                .ring
+                .iter()
+                .map(|p| Point::new(p.x + dx, p.y + dy))
+                .collect(),
+        }
+    }
+
+    /// Rotates every vertex by `angle` radians about `pivot`.
+    pub fn rotated(&self, pivot: Point, angle: f64) -> Polygon {
+        let (s, c) = angle.sin_cos();
+        Polygon {
+            ring: self
+                .ring
+                .iter()
+                .map(|p| {
+                    let v = *p - pivot;
+                    Point::new(pivot.x + v.x * c - v.y * s, pivot.y + v.x * s + v.y * c)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(Polygon::new(vec![]).is_none());
+        assert!(Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]).is_none());
+        assert!(Polygon::new(vec![
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            Point::new(f64::NAN, 1.0),
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn closed_ring_input_drops_duplicate() {
+        let p = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 0.0), // OSM-style explicit closure
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn area_sign_tracks_winding() {
+        let ccw = unit_square();
+        assert_eq!(ccw.signed_area(), 1.0);
+        let cw = Polygon::new(ccw.ring().iter().rev().copied().collect()).unwrap();
+        assert_eq!(cw.signed_area(), -1.0);
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn centroid_of_square_and_triangle() {
+        assert_eq!(unit_square().centroid(), Point::new(0.5, 0.5));
+        let tri = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+        ])
+        .unwrap();
+        assert_eq!(tri.centroid(), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn perimeter_of_square() {
+        assert_eq!(unit_square().perimeter(), 4.0);
+    }
+
+    #[test]
+    fn contains_interior_boundary_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(sq.contains(Point::new(0.0, 0.5))); // edge
+        assert!(sq.contains(Point::new(1.0, 1.0))); // vertex
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+        assert!(!sq.contains(Point::new(-0.001, 0.5)));
+    }
+
+    #[test]
+    fn contains_concave_polygon() {
+        // L-shape: the notch at (1.5, 1.5) is outside.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(l.contains(Point::new(0.5, 1.5)));
+        assert!(l.contains(Point::new(1.5, 0.5)));
+        assert!(!l.contains(Point::new(1.5, 1.5)));
+        assert_eq!(l.area(), 3.0);
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let sq = unit_square();
+        assert_eq!(sq.dist_to_point(Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(sq.dist_to_point(Point::new(2.0, 0.5)), 1.0);
+        assert!((sq.dist_to_point(Point::new(2.0, 2.0)) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_gap_distance() {
+        let a = unit_square();
+        let b = a.translated(3.0, 0.0);
+        assert_eq!(a.dist_to_polygon(&b), 2.0);
+        let touching = a.translated(1.0, 0.0);
+        assert_eq!(a.dist_to_polygon(&touching), 0.0);
+        let overlapping = a.translated(0.5, 0.5);
+        assert_eq!(a.dist_to_polygon(&overlapping), 0.0);
+    }
+
+    #[test]
+    fn nested_polygons_have_zero_distance() {
+        let outer = Polygon::rect(Rect::from_corners(
+            Point::new(-5.0, -5.0),
+            Point::new(5.0, 5.0),
+        ));
+        let inner = unit_square();
+        assert_eq!(outer.dist_to_polygon(&inner), 0.0);
+        assert_eq!(inner.dist_to_polygon(&outer), 0.0);
+    }
+
+    #[test]
+    fn circle_approximation() {
+        let c = Polygon::circle(Point::new(10.0, 10.0), 5.0, 64).unwrap();
+        let expected = std::f64::consts::PI * 25.0;
+        assert!((c.area() - expected).abs() / expected < 0.01);
+        let cen = c.centroid();
+        assert!(cen.dist(Point::new(10.0, 10.0)) < 1e-9);
+        assert!(Polygon::circle(Point::ORIGIN, 5.0, 2).is_none());
+        assert!(Polygon::circle(Point::ORIGIN, -1.0, 16).is_none());
+    }
+
+    #[test]
+    fn rotation_preserves_area_and_centroid_distance() {
+        let sq = unit_square();
+        let rot = sq.rotated(Point::ORIGIN, 1.0);
+        assert!((rot.area() - 1.0).abs() < 1e-12);
+        let d0 = sq.centroid().dist(Point::ORIGIN);
+        let d1 = rot.centroid().dist(Point::ORIGIN);
+        assert!((d0 - d1).abs() < 1e-12);
+    }
+}

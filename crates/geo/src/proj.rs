@@ -1,0 +1,160 @@
+//! Equirectangular projection between WGS-84 lat/lon and local meters.
+//!
+//! City-scale extents (≲ 30 km) make the equirectangular approximation
+//! accurate to centimeters — negligible against Wi-Fi range (~50 m) and
+//! GPS error (~5 m). This is how OSM building footprints are brought
+//! into the simulation plane.
+
+use crate::Point;
+
+/// Mean Earth radius, meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS-84 coordinate in degrees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatLon {
+    /// Latitude, degrees, positive north. Must be in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude, degrees, positive east. Must be in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate, returning `None` when out of range or
+    /// non-finite.
+    pub fn new(lat: f64, lon: f64) -> Option<Self> {
+        if lat.is_finite()
+            && lon.is_finite()
+            && (-90.0..=90.0).contains(&lat)
+            && (-180.0..=180.0).contains(&lon)
+        {
+            Some(LatLon { lat, lon })
+        } else {
+            None
+        }
+    }
+
+    /// Great-circle distance to `other` using the haversine formula,
+    /// meters. Used in tests to bound projection error.
+    pub fn haversine_dist(self, other: LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+}
+
+/// An equirectangular projection anchored at a reference coordinate.
+///
+/// `project` maps the anchor to the local origin; x grows east, y grows
+/// north. `unproject` inverts it exactly (up to float rounding).
+#[derive(Clone, Copy, Debug)]
+pub struct Projection {
+    origin: LatLon,
+    /// Meters per degree of longitude at the anchor latitude.
+    m_per_deg_lon: f64,
+    /// Meters per degree of latitude.
+    m_per_deg_lat: f64,
+}
+
+impl Projection {
+    /// Creates a projection anchored at `origin` (typically the
+    /// centroid of the city's bounding box).
+    pub fn new(origin: LatLon) -> Self {
+        let m_per_deg_lat = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+        let m_per_deg_lon = m_per_deg_lat * origin.lat.to_radians().cos();
+        Projection {
+            origin,
+            m_per_deg_lon,
+            m_per_deg_lat,
+        }
+    }
+
+    /// The anchor coordinate (maps to the local origin).
+    pub fn origin(&self) -> LatLon {
+        self.origin
+    }
+
+    /// Projects a lat/lon into local meters.
+    pub fn project(&self, ll: LatLon) -> Point {
+        Point::new(
+            (ll.lon - self.origin.lon) * self.m_per_deg_lon,
+            (ll.lat - self.origin.lat) * self.m_per_deg_lat,
+        )
+    }
+
+    /// Inverse of [`Projection::project`].
+    pub fn unproject(&self, p: Point) -> LatLon {
+        LatLon {
+            lat: self.origin.lat + p.y / self.m_per_deg_lat,
+            lon: self.origin.lon + p.x / self.m_per_deg_lon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOSTON: LatLon = LatLon {
+        lat: 42.3601,
+        lon: -71.0589,
+    };
+
+    #[test]
+    fn latlon_validation() {
+        assert!(LatLon::new(42.0, -71.0).is_some());
+        assert!(LatLon::new(91.0, 0.0).is_none());
+        assert!(LatLon::new(0.0, 181.0).is_none());
+        assert!(LatLon::new(f64::NAN, 0.0).is_none());
+    }
+
+    #[test]
+    fn origin_projects_to_origin() {
+        let proj = Projection::new(BOSTON);
+        let p = proj.project(BOSTON);
+        assert!(p.dist(Point::ORIGIN) < 1e-9);
+    }
+
+    #[test]
+    fn project_unproject_round_trip() {
+        let proj = Projection::new(BOSTON);
+        let ll = LatLon::new(42.3736, -71.1097).unwrap(); // Cambridge
+        let back = proj.unproject(proj.project(ll));
+        assert!((back.lat - ll.lat).abs() < 1e-12);
+        assert!((back.lon - ll.lon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axes_orientation() {
+        let proj = Projection::new(BOSTON);
+        let north = proj.project(LatLon::new(BOSTON.lat + 0.01, BOSTON.lon).unwrap());
+        let east = proj.project(LatLon::new(BOSTON.lat, BOSTON.lon + 0.01).unwrap());
+        assert!(north.y > 0.0 && north.x.abs() < 1e-9);
+        assert!(east.x > 0.0 && east.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_matches_haversine_at_city_scale() {
+        let proj = Projection::new(BOSTON);
+        // MIT campus → downtown Boston, a few km.
+        let a = LatLon::new(42.3601, -71.0942).unwrap();
+        let b = LatLon::new(42.3554, -71.0605).unwrap();
+        let planar = proj.project(a).dist(proj.project(b));
+        let sphere = a.haversine_dist(b);
+        // Error well under 1 m over ~3 km.
+        assert!(
+            (planar - sphere).abs() < 1.0,
+            "planar={planar} sphere={sphere}"
+        );
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let proj = Projection::new(LatLon::new(0.0, 0.0).unwrap());
+        let p = proj.project(LatLon::new(1.0, 0.0).unwrap());
+        assert!((p.y - 111_194.9).abs() < 10.0);
+    }
+}

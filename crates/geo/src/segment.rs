@@ -1,0 +1,190 @@
+//! Line segments and their distance / projection queries.
+
+use crate::{Point, Vec2, EPS};
+
+/// A directed line segment from `a` to `b`.
+///
+/// The direction matters for conduit construction: conduits extend from
+/// one waypoint *toward* the next (paper §3, Figure 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates the segment `a → b`.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length, meters.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Returns `true` if the endpoints coincide (within [`EPS`]).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.len() <= EPS
+    }
+
+    /// Displacement from `a` to `b`.
+    #[inline]
+    pub fn dir(&self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// The parameter `t ∈ [0, 1]` of the point on the segment closest
+    /// to `p`. Degenerate segments return `0`.
+    pub fn project_clamped(&self, p: Point) -> f64 {
+        let d = self.dir();
+        let n2 = d.norm2();
+        if n2 <= EPS * EPS {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / n2).clamp(0.0, 1.0)
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        self.a.lerp(self.b, self.project_clamped(p))
+    }
+
+    /// Distance from `p` to the segment, meters.
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).dist(p)
+    }
+
+    /// Point at parameter `t` (`0` = `a`, `1` = `b`; not clamped).
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Tests whether this segment properly or improperly intersects
+    /// `other` (shared endpoints and touching count as intersection).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        // Standard orientation test with collinear special cases.
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1.abs() <= EPS && on_segment(other.a, other.b, self.a))
+            || (d2.abs() <= EPS && on_segment(other.a, other.b, self.b))
+            || (d3.abs() <= EPS && on_segment(self.a, self.b, other.a))
+            || (d4.abs() <= EPS && on_segment(self.a, self.b, other.b))
+    }
+
+    /// Minimum distance between two segments, meters. Zero if they
+    /// intersect.
+    pub fn dist_to_segment(&self, other: &Segment) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        let mut best = self.dist_to_point(other.a);
+        best = best.min(self.dist_to_point(other.b));
+        best = best.min(other.dist_to_point(self.a));
+        best.min(other.dist_to_point(self.b))
+    }
+}
+
+/// Twice the signed area of triangle `(a, b, c)`; positive when `c` is
+/// left of `a → b`.
+#[inline]
+fn orient(a: Point, b: Point, c: Point) -> f64 {
+    (b - a).cross(c - a)
+}
+
+/// Whether `p` (already known collinear with `a..b`) lies within the
+/// segment's bounding box.
+#[inline]
+fn on_segment(a: Point, b: Point, p: Point) -> bool {
+    p.x >= a.x.min(b.x) - EPS
+        && p.x <= a.x.max(b.x) + EPS
+        && p.y >= a.y.min(b.y) - EPS
+        && p.y <= a.y.max(b.y) + EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_degeneracy() {
+        assert_eq!(seg(0.0, 0.0, 3.0, 4.0).len(), 5.0);
+        assert!(seg(1.0, 1.0, 1.0, 1.0).is_degenerate());
+        assert!(!seg(0.0, 0.0, 0.1, 0.0).is_degenerate());
+    }
+
+    #[test]
+    fn projection_interior_and_clamped() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.project_clamped(Point::new(4.0, 5.0)), 0.4);
+        assert_eq!(s.project_clamped(Point::new(-3.0, 1.0)), 0.0);
+        assert_eq!(s.project_clamped(Point::new(30.0, 1.0)), 1.0);
+    }
+
+    #[test]
+    fn closest_point_and_distance() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_point(Point::new(4.0, 5.0)), Point::new(4.0, 0.0));
+        assert_eq!(s.dist_to_point(Point::new(4.0, 5.0)), 5.0);
+        // Beyond the end: distance is to endpoint, not the infinite line.
+        assert_eq!(s.dist_to_point(Point::new(13.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment_distance_is_point_distance() {
+        let s = seg(2.0, 2.0, 2.0, 2.0);
+        assert_eq!(s.dist_to_point(Point::new(5.0, 6.0)), 5.0);
+        assert_eq!(s.project_clamped(Point::new(5.0, 6.0)), 0.0);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = seg(0.0, 0.0, 10.0, 10.0);
+        let s2 = seg(0.0, 10.0, 10.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert_eq!(s1.dist_to_segment(&s2), 0.0);
+    }
+
+    #[test]
+    fn touching_at_endpoint_counts_as_intersection() {
+        let s1 = seg(0.0, 0.0, 5.0, 5.0);
+        let s2 = seg(5.0, 5.0, 9.0, 0.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn collinear_overlapping_and_disjoint() {
+        let s1 = seg(0.0, 0.0, 5.0, 0.0);
+        let s2 = seg(3.0, 0.0, 8.0, 0.0);
+        let s3 = seg(6.0, 0.0, 9.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(!s1.intersects(&s3));
+        assert!((s1.dist_to_segment(&s3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_segments_distance() {
+        let s1 = seg(0.0, 0.0, 10.0, 0.0);
+        let s2 = seg(0.0, 3.0, 10.0, 3.0);
+        assert!(!s1.intersects(&s2));
+        assert_eq!(s1.dist_to_segment(&s2), 3.0);
+    }
+}

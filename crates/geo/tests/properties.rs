@@ -1,0 +1,135 @@
+//! Property-based tests for the geometry crate.
+
+use citymesh_geo::{convex_hull, GridIndex, OrientedRect, Point, Polygon, Rect, Segment};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    // City-scale coordinates.
+    -20_000.0..20_000.0f64
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// A random simple (convex) polygon: hull of ≥ 3 scattered points.
+fn convex_polygon() -> impl Strategy<Value = Polygon> {
+    proptest::collection::vec(point(), 3..40).prop_filter_map("degenerate hull", |pts| {
+        let h = convex_hull(&pts);
+        if h.len() >= 3 {
+            Polygon::new(h)
+        } else {
+            None
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn polygon_area_invariant_under_translation(poly in convex_polygon(), dx in -1e4..1e4f64, dy in -1e4..1e4f64) {
+        let moved = poly.translated(dx, dy);
+        prop_assert!((poly.area() - moved.area()).abs() <= 1e-6 * (1.0 + poly.area()));
+    }
+
+    #[test]
+    fn polygon_centroid_translates_with_polygon(poly in convex_polygon(), dx in -1e4..1e4f64, dy in -1e4..1e4f64) {
+        let c0 = poly.centroid();
+        let c1 = poly.translated(dx, dy).centroid();
+        prop_assert!((c1.x - (c0.x + dx)).abs() < 1e-4);
+        prop_assert!((c1.y - (c0.y + dy)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn polygon_area_invariant_under_rotation(poly in convex_polygon(), angle in 0.0..std::f64::consts::TAU) {
+        let rotated = poly.rotated(poly.centroid(), angle);
+        prop_assert!((poly.area() - rotated.area()).abs() <= 1e-5 * (1.0 + poly.area()));
+    }
+
+    #[test]
+    fn centroid_of_convex_polygon_is_inside(poly in convex_polygon()) {
+        prop_assert!(poly.dist_to_point(poly.centroid()) < 1e-6);
+    }
+
+    #[test]
+    fn hull_is_idempotent(pts in proptest::collection::vec(point(), 3..60)) {
+        let h1 = convex_hull(&pts);
+        let h2 = convex_hull(&h1);
+        prop_assert_eq!(h1.len(), h2.len());
+    }
+
+    #[test]
+    fn segment_distance_symmetric(a in point(), b in point(), c in point(), d in point()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        let d12 = s1.dist_to_segment(&s2);
+        let d21 = s2.dist_to_segment(&s1);
+        prop_assert!((d12 - d21).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_closest_point_is_on_segment(a in point(), b in point(), p in point()) {
+        let s = Segment::new(a, b);
+        let q = s.closest_point(p);
+        // q must be within the segment's bounding box (inflated for rounding).
+        let bb = Rect::from_corners(a, b).inflated(1e-6);
+        prop_assert!(bb.contains(q));
+        // And no endpoint is closer than q.
+        let dq = p.dist(q);
+        prop_assert!(dq <= p.dist(a) + 1e-9);
+        prop_assert!(dq <= p.dist(b) + 1e-9);
+    }
+
+    #[test]
+    fn conduit_contains_spine_samples(a in point(), b in point(), w in 1.0..200.0f64, t in 0.0..1.0f64) {
+        let conduit = OrientedRect::new(Segment::new(a, b), w);
+        prop_assert!(conduit.contains(Segment::new(a, b).point_at(t)));
+    }
+
+    #[test]
+    fn conduit_bbox_conservative(a in point(), b in point(), w in 1.0..200.0f64, p in point()) {
+        let conduit = OrientedRect::new(Segment::new(a, b), w);
+        if conduit.contains(p) {
+            prop_assert!(conduit.bbox().contains(p));
+        }
+    }
+
+    #[test]
+    fn grid_circle_query_matches_brute_force(
+        pts in proptest::collection::vec(point(), 1..200),
+        center in point(),
+        radius in 0.0..5_000.0f64,
+    ) {
+        let idx = GridIndex::build(&pts, 100.0);
+        let mut got = idx.query_circle(center, radius);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| center.dist(**p) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn grid_nearest_matches_brute_force(
+        pts in proptest::collection::vec(point(), 1..200),
+        q in point(),
+    ) {
+        let idx = GridIndex::build(&pts, 100.0);
+        let (_, got_d) = idx.nearest(q).expect("non-empty index");
+        let want_d = pts.iter().map(|p| q.dist(*p)).fold(f64::INFINITY, f64::min);
+        prop_assert!((got_d - want_d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_union_contains_both(a1 in point(), a2 in point(), b1 in point(), b2 in point()) {
+        let ra = Rect::from_corners(a1, a2);
+        let rb = Rect::from_corners(b1, b2);
+        let u = ra.union(&rb);
+        for c in ra.corners().into_iter().chain(rb.corners()) {
+            prop_assert!(u.contains(c));
+        }
+    }
+}

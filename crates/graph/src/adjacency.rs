@@ -1,0 +1,186 @@
+//! Compact adjacency-list graph.
+
+/// A weighted edge out of some vertex.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// Target vertex.
+    pub to: u32,
+    /// Non-negative weight. For the building graph this is the *cubed*
+    /// centroid distance (paper §3 step 2); for the AP graph it is 1.
+    pub weight: f64,
+}
+
+/// An undirected-by-default weighted graph with `u32` vertex ids.
+///
+/// Vertices are implicit: `0..num_vertices`. Edges are stored per
+/// vertex in insertion order. Parallel edges are permitted (search
+/// algorithms simply consider all of them); self-loops are ignored by
+/// `add_edge`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<Edge>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges added via [`Graph::add_edge`]
+    /// (directed arcs added via [`Graph::add_arc`] count once each).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds an undirected edge `u — v` with `weight`.
+    ///
+    /// Self-loops are silently ignored: neither graph in CityMesh is
+    /// meaningful with them, and the synthetic generators occasionally
+    /// produce coincident endpoints.
+    ///
+    /// # Panics
+    /// Panics when either endpoint is out of range or the weight is
+    /// negative/non-finite.
+    pub fn add_edge(&mut self, u: u32, v: u32, weight: f64) {
+        if u == v {
+            return;
+        }
+        self.check(u, v, weight);
+        self.adj[u as usize].push(Edge { to: v, weight });
+        self.adj[v as usize].push(Edge { to: u, weight });
+        self.num_edges += 1;
+    }
+
+    /// Adds a directed arc `u → v` with `weight`.
+    pub fn add_arc(&mut self, u: u32, v: u32, weight: f64) {
+        if u == v {
+            return;
+        }
+        self.check(u, v, weight);
+        self.adj[u as usize].push(Edge { to: v, weight });
+        self.num_edges += 1;
+    }
+
+    fn check(&self, u: u32, v: u32, weight: f64) {
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "vertex out of range: {u} or {v} (n = {})",
+            self.adj.len()
+        );
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "edge weight must be finite and non-negative, got {weight}"
+        );
+    }
+
+    /// The outgoing edges of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[Edge] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree (number of outgoing edges) of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Mean degree across all vertices (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.adj.iter().map(Vec::len).sum();
+        total as f64 / self.adj.len() as f64
+    }
+
+    /// Whether an edge/arc `u → v` exists.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].iter().any(|e| e.to == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn undirected_edges_visible_from_both_ends() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 3.0);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(0), &[Edge { to: 1, weight: 2.0 }]);
+    }
+
+    #[test]
+    fn directed_arc_is_one_way() {
+        let mut g = Graph::new(2);
+        g.add_arc(0, 1, 1.0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1, 5.0);
+        g.add_arc(0, 0, 5.0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 9.0);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex out of range")]
+    fn out_of_range_vertex_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn negative_weight_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn mean_degree_counts_both_directions() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        assert_eq!(g.mean_degree(), 1.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Graph algorithms for CityMesh.
+//!
+//! Two graphs drive the system (paper §3–§4):
+//!
+//! * the **building graph** — vertices are buildings, edges are
+//!   predicted inter-building AP connectivity, weighted by
+//!   *cubed* distance; routes are computed with [`dijkstra`];
+//! * the **AP graph** — vertices are access points, edges connect APs
+//!   within transmission range; reachability is answered with
+//!   [`connected_components`] / [`bfs`], and the *ideal unicast*
+//!   denominator of the paper's transmission-overhead metric is the
+//!   BFS hop count.
+//!
+//! The [`Graph`] type is a compact adjacency-list structure with `u32`
+//! vertex ids, sized for the millions-of-nodes scale the paper targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjacency;
+mod search;
+mod union_find;
+
+pub use adjacency::{Edge, Graph};
+pub use search::{
+    astar, bfs, bfs_path, connected_components, dijkstra, dijkstra_path, dijkstra_path_filtered,
+    largest_component, PathResult, INFINITY,
+};
+pub use union_find::UnionFind;

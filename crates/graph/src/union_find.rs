@@ -1,0 +1,137 @@
+//! Disjoint-set forest (union-find).
+
+/// A union-find structure over `0..n` with path halving and union by
+/// size.
+///
+/// Used for incremental connectivity while AP graphs are built edge by
+/// edge: the reachability experiment (paper §4, Figure 6) only needs
+/// "same component?" answers, which union-find gives in near-constant
+/// amortized time without materializing adjacency.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// The canonical representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` when they
+    /// were previously disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+
+    /// Size of the largest set (0 when empty).
+    pub fn largest_component_size(&mut self) -> usize {
+        (0..self.parent.len() as u32)
+            .map(|i| {
+                let r = self.find(i);
+                self.size[r as usize] as usize
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially_disjoint() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_components(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.component_size(2), 1);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.component_size(1), 3);
+        assert_eq!(uf.largest_component_size(), 3);
+    }
+
+    #[test]
+    fn transitive_chain_fully_connected() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n as u32 - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.connected(0, n as u32 - 1));
+        assert_eq!(uf.largest_component_size(), n);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_components(), 0);
+        assert_eq!(uf.largest_component_size(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the graph crate.
+
+use citymesh_graph::{astar, bfs, connected_components, dijkstra, Graph, UnionFind};
+use proptest::prelude::*;
+
+/// A random undirected graph as (n, edge list).
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.0..100.0f64), 0..120);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(u, v, w) in edges {
+        g.add_edge(u, v, w);
+    }
+    g
+}
+
+proptest! {
+    /// On unit weights, Dijkstra and BFS agree everywhere.
+    #[test]
+    fn dijkstra_equals_bfs_on_unit_weights((n, edges) in random_graph()) {
+        let mut g = Graph::new(n);
+        for &(u, v, _) in &edges {
+            g.add_edge(u, v, 1.0);
+        }
+        let d = dijkstra(&g, 0);
+        let b = bfs(&g, 0);
+        for v in 0..n {
+            prop_assert_eq!(d.dist[v], b.dist[v], "vertex {}", v);
+        }
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality over edges:
+    /// dist[v] ≤ dist[u] + w(u,v) for every edge.
+    #[test]
+    fn dijkstra_relaxed_fixpoint((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let r = dijkstra(&g, 0);
+        for u in 0..n as u32 {
+            if !r.dist[u as usize].is_finite() { continue; }
+            for e in g.neighbors(u) {
+                prop_assert!(
+                    r.dist[e.to as usize] <= r.dist[u as usize] + e.weight + 1e-9,
+                    "edge {}->{} violates fixpoint", u, e.to
+                );
+            }
+        }
+    }
+
+    /// Reconstructed path edge weights sum to the reported distance.
+    #[test]
+    fn dijkstra_path_cost_matches_distance((n, edges) in random_graph(), target in 0u32..40) {
+        let g = build(n, &edges);
+        let target = target % n as u32;
+        let r = dijkstra(&g, 0);
+        if let Some(path) = r.path_to(target) {
+            let mut cost = 0.0;
+            for w in path.windows(2) {
+                // Minimum-weight parallel edge is what Dijkstra used.
+                let best = g
+                    .neighbors(w[0])
+                    .iter()
+                    .filter(|e| e.to == w[1])
+                    .map(|e| e.weight)
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(best.is_finite(), "path uses a non-edge");
+                cost += best;
+            }
+            prop_assert!((cost - r.dist[target as usize]).abs() < 1e-6);
+        }
+    }
+
+    /// A* with the zero heuristic returns a path of the same cost as
+    /// Dijkstra whenever one exists.
+    #[test]
+    fn astar_zero_heuristic_cost_matches((n, edges) in random_graph(), target in 0u32..40) {
+        let g = build(n, &edges);
+        let target = target % n as u32;
+        let d = dijkstra(&g, 0);
+        let a = astar(&g, 0, target, |_| 0.0);
+        prop_assert_eq!(a.is_some(), d.dist[target as usize].is_finite());
+    }
+
+    /// Union-find component structure matches BFS components.
+    #[test]
+    fn union_find_matches_components((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let mut uf = UnionFind::new(n);
+        for u in 0..n as u32 {
+            for e in g.neighbors(u) {
+                uf.union(u, e.to);
+            }
+        }
+        let (labels, count) = connected_components(&g);
+        prop_assert_eq!(uf.num_components(), count);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(
+                    labels[u as usize] == labels[v as usize],
+                    uf.connected(u, v),
+                    "u={} v={}", u, v
+                );
+            }
+        }
+    }
+
+    /// BFS distance from the source to itself is 0 and every reachable
+    /// vertex has a parent chain back to the source.
+    #[test]
+    fn bfs_parent_chains_terminate((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let r = bfs(&g, 0);
+        prop_assert_eq!(r.dist[0], 0.0);
+        for v in 0..n as u32 {
+            if r.dist[v as usize].is_finite() {
+                let path = r.path_to(v).expect("reachable");
+                prop_assert_eq!(path[0], 0);
+                prop_assert_eq!(*path.last().unwrap(), v);
+                prop_assert_eq!(path.len() as f64 - 1.0, r.dist[v as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! City models for CityMesh: building footprints, obstacles, synthetic
+//! city generation, and an OpenStreetMap subset loader.
+//!
+//! CityMesh routing consumes nothing but **building footprints with
+//! stable IDs** (paper §3). This crate produces them two ways:
+//!
+//! * [`synth`] — a deterministic generator with per-city *archetypes*
+//!   (dense downtown grids, sprawling residential blocks, campus
+//!   quads) and large-scale obstacles (rivers, parks, highways) that
+//!   carve connectivity gaps. This is the workspace's substitute for
+//!   the paper's OSM extracts of real cities (DESIGN.md §1): the
+//!   routing algorithm sees the same statistical structure — block
+//!   sizes, fill fractions, and the island-inducing features the paper
+//!   observes in Washington D.C.
+//! * [`osm`] — a minimal OSM-XML parser (nodes + building ways) so a
+//!   real extract can be dropped in when available.
+//!
+//! Building IDs are assigned in row-major spatial order, which the
+//! delta route encoding in `citymesh-net` exploits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod city;
+pub mod codec;
+pub mod osm;
+pub mod synth;
+
+pub use city::{Building, CityMap, MapStats, Obstacle, ObstacleKind};
+pub use codec::{decode_map, encode_map, CodecError, DEFAULT_QUANTUM_MM};
+pub use synth::{CityArchetype, CityParams, ObstacleSpec};

@@ -1,0 +1,29 @@
+//! Synthetic reproduction of the paper's §2 measurement study.
+//!
+//! The paper's feasibility argument rests on a wardriving survey of
+//! four Boston-area environments (downtown, campus, residential,
+//! river): walk or bicycle through each, scan for AP beacons at
+//! 0.2–0.4 Hz, record `(GPS position, BSSID list)` per scan. From
+//! that: Table 1 (measurement/AP counts), Figure 1a (CDF of BSSIDs per
+//! scan), Figure 1b (CDF of per-BSSID sighting spread), and Figure 2
+//! (co-observed APs versus scan-pair distance).
+//!
+//! We cannot re-walk Boston, so [`survey`] simulates the survey over
+//! the synthetic area archetypes: a boustrophedon trajectory sampled
+//! at the paper's rates, with beacon reception drawn from a
+//! log-distance/shadowing radio model. BSSIDs are modeled per *radio*:
+//! one physical AP advertises several BSSIDs (multi-SSID is why
+//! wardriving sees tens of thousands of "APs" in a one-hour walk), so
+//! the generator plants BSSID radios denser than routing APs.
+//! [`stats`] holds the CDF/percentile machinery the figures share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crowdsource;
+pub mod stats;
+pub mod survey;
+
+pub use crowdsource::{coverage_fraction, run_crowdsourced, CrowdsourceConfig};
+pub use stats::{Cdf, DistanceBin};
+pub use survey::{Scan, Survey, SurveyConfig, TravelMode};

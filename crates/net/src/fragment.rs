@@ -1,0 +1,289 @@
+//! Application-layer fragmentation and reassembly.
+//!
+//! A CityMesh frame carries at most [`crate::MAX_PAYLOAD_LEN`] bytes
+//! so it never relies on link-layer fragmentation. Larger application
+//! messages (a photo of a missing-person poster, a map diff) are split
+//! into numbered fragments that share the message's ID; the postbox
+//! reassembles. The format is deliberately dumb — out-of-order arrival
+//! and duplicates are the norm on a flooding mesh, retransmission
+//! policy lives above.
+//!
+//! Fragment layout (prepended to each payload):
+//!
+//! ```text
+//! index varint ‖ total varint ‖ data
+//! ```
+//!
+//! `total` is repeated in every fragment so reassembly can size its
+//! buffer from whichever fragment arrives first.
+
+use crate::{varint, NetError};
+
+/// Hard cap on fragments per message: 64 MiB-ish upper bound on
+/// message size, far beyond anything a fallback mesh should carry, but
+/// a guard against hostile `total` values allocating unbounded memory.
+pub const MAX_FRAGMENTS: usize = 1 << 16;
+
+/// A single fragment of a larger message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// Position of this fragment (0-based).
+    pub index: u32,
+    /// Total number of fragments in the message.
+    pub total: u32,
+    /// The data slice carried by this fragment.
+    pub data: Vec<u8>,
+}
+
+impl Fragment {
+    /// Serializes to `index ‖ total ‖ data`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() + 10);
+        varint::encode_u64(self.index as u64, &mut out);
+        varint::encode_u64(self.total as u64, &mut out);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses a serialized fragment.
+    pub fn decode(bytes: &[u8]) -> Result<Fragment, NetError> {
+        let (index, n1) = varint::decode_u64(bytes)?;
+        let (total, n2) = varint::decode_u64(&bytes[n1..])?;
+        if total == 0 || total > MAX_FRAGMENTS as u64 {
+            return Err(NetError::FieldOverflow("fragment total"));
+        }
+        if index >= total {
+            return Err(NetError::FieldOverflow("fragment index"));
+        }
+        Ok(Fragment {
+            index: index as u32,
+            total: total as u32,
+            data: bytes[n1 + n2..].to_vec(),
+        })
+    }
+}
+
+/// Splits `message` into fragments of at most `chunk_len` data bytes.
+///
+/// Empty messages produce a single empty fragment (so "message
+/// exists" survives the trip).
+///
+/// # Panics
+/// Panics when `chunk_len == 0` or the message would exceed
+/// [`MAX_FRAGMENTS`].
+pub fn fragment(message: &[u8], chunk_len: usize) -> Vec<Fragment> {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let total = message.len().div_ceil(chunk_len).max(1);
+    assert!(
+        total <= MAX_FRAGMENTS,
+        "message needs {total} fragments (max {MAX_FRAGMENTS})"
+    );
+    (0..total)
+        .map(|i| Fragment {
+            index: i as u32,
+            total: total as u32,
+            data: message[i * chunk_len..((i + 1) * chunk_len).min(message.len())].to_vec(),
+        })
+        .collect()
+}
+
+/// Incremental reassembly buffer for one message.
+///
+/// ```
+/// use citymesh_net::fragment::{fragment, Reassembler};
+///
+/// let photo = vec![7u8; 3000];
+/// let mut r = Reassembler::new();
+/// for frag in fragment(&photo, 1400) {
+///     r.accept(frag).unwrap();
+/// }
+/// assert_eq!(r.finish().unwrap(), photo);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reassembler {
+    total: Option<u32>,
+    parts: Vec<Option<Vec<u8>>>,
+    received: usize,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Reassembler {
+            total: None,
+            parts: Vec::new(),
+            received: 0,
+        }
+    }
+
+    /// Accepts one fragment. Duplicates are ignored; fragments whose
+    /// `total` disagrees with previously seen ones are rejected
+    /// (either corruption or a colliding message ID).
+    pub fn accept(&mut self, frag: Fragment) -> Result<(), NetError> {
+        match self.total {
+            None => {
+                self.total = Some(frag.total);
+                self.parts = vec![None; frag.total as usize];
+            }
+            Some(t) if t != frag.total => {
+                return Err(NetError::FieldOverflow("fragment total mismatch"));
+            }
+            Some(_) => {}
+        }
+        let slot = &mut self.parts[frag.index as usize];
+        if slot.is_none() {
+            *slot = Some(frag.data);
+            self.received += 1;
+        }
+        Ok(())
+    }
+
+    /// Fragments still missing (`None` before the first fragment).
+    pub fn missing(&self) -> Option<usize> {
+        self.total.map(|t| t as usize - self.received)
+    }
+
+    /// Whether all fragments have arrived.
+    pub fn is_complete(&self) -> bool {
+        self.missing() == Some(0)
+    }
+
+    /// Consumes the reassembler, yielding the message when complete.
+    pub fn finish(self) -> Option<Vec<u8>> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut out = Vec::new();
+        for part in self.parts {
+            out.extend_from_slice(&part.expect("complete"));
+        }
+        Some(out)
+    }
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_and_reassemble_in_order() {
+        let msg: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+        let frags = fragment(&msg, 1000);
+        assert_eq!(frags.len(), 3);
+        let mut r = Reassembler::new();
+        for f in frags {
+            r.accept(f).unwrap();
+        }
+        assert!(r.is_complete());
+        assert_eq!(r.finish().unwrap(), msg);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicates() {
+        let msg = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let frags = fragment(&msg, 7);
+        let mut r = Reassembler::new();
+        // Reverse order, each delivered twice.
+        for f in frags.iter().rev() {
+            r.accept(f.clone()).unwrap();
+            r.accept(f.clone()).unwrap();
+        }
+        assert_eq!(r.finish().unwrap(), msg);
+    }
+
+    #[test]
+    fn exact_multiple_and_partial_tail() {
+        assert_eq!(fragment(&[0u8; 100], 50).len(), 2);
+        assert_eq!(fragment(&[0u8; 101], 50).len(), 3);
+        let tail = fragment(&[9u8; 101], 50);
+        assert_eq!(tail[2].data.len(), 1);
+    }
+
+    #[test]
+    fn empty_message_single_empty_fragment() {
+        let frags = fragment(&[], 100);
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].data.is_empty());
+        let mut r = Reassembler::new();
+        r.accept(frags[0].clone()).unwrap();
+        assert_eq!(r.finish().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let frags = fragment(b"wire me", 3);
+        for f in &frags {
+            let wire = f.encode();
+            assert_eq!(Fragment::decode(&wire).unwrap(), *f);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_headers() {
+        // index ≥ total
+        let mut bad = Vec::new();
+        varint::encode_u64(5, &mut bad);
+        varint::encode_u64(3, &mut bad);
+        assert!(Fragment::decode(&bad).is_err());
+        // total = 0
+        let mut zero = Vec::new();
+        varint::encode_u64(0, &mut zero);
+        varint::encode_u64(0, &mut zero);
+        assert!(Fragment::decode(&zero).is_err());
+        // hostile total
+        let mut huge = Vec::new();
+        varint::encode_u64(0, &mut huge);
+        varint::encode_u64(u64::MAX, &mut huge);
+        assert_eq!(
+            Fragment::decode(&huge).unwrap_err(),
+            NetError::FieldOverflow("fragment total")
+        );
+        // truncated
+        assert!(Fragment::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn mismatched_totals_rejected() {
+        let mut r = Reassembler::new();
+        r.accept(Fragment {
+            index: 0,
+            total: 2,
+            data: vec![1],
+        })
+        .unwrap();
+        let err = r
+            .accept(Fragment {
+                index: 1,
+                total: 3,
+                data: vec![2],
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::FieldOverflow("fragment total mismatch"));
+    }
+
+    #[test]
+    fn missing_tracks_progress() {
+        let frags = fragment(&[0u8; 300], 100);
+        let mut r = Reassembler::new();
+        assert_eq!(r.missing(), None);
+        r.accept(frags[1].clone()).unwrap();
+        assert_eq!(r.missing(), Some(2));
+        assert!(!r.is_complete());
+        assert!(r.clone().finish().is_none());
+        r.accept(frags[0].clone()).unwrap();
+        r.accept(frags[2].clone()).unwrap();
+        assert_eq!(r.missing(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len")]
+    fn zero_chunk_panics() {
+        fragment(b"x", 0);
+    }
+}

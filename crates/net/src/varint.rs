@@ -1,0 +1,174 @@
+//! LEB128 unsigned varints and zigzag signed varints.
+//!
+//! Used by the delta route encoding (consecutive waypoint IDs are
+//! usually numerically close when buildings are ID'd in spatial order)
+//! and by the packet framing for payload lengths.
+
+use crate::NetError;
+
+/// Maximum encoded length of a `u64` varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `value` to `out`; returns the number
+/// of bytes written (1–10).
+pub fn encode_u64(mut value: u64, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+    out.len() - start
+}
+
+/// Decodes a LEB128 `u64` from the front of `input`; returns the value
+/// and the number of bytes consumed.
+pub fn decode_u64(input: &[u8]) -> Result<(u64, usize), NetError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(NetError::VarintOverflow);
+        }
+        let low = (byte & 0x7F) as u64;
+        // The 10th byte may only contribute the final bit of a u64.
+        if shift == 63 && low > 1 {
+            return Err(NetError::VarintOverflow);
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(NetError::Truncated)
+}
+
+/// Zigzag-maps a signed value so small magnitudes encode small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a zigzag varint.
+pub fn encode_i64(value: i64, out: &mut Vec<u8>) -> usize {
+    encode_u64(zigzag(value), out)
+}
+
+/// Decodes a zigzag varint.
+pub fn decode_i64(input: &[u8]) -> Result<(i64, usize), NetError> {
+    decode_u64(input).map(|(v, n)| (unzigzag(v), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        let cases: &[(u64, &[u8])] = &[
+            (0, &[0x00]),
+            (1, &[0x01]),
+            (127, &[0x7F]),
+            (128, &[0x80, 0x01]),
+            (300, &[0xAC, 0x02]),
+            (
+                u64::MAX,
+                &[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01],
+            ),
+        ];
+        for (value, bytes) in cases {
+            let mut out = Vec::new();
+            let n = encode_u64(*value, &mut out);
+            assert_eq!(&out, bytes, "encode {value}");
+            assert_eq!(n, bytes.len());
+            let (back, used) = decode_u64(&out).unwrap();
+            assert_eq!(back, *value, "decode {value}");
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn round_trip_exhaustive_boundaries() {
+        for shift in 0..64 {
+            for delta in [-1i128, 0, 1] {
+                let v = (1i128 << shift) + delta;
+                if !(0..=u64::MAX as i128).contains(&v) {
+                    continue;
+                }
+                let v = v as u64;
+                let mut out = Vec::new();
+                encode_u64(v, &mut out);
+                assert_eq!(decode_u64(&out).unwrap().0, v);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert_eq!(decode_u64(&[]), Err(NetError::Truncated));
+        assert_eq!(decode_u64(&[0x80]), Err(NetError::Truncated));
+        assert_eq!(decode_u64(&[0x80, 0x80]), Err(NetError::Truncated));
+    }
+
+    #[test]
+    fn overlong_input_errors() {
+        // 11 continuation bytes.
+        let bad = [0x80u8; 11];
+        assert_eq!(decode_u64(&bad), Err(NetError::VarintOverflow));
+        // 10 bytes but the last contributes bits beyond 64.
+        let mut too_big = [0xFFu8; 10];
+        too_big[9] = 0x02;
+        assert_eq!(decode_u64(&too_big), Err(NetError::VarintOverflow));
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let input = [0x05, 0xAA, 0xBB];
+        let (v, n) = decode_u64(&input).unwrap();
+        assert_eq!(v, 5);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn zigzag_mapping() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [-1000i64, -3, 0, 7, 123456, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [-5_000_000i64, -128, -1, 0, 1, 127, 1 << 40] {
+            let mut out = Vec::new();
+            encode_i64(v, &mut out);
+            let (back, _) = decode_i64(&out).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn small_deltas_encode_in_one_byte() {
+        // The property the delta route encoding relies on.
+        for v in -63i64..=63 {
+            let mut out = Vec::new();
+            assert_eq!(encode_i64(v, &mut out), 1, "delta {v}");
+        }
+    }
+}

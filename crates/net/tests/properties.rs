@@ -1,0 +1,119 @@
+//! Property-based tests for the wire format.
+
+use bytes::Bytes;
+use citymesh_net::{
+    bitio::{BitReader, BitWriter},
+    varint, CityMeshHeader, MessageKind, Packet, RouteEncoding,
+};
+use proptest::prelude::*;
+
+fn message_kind() -> impl Strategy<Value = MessageKind> {
+    prop_oneof![
+        Just(MessageKind::Data),
+        Just(MessageKind::PostboxCheckin),
+        Just(MessageKind::PushNotify),
+        Just(MessageKind::Ack),
+    ]
+}
+
+fn header() -> impl Strategy<Value = CityMeshHeader> {
+    (
+        any::<u64>(),
+        0u16..=1023,
+        proptest::collection::vec(any::<u32>(), 1..=255),
+        message_kind(),
+        any::<u8>(),
+        any::<bool>(),
+    )
+        .prop_map(|(msg_id, width_dm, waypoints, kind, ttl, delta)| {
+            let mut h = CityMeshHeader::new(msg_id, 0.0, waypoints);
+            h.conduit_width_dm = width_dm;
+            h.kind = kind;
+            h.ttl = ttl;
+            h.encoding = if delta {
+                RouteEncoding::Delta
+            } else {
+                RouteEncoding::Absolute
+            };
+            h
+        })
+}
+
+proptest! {
+    #[test]
+    fn bitio_round_trips(ops in proptest::collection::vec((any::<u64>(), 1u32..=64), 1..200)) {
+        let mut w = BitWriter::new();
+        let mut expected = Vec::new();
+        for (value, width) in ops {
+            let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+            w.write_bits(masked, width);
+            expected.push((masked, width));
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (value, width) in expected {
+            prop_assert_eq!(r.read_bits(width).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn varint_round_trips(v in any::<u64>()) {
+        let mut out = Vec::new();
+        let n = varint::encode_u64(v, &mut out);
+        prop_assert!(n <= varint::MAX_VARINT_LEN);
+        let (back, used) = varint::decode_u64(&out).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, n);
+    }
+
+    #[test]
+    fn signed_varint_round_trips(v in any::<i64>()) {
+        let mut out = Vec::new();
+        varint::encode_i64(v, &mut out);
+        let (back, _) = varint::decode_i64(&out).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn header_round_trips(h in header()) {
+        let mut w = BitWriter::new();
+        h.encode(&mut w).unwrap();
+        prop_assert_eq!(w.bit_len(), h.total_bits());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let back = CityMeshHeader::decode(&mut r).unwrap();
+        prop_assert_eq!(back, h);
+    }
+
+    #[test]
+    fn packet_round_trips(h in header(), payload in proptest::collection::vec(any::<u8>(), 0..1400)) {
+        let p = Packet::new(h, Bytes::from(payload));
+        let wire = p.encode().unwrap();
+        prop_assert_eq!(wire.len(), p.wire_len());
+        let back = Packet::decode(&wire).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any input must produce Ok or Err, never a panic.
+        let _ = Packet::decode(&bytes);
+    }
+
+    #[test]
+    fn single_bit_corruption_never_yields_same_packet(
+        h in header(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        flip_hint in any::<usize>(),
+    ) {
+        let p = Packet::new(h, Bytes::from(payload));
+        let wire = p.encode().unwrap();
+        let mut bad = wire.to_vec();
+        let byte = flip_hint % bad.len();
+        bad[byte] ^= 1;
+        match Packet::decode(&bad) {
+            Err(_) => {}
+            Ok(other) => prop_assert_ne!(other, p, "corruption produced an identical packet"),
+        }
+    }
+}

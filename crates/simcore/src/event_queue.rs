@@ -1,0 +1,321 @@
+//! The event scheduler.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A priority queue of timestamped events with deterministic FIFO
+/// tie-breaking: events scheduled for the same instant pop in the
+/// order they were pushed.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        self.heap.push(Entry {
+            time: at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event with its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.event))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far (for run statistics).
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A minimal simulation driver: a clock plus an [`EventQueue`].
+///
+/// Handlers receive `(&mut Simulation, event)` and may schedule more
+/// events relative to [`Simulation::now`]. The loop guards against
+/// scheduling into the past, which would silently corrupt causality.
+///
+/// ```
+/// use citymesh_simcore::{SimTime, Simulation};
+///
+/// struct Tick(u32);
+/// let mut sim: Simulation<Tick> = Simulation::new();
+/// sim.schedule_in(SimTime::from_millis(1), Tick(0));
+/// let mut count = 0;
+/// sim.run(|sim, Tick(n)| {
+///     count += 1;
+///     if n < 2 {
+///         sim.schedule_in(SimTime::from_millis(1), Tick(n + 1));
+///     }
+/// });
+/// assert_eq!(count, 3);
+/// assert_eq!(sim.now(), SimTime::from_millis(3));
+/// ```
+#[derive(Debug)]
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    /// Optional hard stop; events after the horizon are discarded at
+    /// pop time.
+    horizon: Option<SimTime>,
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation starting at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: None,
+        }
+    }
+
+    /// Sets a hard time horizon: events scheduled after it never run.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics when `at` is before the current time: an event in the
+    /// past is always a simulation bug, never recoverable.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Runs until the queue drains (or the horizon passes), calling
+    /// `handler` for each event in timestamp order.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Simulation<E>, E)) {
+        while let Some((t, ev)) = self.queue.pop() {
+            if let Some(h) = self.horizon {
+                if t > h {
+                    // Horizon reached: drop this and everything later.
+                    return;
+                }
+            }
+            debug_assert!(t >= self.now, "event queue returned non-monotonic time");
+            self.now = t;
+            handler(self, ev);
+        }
+    }
+
+    /// Runs at most `max_events` events; returns how many ran.
+    pub fn run_bounded(
+        &mut self,
+        max_events: u64,
+        mut handler: impl FnMut(&mut Simulation<E>, E),
+    ) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            let Some((t, ev)) = self.queue.pop() else {
+                break;
+            };
+            if let Some(h) = self.horizon {
+                if t > h {
+                    break;
+                }
+            }
+            self.now = t;
+            handler(self, ev);
+            n += 1;
+        }
+        n
+    }
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), "c");
+        q.push(SimTime::from_millis(10), "a");
+        q.push(SimTime::from_millis(20), "b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(10)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn simulation_advances_clock_and_cascades() {
+        #[derive(Debug)]
+        enum Ev {
+            Ping(u32),
+        }
+        let mut sim = Simulation::new();
+        sim.schedule_in(SimTime::from_millis(1), Ev::Ping(0));
+        let mut seen = Vec::new();
+        sim.run(|sim, Ev::Ping(k)| {
+            seen.push((sim.now(), k));
+            if k < 4 {
+                sim.schedule_in(SimTime::from_millis(1), Ev::Ping(k + 1));
+            }
+        });
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[4].0, SimTime::from_millis(5));
+        assert_eq!(sim.processed(), 5);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn horizon_stops_processing() {
+        let mut sim = Simulation::new().with_horizon(SimTime::from_millis(10));
+        for i in 1..=20u64 {
+            sim.schedule_at(SimTime::from_millis(i), i);
+        }
+        let mut count = 0;
+        sim.run(|_, _| count += 1);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn run_bounded_limits_event_count() {
+        let mut sim = Simulation::new();
+        for i in 0..10u64 {
+            sim.schedule_at(SimTime::from_millis(i), i);
+        }
+        let ran = sim.run_bounded(3, |_, _| {});
+        assert_eq!(ran, 3);
+        assert_eq!(sim.pending(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(5), ());
+        sim.run(|sim, ()| {
+            sim.schedule_at(SimTime::from_millis(1), ());
+        });
+    }
+
+    #[test]
+    fn stress_random_order_pops_sorted() {
+        use crate::SimRng;
+        let mut rng = SimRng::new(8);
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_nanos(rng.below(1_000_000)), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

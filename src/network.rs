@@ -1,0 +1,552 @@
+//! Whole-network orchestration: the in-memory harness that ties the
+//! map, routing, event simulation, crypto, and postboxes into one
+//! Alice-to-Bob story (paper §3's four-step workflow).
+
+use std::collections::{HashMap, HashSet};
+
+use citymesh_core::{
+    compress_route, plan_route, plan_route_avoiding, postbox_ap, simulate_delivery, CityExperiment,
+    DeliveryParams, ExperimentConfig, Postbox,
+};
+use citymesh_crypto::{Keypair, NodeId, PostboxAddress, SealedMessage};
+use citymesh_map::CityMap;
+use citymesh_net::CityMeshHeader;
+use citymesh_simcore::{split_seed, SimRng, SimTime};
+
+/// A registered CityMesh user: their keypair plus where their postbox
+/// lives.
+#[derive(Clone, Debug)]
+pub struct User {
+    keypair: Keypair,
+    postbox_building: u32,
+}
+
+impl User {
+    /// The out-of-band address the user shares (paper §3 step 1:
+    /// "his unique public key and the building ID of the building
+    /// that contains the desired postbox AP"; fits in a QR code).
+    pub fn address(&self) -> PostboxAddress {
+        PostboxAddress {
+            public_key: self.keypair.public,
+            building_id: self.postbox_building,
+        }
+    }
+
+    /// The user's self-certifying ID.
+    pub fn node_id(&self) -> NodeId {
+        self.keypair.node_id()
+    }
+
+    /// The user's keypair (needed to open sealed messages).
+    pub fn keypair(&self) -> &Keypair {
+        &self.keypair
+    }
+}
+
+/// The result of one send through the mesh.
+#[derive(Clone, Debug)]
+pub struct SendReceipt {
+    /// Message ID carried in the header.
+    pub msg_id: u64,
+    /// Whether a building route could even be planned.
+    pub route_found: bool,
+    /// Whether the packet reached the destination building and was
+    /// deposited in the postbox.
+    pub delivered: bool,
+    /// Broadcast count in the event simulation.
+    pub broadcasts: u64,
+    /// Simulated delivery latency.
+    pub latency: Option<SimTime>,
+    /// Compressed source-route size, bits.
+    pub route_bits: usize,
+    /// Waypoints after compression.
+    pub waypoints: usize,
+}
+
+/// An in-memory CityMesh deployment over one city.
+///
+/// Owns the AP placement, both graphs, one [`Postbox`] per building
+/// that hosts one, and a simulation clock that advances with each
+/// message sent.
+#[derive(Clone, Debug)]
+pub struct DfnNetwork {
+    exp: CityExperiment,
+    postboxes: HashMap<u32, Postbox>,
+    users: HashMap<NodeId, u32>,
+    rng: SimRng,
+    clock: SimTime,
+    next_msg_id: u64,
+}
+
+impl DfnNetwork {
+    /// Builds the deployment: places APs and constructs both graphs.
+    pub fn new(map: CityMap, config: ExperimentConfig, seed: u64) -> Self {
+        let config = ExperimentConfig { seed, ..config };
+        DfnNetwork {
+            exp: CityExperiment::prepare(map, config),
+            postboxes: HashMap::new(),
+            users: HashMap::new(),
+            rng: SimRng::new(split_seed(seed, 0xD4A)),
+            clock: SimTime::ZERO,
+            next_msg_id: 1,
+        }
+    }
+
+    /// The prepared experiment (map, AP graph, building graph).
+    pub fn experiment(&self) -> &CityExperiment {
+        &self.exp
+    }
+
+    /// Current simulated wall clock.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Registers a user with a postbox in `building`. `entropy` seeds
+    /// the keypair; simulations pass deterministic bytes, deployments
+    /// pass OS randomness.
+    ///
+    /// # Panics
+    /// Panics when `building` does not exist in the map.
+    pub fn register_user(&mut self, entropy: [u8; 32], building: u32) -> User {
+        assert!(
+            self.exp.map().building(building).is_some(),
+            "building {building} not in map"
+        );
+        let keypair = Keypair::from_entropy(entropy);
+        let user = User {
+            keypair,
+            postbox_building: building,
+        };
+        self.postboxes
+            .entry(building)
+            .or_insert_with(Postbox::with_defaults)
+            .register(user.node_id());
+        self.users.insert(user.node_id(), building);
+        user
+    }
+
+    /// AAD binding a sealed message to its packet identity: message ID
+    /// plus destination building, so a captured ciphertext cannot be
+    /// replayed under another identity.
+    fn aad(msg_id: u64, dst_building: u32) -> Vec<u8> {
+        let mut aad = Vec::with_capacity(12);
+        aad.extend_from_slice(&msg_id.to_le_bytes());
+        aad.extend_from_slice(&dst_building.to_le_bytes());
+        aad
+    }
+
+    /// Sends `body` from a device in `from_building` to the postbox in
+    /// `to`. Runs the full pipeline: route → compress → seal →
+    /// event-simulate → deposit.
+    pub fn send_text(
+        &mut self,
+        from_building: u32,
+        to: &PostboxAddress,
+        body: &[u8],
+    ) -> SendReceipt {
+        let msg_id = split_seed(self.exp.config().seed, 0x4D59 ^ self.next_msg_id);
+        self.next_msg_id += 1;
+        let mut receipt = SendReceipt {
+            msg_id,
+            route_found: false,
+            delivered: false,
+            broadcasts: 0,
+            latency: None,
+            route_bits: 0,
+            waypoints: 0,
+        };
+
+        // Step 2: plan and compress the building route.
+        let Ok(route) = plan_route(self.exp.building_graph(), from_building, to.building_id) else {
+            return receipt;
+        };
+        receipt.route_found = true;
+        let compressed = compress_route(
+            self.exp.building_graph(),
+            &route,
+            self.exp.config().conduit_width_m,
+        );
+        receipt.waypoints = compressed.len();
+        let header = CityMeshHeader::new(
+            msg_id,
+            self.exp.config().conduit_width_m,
+            compressed.waypoints,
+        );
+        receipt.route_bits = header.route_bits();
+
+        // Seal the payload to the recipient (the mesh sees ciphertext).
+        let mut entropy = [0u8; 32];
+        use rand::RngCore;
+        self.rng.fill_bytes(&mut entropy);
+        let Some(sealed) =
+            SealedMessage::seal(to, entropy, &Self::aad(msg_id, to.building_id), body)
+        else {
+            return receipt;
+        };
+
+        // Step 3: route through the mesh (event simulation).
+        let Some(src_ap) = postbox_ap(self.exp.aps(), self.exp.map(), from_building) else {
+            return receipt;
+        };
+        let report = simulate_delivery(
+            self.exp.map(),
+            self.exp.ap_graph(),
+            &header,
+            src_ap,
+            DeliveryParams {
+                scope: self.exp.config().scope,
+                ..DeliveryParams::default()
+            },
+            &mut self.rng,
+        );
+        receipt.broadcasts = report.broadcasts;
+        receipt.latency = report.first_delivery;
+
+        // Step 4: deposit at the destination postbox.
+        if report.delivered {
+            let arrived = self.clock + report.first_delivery.unwrap_or(SimTime::ZERO);
+            if let Some(pb) = self.postboxes.get_mut(&to.building_id) {
+                if pb.deposit(to.node_id(), msg_id, sealed, arrived).is_ok() {
+                    receipt.delivered = true;
+                }
+            }
+        }
+        // Advance the network clock past this exchange.
+        self.clock += SimTime::from_secs_f64(1.0);
+        receipt
+    }
+
+    /// Sends with detour retries: when an attempt's simulated delivery
+    /// fails, the failed route's intermediate buildings are excluded
+    /// and the route is re-planned around them (paper §1's security
+    /// requirement — find a path that avoids bad regions when one
+    /// exists). Returns every attempt's receipt; the last one tells
+    /// whether the message ultimately arrived.
+    pub fn send_with_retry(
+        &mut self,
+        from_building: u32,
+        to: &PostboxAddress,
+        body: &[u8],
+        max_attempts: usize,
+    ) -> Vec<SendReceipt> {
+        assert!(max_attempts >= 1, "at least one attempt");
+        let mut blocked: HashSet<u32> = HashSet::new();
+        let mut receipts = Vec::new();
+        for _ in 0..max_attempts {
+            let msg_id = split_seed(self.exp.config().seed, 0x4D59 ^ self.next_msg_id);
+            self.next_msg_id += 1;
+            let mut receipt = SendReceipt {
+                msg_id,
+                route_found: false,
+                delivered: false,
+                broadcasts: 0,
+                latency: None,
+                route_bits: 0,
+                waypoints: 0,
+            };
+            let Ok(route) = plan_route_avoiding(
+                self.exp.building_graph(),
+                from_building,
+                to.building_id,
+                &blocked,
+            ) else {
+                receipts.push(receipt);
+                break; // no further detours exist
+            };
+            receipt.route_found = true;
+            let compressed = compress_route(
+                self.exp.building_graph(),
+                &route,
+                self.exp.config().conduit_width_m,
+            );
+            receipt.waypoints = compressed.len();
+            let header = CityMeshHeader::new(
+                msg_id,
+                self.exp.config().conduit_width_m,
+                compressed.waypoints,
+            );
+            receipt.route_bits = header.route_bits();
+            let Some(src_ap) = postbox_ap(self.exp.aps(), self.exp.map(), from_building) else {
+                receipts.push(receipt);
+                break;
+            };
+            let report = simulate_delivery(
+                self.exp.map(),
+                self.exp.ap_graph(),
+                &header,
+                src_ap,
+                DeliveryParams {
+                    scope: self.exp.config().scope,
+                    ..DeliveryParams::default()
+                },
+                &mut self.rng,
+            );
+            receipt.broadcasts = report.broadcasts;
+            receipt.latency = report.first_delivery;
+            if report.delivered {
+                let mut entropy = [0u8; 32];
+                use rand::RngCore;
+                self.rng.fill_bytes(&mut entropy);
+                if let Some(sealed) =
+                    SealedMessage::seal(to, entropy, &Self::aad(msg_id, to.building_id), body)
+                {
+                    let arrived = self.clock + report.first_delivery.unwrap_or(SimTime::ZERO);
+                    if let Some(pb) = self.postboxes.get_mut(&to.building_id) {
+                        if pb.deposit(to.node_id(), msg_id, sealed, arrived).is_ok() {
+                            receipt.delivered = true;
+                        }
+                    }
+                }
+                receipts.push(receipt);
+                break;
+            }
+            // Exclude this attempt's interior and try a detour.
+            for &b in &route[1..route.len().saturating_sub(1)] {
+                blocked.insert(b);
+            }
+            receipts.push(receipt);
+        }
+        self.clock += SimTime::from_secs_f64(1.0);
+        receipts
+    }
+
+    /// A user's device checks in at its postbox from `current_building`
+    /// and opens everything pending. Returns `(msg_id, plaintext)`
+    /// pairs; messages that fail authentication stay in the postbox.
+    pub fn check_mailbox(&mut self, user: &User, current_building: u32) -> Vec<(u64, Vec<u8>)> {
+        let Some(pb) = self.postboxes.get_mut(&user.postbox_building) else {
+            return Vec::new();
+        };
+        let dst = user.postbox_building;
+        match pb.retrieve_and_open(user.keypair(), current_building, |msg_id| {
+            Self::aad(msg_id, dst)
+        }) {
+            Ok((opened, _failed)) => opened,
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Where a push notification for `user` would be routed (their
+    /// last check-in building), if pushes are enabled.
+    pub fn push_target(&self, user: &User) -> Option<u32> {
+        self.postboxes
+            .get(&user.postbox_building)?
+            .push_target(&user.node_id())
+    }
+
+    /// Sends an *urgent* message: deliver to the postbox as usual,
+    /// then — if the recipient has pushes enabled — immediately
+    /// forward a push notification from the postbox toward their last
+    /// known building (paper §3 step 4: the postbox "may also
+    /// implement push notifications for the immediate forwarding of
+    /// urgent messages").
+    ///
+    /// Returns the deposit receipt plus, when a push was attempted,
+    /// the push's own receipt (a second mesh traversal, postbox →
+    /// last-known building).
+    pub fn send_urgent(
+        &mut self,
+        from_building: u32,
+        to: &PostboxAddress,
+        body: &[u8],
+    ) -> (SendReceipt, Option<SendReceipt>) {
+        let deposit = self.send_text(from_building, to, body);
+        if !deposit.delivered {
+            return (deposit, None);
+        }
+        let Some(target_building) = self
+            .postboxes
+            .get(&to.building_id)
+            .and_then(|pb| pb.push_target(&to.node_id()))
+        else {
+            return (deposit, None);
+        };
+        if target_building == to.building_id {
+            // The device last checked in at the postbox itself; the
+            // deposit already reached it.
+            return (deposit, None);
+        }
+
+        // The push travels postbox → device as its own CityMesh
+        // packet, kind PushNotify. Its payload is only the message ID
+        // (the device fetches the sealed body on its next check-in).
+        let msg_id = split_seed(self.exp.config().seed, 0x9054 ^ self.next_msg_id);
+        self.next_msg_id += 1;
+        let mut push = SendReceipt {
+            msg_id,
+            route_found: false,
+            delivered: false,
+            broadcasts: 0,
+            latency: None,
+            route_bits: 0,
+            waypoints: 0,
+        };
+        let Ok(route) = plan_route(self.exp.building_graph(), to.building_id, target_building)
+        else {
+            return (deposit, Some(push));
+        };
+        push.route_found = true;
+        let compressed = compress_route(
+            self.exp.building_graph(),
+            &route,
+            self.exp.config().conduit_width_m,
+        );
+        push.waypoints = compressed.len();
+        let mut header = CityMeshHeader::new(
+            msg_id,
+            self.exp.config().conduit_width_m,
+            compressed.waypoints,
+        );
+        header.kind = citymesh_net::MessageKind::PushNotify;
+        push.route_bits = header.route_bits();
+        let Some(src_ap) = postbox_ap(self.exp.aps(), self.exp.map(), to.building_id) else {
+            return (deposit, Some(push));
+        };
+        let report = simulate_delivery(
+            self.exp.map(),
+            self.exp.ap_graph(),
+            &header,
+            src_ap,
+            DeliveryParams {
+                scope: self.exp.config().scope,
+                ..DeliveryParams::default()
+            },
+            &mut self.rng,
+        );
+        push.delivered = report.delivered;
+        push.broadcasts = report.broadcasts;
+        push.latency = report.first_delivery;
+        (deposit, Some(push))
+    }
+
+    /// Messages currently stored across all postboxes.
+    pub fn stored_messages(&self) -> usize {
+        self.postboxes.values().map(Postbox::total_messages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citymesh_map::CityArchetype;
+
+    fn downtown_net() -> DfnNetwork {
+        let map = CityArchetype::SurveyDowntown.generate(42);
+        DfnNetwork::new(map, ExperimentConfig::default(), 42)
+    }
+
+    #[test]
+    fn alice_to_bob_round_trip() {
+        let mut net = downtown_net();
+        let bob = net.register_user([0xB0; 32], 10);
+        let receipt = net.send_text(200, &bob.address(), b"hello bob");
+        assert!(receipt.route_found);
+        assert!(receipt.delivered, "downtown delivery should succeed");
+        assert!(receipt.broadcasts > 0);
+        assert!(receipt.latency.is_some());
+        assert_eq!(net.stored_messages(), 1);
+
+        let inbox = net.check_mailbox(&bob, 10);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].1, b"hello bob");
+        assert_eq!(inbox[0].0, receipt.msg_id);
+        // Retrieval acknowledges.
+        assert_eq!(net.stored_messages(), 0);
+        assert!(net.check_mailbox(&bob, 10).is_empty());
+    }
+
+    #[test]
+    fn eve_cannot_read_bobs_mail() {
+        let mut net = downtown_net();
+        let bob = net.register_user([0xB0; 32], 10);
+        let eve_keys = Keypair::from_entropy([0xEE; 32]);
+        net.send_text(200, &bob.address(), b"secret");
+        // Eve registered at the same postbox building cannot open it.
+        let eve = User {
+            keypair: eve_keys,
+            postbox_building: 10,
+        };
+        let stolen = net.check_mailbox(&eve, 10);
+        assert!(stolen.is_empty());
+        // Bob still gets his mail.
+        assert_eq!(net.check_mailbox(&bob, 10).len(), 1);
+    }
+
+    #[test]
+    fn push_target_follows_checkins() {
+        let mut net = downtown_net();
+        let bob = net.register_user([0xB0; 32], 10);
+        assert_eq!(net.push_target(&bob), None);
+        net.check_mailbox(&bob, 55);
+        assert_eq!(net.push_target(&bob), Some(55));
+    }
+
+    #[test]
+    fn multiple_messages_preserve_order_and_ids() {
+        let mut net = downtown_net();
+        let bob = net.register_user([0xB0; 32], 10);
+        let r1 = net.send_text(200, &bob.address(), b"first");
+        let r2 = net.send_text(300, &bob.address(), b"second");
+        assert_ne!(r1.msg_id, r2.msg_id);
+        let inbox = net.check_mailbox(&bob, 10);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox[0].1, b"first");
+        assert_eq!(inbox[1].1, b"second");
+    }
+
+    #[test]
+    fn urgent_message_pushes_toward_last_known_building() {
+        let mut net = downtown_net();
+        let bob = net.register_user([0xB0; 32], 10);
+        // Bob last checked in across town with pushes enabled.
+        net.check_mailbox(&bob, 400);
+        let (deposit, push) = net.send_urgent(200, &bob.address(), b"URGENT: evacuate");
+        assert!(deposit.delivered);
+        let push = push.expect("push should be attempted");
+        assert!(push.route_found);
+        assert!(push.delivered, "downtown push should reach building 400");
+        assert_ne!(push.msg_id, deposit.msg_id);
+        // The sealed body still waits at the postbox.
+        assert_eq!(net.check_mailbox(&bob, 400).len(), 1);
+    }
+
+    #[test]
+    fn urgent_without_checkin_skips_push() {
+        let mut net = downtown_net();
+        let bob = net.register_user([0xB0; 32], 10);
+        let (deposit, push) = net.send_urgent(200, &bob.address(), b"hello?");
+        assert!(deposit.delivered);
+        assert!(push.is_none(), "no known location, no push");
+    }
+
+    #[test]
+    fn urgent_to_device_at_postbox_skips_push() {
+        let mut net = downtown_net();
+        let bob = net.register_user([0xB0; 32], 10);
+        net.check_mailbox(&bob, 10); // checked in at the postbox itself
+        let (deposit, push) = net.send_urgent(200, &bob.address(), b"here");
+        assert!(deposit.delivered);
+        assert!(push.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in map")]
+    fn registering_in_missing_building_panics() {
+        let mut net = downtown_net();
+        net.register_user([1; 32], u32::MAX);
+    }
+
+    #[test]
+    fn unregistered_recipient_not_delivered() {
+        let mut net = downtown_net();
+        // Bob never registered: a postbox may not even exist.
+        let ghost = PostboxAddress {
+            public_key: Keypair::from_entropy([5; 32]).public,
+            building_id: 10,
+        };
+        let receipt = net.send_text(200, &ghost, b"anyone there?");
+        assert!(!receipt.delivered);
+        assert_eq!(net.stored_messages(), 0);
+    }
+}

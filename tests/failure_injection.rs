@@ -1,0 +1,234 @@
+//! Failure injection: AP outages and compromised regions.
+//!
+//! DFNs exist for duress conditions, so the evaluation must cover
+//! degraded meshes: random AP loss (power outage patterns) and
+//! region-wide loss (a compromised or destroyed neighborhood). These
+//! tests exercise the paper's §1 security requirement — delivery
+//! should track what the surviving topology permits — and pin the
+//! monotone relationship between loss and deliverability.
+
+use citymesh::core::{
+    compress_route, plan_route, postbox_ap, simulate_delivery, Ap, ApGraph, BuildingGraph,
+    BuildingGraphParams, DeliveryParams,
+};
+use citymesh::net::CityMeshHeader;
+use citymesh::prelude::*;
+
+/// Rebuilds the AP graph with a deterministic `fraction` of APs
+/// removed (re-indexing ids), returning the survivors.
+fn knock_out(aps: &[Ap], fraction: f64, rng: &mut SimRng) -> Vec<Ap> {
+    let mut survivors: Vec<Ap> = aps
+        .iter()
+        .filter(|_| !rng.chance(fraction))
+        .copied()
+        .collect();
+    for (i, ap) in survivors.iter_mut().enumerate() {
+        ap.id = i as u32;
+    }
+    survivors
+}
+
+/// Removes every AP whose position falls inside a circular compromised
+/// region.
+fn knock_out_region(aps: &[Ap], center: Point, radius: f64) -> Vec<Ap> {
+    let mut survivors: Vec<Ap> = aps
+        .iter()
+        .filter(|a| a.pos.dist(center) > radius)
+        .copied()
+        .collect();
+    for (i, ap) in survivors.iter_mut().enumerate() {
+        ap.id = i as u32;
+    }
+    survivors
+}
+
+struct Scenario {
+    map: CityMap,
+    bg: BuildingGraph,
+    aps: Vec<Ap>,
+    src: u32,
+    dst: u32,
+}
+
+fn scenario() -> Scenario {
+    let map = CityArchetype::SurveyDowntown.generate(31);
+    let mut rng = SimRng::new(31);
+    let aps = citymesh::core::place_aps(&map, 150.0, &mut rng);
+    let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+    let src = map.nearest_building(Point::new(60.0, 60.0)).unwrap().id;
+    let dst = map.nearest_building(Point::new(700.0, 700.0)).unwrap().id;
+    Scenario {
+        map,
+        bg,
+        aps,
+        src,
+        dst,
+    }
+}
+
+/// Runs one delivery over a given AP subset; returns (delivered,
+/// broadcasts).
+fn deliver(s: &Scenario, aps: &[Ap], seed: u64) -> (bool, u64) {
+    let apg = ApGraph::build(aps, 50.0);
+    let Ok(route) = plan_route(&s.bg, s.src, s.dst) else {
+        return (false, 0);
+    };
+    let compressed = compress_route(&s.bg, &route, 50.0);
+    let header = CityMeshHeader::new(seed, 50.0, compressed.waypoints);
+    let Some(src_ap) = postbox_ap(aps, &s.map, s.src) else {
+        return (false, 0);
+    };
+    let mut rng = SimRng::new(seed);
+    let report = simulate_delivery(
+        &s.map,
+        &apg,
+        &header,
+        src_ap,
+        DeliveryParams::default(),
+        &mut rng,
+    );
+    (report.delivered, report.broadcasts)
+}
+
+#[test]
+fn healthy_mesh_delivers() {
+    let s = scenario();
+    let (delivered, broadcasts) = deliver(&s, &s.aps, 1);
+    assert!(delivered);
+    assert!(broadcasts > 0);
+}
+
+#[test]
+fn deliverability_degrades_monotonically_with_outage() {
+    let s = scenario();
+    // Delivery success rate over several seeds at increasing loss.
+    let rate_at = |loss: f64| -> f64 {
+        let mut ok = 0;
+        let trials = 8;
+        for seed in 0..trials {
+            let mut rng = SimRng::new(1000 + seed);
+            let survivors = knock_out(&s.aps, loss, &mut rng);
+            if deliver(&s, &survivors, seed).0 {
+                ok += 1;
+            }
+        }
+        ok as f64 / trials as f64
+    };
+    let healthy = rate_at(0.0);
+    let moderate = rate_at(0.4);
+    let severe = rate_at(0.9);
+    assert_eq!(healthy, 1.0, "no-loss runs must all deliver");
+    assert!(
+        moderate >= severe,
+        "40% loss ({moderate}) should deliver at least as often as 90% loss ({severe})"
+    );
+    assert!(
+        severe < 0.5,
+        "at 90% AP loss the conduit should usually break (got {severe})"
+    );
+}
+
+#[test]
+fn compromised_region_on_the_route_blocks_delivery() {
+    let s = scenario();
+    // The route is roughly the diagonal; destroy a disc over its
+    // midpoint. CityMesh's fixed conduit cannot route around it.
+    let mid = Point::new(380.0, 380.0);
+    let survivors = knock_out_region(&s.aps, mid, 150.0);
+    assert!(survivors.len() < s.aps.len());
+    let (delivered, _) = deliver(&s, &survivors, 3);
+    assert!(
+        !delivered,
+        "a destroyed region astride the conduit must break this route"
+    );
+}
+
+#[test]
+fn compromised_region_off_the_route_is_harmless() {
+    let s = scenario();
+    // Destroy a corner far from the src→dst diagonal.
+    let corner = Point::new(700.0, 60.0);
+    let survivors = knock_out_region(&s.aps, corner, 120.0);
+    assert!(survivors.len() < s.aps.len());
+    let (delivered, _) = deliver(&s, &survivors, 4);
+    assert!(delivered, "losing an off-conduit corner must not matter");
+}
+
+#[test]
+fn detour_routing_recovers_from_a_destroyed_region() {
+    // The direct conduit dies when a disc astride it is destroyed; a
+    // sender that learns of the outage replans around the region
+    // (paper §1: find a path avoiding compromised nodes when one
+    // exists) and delivery succeeds over the surviving topology.
+    let s = scenario();
+    let mid = Point::new(380.0, 380.0);
+    let radius = 150.0;
+    let survivors = knock_out_region(&s.aps, mid, radius);
+    let apg = ApGraph::build(&survivors, 50.0);
+
+    // Direct attempt fails (same setup as the blocking test).
+    let direct_route = plan_route(&s.bg, s.src, s.dst).unwrap();
+    let direct = compress_route(&s.bg, &direct_route, 50.0);
+    let src_ap = postbox_ap(&survivors, &s.map, s.src).unwrap();
+    let mut rng = SimRng::new(77);
+    let direct_report = simulate_delivery(
+        &s.map,
+        &apg,
+        &CityMeshHeader::new(1, 50.0, direct.waypoints),
+        src_ap,
+        DeliveryParams::default(),
+        &mut rng,
+    );
+    assert!(!direct_report.delivered);
+
+    // Retry: exclude every building in the destroyed disc (the sender
+    // learned the outage region, e.g. from a failed-probe report).
+    let blocked: std::collections::HashSet<u32> = s
+        .map
+        .buildings()
+        .iter()
+        .filter(|b| b.centroid.dist(mid) <= radius + 30.0)
+        .map(|b| b.id)
+        .collect();
+    let detour_route = citymesh::core::plan_route_avoiding(&s.bg, s.src, s.dst, &blocked)
+        .expect("a detour exists around the disc");
+    assert!(
+        detour_route.iter().all(|b| !blocked.contains(b)),
+        "detour must avoid the destroyed region"
+    );
+    let detour = compress_route(&s.bg, &detour_route, 50.0);
+    let detour_report = simulate_delivery(
+        &s.map,
+        &apg,
+        &CityMeshHeader::new(2, 50.0, detour.waypoints),
+        src_ap,
+        DeliveryParams::default(),
+        &mut rng,
+    );
+    assert!(
+        detour_report.delivered,
+        "the detour conduit must deliver over the surviving topology"
+    );
+}
+
+#[test]
+fn send_with_retry_in_healthy_network_succeeds_first_attempt() {
+    let map = CityArchetype::SurveyDowntown.generate(41);
+    let mut net = citymesh::DfnNetwork::new(map, citymesh::core::ExperimentConfig::default(), 41);
+    let bob = net.register_user([0xB0; 32], 10);
+    let receipts = net.send_with_retry(300, &bob.address(), b"retry me", 3);
+    assert_eq!(receipts.len(), 1, "healthy network needs one attempt");
+    assert!(receipts[0].delivered);
+    assert_eq!(net.check_mailbox(&bob, 10).len(), 1);
+}
+
+#[test]
+fn reachability_tracks_outage_in_ground_truth() {
+    let s = scenario();
+    let full = ApGraph::build(&s.aps, 50.0);
+    let mut rng = SimRng::new(5);
+    let half = knock_out(&s.aps, 0.5, &mut rng);
+    let degraded = ApGraph::build(&half, 50.0);
+    assert!(degraded.mean_degree() < full.mean_degree());
+    assert!(degraded.num_components() >= full.num_components());
+}
