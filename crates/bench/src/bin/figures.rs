@@ -7,12 +7,17 @@
 //! ```
 //!
 //! Artifacts: `table1 fig1a fig1b fig2 fig5 fig6 fig7 headers scaling
-//! ablations`. Text goes to stdout; SVGs are written to `figures/`.
+//! ablations fleet`. Text goes to stdout; SVGs are written to
+//! `figures/`; the fleet sweep writes `BENCH_fleet.json`.
+//!
+//! The `fleet` artifact takes value flags: `--flows N` runs one flow
+//! count instead of the default 1k/10k/100k sweep, `--workers N` one
+//! worker count instead of 1/4/8.
 
 use std::fs;
 use std::path::Path;
 
-use citymesh_bench::{ablation, eval_figs, render, scaling, survey_figs, text};
+use citymesh_bench::{ablation, eval_figs, fleet_figs, render, scaling, survey_figs, text};
 use citymesh_core::{
     compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
     BuildingGraphParams, DeliveryParams,
@@ -38,8 +43,23 @@ impl Opts {
     }
 }
 
+/// Removes `name <value>` from `args` and returns the parsed value.
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<usize> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        args.remove(i);
+        return None;
+    }
+    let v = args.remove(i + 1).parse().ok();
+    args.remove(i);
+    v
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let flows_override = take_value(&mut args, "--flows");
+    let workers_override = take_value(&mut args, "--workers");
+    let args = args;
     let fast = args.iter().any(|a| a == "--fast");
     let json = args.iter().any(|a| a == "--json");
     let opts = Opts { fast };
@@ -438,6 +458,62 @@ fn main() {
                 ]
             )
         );
+    }
+
+    if want("fleet") {
+        let flow_counts: Vec<usize> = match flows_override {
+            Some(n) => vec![n],
+            None if opts.fast => vec![500, 2_000],
+            None => vec![1_000, 10_000, 100_000],
+        };
+        let worker_counts: Vec<usize> = match workers_override {
+            Some(w) => vec![w.max(1)],
+            None => vec![1, 4, 8],
+        };
+        eprintln!(
+            "[running the fleet heavy-traffic sweep: flows {flow_counts:?} × workers {worker_counts:?}…]"
+        );
+        let figs = fleet_figs::run_fleet_figs(SEED, &flow_counts, &worker_counts);
+        println!(
+            "== fleet: heavy-traffic throughput ({}, {} buildings, {} workload) ==",
+            figs.city, figs.buildings, figs.model
+        );
+        let rows: Vec<Vec<String>> = figs
+            .runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.flows.to_string(),
+                    r.workers.to_string(),
+                    format!("{:.0}", r.report.flows_per_sec()),
+                    format!("{:.1}%", r.report.delivery_rate() * 100.0),
+                    format!(
+                        "{:.0}%",
+                        100.0 * r.report.cache_hits as f64
+                            / (r.report.cache_hits + r.report.cache_misses).max(1) as f64
+                    ),
+                    format!("{:016x}", r.report.digest()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text::table(
+                &[
+                    "flows",
+                    "workers",
+                    "flows/s",
+                    "delivered",
+                    "cache hits",
+                    "digest"
+                ],
+                &rows
+            )
+        );
+        println!("all worker counts agree on every digest: parallel == serial, bit for bit\n");
+        fs::write("BENCH_fleet.json", fleet_figs::to_json(&figs).render())
+            .expect("write BENCH_fleet.json");
+        println!("wrote BENCH_fleet.json\n");
     }
 }
 

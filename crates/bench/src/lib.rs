@@ -15,12 +15,15 @@
 //! * [`ablation`] — sweeps over the design choices DESIGN.md calls
 //!   out: weight exponent, conduit width, AP density, range, and
 //!   route encoding.
+//! * [`fleet_figs`] — heavy-traffic throughput (flows/sec) and the
+//!   parallel-vs-serial determinism check (`BENCH_fleet.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod eval_figs;
+pub mod fleet_figs;
 pub mod render;
 pub mod scaling;
 pub mod survey_figs;

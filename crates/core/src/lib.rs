@@ -54,7 +54,7 @@ pub use apgraph::ApGraph;
 pub use bridge::{apply_bridges, extend_placement, plan_bridges, Bridge, BridgePlan};
 pub use buildgraph::{BuildingGraph, BuildingGraphParams};
 pub use conduit::{compress_route, reconstruct_conduits, within_conduits, CompressedRoute};
-pub use pipeline::{CityExperiment, CityResult, ExperimentConfig, PairOutcome};
+pub use pipeline::{CityExperiment, CityResult, ExperimentConfig, PairOutcome, PlannedFlow};
 pub use placement::{place_aps, postbox_ap, Ap};
 pub use postbox::{Postbox, PostboxError, StoredMessage};
 pub use route::{plan_route, plan_route_avoiding, RouteError};

@@ -67,6 +67,41 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// The deterministic, RNG-free part of one src→dst flow: the planned
+/// route, its compressed waypoints, the header size, and the source
+/// AP. Planning is a pure function of the prepared world, so a
+/// `PlannedFlow` can be computed once and reused for every flow with
+/// the same endpoints — this is what the fleet engine's shared route
+/// cache stores.
+#[derive(Clone, Debug)]
+pub struct PlannedFlow {
+    /// Source building.
+    pub src: u32,
+    /// Destination building.
+    pub dst: u32,
+    /// Ground truth: are the buildings connected through the AP graph?
+    pub reachable: bool,
+    /// Number of buildings on the planned route (0 when none).
+    pub route_len: usize,
+    /// Compressed waypoint buildings (empty when no route).
+    pub waypoints: Vec<u32>,
+    /// Compressed source-route size in bits (0 when no route).
+    pub route_bits: usize,
+    /// The AP acting as the sender's uplink, when the source building
+    /// has one.
+    pub src_ap: Option<u32>,
+    /// Ideal-unicast hop count from `src_ap` (ground truth), when
+    /// reachable.
+    pub ideal_hops: Option<u64>,
+}
+
+impl PlannedFlow {
+    /// Whether planning produced a usable route.
+    pub fn route_found(&self) -> bool {
+        !self.waypoints.is_empty()
+    }
+}
+
 /// One src→dst delivery attempt, fully annotated.
 #[derive(Clone, Debug)]
 pub struct PairOutcome {
@@ -215,36 +250,67 @@ impl CityExperiment {
         self.apg.buildings_reachable(src, dst)
     }
 
-    /// Plans, compresses, simulates, and scores one pair.
-    pub fn run_pair(&self, src: u32, dst: u32, msg_id: u64, rng: &mut SimRng) -> PairOutcome {
-        let reachable = self.reachable(src, dst);
-        let mut outcome = PairOutcome {
+    /// The RNG-free planning half of a flow: route, compression,
+    /// header size, source AP, and ideal-hops ground truth.
+    ///
+    /// Pure in the prepared world, so results are safely shareable
+    /// across threads and cacheable by `(src, dst)`.
+    pub fn plan_flow(&self, src: u32, dst: u32) -> PlannedFlow {
+        let mut plan = PlannedFlow {
             src,
             dst,
-            reachable,
-            route_found: false,
+            reachable: self.reachable(src, dst),
             route_len: 0,
-            waypoints: 0,
+            waypoints: Vec::new(),
             route_bits: 0,
+            src_ap: None,
+            ideal_hops: None,
+        };
+        let Ok(route) = plan_route(&self.bg, src, dst) else {
+            return plan;
+        };
+        plan.route_len = route.len();
+        let compressed = compress_route(&self.bg, &route, self.config.conduit_width_m);
+        // Header size depends only on the waypoints and width; probe it
+        // with a placeholder message id (route bits exclude the id).
+        let header = CityMeshHeader::new(0, self.config.conduit_width_m, compressed.waypoints);
+        plan.route_bits = header.route_bits();
+        plan.src_ap = postbox_ap(&self.aps, &self.map, src);
+        if let Some(src_ap) = plan.src_ap {
+            plan.ideal_hops = self.apg.ideal_hops_to_building(src_ap, dst);
+        }
+        plan.waypoints = header.waypoints;
+        plan
+    }
+
+    /// The stochastic half of a flow: drives the event simulation over
+    /// an existing plan and scores the outcome.
+    ///
+    /// `run_pair` is `plan_flow` + `simulate_flow`; the fleet engine
+    /// calls them separately so hotspot destinations replan once.
+    pub fn simulate_flow(&self, plan: &PlannedFlow, msg_id: u64, rng: &mut SimRng) -> PairOutcome {
+        let mut outcome = PairOutcome {
+            src: plan.src,
+            dst: plan.dst,
+            reachable: plan.reachable,
+            route_found: plan.route_found(),
+            route_len: plan.route_len,
+            waypoints: plan.waypoints.len(),
+            route_bits: plan.route_bits,
             delivered: false,
             broadcasts: 0,
             latency: None,
-            ideal_hops: None,
+            ideal_hops: plan.ideal_hops,
             overhead: None,
         };
-        let Ok(route) = plan_route(&self.bg, src, dst) else {
+        if !plan.route_found() {
+            return outcome;
+        }
+        let Some(src_ap) = plan.src_ap else {
             return outcome;
         };
-        outcome.route_found = true;
-        outcome.route_len = route.len();
-        let compressed = compress_route(&self.bg, &route, self.config.conduit_width_m);
-        outcome.waypoints = compressed.len();
-        let header = CityMeshHeader::new(msg_id, self.config.conduit_width_m, compressed.waypoints);
-        outcome.route_bits = header.route_bits();
-
-        let Some(src_ap) = postbox_ap(&self.aps, &self.map, src) else {
-            return outcome;
-        };
+        let header =
+            CityMeshHeader::new(msg_id, self.config.conduit_width_m, plan.waypoints.clone());
         let report: DeliveryReport = simulate_delivery(
             &self.map,
             &self.apg,
@@ -260,9 +326,14 @@ impl CityExperiment {
         outcome.delivered = report.delivered;
         outcome.broadcasts = report.broadcasts;
         outcome.latency = report.first_delivery;
-        outcome.ideal_hops = self.apg.ideal_hops_to_building(src_ap, dst);
         outcome.overhead = report.overhead(outcome.ideal_hops);
         outcome
+    }
+
+    /// Plans, compresses, simulates, and scores one pair.
+    pub fn run_pair(&self, src: u32, dst: u32, msg_id: u64, rng: &mut SimRng) -> PairOutcome {
+        let plan = self.plan_flow(src, dst);
+        self.simulate_flow(&plan, msg_id, rng)
     }
 
     /// The full §4 evaluation for this city.

@@ -1,0 +1,177 @@
+//! Sharded concurrent route cache.
+//!
+//! Route planning (Dijkstra + conduit compression) dominates per-flow
+//! cost, yet is a pure function of the `(src, dst)` pair — hotspot
+//! workloads repeat pairs constantly. [`RouteCache`] memoizes
+//! [`PlannedFlow`]s behind `parking_lot::RwLock`-guarded shards so
+//! concurrent workers mostly take uncontended read locks, and two
+//! workers racing to plan the same missing pair both succeed (last
+//! write wins — the value is identical by purity, so the race is
+//! benign and determinism is unaffected).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use citymesh_core::PlannedFlow;
+use parking_lot::RwLock;
+
+/// Number of independently locked shards. A small power of two:
+/// enough to keep a handful of workers off each other's locks,
+/// cheap enough to be irrelevant at one.
+const SHARDS: usize = 16;
+
+/// One shard: a plain map behind its own lock.
+type Shard = RwLock<HashMap<(u32, u32), Arc<PlannedFlow>>>;
+
+/// A concurrent `(src, dst) → Arc<PlannedFlow>` map.
+pub struct RouteCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouteCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RouteCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: (u32, u32)) -> &Shard {
+        // SplitMix-style scramble of the pair; low bits pick the shard.
+        let mut z = (((key.0 as u64) << 32) | key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 29;
+        &self.shards[(z as usize) % SHARDS]
+    }
+
+    /// Returns the plan for `(src, dst)`, computing it with `plan` on
+    /// a miss. The planner runs *outside* any lock, so a slow Dijkstra
+    /// never blocks readers of the same shard.
+    pub fn get_or_plan(
+        &self,
+        src: u32,
+        dst: u32,
+        plan: impl FnOnce() -> PlannedFlow,
+    ) -> Arc<PlannedFlow> {
+        let shard = self.shard((src, dst));
+        if let Some(found) = shard.read().get(&(src, dst)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let planned = Arc::new(plan());
+        let mut guard = shard.write();
+        // A racing worker may have inserted meanwhile; keep whichever
+        // is present so all callers share one allocation.
+        Arc::clone(
+            guard
+                .entry((src, dst))
+                .or_insert_with(|| Arc::clone(&planned)),
+        )
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= distinct pairs planned, absent races).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_plan(src: u32, dst: u32) -> PlannedFlow {
+        PlannedFlow {
+            src,
+            dst,
+            reachable: true,
+            route_len: 2,
+            waypoints: vec![src, dst],
+            route_bits: 64,
+            src_ap: None,
+            ideal_hops: None,
+        }
+    }
+
+    #[test]
+    fn caches_and_counts() {
+        let cache = RouteCache::new();
+        let mut planned = 0;
+        for _ in 0..3 {
+            let p = cache.get_or_plan(1, 2, || {
+                planned += 1;
+                dummy_plan(1, 2)
+            });
+            assert_eq!((p.src, p.dst), (1, 2));
+        }
+        assert_eq!(planned, 1, "planner must run once per pair");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_entries() {
+        let cache = RouteCache::new();
+        for src in 0..20u32 {
+            for dst in 0..20u32 {
+                if src != dst {
+                    cache.get_or_plan(src, dst, || dummy_plan(src, dst));
+                }
+            }
+        }
+        assert_eq!(cache.len(), 20 * 19);
+        assert_eq!(cache.misses(), 20 * 19);
+        // Directionality matters: (a, b) and (b, a) are separate.
+        let p = cache.get_or_plan(3, 4, || unreachable!("must be cached"));
+        assert_eq!((p.src, p.dst), (3, 4));
+    }
+
+    #[test]
+    fn concurrent_access_shares_one_allocation() {
+        let cache = Arc::new(RouteCache::new());
+        let ptrs: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    s.spawn(move || {
+                        let p = cache.get_or_plan(7, 9, || dummy_plan(7, 9));
+                        Arc::as_ptr(&p) as usize
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            ptrs.windows(2).all(|w| w[0] == w[1]),
+            "all threads must share the winning insertion"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,436 @@
+//! The parallel flow-execution engine.
+//!
+//! [`run_fleet`] drives a generated workload through a prepared
+//! [`CityExperiment`] on a pool of worker threads and aggregates the
+//! outcomes into a [`FleetReport`]. The headline property is
+//! **schedule-independent determinism**: for a fixed world and root
+//! seed, the aggregate report (histograms, counters, digest) is
+//! byte-identical whether the flows run on 1 worker or 8, in any
+//! interleaving. Three mechanisms deliver it:
+//!
+//! 1. every flow's stochastic choices come from its own RNG
+//!    sub-stream, `substream_seed(seed, DOMAIN_SIM, flow.id)` — no
+//!    shared RNG state to race on;
+//! 2. route planning is RNG-free and memoized in a shared
+//!    [`RouteCache`]; racing planners compute identical values, so
+//!    insertion order cannot matter;
+//! 3. workers only *record* `(flow id, outcome)`; aggregation happens
+//!    after the pool joins, folding outcomes in ascending flow-id
+//!    order so floating-point sums see one canonical operand order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use citymesh_core::{CityExperiment, PairOutcome};
+use citymesh_simcore::stats::Histogram;
+use citymesh_simcore::{substream_seed, SimRng};
+
+use crate::cache::RouteCache;
+use crate::workload::{FlowKind, FlowSpec};
+
+/// Sub-stream domain for per-flow delivery simulation randomness.
+const DOMAIN_SIM: u64 = 0x51D3;
+/// Sub-stream domain for per-flow message ids.
+const DOMAIN_MSG: u64 = 0x3564;
+
+/// How many flows a worker claims per counter increment. Large enough
+/// to amortize the atomic, small enough to balance tail stragglers.
+const CLAIM_CHUNK: usize = 32;
+
+/// Engine parameters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FleetConfig {
+    /// Worker threads. `0` means one per available CPU.
+    pub workers: usize,
+    /// Root seed for all simulation sub-streams (typically the same
+    /// seed the workload was generated from).
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// The effective worker count (resolves `0` to the CPU count).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Aggregated results of one fleet run.
+///
+/// Everything except the wall-clock fields ([`elapsed_secs`] and the
+/// cache counters, which depend on scheduling) is deterministic in
+/// `(world, workload, seed)` and covered by [`digest`].
+///
+/// [`elapsed_secs`]: FleetReport::elapsed_secs
+/// [`digest`]: FleetReport::digest
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Flows executed.
+    pub flows: u64,
+    /// Flows whose endpoints are reachable through the AP graph.
+    pub reachable: u64,
+    /// Flows for which the building graph produced a route.
+    pub route_found: u64,
+    /// Flows whose packet the event simulation delivered.
+    pub delivered: u64,
+    /// Flows that were postbox check-ins.
+    pub checkins: u64,
+    /// First-delivery latency, milliseconds (delivered flows).
+    pub latency_ms: Histogram,
+    /// Broadcast count per flow (delivered flows).
+    pub broadcasts: Histogram,
+    /// Ideal-unicast hop count (reachable flows with a source AP).
+    pub hops: Histogram,
+    /// Compressed source-route header size, bits (routed flows).
+    pub header_bits: Histogram,
+    /// Workload span: the last flow's arrival offset, ms.
+    pub span_ms: f64,
+    /// Wall-clock run time, seconds. **Not** covered by the digest.
+    pub elapsed_secs: f64,
+    /// Worker threads used. **Not** covered by the digest.
+    pub workers: usize,
+    /// Route-cache hits. **Not** covered by the digest (racing
+    /// planners may double-plan a pair).
+    pub cache_hits: u64,
+    /// Route-cache misses. **Not** covered by the digest.
+    pub cache_misses: u64,
+}
+
+impl FleetReport {
+    fn new() -> Self {
+        FleetReport {
+            flows: 0,
+            reachable: 0,
+            route_found: 0,
+            delivered: 0,
+            checkins: 0,
+            // Latencies in ms: 10 µs floor, ~10 % resolution.
+            latency_ms: Histogram::new(1e-2, 1.1),
+            broadcasts: Histogram::new(1.0, 1.2),
+            hops: Histogram::new(1.0, 1.2),
+            header_bits: Histogram::new(8.0, 1.1),
+            span_ms: 0.0,
+            elapsed_secs: 0.0,
+            workers: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Folds one flow's outcome in. Must be called in ascending
+    /// flow-id order to keep floating-point accumulation canonical.
+    fn absorb(&mut self, spec: &FlowSpec, outcome: &PairOutcome) {
+        self.flows += 1;
+        if spec.kind == FlowKind::PostboxCheckin {
+            self.checkins += 1;
+        }
+        if outcome.reachable {
+            self.reachable += 1;
+        }
+        if outcome.route_found {
+            self.route_found += 1;
+            self.header_bits.record(outcome.route_bits as f64);
+        }
+        if let Some(h) = outcome.ideal_hops {
+            self.hops.record(h as f64);
+        }
+        if outcome.delivered {
+            self.delivered += 1;
+            self.broadcasts.record(outcome.broadcasts as f64);
+            if let Some(t) = outcome.latency {
+                self.latency_ms.record(t.as_millis_f64());
+            }
+        }
+        self.span_ms = self.span_ms.max(spec.arrival_ms);
+    }
+
+    /// Delivered fraction over all flows.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.flows == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.flows as f64
+    }
+
+    /// Flows executed per wall-clock second.
+    pub fn flows_per_sec(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.flows as f64 / self.elapsed_secs
+    }
+
+    /// A 64-bit digest over every deterministic field: the counters,
+    /// the span, and the full state of all four histograms. Equal
+    /// digests ⇒ byte-identical aggregate results; the engine's
+    /// "N workers == serial" invariant is checked by comparing these.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.flows);
+        mix(self.reachable);
+        mix(self.route_found);
+        mix(self.delivered);
+        mix(self.checkins);
+        mix(self.span_ms.to_bits());
+        mix(self.latency_ms.fingerprint());
+        mix(self.broadcasts.fingerprint());
+        mix(self.hops.fingerprint());
+        mix(self.header_bits.fingerprint());
+        h
+    }
+}
+
+/// Executes `flows` against `exp` on a worker pool and aggregates.
+///
+/// Workers claim chunks of the flow vector from an atomic cursor,
+/// plan through the shared route cache, simulate with per-flow RNG
+/// sub-streams, and stash `(id, outcome)` records locally. After the
+/// pool joins, records are merged and folded in flow-id order.
+///
+/// # Panics
+/// Panics when a worker thread panics (the underlying simulation
+/// asserted), propagating the failure rather than reporting a
+/// truncated aggregate.
+pub fn run_fleet(exp: &CityExperiment, flows: &[FlowSpec], cfg: &FleetConfig) -> FleetReport {
+    let workers = cfg.effective_workers().max(1);
+    let cache = RouteCache::new();
+    let started = Instant::now();
+
+    let records: Vec<Vec<(u64, PairOutcome)>> = if workers == 1 {
+        // Serial reference path: no threads, same per-flow code.
+        vec![execute_range(
+            exp,
+            flows,
+            cfg.seed,
+            &cache,
+            &AtomicUsize::new(0),
+        )]
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Vec<(u64, PairOutcome)>> = Vec::new();
+        slots.resize_with(workers, Vec::new);
+        crossbeam::thread::scope(|s| {
+            for slot in slots.iter_mut() {
+                let (cache, cursor) = (&cache, &cursor);
+                s.spawn(move |_| {
+                    *slot = execute_range(exp, flows, cfg.seed, cache, cursor);
+                });
+            }
+        })
+        .expect("fleet worker panicked");
+        slots
+    };
+
+    // Deterministic merge: flatten, order by flow id, fold serially.
+    let mut merged: Vec<(u64, PairOutcome)> = records.into_iter().flatten().collect();
+    merged.sort_unstable_by_key(|(id, _)| *id);
+
+    let mut report = FleetReport::new();
+    for (id, outcome) in &merged {
+        report.absorb(&flows[*id as usize], outcome);
+    }
+    report.elapsed_secs = started.elapsed().as_secs_f64();
+    report.workers = workers;
+    report.cache_hits = cache.hits();
+    report.cache_misses = cache.misses();
+    report
+}
+
+/// One worker's loop: claim chunks until the cursor passes the end.
+fn execute_range(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    seed: u64,
+    cache: &RouteCache,
+    cursor: &AtomicUsize,
+) -> Vec<(u64, PairOutcome)> {
+    let mut out = Vec::new();
+    loop {
+        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+        if start >= flows.len() {
+            return out;
+        }
+        let end = (start + CLAIM_CHUNK).min(flows.len());
+        for flow in &flows[start..end] {
+            let plan = cache.get_or_plan(flow.src, flow.dst, || exp.plan_flow(flow.src, flow.dst));
+            let msg_id = substream_seed(seed, DOMAIN_MSG, flow.id);
+            let mut rng = SimRng::new(substream_seed(seed, DOMAIN_SIM, flow.id));
+            out.push((flow.id, exp.simulate_flow(&plan, msg_id, &mut rng)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_flows, FlowModel, WorkloadConfig};
+    use citymesh_core::ExperimentConfig;
+    use citymesh_map::CityArchetype;
+
+    fn world(seed: u64) -> CityExperiment {
+        let map = CityArchetype::SurveyDowntown.generate(seed);
+        CityExperiment::prepare(
+            map,
+            ExperimentConfig {
+                seed,
+                ..ExperimentConfig::default()
+            },
+        )
+    }
+
+    fn workload(exp: &CityExperiment, flows: usize, seed: u64) -> Vec<FlowSpec> {
+        generate_flows(
+            exp.map().len(),
+            &WorkloadConfig {
+                flows,
+                model: FlowModel::Hotspot {
+                    hotspots: 6,
+                    exponent: 1.2,
+                    rate_hz: 200.0,
+                },
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let exp = world(1);
+        let flows = workload(&exp, 120, 1);
+        let serial = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 1,
+                seed: 1,
+            },
+        );
+        let parallel = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 4,
+                seed: 1,
+            },
+        );
+        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(serial.flows, 120);
+        assert_eq!(serial.delivered, parallel.delivered);
+        assert_eq!(
+            serial.latency_ms.fingerprint(),
+            parallel.latency_ms.fingerprint()
+        );
+    }
+
+    #[test]
+    fn different_seed_changes_digest() {
+        let exp = world(2);
+        let flows = workload(&exp, 60, 2);
+        let a = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 2,
+            },
+        );
+        let b = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 3,
+            },
+        );
+        assert_ne!(
+            a.digest(),
+            b.digest(),
+            "simulation seed must reach the outcomes"
+        );
+    }
+
+    #[test]
+    fn report_counters_are_coherent() {
+        let exp = world(3);
+        let flows = workload(&exp, 100, 3);
+        let r = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 3,
+            },
+        );
+        assert_eq!(r.flows, 100);
+        assert!(r.delivered <= r.route_found);
+        assert!(r.route_found <= r.flows);
+        assert!(r.reachable <= r.flows);
+        assert!(r.delivered > 0, "downtown should deliver something");
+        assert_eq!(r.broadcasts.len(), r.delivered);
+        assert_eq!(r.header_bits.len(), r.route_found);
+        assert!(r.delivery_rate() > 0.0 && r.delivery_rate() <= 1.0);
+        assert!(r.span_ms > 0.0);
+        assert!(r.elapsed_secs > 0.0 && r.flows_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn repeated_pairs_hit_the_route_cache() {
+        let exp = world(4);
+        // 200 flows cycling through 10 distinct pairs: the cache must
+        // plan each pair once and serve the rest as hits.
+        let flows: Vec<FlowSpec> = (0..200u64)
+            .map(|id| FlowSpec {
+                id,
+                src: (id % 10) as u32,
+                dst: 10 + (id % 10) as u32,
+                kind: crate::workload::FlowKind::Data,
+                arrival_ms: id as f64,
+            })
+            .collect();
+        let r = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 4,
+            },
+        );
+        assert_eq!(r.cache_hits + r.cache_misses, 200);
+        assert!(
+            r.cache_misses <= 10 * 2,
+            "at most one plan per pair (plus benign races): {} misses",
+            r.cache_misses
+        );
+        assert!(r.cache_hits >= 180, "{} hits", r.cache_hits);
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_available_parallelism() {
+        let cfg = FleetConfig::default();
+        assert!(cfg.effective_workers() >= 1);
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_report() {
+        let exp = world(5);
+        let r = run_fleet(
+            &exp,
+            &[],
+            &FleetConfig {
+                workers: 3,
+                seed: 5,
+            },
+        );
+        assert_eq!(r.flows, 0);
+        assert_eq!(r.delivery_rate(), 0.0);
+        assert!(r.latency_ms.is_empty());
+    }
+}

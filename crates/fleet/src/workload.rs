@@ -1,0 +1,376 @@
+//! Traffic workload models: who sends to whom, and when.
+//!
+//! A workload turns `(root seed, flow count, model)` into a vector of
+//! [`FlowSpec`]s. Every per-flow random decision draws from that
+//! flow's own SplitMix64 sub-stream
+//! ([`citymesh_simcore::substream_seed`]), so the spec of flow `i` is
+//! a pure function of `(seed, i)` — generating 10 flows or 10 million
+//! yields the same first 10, and generation could itself be sharded
+//! across workers without changing a single spec.
+
+use citymesh_simcore::{substream_seed, SimRng};
+
+/// Sub-stream domain for per-flow endpoint sampling.
+pub(crate) const DOMAIN_FLOW: u64 = 0xF10A;
+/// Sub-stream domain for workload-level structure (hotspot placement).
+pub(crate) const DOMAIN_STRUCTURE: u64 = 0x57C7;
+/// Sub-stream domain for per-flow arrival jitter.
+pub(crate) const DOMAIN_ARRIVAL: u64 = 0xA441;
+
+/// What a flow asks of the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowKind {
+    /// A sealed application message routed src → dst.
+    Data,
+    /// A postbox check-in: the recipient's device polls its postbox
+    /// building (routed like data, counted separately).
+    PostboxCheckin,
+}
+
+/// One generated flow: endpoints, kind, and arrival time.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Dense flow id, `0..flows`; also the sub-stream index.
+    pub id: u64,
+    /// Source building.
+    pub src: u32,
+    /// Destination building.
+    pub dst: u32,
+    /// What the flow is.
+    pub kind: FlowKind,
+    /// Arrival offset from the start of the run, milliseconds.
+    pub arrival_ms: f64,
+}
+
+/// How destinations (and arrivals) are distributed.
+#[derive(Clone, Copy, Debug)]
+pub enum FlowModel {
+    /// Independent uniform src/dst pairs, Poisson arrivals at `rate_hz`.
+    UniformPairs {
+        /// Mean flow arrival rate, flows per second.
+        rate_hz: f64,
+    },
+    /// Zipf-skewed destinations over a set of hotspot buildings
+    /// (sources uniform) — the "everyone messages the shelter /
+    /// hospital / city hall" disaster pattern.
+    Hotspot {
+        /// Number of hotspot destination buildings.
+        hotspots: usize,
+        /// Zipf exponent (1.0 ≈ classic web skew; larger = sharper).
+        exponent: f64,
+        /// Mean flow arrival rate, flows per second.
+        rate_hz: f64,
+    },
+    /// Poisson bursts: batches arrive as a Poisson process and every
+    /// flow in a batch shares one arrival instant (aftershock spikes,
+    /// push-notification fan-outs).
+    PoissonBatches {
+        /// Mean flows per batch.
+        mean_batch: f64,
+        /// Mean batch arrival rate, batches per second.
+        rate_hz: f64,
+    },
+    /// A postbox-heavy mix: `checkin_fraction` of flows are
+    /// [`FlowKind::PostboxCheckin`] polls, the rest data.
+    PostboxMix {
+        /// Fraction of flows that are check-ins, clamped to [0, 1].
+        checkin_fraction: f64,
+        /// Mean flow arrival rate, flows per second.
+        rate_hz: f64,
+    },
+}
+
+impl FlowModel {
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowModel::UniformPairs { .. } => "uniform",
+            FlowModel::Hotspot { .. } => "hotspot",
+            FlowModel::PoissonBatches { .. } => "poisson-batches",
+            FlowModel::PostboxMix { .. } => "postbox-mix",
+        }
+    }
+}
+
+/// A complete workload description.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Number of flows to generate.
+    pub flows: usize,
+    /// The traffic model.
+    pub model: FlowModel,
+    /// Root seed; all workload randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            flows: 1000,
+            model: FlowModel::UniformPairs { rate_hz: 100.0 },
+            seed: 0,
+        }
+    }
+}
+
+/// Generates the flow set for a city of `buildings` buildings.
+///
+/// # Panics
+/// Panics when `buildings < 2` — no distinct src/dst pair exists.
+pub fn generate_flows(buildings: usize, cfg: &WorkloadConfig) -> Vec<FlowSpec> {
+    assert!(buildings >= 2, "need at least two buildings for traffic");
+    let b = buildings as u64;
+
+    // Workload-level structure comes from its own sub-stream so that
+    // changing the flow count never moves the hotspots.
+    let hotspot_set: Vec<u32> = match cfg.model {
+        FlowModel::Hotspot { hotspots, .. } => {
+            let mut rng = SimRng::new(substream_seed(cfg.seed, DOMAIN_STRUCTURE, 0));
+            let k = hotspots.clamp(1, buildings);
+            rng.sample_indices(buildings, k)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    // Zipf inverse-CDF table over hotspot ranks: cumulative[k] ∝
+    // Σ_{j≤k} 1/(j+1)^s.
+    let zipf_cdf: Vec<f64> = match cfg.model {
+        FlowModel::Hotspot { exponent, .. } => {
+            let mut acc = 0.0;
+            let mut cdf: Vec<f64> = hotspot_set
+                .iter()
+                .enumerate()
+                .map(|(rank, _)| {
+                    acc += 1.0 / ((rank + 1) as f64).powf(exponent);
+                    acc
+                })
+                .collect();
+            for v in &mut cdf {
+                *v /= acc;
+            }
+            cdf
+        }
+        _ => Vec::new(),
+    };
+
+    // Arrivals: a Poisson process is a running sum of exponential
+    // gaps, so it is inherently sequential. Computing the gap of flow
+    // i from sub-stream i keeps every flow's *contribution*
+    // id-addressed; the prefix sum below is the only sequential step
+    // and costs one add per flow.
+    let mut arrivals = Vec::with_capacity(cfg.flows);
+    match cfg.model {
+        FlowModel::PoissonBatches {
+            mean_batch,
+            rate_hz,
+        } => {
+            let mean_batch = mean_batch.max(1.0);
+            let rate = rate_hz.max(1e-9);
+            let mut t = 0.0_f64;
+            let mut batch_idx = 0u64;
+            while arrivals.len() < cfg.flows {
+                let mut rng = SimRng::new(substream_seed(cfg.seed, DOMAIN_ARRIVAL, batch_idx));
+                batch_idx += 1;
+                t += -(1.0 - rng.uniform()).ln() / rate;
+                // Uniform batch size over [1, 2·mean] — mean ≈ mean_batch.
+                let size = 1 + rng.below(((2.0 * mean_batch) as u64).max(1)) as usize;
+                for _ in 0..size {
+                    if arrivals.len() == cfg.flows {
+                        break;
+                    }
+                    arrivals.push(t * 1e3);
+                }
+            }
+        }
+        FlowModel::UniformPairs { rate_hz }
+        | FlowModel::Hotspot { rate_hz, .. }
+        | FlowModel::PostboxMix { rate_hz, .. } => {
+            let rate = rate_hz.max(1e-9);
+            let mut t = 0.0_f64;
+            for id in 0..cfg.flows as u64 {
+                let mut rng = SimRng::new(substream_seed(cfg.seed, DOMAIN_ARRIVAL, id));
+                t += -(1.0 - rng.uniform()).ln() / rate;
+                arrivals.push(t * 1e3);
+            }
+        }
+    }
+
+    (0..cfg.flows as u64)
+        .map(|id| {
+            let mut rng = SimRng::new(substream_seed(cfg.seed, DOMAIN_FLOW, id));
+            let src = rng.below(b) as u32;
+            let (dst, kind) = match cfg.model {
+                FlowModel::UniformPairs { .. } | FlowModel::PoissonBatches { .. } => {
+                    (distinct_dst(&mut rng, b, src), FlowKind::Data)
+                }
+                FlowModel::Hotspot { .. } => {
+                    let u = rng.uniform();
+                    let rank = zipf_cdf.partition_point(|&c| c < u).min(zipf_cdf.len() - 1);
+                    let mut dst = hotspot_set[rank];
+                    if dst == src {
+                        dst = distinct_dst(&mut rng, b, src);
+                    }
+                    (dst, FlowKind::Data)
+                }
+                FlowModel::PostboxMix {
+                    checkin_fraction, ..
+                } => {
+                    let kind = if rng.chance(checkin_fraction) {
+                        FlowKind::PostboxCheckin
+                    } else {
+                        FlowKind::Data
+                    };
+                    (distinct_dst(&mut rng, b, src), kind)
+                }
+            };
+            FlowSpec {
+                id,
+                src,
+                dst,
+                kind,
+                arrival_ms: arrivals[id as usize],
+            }
+        })
+        .collect()
+}
+
+/// Uniform destination ≠ `src`.
+fn distinct_dst(rng: &mut SimRng, buildings: u64, src: u32) -> u32 {
+    // Sample from the b−1 non-src buildings and shift over the gap:
+    // branch-free distinctness without rejection.
+    let d = rng.below(buildings - 1) as u32;
+    if d >= src {
+        d + 1
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(model: FlowModel, flows: usize, seed: u64) -> WorkloadConfig {
+        WorkloadConfig { flows, model, seed }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_prefix_stable() {
+        let model = FlowModel::Hotspot {
+            hotspots: 8,
+            exponent: 1.2,
+            rate_hz: 50.0,
+        };
+        let a = generate_flows(500, &cfg(model, 100, 9));
+        let b = generate_flows(500, &cfg(model, 100, 9));
+        let longer = generate_flows(500, &cfg(model, 400, 9));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.src, x.dst, x.kind), (y.src, y.dst, y.kind));
+            assert_eq!(x.arrival_ms, y.arrival_ms);
+        }
+        // The first 100 flows of a 400-flow workload are the same 100.
+        for (x, y) in a.iter().zip(&longer) {
+            assert_eq!((x.src, x.dst), (y.src, y.dst));
+        }
+    }
+
+    #[test]
+    fn src_and_dst_are_always_distinct_and_in_range() {
+        for model in [
+            FlowModel::UniformPairs { rate_hz: 10.0 },
+            FlowModel::Hotspot {
+                hotspots: 4,
+                exponent: 1.0,
+                rate_hz: 10.0,
+            },
+            FlowModel::PoissonBatches {
+                mean_batch: 5.0,
+                rate_hz: 2.0,
+            },
+            FlowModel::PostboxMix {
+                checkin_fraction: 0.5,
+                rate_hz: 10.0,
+            },
+        ] {
+            for f in generate_flows(37, &cfg(model, 300, 3)) {
+                assert_ne!(f.src, f.dst, "{model:?}");
+                assert!(f.src < 37 && f.dst < 37);
+                assert!(f.arrival_ms >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_skew_concentrates_destinations() {
+        let flows = generate_flows(
+            1000,
+            &cfg(
+                FlowModel::Hotspot {
+                    hotspots: 10,
+                    exponent: 1.5,
+                    rate_hz: 10.0,
+                },
+                2000,
+                4,
+            ),
+        );
+        let mut counts = std::collections::HashMap::new();
+        for f in &flows {
+            *counts.entry(f.dst).or_insert(0usize) += 1;
+        }
+        // ≤ 10 hotspots absorb everything (modulo src-collision shifts),
+        // and the hottest sees far more than a uniform share.
+        let max = *counts.values().max().unwrap();
+        assert!(
+            counts.len() <= 10 + 20,
+            "too many distinct destinations: {}",
+            counts.len()
+        );
+        assert!(max > 2000 / 10, "no skew: max={max}");
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing() {
+        for model in [
+            FlowModel::UniformPairs { rate_hz: 25.0 },
+            FlowModel::PoissonBatches {
+                mean_batch: 4.0,
+                rate_hz: 5.0,
+            },
+        ] {
+            let flows = generate_flows(50, &cfg(model, 500, 7));
+            for w in flows.windows(2) {
+                assert!(w[0].arrival_ms <= w[1].arrival_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn postbox_mix_fraction_is_respected() {
+        let flows = generate_flows(
+            100,
+            &cfg(
+                FlowModel::PostboxMix {
+                    checkin_fraction: 0.3,
+                    rate_hz: 10.0,
+                },
+                4000,
+                11,
+            ),
+        );
+        let checkins = flows
+            .iter()
+            .filter(|f| f.kind == FlowKind::PostboxCheckin)
+            .count();
+        let frac = checkins as f64 / flows.len() as f64;
+        assert!((frac - 0.3).abs() < 0.05, "checkin fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two buildings")]
+    fn rejects_degenerate_city() {
+        generate_flows(1, &WorkloadConfig::default());
+    }
+}

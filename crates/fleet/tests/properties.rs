@@ -1,0 +1,90 @@
+//! Property tests for the fleet engine's determinism machinery.
+
+use citymesh_fleet::{generate_flows, FlowModel, WorkloadConfig};
+use citymesh_simcore::substream_seed;
+use proptest::prelude::*;
+
+proptest! {
+    /// Distinct flow ids must never share an RNG sub-stream — a
+    /// collision would correlate two flows' randomness and make the
+    /// aggregate depend on which flows co-occur in a workload.
+    #[test]
+    fn substreams_never_collide_for_distinct_flow_ids(
+        root in any::<u64>(),
+        domain in any::<u64>(),
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+    ) {
+        if a != b {
+            prop_assert_ne!(
+                substream_seed(root, domain, a),
+                substream_seed(root, domain, b),
+            );
+        }
+    }
+
+    /// Sub-streams must also stay distinct across domains for the
+    /// same index (workload vs simulation vs message-id draws).
+    #[test]
+    fn substreams_never_collide_across_domains(
+        root in any::<u64>(),
+        index in any::<u64>(),
+        d1 in 0u64..10_000,
+        d2 in 0u64..10_000,
+    ) {
+        if d1 != d2 {
+            prop_assert_ne!(
+                substream_seed(root, d1, index),
+                substream_seed(root, d2, index),
+            );
+        }
+    }
+
+    /// Workload generation is a pure function of its config: same
+    /// `(seed, flows, model)` twice gives identical specs, and flow
+    /// `i` does not depend on how many flows follow it.
+    #[test]
+    fn workload_is_pure_and_prefix_stable(
+        seed in any::<u64>(),
+        flows in 1usize..60,
+        extra in 0usize..60,
+        buildings in 2usize..200,
+    ) {
+        let model = FlowModel::UniformPairs { rate_hz: 50.0 };
+        let short = generate_flows(buildings, &WorkloadConfig { flows, model, seed });
+        let long = generate_flows(
+            buildings,
+            &WorkloadConfig { flows: flows + extra, model, seed },
+        );
+        prop_assert_eq!(short.len(), flows);
+        for (a, b) in short.iter().zip(&long) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.src, b.src);
+            prop_assert_eq!(a.dst, b.dst);
+            prop_assert_eq!(a.arrival_ms, b.arrival_ms);
+        }
+    }
+
+    /// Every generated flow has valid, distinct endpoints.
+    #[test]
+    fn generated_endpoints_are_valid(
+        seed in any::<u64>(),
+        buildings in 2usize..300,
+        checkin_fraction in 0.0f64..1.0,
+    ) {
+        let flows = generate_flows(
+            buildings,
+            &WorkloadConfig {
+                flows: 50,
+                model: FlowModel::PostboxMix { checkin_fraction, rate_hz: 10.0 },
+                seed,
+            },
+        );
+        for f in &flows {
+            prop_assert!(f.src != f.dst);
+            prop_assert!((f.src as usize) < buildings);
+            prop_assert!((f.dst as usize) < buildings);
+            prop_assert!(f.arrival_ms.is_finite() && f.arrival_ms >= 0.0);
+        }
+    }
+}

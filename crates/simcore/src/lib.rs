@@ -28,6 +28,6 @@ pub mod stats;
 mod time;
 
 pub use event_queue::{EventQueue, Simulation};
-pub use rng::{split_seed, SimRng};
+pub use rng::{split_seed, substream_seed, SimRng};
 pub use stats::Histogram;
 pub use time::SimTime;

@@ -21,6 +21,21 @@ pub fn split_seed(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the seed of an independent per-item sub-stream from a root
+/// seed, a domain tag, and an item index.
+///
+/// This is the workhorse of the fleet engine's determinism guarantee:
+/// each flow `i` of a workload draws every random decision from
+/// `SimRng::new(substream_seed(root, DOMAIN, i))`, so the flow's
+/// outcome is a pure function of `(root, i)` — independent of which
+/// worker thread executes it, in what order, or alongside which other
+/// flows. Two SplitMix64 output rounds ([`split_seed`]) separate the
+/// domain and the index, so `(domain, index)` pairs cannot alias the
+/// way single-round `domain ^ index` mixing could.
+pub fn substream_seed(root: u64, domain: u64, index: u64) -> u64 {
+    split_seed(split_seed(root, domain), index)
+}
+
 /// A fast, deterministic generator: **xoshiro256++**.
 ///
 /// Implemented in-tree (the `rand` crate's small generators sit behind
@@ -287,6 +302,35 @@ mod tests {
         let mut rng = SimRng::new(2);
         assert!(!(0..100).any(|_| rng.chance(0.0)));
         assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn substreams_are_distinct_across_indices_and_domains() {
+        let mut seen = std::collections::HashSet::new();
+        for domain in [0u64, 1, 0xF1EE7] {
+            for index in 0..10_000u64 {
+                assert!(
+                    seen.insert(substream_seed(42, domain, index)),
+                    "collision at domain={domain} index={index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn substream_is_not_plain_xor_aliasing() {
+        // With single-round mixing, (domain ^ k, 0) and (domain, k)
+        // could collide; the two-round form must keep them apart.
+        assert_ne!(substream_seed(7, 3 ^ 5, 0), substream_seed(7, 3, 5));
+    }
+
+    #[test]
+    fn rng_and_streams_are_shareable_across_threads() {
+        // The fleet engine shares worlds and per-flow RNGs across a
+        // worker pool; this pins the auto-traits so a regression (an
+        // Rc or RefCell creeping into SimRng) fails to compile.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimRng>();
     }
 
     #[test]

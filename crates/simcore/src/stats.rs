@@ -120,6 +120,31 @@ impl Histogram {
         Some(self.max_seen)
     }
 
+    /// A 64-bit digest of the complete histogram state (parameters,
+    /// every bucket count, underflow, total, exact sum and max bits).
+    ///
+    /// Two histograms have equal fingerprints iff they are
+    /// bit-identical, which is how the fleet engine proves that a
+    /// parallel run aggregated exactly the same distribution as a
+    /// serial one.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.min_value.to_bits());
+        mix(self.growth.to_bits());
+        mix(self.underflow);
+        mix(self.total);
+        mix(self.sum.to_bits());
+        mix(self.max_seen.to_bits());
+        for &c in &self.counts {
+            mix(c);
+        }
+        h
+    }
+
     /// Merges another histogram with identical parameters.
     ///
     /// # Panics
@@ -213,6 +238,25 @@ mod tests {
         assert!(a.quantile(0.25).unwrap() < 10.0);
         assert!(a.quantile(0.9).unwrap() > 30.0);
         assert_eq!(a.max(), Some(70.0));
+    }
+
+    #[test]
+    fn fingerprint_detects_any_state_difference() {
+        let mut a = Histogram::new(1.0, 2.0);
+        let mut b = Histogram::new(1.0, 2.0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        for v in [0.5, 3.0, 17.0] {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.record(17.0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Same counts, different parameters → different fingerprint.
+        assert_ne!(
+            Histogram::new(1.0, 2.0).fingerprint(),
+            Histogram::new(1.0, 1.5).fingerprint()
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@
 //! | [`net`] | packet wire format (bit-packed conduit headers) |
 //! | [`crypto`] | self-certifying IDs, X25519 + ChaCha20-Poly1305 |
 //! | [`core`] | building routing, conduits, agents, postboxes, sim |
+//! | [`fleet`] | parallel heavy-traffic engine, deterministic workloads |
 //! | [`baselines`] | flooding, greedy geographic, MANET cost models |
 //! | [`measure`] | the synthetic §2 wardriving study |
 //!
@@ -65,6 +66,7 @@
 pub use citymesh_baselines as baselines;
 pub use citymesh_core as core;
 pub use citymesh_crypto as crypto;
+pub use citymesh_fleet as fleet;
 pub use citymesh_geo as geo;
 pub use citymesh_graph as graph;
 pub use citymesh_map as map;
@@ -81,6 +83,9 @@ pub mod prelude {
     pub use crate::network::{DfnNetwork, SendReceipt, User};
     pub use citymesh_core::{CityExperiment, ExperimentConfig, Postbox, RebroadcastScope};
     pub use citymesh_crypto::{Keypair, NodeId, PostboxAddress};
+    pub use citymesh_fleet::{
+        generate_flows, run_fleet, FleetConfig, FleetReport, FlowModel, WorkloadConfig,
+    };
     pub use citymesh_geo::{Point, Polygon};
     pub use citymesh_map::{CityArchetype, CityMap};
     pub use citymesh_net::CityMeshHeader;

@@ -1,0 +1,118 @@
+//! Integration test for the fleet engine's headline invariant:
+//! N workers produce byte-identical aggregate results to serial
+//! execution for the same root seed.
+
+use citymesh::fleet::{generate_flows, run_fleet, FleetConfig, FlowModel, WorkloadConfig};
+use citymesh::prelude::*;
+
+fn prepared_city(seed: u64) -> CityExperiment {
+    let map = CityArchetype::SurveyDowntown.generate(seed);
+    CityExperiment::prepare(
+        map,
+        ExperimentConfig {
+            seed,
+            ..ExperimentConfig::default()
+        },
+    )
+}
+
+#[test]
+fn one_worker_equals_eight_workers() {
+    let seed = 2024;
+    let exp = prepared_city(seed);
+    let flows = generate_flows(
+        exp.map().len(),
+        &WorkloadConfig {
+            flows: 400,
+            model: FlowModel::Hotspot {
+                hotspots: 8,
+                exponent: 1.1,
+                rate_hz: 200.0,
+            },
+            seed,
+        },
+    );
+
+    let serial = run_fleet(&exp, &flows, &FleetConfig { workers: 1, seed });
+    let parallel = run_fleet(&exp, &flows, &FleetConfig { workers: 8, seed });
+
+    // The digest covers every deterministic field; equality means the
+    // complete aggregate state (all four histograms bucket-for-bucket,
+    // all counters, the span) is identical.
+    assert_eq!(serial.digest(), parallel.digest());
+
+    // Spot-check the fields directly so a digest bug can't mask a
+    // divergence.
+    assert_eq!(serial.flows, parallel.flows);
+    assert_eq!(serial.reachable, parallel.reachable);
+    assert_eq!(serial.route_found, parallel.route_found);
+    assert_eq!(serial.delivered, parallel.delivered);
+    assert_eq!(serial.checkins, parallel.checkins);
+    assert_eq!(serial.span_ms, parallel.span_ms);
+    assert_eq!(
+        serial.latency_ms.fingerprint(),
+        parallel.latency_ms.fingerprint()
+    );
+    assert_eq!(
+        serial.broadcasts.fingerprint(),
+        parallel.broadcasts.fingerprint()
+    );
+    assert_eq!(serial.hops.fingerprint(), parallel.hops.fingerprint());
+    assert_eq!(
+        serial.header_bits.fingerprint(),
+        parallel.header_bits.fingerprint()
+    );
+    assert_eq!(serial.latency_ms.mean(), parallel.latency_ms.mean());
+    assert_eq!(serial.latency_ms.max(), parallel.latency_ms.max());
+}
+
+#[test]
+fn determinism_holds_across_worker_counts_and_models() {
+    let seed = 7;
+    let exp = prepared_city(seed);
+    for model in [
+        FlowModel::UniformPairs { rate_hz: 100.0 },
+        FlowModel::PoissonBatches {
+            mean_batch: 6.0,
+            rate_hz: 20.0,
+        },
+        FlowModel::PostboxMix {
+            checkin_fraction: 0.4,
+            rate_hz: 100.0,
+        },
+    ] {
+        let flows = generate_flows(
+            exp.map().len(),
+            &WorkloadConfig {
+                flows: 150,
+                model,
+                seed,
+            },
+        );
+        let digests: Vec<u64> = [1usize, 2, 5]
+            .iter()
+            .map(|&workers| run_fleet(&exp, &flows, &FleetConfig { workers, seed }).digest())
+            .collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "digests diverged across worker counts for {model:?}: {digests:x?}"
+        );
+    }
+}
+
+#[test]
+fn same_city_different_seeds_diverge() {
+    let exp = prepared_city(11);
+    let mk = |seed: u64| {
+        let flows = generate_flows(
+            exp.map().len(),
+            &WorkloadConfig {
+                flows: 100,
+                model: FlowModel::UniformPairs { rate_hz: 50.0 },
+                seed,
+            },
+        );
+        run_fleet(&exp, &flows, &FleetConfig { workers: 2, seed }).digest()
+    };
+    assert_ne!(mk(1), mk(2), "seeds must reach workload and simulation");
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for the slice of `crossbeam` CityMesh uses:
+//! [`thread::scope`] for structured fork/join parallelism.
+//!
+//! The build environment has no crates.io access (DESIGN.md §5), so
+//! the workspace vendors a shim over `std::thread::scope` (stable
+//! since Rust 1.63) that reproduces crossbeam's calling convention —
+//! the spawn closure receives the scope again so workers can spawn
+//! siblings, and a worker panic surfaces as an `Err` from [`thread::scope`]
+//! rather than unwinding through the caller.
+
+#![warn(missing_docs)]
+
+/// Scoped threads (crossbeam-style API over `std::thread::scope`).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope run: `Err` carries a worker panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle to a spawned scoped thread.
+    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+    /// A scope in which child threads borrowing the stack may run.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'sc, 'env: 'sc> {
+        inner: &'sc std::thread::Scope<'sc, 'env>,
+    }
+
+    impl<'sc, 'env> Scope<'sc, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope so it can spawn further siblings, matching crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'sc, T>
+        where
+            F: FnOnce(&Scope<'sc, 'env>) -> T + Send + 'sc,
+            T: Send + 'sc,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope handle; joins every spawned thread before
+    /// returning. A panicking worker yields `Err(payload)`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'sc> FnOnce(&Scope<'sc, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut slots = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_arg() {
+        let result = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

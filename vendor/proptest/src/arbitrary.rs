@@ -1,0 +1,100 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Samples one uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Full-domain strategy for `T` (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Rejection-free: fold into the valid scalar range below the
+        // surrogate block, which is plenty for test inputs.
+        char::from_u32((rng.next_u64() % 0xD800) as u32).expect("below surrogates")
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_fill_every_byte() {
+        let mut rng = TestRng::new(3);
+        let a: [u8; 32] = Arbitrary::arbitrary(&mut rng);
+        let b: [u8; 32] = Arbitrary::arbitrary(&mut rng);
+        assert_ne!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+        let c: [u8; 12] = Arbitrary::arbitrary(&mut rng);
+        assert_eq!(c.len(), 12);
+    }
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::new(5);
+        let s = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn chars_are_valid() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..100 {
+            let c = any::<char>().sample(&mut rng);
+            assert!((c as u32) < 0xD800);
+        }
+    }
+}

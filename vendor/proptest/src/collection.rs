@@ -1,0 +1,100 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Anything usable as a collection size specification.
+pub trait SizeRange {
+    /// Inclusive lower and upper bound on the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range {self:?}");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range {self:?}");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a size range.
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// `Vec` strategy: each element sampled from `element`, length drawn
+/// uniformly from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.bounds();
+    VecStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max_len - self.min_len) as u64;
+        let len = self.min_len
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span + 1) as usize
+            };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let s = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn inclusive_and_exact_sizes() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            assert!(vec(any::<u8>(), 1..=3).sample(&mut rng).len() <= 3);
+            assert_eq!(vec(any::<u8>(), 4usize).sample(&mut rng).len(), 4);
+        }
+    }
+
+    #[test]
+    fn nested_tuples_as_elements() {
+        let s = vec((0u32..4, 0.0..1.0f64), 0..10);
+        let mut rng = TestRng::new(3);
+        for _ in 0..50 {
+            for (a, b) in s.sample(&mut rng) {
+                assert!(a < 4 && (0.0..1.0).contains(&b));
+            }
+        }
+    }
+}

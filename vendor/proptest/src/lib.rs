@@ -1,0 +1,171 @@
+//! Offline stand-in for the slice of `proptest` that CityMesh's
+//! property tests use.
+//!
+//! The build environment has no crates.io access (DESIGN.md §5), so
+//! the workspace vendors a small property-testing core with the same
+//! spelling as the real crate: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`,
+//! range and tuple strategies, [`arbitrary::any`],
+//! [`collection::vec`], `Just`, `prop_oneof!`, the `proptest!` test
+//! macro, and the `prop_assert*` family.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs
+//!   formatted by the assertion itself (the `prop_assert*` macros are
+//!   plain `assert*` here), not a minimized counterexample.
+//! * **Deterministic seeding.** Each test function derives its RNG
+//!   seed from its own name, so failures reproduce exactly across
+//!   runs — there is no persistence file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` body
+/// runs once per sampled case.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]` controlling
+/// the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let ( $($pat,)+ ) = (
+                        $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+
+                    );
+                    // Real proptest bodies may `return Ok(())` early, so
+                    // the body runs in a Result-returning closure.
+                    let __run = || -> ::std::result::Result<(), String> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(__msg) = __run() {
+                        panic!("property failed: {}", __msg);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; no
+/// shrinking in this offline stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks uniformly among the listed strategies (all must yield the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Kind {
+        A,
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments and nested tuples parse.
+        #[test]
+        fn tuple_patterns_destructure((a, b) in (0u32..10, 10u32..20), extra in any::<bool>()) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+            let _ = extra;
+        }
+
+        #[test]
+        fn oneof_and_filters(kind in prop_oneof![Just(Kind::A), Just(Kind::B)],
+                             v in crate::collection::vec(any::<u8>(), 1..8)) {
+            prop_assert!(matches!(kind, Kind::A | Kind::B));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+        }
+
+        #[test]
+        fn flat_map_links_sizes(pair in (1usize..5).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(any::<u8>(), n..n + 1))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn filter_map_applies_reason_on_exhaustion() {
+        let s = (0u32..4).prop_filter_map("keep evens", |v| (v % 2 == 0).then_some(v));
+        let mut rng = crate::test_runner::TestRng::from_name("fm");
+        for _ in 0..64 {
+            assert_eq!(s.sample(&mut rng) % 2, 0);
+        }
+    }
+}

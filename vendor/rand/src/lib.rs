@@ -1,0 +1,97 @@
+//! Offline stand-in for the tiny slice of the `rand` crate CityMesh
+//! relies on: the [`RngCore`] / [`SeedableRng`] traits that
+//! `citymesh_simcore::SimRng` implements.
+//!
+//! The build environment for this repository has no crates.io access,
+//! so the workspace vendors the trait surface it needs (see DESIGN.md
+//! §5). No generator lives here — all randomness in CityMesh comes
+//! from the in-tree xoshiro256++ implementation — and the trait
+//! signatures match `rand 0.8` so the real crate can be swapped back
+//! in without touching call sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type carried by [`RngCore::try_fill_bytes`].
+///
+/// Deterministic in-memory generators never fail, so this is an
+/// opaque marker matching `rand::Error`'s role in signatures.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, per `rand 0.8`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure as an error.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// A generator constructible from a fixed seed, per `rand 0.8`.
+pub trait SeedableRng: Sized {
+    /// The seed type (a fixed-size byte array for most generators).
+    type Seed;
+
+    /// Builds the generator from `seed`.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn trait_surface_is_usable() {
+        let mut rng = Counter::from_seed([0; 8]);
+        assert_eq!(rng.next_u64(), 1);
+        let mut buf = [0u8; 3];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [2, 3, 4]);
+        assert!(format!("{}", Error).contains("generator"));
+    }
+}
