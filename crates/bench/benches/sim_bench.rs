@@ -1,0 +1,69 @@
+//! Delivery-kernel isolation bench: fresh per-call allocation vs the
+//! reusable [`DeliveryScratch`] steady state. The gap between the two
+//! is the allocation + zero-init tax the zero-allocation hot path
+//! removed; the `scratch_reuse` number is what each fleet worker pays
+//! per flow once its scratch has warmed up.
+
+use citymesh_core::{
+    compress_route, place_aps, plan_route, postbox_ap, reconstruct_conduits, simulate_delivery,
+    simulate_delivery_into, ApGraph, BuildingGraph, BuildingGraphParams, DeliveryParams,
+    DeliveryScratch,
+};
+use citymesh_geo::Point;
+use citymesh_map::CityArchetype;
+use citymesh_net::CityMeshHeader;
+use citymesh_simcore::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    group.sample_size(20);
+    let map = CityArchetype::SurveyDowntown.generate(1);
+    let mut rng = SimRng::new(1);
+    let aps = place_aps(&map, 200.0, &mut rng);
+    let apg = ApGraph::build(&aps, 50.0);
+    let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+    let src = map.nearest_building(Point::new(60.0, 60.0)).unwrap().id;
+    let dst = map.nearest_building(Point::new(700.0, 700.0)).unwrap().id;
+    let route = plan_route(&bg, src, dst).unwrap();
+    let compressed = compress_route(&bg, &route, 50.0);
+    let header = CityMeshHeader::new(1, 50.0, compressed.waypoints);
+    let conduits = reconstruct_conduits(&map, &header.waypoints, header.conduit_width_m());
+    let src_ap = postbox_ap(&aps, &map, src).unwrap();
+
+    group.bench_function("fresh_alloc/downtown_cross_city", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(7);
+            std::hint::black_box(simulate_delivery(
+                &map,
+                &apg,
+                &header,
+                src_ap,
+                DeliveryParams::default(),
+                &mut rng,
+            ))
+        })
+    });
+
+    let mut scratch = DeliveryScratch::new();
+    group.bench_function("scratch_reuse/downtown_cross_city", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(7);
+            let report = simulate_delivery_into(
+                &map,
+                &apg,
+                &header,
+                &conduits,
+                src_ap,
+                DeliveryParams::default(),
+                &mut rng,
+                &mut scratch,
+            );
+            std::hint::black_box(report.broadcasts)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

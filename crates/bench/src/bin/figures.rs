@@ -12,7 +12,9 @@
 //!
 //! The `fleet` artifact takes value flags: `--flows N` runs one flow
 //! count instead of the default 1k/10k/100k sweep, `--workers N` one
-//! worker count instead of 1/4/8.
+//! worker count instead of 1/4/8, and `--cold` skips the unmeasured
+//! warm-up pass so the recorded throughput includes scratch/cache
+//! warm-up costs (the default, warmed numbers measure steady state).
 
 use std::fs;
 use std::path::Path;
@@ -470,10 +472,12 @@ fn main() {
             Some(w) => vec![w.max(1)],
             None => vec![1, 4, 8],
         };
+        let cold = args.iter().any(|a| a == "--cold");
         eprintln!(
-            "[running the fleet heavy-traffic sweep: flows {flow_counts:?} × workers {worker_counts:?}…]"
+            "[running the fleet heavy-traffic sweep: flows {flow_counts:?} × workers {worker_counts:?}{}…]",
+            if cold { ", cold (no warm-up)" } else { "" }
         );
-        let figs = fleet_figs::run_fleet_figs(SEED, &flow_counts, &worker_counts);
+        let figs = fleet_figs::run_fleet_figs(SEED, &flow_counts, &worker_counts, !cold);
         println!(
             "== fleet: heavy-traffic throughput ({}, {} buildings, {} workload) ==",
             figs.city, figs.buildings, figs.model

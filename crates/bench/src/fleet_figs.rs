@@ -38,12 +38,23 @@ pub struct FleetFigures {
 
 /// Runs the sweep: for each flow count, one run per worker count.
 ///
+/// `warmup` controls whether an unmeasured full-scale run precedes the
+/// sweep. Pass `false` (`figures -- fleet --cold`) to measure the
+/// process-cold path — the number a disaster-recovery operator
+/// actually sees on first launch, and the one the zero-allocation
+/// kernel is designed to keep close to the warm figure.
+///
 /// # Panics
 /// Panics if any two worker counts at the same flow count disagree on
 /// the aggregate digest — that would falsify the engine's core
 /// "parallel == serial" guarantee, and a benchmark must not report
 /// throughput for results that are wrong.
-pub fn run_fleet_figs(seed: u64, flow_counts: &[usize], worker_counts: &[usize]) -> FleetFigures {
+pub fn run_fleet_figs(
+    seed: u64,
+    flow_counts: &[usize],
+    worker_counts: &[usize],
+    warmup: bool,
+) -> FleetFigures {
     let map = CityArchetype::SurveyDowntown.generate(seed);
     let city = map.name().to_string();
     let buildings = map.len();
@@ -67,7 +78,11 @@ pub fn run_fleet_figs(seed: u64, flow_counts: &[usize], worker_counts: &[usize])
     // goes first pays the heap-growth syscall churn for everyone
     // after it and reads several times slower than the same
     // configuration measured warm.
-    let warm_flows = flow_counts.iter().copied().max().unwrap_or(0);
+    let warm_flows = if warmup {
+        flow_counts.iter().copied().max().unwrap_or(0)
+    } else {
+        0
+    };
     if warm_flows > 0 {
         let warm = generate_flows(
             buildings,
@@ -157,7 +172,7 @@ mod tests {
 
     #[test]
     fn sweep_runs_and_serializes() {
-        let figs = run_fleet_figs(5, &[40], &[1, 2]);
+        let figs = run_fleet_figs(5, &[40], &[1, 2], true);
         assert_eq!(figs.runs.len(), 2);
         assert_eq!(
             figs.runs[0].report.digest(),

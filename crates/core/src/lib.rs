@@ -58,7 +58,10 @@ pub use pipeline::{CityExperiment, CityResult, ExperimentConfig, PairOutcome, Pl
 pub use placement::{place_aps, postbox_ap, Ap};
 pub use postbox::{Postbox, PostboxError, StoredMessage};
 pub use route::{plan_route, plan_route_avoiding, RouteError};
-pub use sim::{simulate_delivery, ApRole, DeliveryParams, DeliveryReport};
+pub use sim::{
+    simulate_delivery, simulate_delivery_into, ApRole, DeliveryParams, DeliveryReport,
+    DeliveryScratch,
+};
 
 /// The paper's default Wi-Fi transmission range, meters (§4).
 pub const DEFAULT_RANGE_M: f64 = 50.0;

@@ -15,6 +15,7 @@
 //! plus the §4 header statistics (median / 90th-percentile compressed
 //! route bits).
 
+use citymesh_geo::OrientedRect;
 use citymesh_map::CityMap;
 use citymesh_net::CityMeshHeader;
 use citymesh_simcore::{split_seed, SimRng};
@@ -22,10 +23,10 @@ use citymesh_simcore::{split_seed, SimRng};
 use crate::agent::RebroadcastScope;
 use crate::apgraph::ApGraph;
 use crate::buildgraph::{BuildingGraph, BuildingGraphParams};
-use crate::conduit::compress_route;
+use crate::conduit::{compress_route, reconstruct_conduits};
 use crate::placement::{place_aps, postbox_ap, Ap};
 use crate::route::plan_route;
-use crate::sim::{simulate_delivery, DeliveryParams, DeliveryReport};
+use crate::sim::{simulate_delivery_into, DeliveryParams, DeliveryReport, DeliveryScratch};
 
 /// Experiment parameters (defaults mirror the paper's §4 setup).
 #[derive(Clone, Copy, Debug)]
@@ -85,6 +86,13 @@ pub struct PlannedFlow {
     pub route_len: usize,
     /// Compressed waypoint buildings (empty when no route).
     pub waypoints: Vec<u32>,
+    /// The conduit rectangles reconstructed from `waypoints` at the
+    /// header's (decimeter-quantized) width — a pure function of
+    /// (waypoints, width), so computing them once here lets every
+    /// delivery simulation of this plan skip `reconstruct_conduits`,
+    /// and the fleet's route cache amortizes them across all flows
+    /// sharing the route. Empty when no route.
+    pub conduits: Vec<OrientedRect>,
     /// Compressed source-route size in bits (0 when no route).
     pub route_bits: usize,
     /// The AP acting as the sender's uplink, when the source building
@@ -103,7 +111,7 @@ impl PlannedFlow {
 }
 
 /// One src→dst delivery attempt, fully annotated.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PairOutcome {
     /// Source building.
     pub src: u32,
@@ -262,6 +270,7 @@ impl CityExperiment {
             reachable: self.reachable(src, dst),
             route_len: 0,
             waypoints: Vec::new(),
+            conduits: Vec::new(),
             route_bits: 0,
             src_ap: None,
             ideal_hops: None,
@@ -279,6 +288,11 @@ impl CityExperiment {
         if let Some(src_ap) = plan.src_ap {
             plan.ideal_hops = self.apg.ideal_hops_to_building(src_ap, dst);
         }
+        // Conduits are what every relaying AP reconstructs from the
+        // header; using the header's round-tripped width keeps them
+        // bit-identical to a relay-side reconstruction.
+        plan.conduits =
+            reconstruct_conduits(&self.map, &header.waypoints, header.conduit_width_m());
         plan.waypoints = header.waypoints;
         plan
     }
@@ -286,9 +300,30 @@ impl CityExperiment {
     /// The stochastic half of a flow: drives the event simulation over
     /// an existing plan and scores the outcome.
     ///
+    /// Convenience wrapper around [`CityExperiment::simulate_flow_with`]
+    /// that allocates a one-shot [`DeliveryScratch`]; loops should hold
+    /// a scratch and call `simulate_flow_with` directly.
+    ///
     /// `run_pair` is `plan_flow` + `simulate_flow`; the fleet engine
     /// calls them separately so hotspot destinations replan once.
     pub fn simulate_flow(&self, plan: &PlannedFlow, msg_id: u64, rng: &mut SimRng) -> PairOutcome {
+        let mut scratch = DeliveryScratch::new();
+        self.simulate_flow_with(plan, msg_id, rng, &mut scratch)
+    }
+
+    /// [`CityExperiment::simulate_flow`] against caller-owned scratch
+    /// state: the allocation-free steady-state path the fleet engine
+    /// runs with one scratch per worker. Reuses the scratch's header
+    /// (only the message id varies per flow) and the plan's cached
+    /// conduits, so a warmed scratch executes a flow with zero heap
+    /// allocations. Bit-identical to `simulate_flow`.
+    pub fn simulate_flow_with(
+        &self,
+        plan: &PlannedFlow,
+        msg_id: u64,
+        rng: &mut SimRng,
+        scratch: &mut DeliveryScratch,
+    ) -> PairOutcome {
         let mut outcome = PairOutcome {
             src: plan.src,
             dst: plan.dst,
@@ -309,12 +344,26 @@ impl CityExperiment {
         let Some(src_ap) = plan.src_ap else {
             return outcome;
         };
-        let header =
-            CityMeshHeader::new(msg_id, self.config.conduit_width_m, plan.waypoints.clone());
-        let report: DeliveryReport = simulate_delivery(
+        // Borrow juggling: the kernel needs `&mut scratch` while
+        // reading the header, so lift the header out (the placeholder
+        // left behind owns no heap memory) and restore it after.
+        let mut header = std::mem::replace(
+            &mut scratch.header,
+            CityMeshHeader {
+                kind: citymesh_net::MessageKind::Data,
+                ttl: 64,
+                msg_id: 0,
+                conduit_width_dm: 0,
+                waypoints: Vec::new(),
+                encoding: citymesh_net::RouteEncoding::Absolute,
+            },
+        );
+        header.reuse_for(msg_id, self.config.conduit_width_m, &plan.waypoints);
+        let report: &DeliveryReport = simulate_delivery_into(
             &self.map,
             &self.apg,
             &header,
+            &plan.conduits,
             src_ap,
             DeliveryParams {
                 scope: self.config.scope,
@@ -322,11 +371,13 @@ impl CityExperiment {
                 ..DeliveryParams::default()
             },
             rng,
+            scratch,
         );
         outcome.delivered = report.delivered;
         outcome.broadcasts = report.broadcasts;
         outcome.latency = report.first_delivery;
         outcome.overhead = report.overhead(outcome.ideal_hops);
+        scratch.header = header;
         outcome
     }
 

@@ -8,11 +8,19 @@
 //! whether a destination-building AP ever received the packet
 //! (*deliverability*), how many broadcasts happened (the overhead
 //! numerator), and the per-AP roles for Figure-7-style renders.
+//!
+//! Two entry points share one kernel:
+//!
+//! * [`simulate_delivery`] — allocates its working state per call;
+//!   convenient for one-off runs and exactly as before.
+//! * [`simulate_delivery_into`] — runs against a caller-owned
+//!   [`DeliveryScratch`], touching the heap **zero times** in steady
+//!   state. The fleet engine keeps one scratch per worker and replays
+//!   millions of flows through it; both paths are bit-identical.
 
-use std::collections::HashMap;
-
+use citymesh_geo::OrientedRect;
 use citymesh_map::CityMap;
-use citymesh_net::CityMeshHeader;
+use citymesh_net::{CityMeshHeader, MessageKind, RouteEncoding};
 use citymesh_simcore::{SimRng, SimTime, Simulation};
 
 use crate::agent::{ApAgent, RebroadcastScope};
@@ -64,7 +72,7 @@ pub enum ApRole {
 }
 
 /// The outcome of one simulated message.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DeliveryReport {
     /// Whether an AP in the destination building received the packet.
     pub delivered: bool,
@@ -101,9 +109,168 @@ impl DeliveryReport {
     }
 }
 
-/// Simulates one message from `src_ap` with routing state `header`.
+/// The only event: an AP transmits the packet.
+#[derive(Debug)]
+struct Tx(u32);
+
+/// Duplicate-cache capacity for simulated agents. Every flow carries
+/// exactly one message id and agents are reset between flows, so
+/// eviction can never fire and behavior is identical to the deployed
+/// 4096-ID cache ([`ApAgent::with_seen_capacity`]) — without the two
+/// large hash/deque allocations per touched AP per flow that used to
+/// dominate fleet wall time.
+const SIM_SEEN_CAPACITY: usize = 4;
+
+/// Reusable working state for [`simulate_delivery_into`]: everything
+/// the delivery kernel used to allocate per call.
+///
+/// One scratch serves any number of sequential flows (even against
+/// different worlds). Buffers grow to the high-water mark of the flows
+/// seen and are then reused, so a warmed scratch runs the kernel with
+/// **zero heap allocations**:
+///
+/// * the agent slab — indexed by AP id, with a per-slot generation
+///   stamp so "clearing" between flows is a single counter increment
+///   (stale slots are lazily reset on first touch, O(touched) total,
+///   never O(total APs));
+/// * the event-queue storage ([`Simulation::reset`] keeps the heap's
+///   allocation);
+/// * the per-agent duplicate caches ([`crate::agent::SeenCache::clear`]
+///   keeps both allocations);
+/// * the pending-relay buffer and the [`DeliveryReport`] role vector.
+///
+/// Reuse is invisible in the results: a dirty scratch and a fresh one
+/// produce bit-identical [`DeliveryReport`]s (property-tested in
+/// `crates/core/tests/properties.rs`).
+#[derive(Debug)]
+pub struct DeliveryScratch {
+    sim: Simulation<Tx>,
+    /// Lazily populated agent slab indexed by AP id.
+    agents: Vec<Option<ApAgent>>,
+    /// Generation stamp per slot; a slot is live iff its stamp equals
+    /// [`DeliveryScratch::gen`].
+    agent_gen: Vec<u64>,
+    /// Current flow generation; bumped by every `begin`.
+    gen: u64,
+    pending: Vec<(SimTime, u32)>,
+    report: DeliveryReport,
+    /// Reusable header for `CityExperiment::simulate_flow_with` (the
+    /// per-flow message id varies, the waypoint buffer is recycled).
+    pub(crate) header: CityMeshHeader,
+}
+
+impl Default for DeliveryScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeliveryScratch {
+    /// Creates an empty scratch. All buffers start unallocated and
+    /// grow on first use.
+    pub fn new() -> Self {
+        DeliveryScratch {
+            sim: Simulation::new(),
+            agents: Vec::new(),
+            agent_gen: Vec::new(),
+            gen: 0,
+            pending: Vec::new(),
+            report: DeliveryReport {
+                delivered: false,
+                first_delivery: None,
+                broadcasts: 0,
+                receptions: 0,
+                duplicates: 0,
+                roles: Vec::new(),
+            },
+            // Placeholder (never observed): `reuse_for` rewrites every
+            // field before the header reaches the kernel.
+            header: CityMeshHeader {
+                kind: MessageKind::Data,
+                ttl: 64,
+                msg_id: 0,
+                conduit_width_dm: 0,
+                waypoints: Vec::new(),
+                encoding: RouteEncoding::Absolute,
+            },
+        }
+    }
+
+    /// The report of the most recent [`simulate_delivery_into`] run.
+    pub fn report(&self) -> &DeliveryReport {
+        &self.report
+    }
+
+    /// Consumes the scratch, yielding the last run's report without
+    /// copying its role vector.
+    pub fn into_report(self) -> DeliveryReport {
+        self.report
+    }
+
+    /// Prepares the scratch for a fresh flow over `n_aps` APs: bumps
+    /// the generation, rewinds the simulation clock, and resets the
+    /// report in place.
+    fn begin(&mut self, n_aps: usize, horizon: SimTime) {
+        self.gen += 1;
+        if self.agents.len() < n_aps {
+            self.agents.resize_with(n_aps, || None);
+            self.agent_gen.resize(n_aps, 0);
+        }
+        self.sim.reset();
+        self.sim.set_horizon(Some(horizon));
+        self.pending.clear();
+        let r = &mut self.report;
+        r.delivered = false;
+        r.first_delivery = None;
+        r.broadcasts = 0;
+        r.receptions = 0;
+        r.duplicates = 0;
+        r.roles.clear();
+        r.roles.resize(n_aps, ApRole::Silent);
+    }
+}
+
+/// Returns the live agent for `id`, lazily constructing it on first
+/// ever touch and resetting it on first touch of this generation.
+///
+/// A free function (not a `DeliveryScratch` method) so the event loop
+/// can hold disjoint `&mut` borrows of the scratch's fields.
+fn touch_agent<'a>(
+    agents: &'a mut [Option<ApAgent>],
+    agent_gen: &mut [u64],
+    gen: u64,
+    apg: &ApGraph,
+    scope: RebroadcastScope,
+    id: u32,
+) -> &'a mut ApAgent {
+    let i = id as usize;
+    if agent_gen[i] != gen {
+        agent_gen[i] = gen;
+        match &mut agents[i] {
+            Some(a) => a.reset_for(apg.position(id), apg.building_of(id), scope),
+            slot => {
+                *slot = Some(ApAgent::with_seen_capacity(
+                    apg.position(id),
+                    apg.building_of(id),
+                    scope,
+                    SIM_SEEN_CAPACITY,
+                ))
+            }
+        }
+    }
+    agents[i].as_mut().expect("slot populated above")
+}
+
+/// Simulates one message from `src_ap` with routing state `header`,
+/// allocating working state per call.
 ///
 /// `rng` drives MAC jitter only; topology comes fixed from `apg`.
+///
+/// This is the convenience wrapper around [`simulate_delivery_into`]:
+/// it reconstructs the conduits from the header and spins up a
+/// one-shot [`DeliveryScratch`], so existing callers compile and
+/// behave exactly as before. Hot loops should hold a scratch and
+/// pre-reconstructed conduits instead.
 pub fn simulate_delivery(
     map: &CityMap,
     apg: &ApGraph,
@@ -112,36 +279,67 @@ pub fn simulate_delivery(
     params: DeliveryParams,
     rng: &mut SimRng,
 ) -> DeliveryReport {
-    assert!((src_ap as usize) < apg.len(), "source AP out of range");
     let conduits = reconstruct_conduits(map, &header.waypoints, header.conduit_width_m());
+    let mut scratch = DeliveryScratch::new();
+    simulate_delivery_into(
+        map,
+        apg,
+        header,
+        &conduits,
+        src_ap,
+        params,
+        rng,
+        &mut scratch,
+    );
+    scratch.into_report()
+}
+
+/// The allocation-free delivery kernel: simulates one message using
+/// caller-owned working state.
+///
+/// `conduits` must be the reconstruction of `header`'s waypoints at
+/// the header's (decimeter-quantized) width — precompute once per
+/// route with [`reconstruct_conduits`] and amortize across every flow
+/// sharing it (`PlannedFlow` caches exactly this). The returned
+/// reference points into `scratch` and is valid until the next run.
+///
+/// Steady state (scratch warmed past the workload's high-water marks)
+/// performs **zero heap allocations**; `tests/zero_alloc.rs` in
+/// `citymesh-fleet` enforces this with a counting global allocator.
+///
+/// # Panics
+/// Panics when `src_ap` is outside `apg`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_delivery_into<'a>(
+    map: &CityMap,
+    apg: &ApGraph,
+    header: &CityMeshHeader,
+    conduits: &[OrientedRect],
+    src_ap: u32,
+    params: DeliveryParams,
+    rng: &mut SimRng,
+    scratch: &'a mut DeliveryScratch,
+) -> &'a DeliveryReport {
+    assert!((src_ap as usize) < apg.len(), "source AP out of range");
+    scratch.begin(apg.len(), params.horizon);
     let dst_building = header.destination();
-
-    let mut agents: HashMap<u32, ApAgent> = HashMap::new();
-    let mut roles = vec![ApRole::Silent; apg.len()];
-    let mut report = DeliveryReport {
-        delivered: false,
-        first_delivery: None,
-        broadcasts: 0,
-        receptions: 0,
-        duplicates: 0,
-        roles: Vec::new(),
-    };
-
-    /// The only event: an AP transmits the packet.
-    struct Tx(u32);
-
-    let mut sim: Simulation<Tx> = Simulation::new().with_horizon(params.horizon);
+    let DeliveryScratch {
+        sim,
+        agents,
+        agent_gen,
+        gen,
+        pending,
+        report,
+        ..
+    } = scratch;
+    let gen = *gen;
 
     // The source transmits unconditionally at t = 0 and will treat its
     // own message as seen.
-    agents
-        .entry(src_ap)
-        .or_insert_with(|| {
-            ApAgent::new(apg.position(src_ap), apg.building_of(src_ap), params.scope)
-        })
+    touch_agent(agents, agent_gen, gen, apg, params.scope, src_ap)
         .seen
         .check_and_insert(header.msg_id);
-    roles[src_ap as usize] = ApRole::Relayed;
+    report.roles[src_ap as usize] = ApRole::Relayed;
     sim.schedule_at(SimTime::ZERO, Tx(src_ap));
 
     // If the source already sits in the destination building, the
@@ -157,7 +355,6 @@ pub fn simulate_delivery(
         .as_nanos()
         .max(1);
 
-    let mut pending: Vec<(SimTime, u32)> = Vec::new();
     sim.run(|sim, Tx(ap)| {
         report.broadcasts += 1;
         let now = sim.now();
@@ -171,23 +368,22 @@ pub fn simulate_delivery(
                 return; // frame lost to collision/fading
             }
             report.receptions += 1;
-            let agent = agents.entry(rx).or_insert_with(|| {
-                ApAgent::new(apg.position(rx), apg.building_of(rx), params.scope)
-            });
-            let action = agent.handle_with_conduits(header, map, &conduits);
-            if action == crate::agent::Action::IGNORE && roles[rx as usize] != ApRole::Silent {
+            let agent = touch_agent(agents, agent_gen, gen, apg, params.scope, rx);
+            let action = agent.handle_with_conduits(header, map, conduits);
+            if action == crate::agent::Action::IGNORE && report.roles[rx as usize] != ApRole::Silent
+            {
                 report.duplicates += 1;
                 return;
             }
-            if roles[rx as usize] == ApRole::Silent {
-                roles[rx as usize] = ApRole::HeardOnly;
+            if report.roles[rx as usize] == ApRole::Silent {
+                report.roles[rx as usize] = ApRole::HeardOnly;
             }
             if action.deliver && report.first_delivery.is_none() {
                 report.delivered = true;
                 report.first_delivery = Some(now);
             }
             if action.rebroadcast {
-                roles[rx as usize] = ApRole::Relayed;
+                report.roles[rx as usize] = ApRole::Relayed;
                 let delay =
                     SimTime::from_nanos(params.min_jitter.as_nanos() + rng.below(jitter_span));
                 pending.push((now + delay, rx));
@@ -198,7 +394,6 @@ pub fn simulate_delivery(
         }
     });
 
-    report.roles = roles;
     report
 }
 
@@ -288,6 +483,164 @@ mod tests {
         assert_eq!(a.receptions, b.receptions);
         assert_eq!(a.first_delivery, b.first_delivery);
         assert_eq!(a.roles, b.roles);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_allocation() {
+        let (map, apg, bg, aps) = street();
+        let mut scratch = DeliveryScratch::new();
+        // Several distinct flows through ONE scratch, each compared to
+        // the fresh-allocation wrapper with an identically seeded RNG.
+        for (src_b, dst_b, seed) in [(0u32, 9u32, 5u64), (9, 0, 6), (2, 7, 7), (0, 9, 5)] {
+            let header = route_header(&bg, src_b, dst_b);
+            let src = postbox_ap(&aps, &map, src_b).unwrap();
+            let mut fresh_rng = SimRng::new(seed);
+            let fresh = simulate_delivery(
+                &map,
+                &apg,
+                &header,
+                src,
+                DeliveryParams::default(),
+                &mut fresh_rng,
+            );
+            let conduits = reconstruct_conduits(&map, &header.waypoints, header.conduit_width_m());
+            let mut rng = SimRng::new(seed);
+            let reused = simulate_delivery_into(
+                &map,
+                &apg,
+                &header,
+                &conduits,
+                src,
+                DeliveryParams::default(),
+                &mut rng,
+                &mut scratch,
+            );
+            assert_eq!(
+                *reused, fresh,
+                "scratch reuse diverged for {src_b}->{dst_b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_scratch_cannot_leak_seen_or_role_state() {
+        let (map, apg, bg, aps) = street();
+        // Flow A floods the whole street and marks most APs as relays,
+        // filling every agent's seen cache with msg_id 777.
+        let header_a = route_header(&bg, 0, 9);
+        let src_a = postbox_ap(&aps, &map, 0).unwrap();
+        let mut scratch = DeliveryScratch::new();
+        let conduits_a =
+            reconstruct_conduits(&map, &header_a.waypoints, header_a.conduit_width_m());
+        let mut rng = SimRng::new(1);
+        simulate_delivery_into(
+            &map,
+            &apg,
+            &header_a,
+            &conduits_a,
+            src_a,
+            DeliveryParams::default(),
+            &mut rng,
+            &mut scratch,
+        );
+        assert!(
+            scratch.report().relay_count() > 3,
+            "flow A must dirty state"
+        );
+
+        // Flow B reuses the SAME msg_id (777, from route_header) on a
+        // different pair. Leaked seen state would suppress every
+        // reception; leaked roles would show as phantom relays.
+        let header_b = route_header(&bg, 5, 2);
+        assert_eq!(header_a.msg_id, header_b.msg_id, "test needs a reused id");
+        let src_b = postbox_ap(&aps, &map, 5).unwrap();
+        let mut fresh_rng = SimRng::new(2);
+        let fresh = simulate_delivery(
+            &map,
+            &apg,
+            &header_b,
+            src_b,
+            DeliveryParams::default(),
+            &mut fresh_rng,
+        );
+        let conduits_b =
+            reconstruct_conduits(&map, &header_b.waypoints, header_b.conduit_width_m());
+        let mut rng = SimRng::new(2);
+        let reused = simulate_delivery_into(
+            &map,
+            &apg,
+            &header_b,
+            &conduits_b,
+            src_b,
+            DeliveryParams::default(),
+            &mut rng,
+            &mut scratch,
+        );
+        assert!(reused.delivered, "leaked seen state would kill delivery");
+        assert_eq!(*reused, fresh);
+        // APs the narrow B-conduit never reaches must read Silent even
+        // though flow A marked them Relayed in the same buffer.
+        assert!(
+            fresh.roles.contains(&ApRole::Silent),
+            "sanity: flow B leaves some APs silent"
+        );
+    }
+
+    #[test]
+    fn one_scratch_serves_different_worlds() {
+        // A scratch warmed on the 10-building street keeps working on
+        // a larger city (slab regrows) and back again (slab oversized).
+        let (map, apg, bg, aps) = street();
+        let big_map = {
+            let footprints = (0..30)
+                .map(|i| square_at(i as f64 * 30.0, 0.0, 12.0))
+                .collect();
+            CityMap::new("long-street", footprints, vec![])
+        };
+        let mut rng = SimRng::new(9);
+        let big_aps = place_aps(&big_map, 100.0, &mut rng);
+        let big_apg = ApGraph::build(&big_aps, 50.0);
+        let big_bg = BuildingGraph::build(
+            &big_map,
+            BuildingGraphParams {
+                max_gap_m: 25.0,
+                weight_exponent: 3.0,
+            },
+        );
+
+        let mut scratch = DeliveryScratch::new();
+        for (map, apg, bg, aps) in [
+            (&map, &apg, &bg, &aps),
+            (&big_map, &big_apg, &big_bg, &big_aps),
+            (&map, &apg, &bg, &aps),
+        ] {
+            let dst = (map.len() - 1) as u32;
+            let header = route_header(bg, 0, dst);
+            let src = postbox_ap(aps, map, 0).unwrap();
+            let conduits = reconstruct_conduits(map, &header.waypoints, header.conduit_width_m());
+            let mut fresh_rng = SimRng::new(3);
+            let fresh = simulate_delivery(
+                map,
+                apg,
+                &header,
+                src,
+                DeliveryParams::default(),
+                &mut fresh_rng,
+            );
+            let mut rng = SimRng::new(3);
+            let reused = simulate_delivery_into(
+                map,
+                apg,
+                &header,
+                &conduits,
+                src,
+                DeliveryParams::default(),
+                &mut rng,
+                &mut scratch,
+            );
+            assert_eq!(*reused, fresh, "world {} diverged", map.name());
+            assert_eq!(reused.roles.len(), apg.len(), "roles sized to this world");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use citymesh_core::{
     compress_route, place_aps, plan_route, reconstruct_conduits, within_conduits, BuildingGraph,
-    BuildingGraphParams,
+    BuildingGraphParams, CityExperiment, DeliveryScratch, ExperimentConfig,
 };
 use citymesh_geo::{Point, Polygon, Rect};
 use citymesh_map::CityMap;
@@ -173,6 +173,50 @@ proptest! {
             populated[ap.building as usize] = true;
         }
         prop_assert!(populated.iter().all(|p| *p));
+    }
+
+    /// Scratch reuse is bit-for-bit equivalent to fresh allocation:
+    /// replaying the same flows through one dirtied `DeliveryScratch`
+    /// must reproduce every `PairOutcome` the allocate-per-call
+    /// `simulate_flow` path yields, on any random city. This is the
+    /// contract that lets the fleet engine reuse one scratch per
+    /// worker without perturbing the fleet digest.
+    #[test]
+    fn scratch_reuse_equals_fresh_allocation(
+        g in grid_city(),
+        world_seed in any::<u64>(),
+        pair_seed in any::<u64>(),
+        loss in 0.0..0.4f64,
+    ) {
+        let map = build_map(&g);
+        let exp = CityExperiment::prepare(
+            map,
+            ExperimentConfig {
+                seed: world_seed,
+                reception_loss: loss,
+                reachability_pairs: 10,
+                delivery_pairs: 4,
+                ..ExperimentConfig::default()
+            },
+        );
+        let n = exp.map().len() as u64;
+        let mut pick = SimRng::new(pair_seed);
+        let mut scratch = DeliveryScratch::new();
+        for i in 0..6u64 {
+            let src = pick.below(n) as u32;
+            let dst = pick.below(n) as u32;
+            let plan = exp.plan_flow(src, dst);
+            let msg_id = 0x5EED_0000 + i;
+            // Same RNG stream for both paths: equivalence must hold
+            // draw-for-draw, not just in distribution.
+            let mut rng_fresh = SimRng::new(pair_seed ^ i);
+            let mut rng_scratch = rng_fresh.clone();
+            let fresh = exp.simulate_flow(&plan, msg_id, &mut rng_fresh);
+            let reused = exp.simulate_flow_with(&plan, msg_id, &mut rng_scratch, &mut scratch);
+            prop_assert_eq!(&fresh, &reused, "flow {} diverged under scratch reuse", i);
+            prop_assert_eq!(rng_fresh.below(u64::MAX), rng_scratch.below(u64::MAX),
+                "RNG streams desynchronized on flow {}", i);
+        }
     }
 
     /// Building-graph symmetry: edges are undirected and weights obey

@@ -113,6 +113,7 @@ mod tests {
             reachable: true,
             route_len: 2,
             waypoints: vec![src, dst],
+            conduits: Vec::new(),
             route_bits: 64,
             src_ap: None,
             ideal_hops: None,

@@ -1,8 +1,63 @@
 //! Property tests for the fleet engine's determinism machinery.
 
-use citymesh_fleet::{generate_flows, FlowModel, WorkloadConfig};
+use std::sync::OnceLock;
+
+use citymesh_core::{CityExperiment, ExperimentConfig};
+use citymesh_fleet::{generate_flows, run_fleet, FleetConfig, FlowModel, WorkloadConfig};
+use citymesh_map::CityArchetype;
 use citymesh_simcore::substream_seed;
 use proptest::prelude::*;
+
+/// One prepared world shared by all digest-invariance cases: building
+/// the AP fabric dominates each case's cost and the property is about
+/// the engine, not the city.
+fn shared_world() -> &'static CityExperiment {
+    static WORLD: OnceLock<CityExperiment> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let map = CityArchetype::SurveyDowntown.generate(3);
+        CityExperiment::prepare(
+            map,
+            ExperimentConfig {
+                seed: 3,
+                ..ExperimentConfig::default()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The engine's headline invariant, now with per-worker scratch
+    /// reuse in the mix: 1, 4, and 8 workers must produce the same
+    /// digest for any workload. Worker count changes which scratch
+    /// simulates which flow (and how dirty it is when it does), so
+    /// equality here proves scratch state cannot leak across flows.
+    #[test]
+    fn digest_is_invariant_under_worker_count(
+        seed in any::<u64>(),
+        flows in 24usize..96,
+        rate_hz in 10.0..400.0f64,
+    ) {
+        let exp = shared_world();
+        let workload = generate_flows(
+            exp.map().len(),
+            &WorkloadConfig {
+                flows,
+                model: FlowModel::UniformPairs { rate_hz },
+                seed,
+            },
+        );
+        let digests: Vec<u64> = [1usize, 4, 8]
+            .iter()
+            .map(|&workers| {
+                run_fleet(exp, &workload, &FleetConfig { workers, seed }).digest()
+            })
+            .collect();
+        prop_assert_eq!(digests[0], digests[1], "1 vs 4 workers diverged");
+        prop_assert_eq!(digests[0], digests[2], "1 vs 8 workers diverged");
+    }
+}
 
 proptest! {
     /// Distinct flow ids must never share an RNG sub-stream — a

@@ -124,6 +124,30 @@ impl CityMeshHeader {
         self.conduit_width_dm as f64 / 10.0
     }
 
+    /// Rewrites this header in place for a new message, producing the
+    /// same state [`CityMeshHeader::new`] would, but **reusing the
+    /// waypoint buffer** — the per-message path of a simulation kernel
+    /// that sends millions of flows must not reallocate the route.
+    ///
+    /// # Panics
+    /// Panics on an empty waypoint list or an unencodable width,
+    /// exactly like [`CityMeshHeader::new`].
+    pub fn reuse_for(&mut self, msg_id: u64, conduit_width_m: f64, waypoints: &[u32]) {
+        assert!(!waypoints.is_empty(), "a route needs at least one waypoint");
+        let dm = (conduit_width_m * 10.0).round();
+        assert!(
+            (0.0..=1023.0).contains(&dm),
+            "conduit width {conduit_width_m} m out of the encodable 0–102.3 m range"
+        );
+        self.kind = MessageKind::Data;
+        self.ttl = 64;
+        self.msg_id = msg_id;
+        self.conduit_width_dm = dm as u16;
+        self.waypoints.clear();
+        self.waypoints.extend_from_slice(waypoints);
+        self.encoding = RouteEncoding::Absolute;
+    }
+
     /// Destination (postbox) building: the final waypoint.
     pub fn destination(&self) -> u32 {
         *self.waypoints.last().expect("waypoints never empty")
@@ -357,6 +381,29 @@ mod tests {
             h.kind = kind;
             assert_eq!(round_trip(&h).kind, kind);
         }
+    }
+
+    #[test]
+    fn reuse_for_equals_new() {
+        let mut reused = CityMeshHeader::new(1, 20.0, vec![9, 8, 7]);
+        reused.ttl = 3;
+        reused.kind = MessageKind::Ack;
+        reused.encoding = RouteEncoding::Delta;
+        reused.reuse_for(77, 50.0, &[4, 5]);
+        assert_eq!(reused, CityMeshHeader::new(77, 50.0, vec![4, 5]));
+        // Growing the route again also matches.
+        reused.reuse_for(78, 12.3, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(
+            reused,
+            CityMeshHeader::new(78, 12.3, vec![1, 2, 3, 4, 5, 6])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one waypoint")]
+    fn reuse_for_rejects_empty_route() {
+        let mut h = CityMeshHeader::new(1, 50.0, vec![1]);
+        h.reuse_for(2, 50.0, &[]);
     }
 
     #[test]

@@ -89,6 +89,15 @@ impl<E> EventQueue<E> {
     pub fn processed(&self) -> u64 {
         self.popped
     }
+
+    /// Empties the queue and resets the sequence and processed
+    /// counters, **keeping the heap's allocation** so a reused queue
+    /// schedules without touching the allocator.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.popped = 0;
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -142,6 +151,23 @@ impl<E> Simulation<E> {
     pub fn with_horizon(mut self, horizon: SimTime) -> Self {
         self.horizon = Some(horizon);
         self
+    }
+
+    /// Replaces the horizon on an existing simulation (`None` removes
+    /// it). Companion to [`Simulation::reset`] for reuse across runs.
+    pub fn set_horizon(&mut self, horizon: Option<SimTime>) {
+        self.horizon = horizon;
+    }
+
+    /// Rewinds the clock to zero and discards all pending events while
+    /// **retaining the event queue's allocation**. A reset simulation
+    /// behaves exactly like a freshly constructed one (the horizon is
+    /// kept; change it with [`Simulation::set_horizon`]), so hot loops
+    /// can run many back-to-back simulations with zero steady-state
+    /// heap traffic.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.now = SimTime::ZERO;
     }
 
     /// The current simulation time.
@@ -302,6 +328,63 @@ mod tests {
         sim.run(|sim, ()| {
             sim.schedule_at(SimTime::from_millis(1), ());
         });
+    }
+
+    #[test]
+    fn cleared_queue_is_fresh_but_keeps_capacity() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(SimTime::from_millis(i), i);
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.processed(), 0);
+        // FIFO tie-breaking restarts from sequence zero.
+        q.push(SimTime::from_millis(1), 7);
+        q.push(SimTime::from_millis(1), 8);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(7));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(8));
+    }
+
+    #[test]
+    fn reset_simulation_matches_fresh_one() {
+        let run = |sim: &mut Simulation<u64>| {
+            for i in 1..=20u64 {
+                sim.schedule_at(SimTime::from_millis(i), i);
+            }
+            let mut seen = Vec::new();
+            sim.run(|sim, e| seen.push((sim.now(), e)));
+            seen
+        };
+        let mut fresh = Simulation::new().with_horizon(SimTime::from_millis(10));
+        let expect = run(&mut fresh);
+
+        let mut reused = Simulation::new().with_horizon(SimTime::from_millis(10));
+        run(&mut reused); // dirty it
+        reused.reset();
+        assert_eq!(reused.now(), SimTime::ZERO);
+        assert_eq!(reused.pending(), 0);
+        assert_eq!(run(&mut reused), expect, "reset run must be identical");
+    }
+
+    #[test]
+    fn set_horizon_changes_cutoff_on_reuse() {
+        let mut sim: Simulation<u64> = Simulation::new().with_horizon(SimTime::from_millis(5));
+        for i in 1..=20u64 {
+            sim.schedule_at(SimTime::from_millis(i), i);
+        }
+        let mut count = 0;
+        sim.run(|_, _| count += 1);
+        assert_eq!(count, 5);
+        sim.reset();
+        sim.set_horizon(Some(SimTime::from_millis(12)));
+        for i in 1..=20u64 {
+            sim.schedule_at(SimTime::from_millis(i), i);
+        }
+        let mut count = 0;
+        sim.run(|_, _| count += 1);
+        assert_eq!(count, 12);
     }
 
     #[test]
