@@ -51,7 +51,7 @@ fn bench_relay_decision(c: &mut Criterion) {
     let src = map.nearest_building(Point::new(100.0, 100.0)).unwrap().id;
     let dst = map.nearest_building(Point::new(1300.0, 1100.0)).unwrap().id;
     let route = plan_route(&bg, src, dst).unwrap();
-    let compressed = compress_route(&bg, &route, 50.0);
+    let compressed = compress_route(&bg, &route, 50.0).unwrap();
     let header = CityMeshHeader::new(1, 50.0, compressed.waypoints);
 
     group.bench_function("reconstruct_conduits", |b| {

@@ -26,7 +26,7 @@ fn bench_kernel(c: &mut Criterion) {
     let src = map.nearest_building(Point::new(60.0, 60.0)).unwrap().id;
     let dst = map.nearest_building(Point::new(700.0, 700.0)).unwrap().id;
     let route = plan_route(&bg, src, dst).unwrap();
-    let compressed = compress_route(&bg, &route, 50.0);
+    let compressed = compress_route(&bg, &route, 50.0).unwrap();
     let header = CityMeshHeader::new(1, 50.0, compressed.waypoints);
     let conduits = reconstruct_conduits(&map, &header.waypoints, header.conduit_width_m());
     let src_ap = postbox_ap(&aps, &map, src).unwrap();

@@ -215,7 +215,7 @@ pub fn encoding_comparison(seed: u64, routes: usize) -> EncodingStats {
         if route.len() < 3 {
             continue;
         }
-        let compressed = compress_route(&bg, &route, 50.0);
+        let compressed = compress_route(&bg, &route, 50.0).expect("valid width and route");
 
         let header = CityMeshHeader::new(1, 50.0, compressed.waypoints.clone());
         absolute.push(header.route_bits());

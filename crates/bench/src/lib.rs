@@ -17,6 +17,9 @@
 //!   route encoding.
 //! * [`fleet_figs`] — heavy-traffic throughput (flows/sec) and the
 //!   parallel-vs-serial determinism check (`BENCH_fleet.json`).
+//! * [`resilience_figs`] — graceful degradation under injected AP
+//!   failures: delivery rate vs failed fraction per archetype, retry
+//!   ladder on vs off (`BENCH_resilience.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@ pub mod ablation;
 pub mod eval_figs;
 pub mod fleet_figs;
 pub mod render;
+pub mod resilience_figs;
 pub mod scaling;
 pub mod survey_figs;
 pub mod text;

@@ -210,7 +210,7 @@ mod tests {
         let (map, aps, apg) = setup();
         let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
         let route = plan_route(&bg, 0, (map.len() - 1) as u32).unwrap();
-        let compressed = compress_route(&bg, &route, 50.0);
+        let compressed = compress_route(&bg, &route, 50.0).expect("valid width and route");
         let header = CityMeshHeader::new(1, 50.0, compressed.waypoints);
         let src = postbox_ap(&aps, &map, 0).unwrap();
         let mut rng = SimRng::new(3);

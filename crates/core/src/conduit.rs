@@ -14,6 +14,36 @@ use citymesh_map::CityMap;
 
 use crate::buildgraph::BuildingGraph;
 
+/// Route-compression input failures.
+///
+/// Both conditions used to be `panic!`s; they are data conditions in
+/// any pipeline that accepts external configuration (a NaN width from
+/// a config file must not crash a relay), so they now surface as
+/// values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConduitError {
+    /// The route to compress contained no buildings.
+    EmptyRoute,
+    /// The conduit width was NaN, zero, or negative.
+    NonPositiveWidth(
+        /// The offending width, meters.
+        f64,
+    ),
+}
+
+impl std::fmt::Display for ConduitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConduitError::EmptyRoute => write!(f, "cannot compress an empty route"),
+            ConduitError::NonPositiveWidth(w) => {
+                write!(f, "conduit width must be positive and finite, got {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConduitError {}
+
 /// A compressed route: the waypoint buildings plus the conduit width
 /// they were compressed against.
 #[derive(Clone, Debug, PartialEq)]
@@ -52,17 +82,31 @@ impl CompressedRoute {
 /// let map = CityArchetype::SurveyDowntown.generate(1);
 /// let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
 /// let route = plan_route(&bg, 0, 100).unwrap();
-/// let compressed = compress_route(&bg, &route, 50.0);
+/// let compressed = compress_route(&bg, &route, 50.0).unwrap();
 /// assert!(compressed.waypoints.len() <= route.len());
 /// assert_eq!(compressed.waypoints[0], route[0]);
+///
+/// assert!(compress_route(&bg, &route, 0.0).is_err());
+/// assert!(compress_route(&bg, &[], 50.0).is_err());
 /// ```
 ///
-/// # Panics
-/// Panics on an empty route or non-positive width; both are caller
-/// bugs, not data conditions.
-pub fn compress_route(bg: &BuildingGraph, route: &[u32], width_m: f64) -> CompressedRoute {
-    assert!(!route.is_empty(), "cannot compress an empty route");
-    assert!(width_m > 0.0, "conduit width must be positive");
+/// # Errors
+/// [`ConduitError::EmptyRoute`] on an empty route;
+/// [`ConduitError::NonPositiveWidth`] when `width_m` is NaN, zero, or
+/// negative.
+pub fn compress_route(
+    bg: &BuildingGraph,
+    route: &[u32],
+    width_m: f64,
+) -> Result<CompressedRoute, ConduitError> {
+    if route.is_empty() {
+        return Err(ConduitError::EmptyRoute);
+    }
+    // NaN fails `is_finite`, so this rejects NaN, ±inf, zero, and
+    // negatives together.
+    if width_m <= 0.0 || !width_m.is_finite() {
+        return Err(ConduitError::NonPositiveWidth(width_m));
+    }
 
     let mut waypoints = vec![route[0]];
     let mut start = 0usize; // index of the current waypoint within `route`
@@ -88,7 +132,7 @@ pub fn compress_route(bg: &BuildingGraph, route: &[u32], width_m: f64) -> Compre
         start = best;
     }
 
-    CompressedRoute { waypoints, width_m }
+    Ok(CompressedRoute { waypoints, width_m })
 }
 
 /// Reconstructs the conduit rectangles for a waypoint list — the
@@ -153,7 +197,7 @@ mod tests {
     fn straight_route_compresses_to_two_waypoints() {
         let (_, bg) = straight_city(12);
         let route: Vec<u32> = (0..12).collect();
-        let c = compress_route(&bg, &route, 50.0);
+        let c = compress_route(&bg, &route, 50.0).unwrap();
         assert_eq!(
             c.waypoints,
             vec![0, 11],
@@ -179,7 +223,7 @@ mod tests {
         let src = map.nearest_building(Point::new(0.0, 0.0)).unwrap().id;
         let dst = map.nearest_building(Point::new(150.0, 150.0)).unwrap().id;
         let route = crate::plan_route(&bg, src, dst).unwrap();
-        let c = compress_route(&bg, &route, 40.0);
+        let c = compress_route(&bg, &route, 40.0).unwrap();
         assert!(c.waypoints.len() >= 3, "an L needs a corner waypoint");
         assert!(c.waypoints.len() < route.len(), "compression must compress");
 
@@ -210,8 +254,8 @@ mod tests {
             },
         );
         let route = crate::plan_route(&bg, 0, (map.len() - 1) as u32).unwrap();
-        let wide = compress_route(&bg, &route, 80.0);
-        let narrow = compress_route(&bg, &route, 22.0);
+        let wide = compress_route(&bg, &route, 80.0).unwrap();
+        let narrow = compress_route(&bg, &route, 22.0).unwrap();
         assert!(
             narrow.len() >= wide.len(),
             "narrow ({}) should need at least as many waypoints as wide ({})",
@@ -224,7 +268,7 @@ mod tests {
     fn endpoints_always_kept() {
         let (_, bg) = straight_city(5);
         for width in [10.0, 50.0, 100.0] {
-            let c = compress_route(&bg, &[0, 1, 2, 3, 4], width);
+            let c = compress_route(&bg, &[0, 1, 2, 3, 4], width).unwrap();
             assert_eq!(c.waypoints[0], 0);
             assert_eq!(*c.waypoints.last().unwrap(), 4);
         }
@@ -233,7 +277,7 @@ mod tests {
     #[test]
     fn single_building_route() {
         let (map, bg) = straight_city(3);
-        let c = compress_route(&bg, &[1], 50.0);
+        let c = compress_route(&bg, &[1], 50.0).unwrap();
         assert_eq!(c.waypoints, vec![1]);
         let conduits = reconstruct_conduits(&map, &c.waypoints, 50.0);
         assert_eq!(conduits.len(), 1);
@@ -252,7 +296,7 @@ mod tests {
     #[test]
     fn two_building_route() {
         let (map, bg) = straight_city(2);
-        let c = compress_route(&bg, &[0, 1], 50.0);
+        let c = compress_route(&bg, &[0, 1], 50.0).unwrap();
         assert_eq!(c.waypoints, vec![0, 1]);
         let conduits = reconstruct_conduits(&map, &c.waypoints, 50.0);
         assert_eq!(conduits.len(), 1);
@@ -261,7 +305,7 @@ mod tests {
     #[test]
     fn conduits_connect_consecutive_waypoints() {
         let (map, bg) = straight_city(12);
-        let c = compress_route(&bg, &(0..12).collect::<Vec<u32>>(), 50.0);
+        let c = compress_route(&bg, &(0..12).collect::<Vec<u32>>(), 50.0).unwrap();
         let conduits = reconstruct_conduits(&map, &c.waypoints, c.width_m);
         assert_eq!(conduits.len(), c.waypoints.len() - 1);
         for (i, conduit) in conduits.iter().enumerate() {
@@ -272,16 +316,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty route")]
-    fn empty_route_panics() {
+    fn empty_route_is_an_error() {
         let (_, bg) = straight_city(2);
-        compress_route(&bg, &[], 50.0);
+        assert_eq!(
+            compress_route(&bg, &[], 50.0),
+            Err(ConduitError::EmptyRoute)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "width")]
-    fn zero_width_panics() {
+    fn bad_widths_are_errors_not_panics() {
         let (_, bg) = straight_city(2);
-        compress_route(&bg, &[0, 1], 0.0);
+        for w in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = compress_route(&bg, &[0, 1], w).unwrap_err();
+            assert!(
+                matches!(err, ConduitError::NonPositiveWidth(_)),
+                "width {w} must be rejected, got {err}"
+            );
+        }
+        // Errors render usefully for config diagnostics.
+        let msg = compress_route(&bg, &[0, 1], -1.0).unwrap_err().to_string();
+        assert!(msg.contains("-1"), "message should carry the value: {msg}");
     }
 }

@@ -1,0 +1,754 @@
+//! Deterministic fault injection: the disaster the paper is about.
+//!
+//! The paper's premise (§1, the fractured-city case) is message
+//! delivery *while infrastructure is failing* — yet a flat per-frame
+//! `reception_loss` cannot express an AP that is simply gone, a
+//! district knocked dark by a grid failure, or a sender planning on a
+//! map that no longer matches reality. This module gives those
+//! scenarios first-class, reproducible form:
+//!
+//! * **i.i.d. AP failure** — every AP fails independently with
+//!   probability `p` (the disaster-recovery paper's
+//!   delivery-rate-vs-failed-fraction axis);
+//! * **district blackouts** — seeded disc outages over the city map,
+//!   mimicking power-grid failure domains (failures are spatially
+//!   *correlated*, which stresses conduits far harder than i.i.d.
+//!   loss of the same magnitude);
+//! * **degraded-AP mode** — APs that still run but drop an elevated
+//!   fraction of frames (brown-outs, battery backup, damaged
+//!   antennas);
+//! * **map staleness** — the sender plans routes on the cached map
+//!   while ground truth has failed APs (the paper's static-map
+//!   assumption under stress). With a *fresh* map the planner routes
+//!   around dead buildings up front.
+//!
+//! A [`FaultScenario`] is pure configuration. [`FaultState`] is its
+//! materialization against one concrete AP placement, drawn from
+//! dedicated [`SimRng`] sub-streams of the experiment seed — so a
+//! scenario is bit-reproducible, independent of worker count, and
+//! cheap to fingerprint for golden digests.
+//!
+//! Recovery lives in [`RetryPolicy`]: the sender's bounded escalation
+//! ladder (re-send → widen the conduit → replan around known-dark
+//! buildings) executed by
+//! [`crate::CityExperiment::simulate_flow_with`].
+
+use std::collections::HashSet;
+
+use citymesh_geo::Point;
+use citymesh_map::CityMap;
+use citymesh_simcore::{substream_seed, SimRng};
+
+use crate::pipeline::ConfigError;
+use crate::placement::Ap;
+
+/// Sub-stream domain for i.i.d. per-AP failure draws.
+pub const DOMAIN_FAULT_IID: u64 = 0xFA11;
+/// Sub-stream domain for blackout disc centers.
+pub const DOMAIN_FAULT_BLACKOUT: u64 = 0xB1AC;
+/// Sub-stream domain for degraded-AP draws.
+pub const DOMAIN_FAULT_DEGRADE: u64 = 0xDE64;
+
+/// The sender's bounded recovery ladder, attempted in order when a
+/// simulated delivery times out:
+///
+/// 1. first send (always);
+/// 2. **re-send** over the same conduit (a fresh jitter/loss draw —
+///    recovers from unlucky frame loss);
+/// 3. **widen** the conduit by [`RetryPolicy::widen_factor`], reusing
+///    the cached waypoints (recruits off-spine APs around dead ones);
+/// 4. **replan** over the surviving building graph, detouring around
+///    buildings with zero live APs (recovers from a stale map).
+///
+/// `max_attempts` caps the total number of sends; rungs whose
+/// geometry is unavailable (nothing to widen to, no surviving detour)
+/// fall back to a re-send, so the ladder is always bounded and never
+/// blocks on missing state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total delivery attempts, including the first send (≥ 1).
+    pub max_attempts: u32,
+    /// Conduit width multiplier for the widen rung (≥ 1; the result
+    /// is clamped to the header-encodable maximum).
+    pub widen_factor: f64,
+}
+
+impl RetryPolicy {
+    /// No recovery: exactly one send. This is the implicit policy of
+    /// every fault-free run, so enabling the fault subsystem with
+    /// `RetryPolicy::none()` leaves RNG streams and fleet digests of
+    /// healthy worlds untouched.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            widen_factor: 1.0,
+        }
+    }
+
+    /// The full four-rung ladder: send, re-send, widen ×2, replan.
+    pub fn ladder() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            widen_factor: 2.0,
+        }
+    }
+
+    /// Validates the policy's invariants.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_attempts < 1 {
+            return Err(ConfigError::OutOfRange {
+                field: "retry.max_attempts",
+                value: self.max_attempts as f64,
+                min: 1.0,
+                max: f64::INFINITY,
+            });
+        }
+        if !self.widen_factor.is_finite() {
+            return Err(ConfigError::NotFinite {
+                field: "retry.widen_factor",
+                value: self.widen_factor,
+            });
+        }
+        if self.widen_factor < 1.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "retry.widen_factor",
+                value: self.widen_factor,
+                min: 1.0,
+                max: f64::INFINITY,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::ladder()
+    }
+}
+
+/// Which rung of the [`RetryPolicy`] ladder a delivery succeeded on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryStage {
+    /// The first send (no recovery was needed).
+    First,
+    /// A plain re-send over the original conduit.
+    Resend,
+    /// The widened-conduit variant.
+    Widen,
+    /// The replanned detour around known-dark buildings.
+    Replan,
+}
+
+impl RecoveryStage {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryStage::First => "first",
+            RecoveryStage::Resend => "resend",
+            RecoveryStage::Widen => "widen",
+            RecoveryStage::Replan => "replan",
+        }
+    }
+}
+
+/// A fault scenario: pure configuration, materialized per world by
+/// [`FaultState::materialize`]. The default is the null scenario
+/// (nothing fails, one send) — attaching it to an experiment changes
+/// no observable behavior.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultScenario {
+    /// Independent per-AP failure probability.
+    pub ap_failure_p: f64,
+    /// Number of correlated blackout discs.
+    pub blackouts: usize,
+    /// Radius of each blackout disc, meters.
+    pub blackout_radius_m: f64,
+    /// Probability that a surviving AP runs degraded.
+    pub degraded_p: f64,
+    /// Extra per-frame reception loss at a degraded AP, combined with
+    /// the medium's base loss as `1 − (1−base)(1−extra)`.
+    pub degraded_loss: f64,
+    /// When true (the paper's assumption under stress), the sender
+    /// plans on the cached pre-disaster map and only the *replan*
+    /// rung sees the surviving graph. When false the sender has a
+    /// fresh map and routes around dark buildings from the start.
+    pub stale_map: bool,
+    /// The sender's recovery ladder.
+    pub retry: RetryPolicy,
+}
+
+impl Default for FaultScenario {
+    fn default() -> Self {
+        FaultScenario {
+            ap_failure_p: 0.0,
+            blackouts: 0,
+            blackout_radius_m: 0.0,
+            degraded_p: 0.0,
+            degraded_loss: 0.0,
+            stale_map: true,
+            retry: RetryPolicy::none(),
+        }
+    }
+}
+
+impl FaultScenario {
+    /// i.i.d. AP failure at probability `p`, full recovery ladder.
+    pub fn iid(p: f64) -> Self {
+        FaultScenario {
+            ap_failure_p: p,
+            retry: RetryPolicy::ladder(),
+            ..FaultScenario::default()
+        }
+    }
+
+    /// `n` correlated blackout discs of radius `radius_m`, full
+    /// recovery ladder.
+    pub fn district_blackouts(n: usize, radius_m: f64) -> Self {
+        FaultScenario {
+            blackouts: n,
+            blackout_radius_m: radius_m,
+            retry: RetryPolicy::ladder(),
+            ..FaultScenario::default()
+        }
+    }
+
+    /// Validates probabilities, radii, and the retry policy.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("faults.ap_failure_p", self.ap_failure_p),
+            ("faults.degraded_p", self.degraded_p),
+            ("faults.degraded_loss", self.degraded_loss),
+        ] {
+            if !value.is_finite() {
+                return Err(ConfigError::NotFinite { field, value });
+            }
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::OutOfRange {
+                    field,
+                    value,
+                    min: 0.0,
+                    max: 1.0,
+                });
+            }
+        }
+        if !self.blackout_radius_m.is_finite() {
+            return Err(ConfigError::NotFinite {
+                field: "faults.blackout_radius_m",
+                value: self.blackout_radius_m,
+            });
+        }
+        if self.blackout_radius_m < 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "faults.blackout_radius_m",
+                value: self.blackout_radius_m,
+                min: 0.0,
+                max: f64::INFINITY,
+            });
+        }
+        self.retry.validate()
+    }
+}
+
+/// Health of one AP under a materialized scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApHealth {
+    /// Fully operational.
+    Up,
+    /// Running, but dropping extra frames.
+    Degraded,
+    /// Gone: never transmits, never receives.
+    Failed,
+}
+
+/// A [`FaultScenario`] materialized against one AP placement: the
+/// per-AP health vector, the set of buildings gone dark (zero live
+/// APs), and the scenario's recovery knobs.
+///
+/// Materialization is serial and driven by dedicated sub-streams of
+/// the experiment seed, so the state — and everything downstream of
+/// it — is bit-identical regardless of how many fleet workers later
+/// replay flows against it.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    health: Vec<ApHealth>,
+    blocked_buildings: HashSet<u32>,
+    degraded_loss: f64,
+    failed: usize,
+    degraded: usize,
+    retry: RetryPolicy,
+    stale_map: bool,
+    blackout_centers: Vec<Point>,
+}
+
+impl FaultState {
+    /// Draws the scenario against `aps` over `map`, using sub-streams
+    /// of `root_seed` (one per fault mechanism, so adding blackout
+    /// discs never perturbs the i.i.d. draws and vice versa).
+    pub fn materialize(
+        scenario: &FaultScenario,
+        aps: &[Ap],
+        map: &CityMap,
+        root_seed: u64,
+    ) -> Self {
+        let mut health = vec![ApHealth::Up; aps.len()];
+
+        // Blackout discs: centers uniform over the map bounds.
+        let bounds = map.bounds();
+        let mut blackout_rng = SimRng::new(substream_seed(root_seed, DOMAIN_FAULT_BLACKOUT, 0));
+        let mut centers = Vec::with_capacity(scenario.blackouts);
+        for _ in 0..scenario.blackouts {
+            let x = uniform_or_lo(&mut blackout_rng, bounds.min.x, bounds.max.x);
+            let y = uniform_or_lo(&mut blackout_rng, bounds.min.y, bounds.max.y);
+            centers.push(Point::new(x, y));
+        }
+        let r2 = scenario.blackout_radius_m * scenario.blackout_radius_m;
+
+        let mut iid_rng = SimRng::new(substream_seed(root_seed, DOMAIN_FAULT_IID, 0));
+        let mut degrade_rng = SimRng::new(substream_seed(root_seed, DOMAIN_FAULT_DEGRADE, 0));
+        let mut failed = 0usize;
+        let mut degraded = 0usize;
+        for ap in aps {
+            // Draw every stream for every AP so each mechanism's
+            // stream position depends only on the AP index, never on
+            // another mechanism's outcome.
+            let iid_hit = iid_rng.chance(scenario.ap_failure_p);
+            let degrade_hit = degrade_rng.chance(scenario.degraded_p);
+            let dark = centers.iter().any(|c| ap.pos.dist2(*c) <= r2);
+            let slot = &mut health[ap.id as usize];
+            if iid_hit || dark {
+                *slot = ApHealth::Failed;
+                failed += 1;
+            } else if degrade_hit && scenario.degraded_loss > 0.0 {
+                *slot = ApHealth::Degraded;
+                degraded += 1;
+            }
+        }
+
+        // A building is dark when it has APs and none survived; such
+        // buildings cannot host a postbox or relay, so the replan rung
+        // detours around them.
+        let mut has_ap = vec![false; map.len()];
+        let mut has_live = vec![false; map.len()];
+        for ap in aps {
+            let b = ap.building as usize;
+            has_ap[b] = true;
+            if health[ap.id as usize] != ApHealth::Failed {
+                has_live[b] = true;
+            }
+        }
+        let blocked_buildings = (0..map.len() as u32)
+            .filter(|&b| has_ap[b as usize] && !has_live[b as usize])
+            .collect();
+
+        FaultState {
+            health,
+            blocked_buildings,
+            degraded_loss: scenario.degraded_loss,
+            failed,
+            degraded,
+            retry: scenario.retry,
+            stale_map: scenario.stale_map,
+            blackout_centers: centers,
+        }
+    }
+
+    /// A state in which every AP is up (useful as a baseline).
+    pub fn healthy(n_aps: usize) -> Self {
+        FaultState {
+            health: vec![ApHealth::Up; n_aps],
+            blocked_buildings: HashSet::new(),
+            degraded_loss: 0.0,
+            failed: 0,
+            degraded: 0,
+            retry: RetryPolicy::none(),
+            stale_map: true,
+            blackout_centers: Vec::new(),
+        }
+    }
+
+    /// A state with an explicit casualty list — the targeted what-if
+    /// counterpart of the stochastic [`materialize`]: kill exactly the
+    /// APs in `failed_aps`, leave everything else up. Dark buildings
+    /// are derived from the casualty list the same way materialization
+    /// does; the sender plans on a stale map (it does not know who
+    /// died).
+    ///
+    /// [`materialize`]: FaultState::materialize
+    pub fn with_failed(aps: &[Ap], map: &CityMap, failed_aps: &[u32], retry: RetryPolicy) -> Self {
+        let mut health = vec![ApHealth::Up; aps.len()];
+        let mut failed = 0usize;
+        for &id in failed_aps {
+            let slot = &mut health[id as usize];
+            if *slot != ApHealth::Failed {
+                *slot = ApHealth::Failed;
+                failed += 1;
+            }
+        }
+        let mut has_ap = vec![false; map.len()];
+        let mut has_live = vec![false; map.len()];
+        for ap in aps {
+            let b = ap.building as usize;
+            has_ap[b] = true;
+            if health[ap.id as usize] != ApHealth::Failed {
+                has_live[b] = true;
+            }
+        }
+        let blocked_buildings = (0..map.len() as u32)
+            .filter(|&b| has_ap[b as usize] && !has_live[b as usize])
+            .collect();
+        FaultState {
+            health,
+            blocked_buildings,
+            degraded_loss: 0.0,
+            failed,
+            degraded: 0,
+            retry,
+            stale_map: true,
+            blackout_centers: Vec::new(),
+        }
+    }
+
+    /// Number of APs covered by this state.
+    pub fn len(&self) -> usize {
+        self.health.len()
+    }
+
+    /// Whether the state covers zero APs.
+    pub fn is_empty(&self) -> bool {
+        self.health.is_empty()
+    }
+
+    /// Health of AP `ap`.
+    pub fn health(&self, ap: u32) -> ApHealth {
+        self.health[ap as usize]
+    }
+
+    /// Whether AP `ap` is gone.
+    #[inline]
+    pub fn is_failed(&self, ap: u32) -> bool {
+        self.health[ap as usize] == ApHealth::Failed
+    }
+
+    /// Extra per-frame reception loss at AP `ap` (0 unless degraded).
+    #[inline]
+    pub fn extra_loss(&self, ap: u32) -> f64 {
+        if self.health[ap as usize] == ApHealth::Degraded {
+            self.degraded_loss
+        } else {
+            0.0
+        }
+    }
+
+    /// Count of failed APs.
+    pub fn failed_count(&self) -> usize {
+        self.failed
+    }
+
+    /// Count of degraded APs.
+    pub fn degraded_count(&self) -> usize {
+        self.degraded
+    }
+
+    /// Fraction of APs failed (0 when the placement is empty).
+    pub fn failed_fraction(&self) -> f64 {
+        if self.health.is_empty() {
+            0.0
+        } else {
+            self.failed as f64 / self.health.len() as f64
+        }
+    }
+
+    /// Buildings whose every AP failed.
+    pub fn blocked_buildings(&self) -> &HashSet<u32> {
+        &self.blocked_buildings
+    }
+
+    /// Whether `building` has APs but no live one.
+    pub fn building_blocked(&self, building: u32) -> bool {
+        self.blocked_buildings.contains(&building)
+    }
+
+    /// The scenario's recovery ladder.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Whether senders plan on the stale (pre-disaster) map.
+    pub fn stale_map(&self) -> bool {
+        self.stale_map
+    }
+
+    /// Materialized blackout disc centers (for rendering).
+    pub fn blackout_centers(&self) -> &[Point] {
+        &self.blackout_centers
+    }
+
+    /// The postbox AP of `building` among *live* APs: closest
+    /// surviving AP to the footprint centroid, mirroring
+    /// [`crate::placement::postbox_ap`] under faults. `None` when the
+    /// building is dark.
+    pub fn postbox_ap_live(&self, aps: &[Ap], map: &CityMap, building: u32) -> Option<u32> {
+        let b = map.building(building)?;
+        aps.iter()
+            .filter(|ap| ap.building == building && !self.is_failed(ap.id))
+            .min_by(|x, y| {
+                let dx = x.pos.dist2(b.centroid);
+                let dy = y.pos.dist2(b.centroid);
+                dx.partial_cmp(&dy).expect("finite distances")
+            })
+            .map(|ap| ap.id)
+    }
+
+    /// FNV-1a fingerprint of the materialized health vector — the
+    /// golden value CI pins to detect any drift in fault
+    /// materialization (RNG, ordering, or geometry changes).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u64| {
+            h ^= byte;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for (i, st) in self.health.iter().enumerate() {
+            let code = match st {
+                ApHealth::Up => 0u64,
+                ApHealth::Degraded => 1,
+                ApHealth::Failed => 2,
+            };
+            mix(i as u64 ^ (code << 32));
+        }
+        mix(self.blocked_buildings.len() as u64);
+        h
+    }
+}
+
+/// Combines two independent per-frame loss probabilities.
+#[inline]
+pub fn combined_loss(base: f64, extra: f64) -> f64 {
+    if extra <= 0.0 {
+        base
+    } else {
+        1.0 - (1.0 - base) * (1.0 - extra)
+    }
+}
+
+/// `uniform_range` that tolerates a degenerate interval (single-point
+/// map bounds) by returning `lo`.
+fn uniform_or_lo(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    if hi > lo {
+        rng.uniform_range(lo, hi)
+    } else {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::place_aps;
+    use citymesh_map::CityArchetype;
+
+    fn world(seed: u64) -> (CityMap, Vec<Ap>) {
+        let map = CityArchetype::SurveyDowntown.generate(seed);
+        let mut rng = SimRng::new(seed);
+        let aps = place_aps(&map, 200.0, &mut rng);
+        (map, aps)
+    }
+
+    #[test]
+    fn null_scenario_fails_nothing() {
+        let (map, aps) = world(1);
+        let st = FaultState::materialize(&FaultScenario::default(), &aps, &map, 1);
+        assert_eq!(st.failed_count(), 0);
+        assert_eq!(st.degraded_count(), 0);
+        assert!(st.blocked_buildings().is_empty());
+        assert_eq!(st.failed_fraction(), 0.0);
+        assert!((0..aps.len() as u32).all(|a| st.health(a) == ApHealth::Up));
+    }
+
+    #[test]
+    fn iid_failure_rate_tracks_p() {
+        let (map, aps) = world(2);
+        let st = FaultState::materialize(&FaultScenario::iid(0.3), &aps, &map, 2);
+        let f = st.failed_fraction();
+        assert!((0.2..0.4).contains(&f), "30% i.i.d. gave {f}");
+        // Everything failed ⇒ every building with APs is blocked.
+        let all = FaultState::materialize(&FaultScenario::iid(1.0), &aps, &map, 2);
+        assert_eq!(all.failed_count(), aps.len());
+        assert!(!all.blocked_buildings().is_empty());
+    }
+
+    #[test]
+    fn materialization_is_deterministic_in_seed() {
+        let (map, aps) = world(3);
+        let sc = FaultScenario {
+            ap_failure_p: 0.15,
+            blackouts: 2,
+            blackout_radius_m: 120.0,
+            degraded_p: 0.2,
+            degraded_loss: 0.3,
+            ..FaultScenario::default()
+        };
+        let a = FaultState::materialize(&sc, &aps, &map, 7);
+        let b = FaultState::materialize(&sc, &aps, &map, 7);
+        assert_eq!(a.health, b.health);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = FaultState::materialize(&sc, &aps, &map, 8);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed must matter");
+    }
+
+    #[test]
+    fn mechanisms_use_independent_substreams() {
+        // Adding blackouts must not change which APs the i.i.d. draw
+        // fails (they read different sub-streams).
+        let (map, aps) = world(4);
+        let iid_only = FaultState::materialize(&FaultScenario::iid(0.2), &aps, &map, 5);
+        let with_blackout = FaultState::materialize(
+            &FaultScenario {
+                blackouts: 1,
+                blackout_radius_m: 100.0,
+                ..FaultScenario::iid(0.2)
+            },
+            &aps,
+            &map,
+            5,
+        );
+        for ap in &aps {
+            if iid_only.is_failed(ap.id) {
+                assert!(
+                    with_blackout.is_failed(ap.id),
+                    "i.i.d. casualty {} must persist when blackouts are added",
+                    ap.id
+                );
+            }
+        }
+        assert!(with_blackout.failed_count() >= iid_only.failed_count());
+    }
+
+    #[test]
+    fn blackout_is_spatially_correlated() {
+        let (map, aps) = world(6);
+        let st =
+            FaultState::materialize(&FaultScenario::district_blackouts(1, 150.0), &aps, &map, 9);
+        assert_eq!(st.blackout_centers().len(), 1);
+        let c = st.blackout_centers()[0];
+        for ap in &aps {
+            let inside = ap.pos.dist2(c) <= 150.0 * 150.0;
+            assert_eq!(
+                st.is_failed(ap.id),
+                inside,
+                "blackout failure must be exactly the disc"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_aps_survive_with_extra_loss() {
+        let (map, aps) = world(7);
+        let st = FaultState::materialize(
+            &FaultScenario {
+                degraded_p: 0.5,
+                degraded_loss: 0.4,
+                ..FaultScenario::default()
+            },
+            &aps,
+            &map,
+            11,
+        );
+        assert_eq!(st.failed_count(), 0);
+        assert!(st.degraded_count() > 0);
+        let d = (0..aps.len() as u32)
+            .find(|&a| st.health(a) == ApHealth::Degraded)
+            .unwrap();
+        assert_eq!(st.extra_loss(d), 0.4);
+        let up = (0..aps.len() as u32)
+            .find(|&a| st.health(a) == ApHealth::Up)
+            .unwrap();
+        assert_eq!(st.extra_loss(up), 0.0);
+    }
+
+    #[test]
+    fn postbox_ap_live_skips_casualties() {
+        let (map, aps) = world(8);
+        let healthy = FaultState::healthy(aps.len());
+        let b = aps[0].building;
+        let pb = crate::placement::postbox_ap(&aps, &map, b).unwrap();
+        assert_eq!(healthy.postbox_ap_live(&aps, &map, b), Some(pb));
+
+        // Fail exactly the postbox AP: the live postbox must move to
+        // another AP of the same building, or None if it was alone.
+        let mut st = healthy.clone();
+        st.health[pb as usize] = ApHealth::Failed;
+        match st.postbox_ap_live(&aps, &map, b) {
+            Some(alt) => {
+                assert_ne!(alt, pb);
+                assert_eq!(aps[alt as usize].building, b);
+            }
+            None => {
+                assert_eq!(
+                    aps.iter().filter(|a| a.building == b).count(),
+                    1,
+                    "None is only valid when the postbox was the sole AP"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combined_loss_math() {
+        assert_eq!(combined_loss(0.2, 0.0), 0.2);
+        assert!((combined_loss(0.0, 0.3) - 0.3).abs() < 1e-12);
+        let c = combined_loss(0.5, 0.5);
+        assert!((c - 0.75).abs() < 1e-12);
+        assert_eq!(combined_loss(1.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn scenario_validation_rejects_garbage() {
+        assert!(FaultScenario::default().validate().is_ok());
+        assert!(FaultScenario::iid(0.5).validate().is_ok());
+        let bad_p = FaultScenario {
+            ap_failure_p: f64::NAN,
+            ..FaultScenario::default()
+        };
+        assert!(bad_p.validate().is_err());
+        let neg = FaultScenario {
+            degraded_loss: -0.1,
+            ..FaultScenario::default()
+        };
+        assert!(neg.validate().is_err());
+        let bad_r = FaultScenario {
+            blackout_radius_m: f64::INFINITY,
+            ..FaultScenario::default()
+        };
+        assert!(bad_r.validate().is_err());
+        let zero_attempts = FaultScenario {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                widen_factor: 2.0,
+            },
+            ..FaultScenario::default()
+        };
+        assert!(zero_attempts.validate().is_err());
+        let shrink = FaultScenario {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                widen_factor: 0.5,
+            },
+            ..FaultScenario::default()
+        };
+        assert!(shrink.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_scenarios() {
+        let (map, aps) = world(10);
+        let a = FaultState::materialize(&FaultScenario::iid(0.1), &aps, &map, 3);
+        let b = FaultState::materialize(&FaultScenario::iid(0.2), &aps, &map, 3);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            FaultState::healthy(aps.len()).fingerprint()
+        );
+    }
+}

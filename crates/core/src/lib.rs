@@ -31,6 +31,9 @@
 //!   50 m) used for reachability and the ideal-unicast hop count.
 //! * [`sim`] — the event-driven broadcast simulation measuring
 //!   deliverability and transmission overhead.
+//! * [`faults`] — deterministic fault injection (AP outages, district
+//!   blackouts, degraded radios, stale maps) and the sender's
+//!   graceful-degradation retry ladder.
 //! * [`pipeline`] — one-call experiment runs producing the numbers
 //!   behind every figure (reachability, deliverability, overhead,
 //!   header sizes).
@@ -43,6 +46,7 @@ pub mod apgraph;
 pub mod bridge;
 pub mod buildgraph;
 pub mod conduit;
+pub mod faults;
 pub mod pipeline;
 pub mod placement;
 pub mod postbox;
@@ -53,14 +57,19 @@ pub use agent::{ApAgent, RebroadcastScope};
 pub use apgraph::ApGraph;
 pub use bridge::{apply_bridges, extend_placement, plan_bridges, Bridge, BridgePlan};
 pub use buildgraph::{BuildingGraph, BuildingGraphParams};
-pub use conduit::{compress_route, reconstruct_conduits, within_conduits, CompressedRoute};
-pub use pipeline::{CityExperiment, CityResult, ExperimentConfig, PairOutcome, PlannedFlow};
+pub use conduit::{
+    compress_route, reconstruct_conduits, within_conduits, CompressedRoute, ConduitError,
+};
+pub use faults::{ApHealth, FaultScenario, FaultState, RecoveryStage, RetryPolicy};
+pub use pipeline::{
+    CityExperiment, CityResult, ConfigError, ExperimentConfig, PairOutcome, PlannedFlow,
+};
 pub use placement::{place_aps, postbox_ap, Ap};
 pub use postbox::{Postbox, PostboxError, StoredMessage};
 pub use route::{plan_route, plan_route_avoiding, RouteError};
 pub use sim::{
-    simulate_delivery, simulate_delivery_into, ApRole, DeliveryParams, DeliveryReport,
-    DeliveryScratch,
+    simulate_delivery, simulate_delivery_faulted, simulate_delivery_into, ApRole, DeliveryParams,
+    DeliveryReport, DeliveryScratch, OverheadOutcome,
 };
 
 /// The paper's default Wi-Fi transmission range, meters (§4).

@@ -17,16 +17,106 @@
 
 use citymesh_geo::OrientedRect;
 use citymesh_map::CityMap;
-use citymesh_net::CityMeshHeader;
-use citymesh_simcore::{split_seed, SimRng};
+use citymesh_net::{CityMeshHeader, MAX_CONDUIT_WIDTH_M};
+use citymesh_simcore::{split_seed, SimRng, SimTime};
 
 use crate::agent::RebroadcastScope;
 use crate::apgraph::ApGraph;
 use crate::buildgraph::{BuildingGraph, BuildingGraphParams};
 use crate::conduit::{compress_route, reconstruct_conduits};
+use crate::faults::{FaultScenario, FaultState, RecoveryStage, RetryPolicy};
 use crate::placement::{place_aps, postbox_ap, Ap};
-use crate::route::plan_route;
-use crate::sim::{simulate_delivery_into, DeliveryParams, DeliveryReport, DeliveryScratch};
+use crate::route::{plan_route, plan_route_avoiding};
+use crate::sim::{simulate_delivery_faulted, DeliveryParams, DeliveryScratch};
+
+/// Sub-stream domain for fault materialization (see [`crate::faults`]).
+const DOMAIN_FAULTS: u64 = 0xFA17;
+
+/// A rejected experiment or simulation parameter.
+///
+/// Carries the field path and the offending value so a config loaded
+/// from the outside (CLI flags, sweep files) fails with a diagnosis
+/// instead of a panic deep inside route compression.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The value was NaN or infinite.
+    NotFinite {
+        /// Dotted field path.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The value must be strictly positive.
+    NotPositive {
+        /// Dotted field path.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The value fell outside its legal interval.
+    OutOfRange {
+        /// Dotted field path.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NotFinite { field, value } => {
+                write!(f, "{field} must be finite, got {value}")
+            }
+            ConfigError::NotPositive { field, value } => {
+                write!(f, "{field} must be positive, got {value}")
+            }
+            ConfigError::OutOfRange {
+                field,
+                value,
+                min,
+                max,
+            } => write!(f, "{field} must be within [{min}, {max}], got {value}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn require_finite(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(ConfigError::NotFinite { field, value })
+    }
+}
+
+fn require_positive(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    require_finite(field, value)?;
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::NotPositive { field, value })
+    }
+}
+
+pub(crate) fn require_probability(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    require_finite(field, value)?;
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ConfigError::OutOfRange {
+            field,
+            value,
+            min: 0.0,
+            max: 1.0,
+        })
+    }
+}
 
 /// Experiment parameters (defaults mirror the paper's §4 setup).
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +140,11 @@ pub struct ExperimentConfig {
     pub delivery_pairs: usize,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
+    /// Optional fault scenario (AP outages, blackouts, degradation,
+    /// map staleness) plus the sender's recovery ladder. `None` — the
+    /// default — is the healthy world and leaves every RNG stream and
+    /// fleet digest untouched.
+    pub faults: Option<FaultScenario>,
 }
 
 impl Default for ExperimentConfig {
@@ -64,7 +159,36 @@ impl Default for ExperimentConfig {
             reachability_pairs: 1000,
             delivery_pairs: 50,
             seed: 0,
+            faults: None,
         }
+    }
+}
+
+impl ExperimentConfig {
+    /// Validates every numeric field, rejecting NaN, infinities,
+    /// non-positive widths/ranges/densities, probabilities outside
+    /// [0, 1], widths the header cannot encode, and malformed fault
+    /// scenarios. [`CityExperiment::try_prepare`] runs this before
+    /// touching the map.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_positive("range_m", self.range_m)?;
+        require_positive("m2_per_ap", self.m2_per_ap)?;
+        require_positive("conduit_width_m", self.conduit_width_m)?;
+        if self.conduit_width_m > MAX_CONDUIT_WIDTH_M {
+            return Err(ConfigError::OutOfRange {
+                field: "conduit_width_m",
+                value: self.conduit_width_m,
+                min: 0.1,
+                max: MAX_CONDUIT_WIDTH_M,
+            });
+        }
+        require_positive("graph.max_gap_m", self.graph.max_gap_m)?;
+        require_finite("graph.weight_exponent", self.graph.weight_exponent)?;
+        require_probability("reception_loss", self.reception_loss)?;
+        if let Some(f) = &self.faults {
+            f.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -101,12 +225,35 @@ pub struct PlannedFlow {
     /// Ideal-unicast hop count from `src_ap` (ground truth), when
     /// reachable.
     pub ideal_hops: Option<u64>,
+    /// Width of the widened-conduit retry variant, meters (0 when the
+    /// scenario's ladder never widens).
+    pub wide_width_m: f64,
+    /// Conduits of the widened variant: same waypoints, fatter
+    /// rectangles, clamped to the header-encodable maximum. Computed
+    /// at plan time so the widen rung allocates nothing per flow.
+    pub wide_conduits: Vec<OrientedRect>,
+    /// Waypoints of the replanned detour around buildings with zero
+    /// live APs (empty when the ladder never replans, the map is
+    /// fresh, or no distinct detour exists).
+    pub fallback_waypoints: Vec<u32>,
+    /// Conduits of the replanned detour.
+    pub fallback_conduits: Vec<OrientedRect>,
 }
 
 impl PlannedFlow {
     /// Whether planning produced a usable route.
     pub fn route_found(&self) -> bool {
         !self.waypoints.is_empty()
+    }
+
+    /// Whether the plan carries a widened-conduit retry variant.
+    pub fn has_wide_variant(&self) -> bool {
+        !self.wide_conduits.is_empty()
+    }
+
+    /// Whether the plan carries a replanned detour.
+    pub fn has_fallback(&self) -> bool {
+        !self.fallback_conduits.is_empty()
     }
 }
 
@@ -137,6 +284,15 @@ pub struct PairOutcome {
     pub ideal_hops: Option<u64>,
     /// Transmission overhead (broadcasts / ideal hops), when delivered.
     pub overhead: Option<f64>,
+    /// Delivery attempts actually simulated: 1 in a fault-free run,
+    /// up to [`RetryPolicy::max_attempts`] under faults, 0 when the
+    /// flow never reached the simulator (no route or no live source
+    /// AP).
+    pub attempts: u32,
+    /// The ladder rung that finally delivered, when delivery needed
+    /// more than one attempt. `None` for first-try deliveries and for
+    /// failures.
+    pub recovered_by: Option<RecoveryStage>,
 }
 
 /// Aggregated per-city results.
@@ -176,14 +332,30 @@ pub struct CityExperiment {
     apg: ApGraph,
     bg: BuildingGraph,
     config: ExperimentConfig,
+    /// Materialized fault scenario, when the config carries one.
+    /// Drawn serially at preparation time from a dedicated sub-stream
+    /// of the seed, so it is identical no matter how many workers
+    /// later share this experiment.
+    faults: Option<FaultState>,
 }
 
 impl CityExperiment {
     /// Places APs and builds both graphs for `map`.
+    ///
+    /// # Panics
+    /// Panics on an invalid config ([`ExperimentConfig::validate`]);
+    /// use [`CityExperiment::try_prepare`] for a graceful failure.
     pub fn prepare(map: CityMap, config: ExperimentConfig) -> Self {
+        Self::try_prepare(map, config).unwrap_or_else(|e| panic!("invalid ExperimentConfig: {e}"))
+    }
+
+    /// [`CityExperiment::prepare`] with config validation surfaced as
+    /// a value instead of a panic.
+    pub fn try_prepare(map: CityMap, config: ExperimentConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let mut placement_rng = SimRng::new(split_seed(config.seed, 0xA9));
         let aps = place_aps(&map, config.m2_per_ap, &mut placement_rng);
-        Self::from_parts(map, aps, config)
+        Ok(Self::from_parts(map, aps, config))
     }
 
     /// Builds both graphs over a caller-supplied placement — used when
@@ -191,21 +363,54 @@ impl CityExperiment {
     /// [`crate::apply_bridges`] + [`crate::bridge::extend_placement`]).
     ///
     /// # Panics
-    /// Panics when any AP references a building outside the map.
+    /// Panics when any AP references a building outside the map or the
+    /// config is invalid.
     pub fn from_parts(map: CityMap, aps: Vec<Ap>, config: ExperimentConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid ExperimentConfig: {e}"));
         assert!(
             aps.iter().all(|a| (a.building as usize) < map.len()),
             "AP references a building outside the map"
         );
         let apg = ApGraph::build(&aps, config.range_m);
         let bg = BuildingGraph::build(&map, config.graph);
+        let faults = config.faults.map(|sc| {
+            FaultState::materialize(&sc, &aps, &map, split_seed(config.seed, DOMAIN_FAULTS))
+        });
         CityExperiment {
             map,
             aps,
             apg,
             bg,
             config,
+            faults,
         }
+    }
+
+    /// The materialized fault state, when the config carries a
+    /// scenario.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
+    }
+
+    /// Replaces the fault state with a caller-built one — the targeted
+    /// what-if path (e.g. [`FaultState::with_failed`] killing exactly
+    /// the destination's APs), bypassing scenario materialization.
+    ///
+    /// # Panics
+    /// Panics when `state` does not cover exactly this experiment's
+    /// APs.
+    pub fn with_fault_state(mut self, state: FaultState) -> Self {
+        assert_eq!(
+            state.len(),
+            self.aps.len(),
+            "fault state covers {} APs but the experiment has {}",
+            state.len(),
+            self.aps.len()
+        );
+        self.faults = Some(state);
+        self
     }
 
     /// The city map.
@@ -274,17 +479,39 @@ impl CityExperiment {
             route_bits: 0,
             src_ap: None,
             ideal_hops: None,
+            wide_width_m: 0.0,
+            wide_conduits: Vec::new(),
+            fallback_waypoints: Vec::new(),
+            fallback_conduits: Vec::new(),
         };
-        let Ok(route) = plan_route(&self.bg, src, dst) else {
+        let faults = self.faults.as_ref();
+        // Plan over the map the sender believes in: the cached
+        // pre-disaster graph when the map is stale (the paper's
+        // static-map assumption under stress), the surviving graph —
+        // dark buildings avoided — when it is fresh.
+        let route = match faults {
+            Some(f) if !f.stale_map() => {
+                plan_route_avoiding(&self.bg, src, dst, f.blocked_buildings())
+            }
+            _ => plan_route(&self.bg, src, dst),
+        };
+        let Ok(route) = route else {
             return plan;
         };
         plan.route_len = route.len();
-        let compressed = compress_route(&self.bg, &route, self.config.conduit_width_m);
+        let compressed = compress_route(&self.bg, &route, self.config.conduit_width_m)
+            .expect("config width validated at prepare time; route is non-empty");
         // Header size depends only on the waypoints and width; probe it
         // with a placeholder message id (route bits exclude the id).
         let header = CityMeshHeader::new(0, self.config.conduit_width_m, compressed.waypoints);
         plan.route_bits = header.route_bits();
-        plan.src_ap = postbox_ap(&self.aps, &self.map, src);
+        // Under faults the sender's uplink is the surviving postbox
+        // AP: closest live AP to the centroid, `None` when the source
+        // building is dark (the flow then fails cleanly, unsimulated).
+        plan.src_ap = match faults {
+            Some(f) => f.postbox_ap_live(&self.aps, &self.map, src),
+            None => postbox_ap(&self.aps, &self.map, src),
+        };
         if let Some(src_ap) = plan.src_ap {
             plan.ideal_hops = self.apg.ideal_hops_to_building(src_ap, dst);
         }
@@ -293,8 +520,55 @@ impl CityExperiment {
         // bit-identical to a relay-side reconstruction.
         plan.conduits =
             reconstruct_conduits(&self.map, &header.waypoints, header.conduit_width_m());
+        if let Some(f) = faults {
+            self.plan_recovery_variants(&mut plan, f, &route, &header.waypoints);
+        }
         plan.waypoints = header.waypoints;
         plan
+    }
+
+    /// Precomputes the retry ladder's geometry so every rung reuses
+    /// cached state at simulation time (the steady-state path must not
+    /// allocate, and the fleet's route cache amortizes this across all
+    /// flows sharing the pair).
+    fn plan_recovery_variants(
+        &self,
+        plan: &mut PlannedFlow,
+        faults: &FaultState,
+        route: &[u32],
+        waypoints: &[u32],
+    ) {
+        let policy = faults.retry();
+        // Widen rung: same waypoints, fatter conduits, clamped to the
+        // header-encodable width.
+        if policy.max_attempts >= 3 && policy.widen_factor > 1.0 {
+            let w = (self.config.conduit_width_m * policy.widen_factor).min(MAX_CONDUIT_WIDTH_M);
+            let wide_header = CityMeshHeader::new(0, w, waypoints.to_vec());
+            plan.wide_width_m = wide_header.conduit_width_m();
+            plan.wide_conduits =
+                reconstruct_conduits(&self.map, &wide_header.waypoints, plan.wide_width_m);
+        }
+        // Replan rung: detour around buildings with zero live APs.
+        // Only meaningful when the primary plan was drawn on a stale
+        // map and a genuinely different detour survives.
+        if policy.max_attempts >= 4 && faults.stale_map() && !faults.blocked_buildings().is_empty()
+        {
+            let Ok(detour) =
+                plan_route_avoiding(&self.bg, plan.src, plan.dst, faults.blocked_buildings())
+            else {
+                return;
+            };
+            if detour == route {
+                return;
+            }
+            let Ok(c) = compress_route(&self.bg, &detour, self.config.conduit_width_m) else {
+                return;
+            };
+            let h = CityMeshHeader::new(0, self.config.conduit_width_m, c.waypoints);
+            plan.fallback_conduits =
+                reconstruct_conduits(&self.map, &h.waypoints, h.conduit_width_m());
+            plan.fallback_waypoints = h.waypoints;
+        }
     }
 
     /// The stochastic half of a flow: drives the event simulation over
@@ -317,6 +591,14 @@ impl CityExperiment {
     /// (only the message id varies per flow) and the plan's cached
     /// conduits, so a warmed scratch executes a flow with zero heap
     /// allocations. Bit-identical to `simulate_flow`.
+    ///
+    /// Under a fault scenario this is also where graceful degradation
+    /// happens: a failed delivery escalates through the scenario's
+    /// [`RetryPolicy`] ladder — re-send, widened conduit, replanned
+    /// detour — each rung riding geometry the plan precomputed, so
+    /// retries stay on the zero-allocation path. Each failed attempt
+    /// charges one full delivery horizon of latency (the sender only
+    /// learns of failure at its timeout).
     pub fn simulate_flow_with(
         &self,
         plan: &PlannedFlow,
@@ -337,12 +619,21 @@ impl CityExperiment {
             latency: None,
             ideal_hops: plan.ideal_hops,
             overhead: None,
+            attempts: 0,
+            recovered_by: None,
         };
         if !plan.route_found() {
             return outcome;
         }
         let Some(src_ap) = plan.src_ap else {
             return outcome;
+        };
+        let faults = self.faults.as_ref();
+        let policy = faults.map(|f| f.retry()).unwrap_or_else(RetryPolicy::none);
+        let params = DeliveryParams {
+            scope: self.config.scope,
+            reception_loss: self.config.reception_loss,
+            ..DeliveryParams::default()
         };
         // Borrow juggling: the kernel needs `&mut scratch` while
         // reading the header, so lift the header out (the placeholder
@@ -358,25 +649,70 @@ impl CityExperiment {
                 encoding: citymesh_net::RouteEncoding::Absolute,
             },
         );
-        header.reuse_for(msg_id, self.config.conduit_width_m, &plan.waypoints);
-        let report: &DeliveryReport = simulate_delivery_into(
-            &self.map,
-            &self.apg,
-            &header,
-            &plan.conduits,
-            src_ap,
-            DeliveryParams {
-                scope: self.config.scope,
-                reception_loss: self.config.reception_loss,
-                ..DeliveryParams::default()
-            },
-            rng,
-            scratch,
-        );
-        outcome.delivered = report.delivered;
-        outcome.broadcasts = report.broadcasts;
-        outcome.latency = report.first_delivery;
-        outcome.overhead = report.overhead(outcome.ideal_hops);
+        let mut attempts = 0u32;
+        let mut total_broadcasts = 0u64;
+        let mut penalty = SimTime::ZERO;
+        loop {
+            attempts += 1;
+            // Rung selection: 1 → first send, 2 → re-send, 3 → widen,
+            // 4+ → replan; rungs without geometry degrade to a re-send
+            // so the ladder is always bounded by `max_attempts`.
+            let (stage, waypoints, conduits, width): (RecoveryStage, &[u32], &[OrientedRect], f64) =
+                match attempts {
+                    1 => (
+                        RecoveryStage::First,
+                        &plan.waypoints,
+                        &plan.conduits,
+                        self.config.conduit_width_m,
+                    ),
+                    3 if plan.has_wide_variant() => (
+                        RecoveryStage::Widen,
+                        &plan.waypoints,
+                        &plan.wide_conduits,
+                        plan.wide_width_m,
+                    ),
+                    n if n >= 4 && plan.has_fallback() => (
+                        RecoveryStage::Replan,
+                        &plan.fallback_waypoints,
+                        &plan.fallback_conduits,
+                        self.config.conduit_width_m,
+                    ),
+                    _ => (
+                        RecoveryStage::Resend,
+                        &plan.waypoints,
+                        &plan.conduits,
+                        self.config.conduit_width_m,
+                    ),
+                };
+            header.reuse_for(msg_id, width, waypoints);
+            let (delivered, first_delivery, broadcasts) = {
+                let report = simulate_delivery_faulted(
+                    &self.map, &self.apg, &header, conduits, src_ap, params, faults, rng, scratch,
+                );
+                (report.delivered, report.first_delivery, report.broadcasts)
+            };
+            total_broadcasts += broadcasts;
+            if delivered {
+                outcome.delivered = true;
+                outcome.latency = first_delivery.map(|t| penalty + t);
+                if attempts > 1 {
+                    outcome.recovered_by = Some(stage);
+                }
+                break;
+            }
+            if attempts >= policy.max_attempts {
+                break;
+            }
+            penalty += params.horizon;
+        }
+        outcome.attempts = attempts;
+        outcome.broadcasts = total_broadcasts;
+        outcome.overhead = crate::sim::OverheadOutcome::measure(
+            outcome.delivered,
+            total_broadcasts,
+            plan.ideal_hops,
+        )
+        .value();
         scratch.header = header;
         outcome
     }

@@ -26,6 +26,8 @@ use citymesh_simcore::{SimRng, SimTime, Simulation};
 use crate::agent::{ApAgent, RebroadcastScope};
 use crate::apgraph::ApGraph;
 use crate::conduit::reconstruct_conduits;
+use crate::faults::{combined_loss, FaultState};
+use crate::pipeline::{require_probability, ConfigError};
 
 /// Simulation knobs.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +57,65 @@ impl Default for DeliveryParams {
             max_jitter: SimTime::from_millis(5),
             horizon: SimTime::from_secs_f64(60.0),
             reception_loss: 0.0,
+        }
+    }
+}
+
+impl DeliveryParams {
+    /// Validates the simulation knobs: a positive horizon, an ordered
+    /// jitter window, and a reception loss that is a probability.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.horizon <= SimTime::ZERO {
+            return Err(ConfigError::NotPositive {
+                field: "horizon",
+                value: self.horizon.as_secs_f64(),
+            });
+        }
+        if self.min_jitter > self.max_jitter {
+            return Err(ConfigError::OutOfRange {
+                field: "min_jitter",
+                value: self.min_jitter.as_secs_f64(),
+                min: 0.0,
+                max: self.max_jitter.as_secs_f64(),
+            });
+        }
+        require_probability("reception_loss", self.reception_loss)
+    }
+}
+
+/// Explicit transmission-overhead semantics, replacing the ambiguous
+/// bare `Option` (which conflated "the flow failed" with "there is no
+/// ideal-hops baseline to divide by").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OverheadOutcome {
+    /// Delivered with a baseline: broadcasts ÷ ideal hops (or the raw
+    /// broadcast count for a same-building flow whose baseline is 0).
+    Measured(f64),
+    /// The message was never delivered; overhead is undefined because
+    /// the broadcasts bought nothing.
+    NotDelivered,
+    /// Delivered, but no ideal-unicast baseline exists (ground truth
+    /// found no AP-graph path to divide by).
+    NoBaseline,
+}
+
+impl OverheadOutcome {
+    /// Classifies one measurement.
+    pub fn measure(delivered: bool, broadcasts: u64, ideal_hops: Option<u64>) -> Self {
+        match (delivered, ideal_hops) {
+            (false, _) => OverheadOutcome::NotDelivered,
+            (true, None) => OverheadOutcome::NoBaseline,
+            (true, Some(h)) if h > 0 => OverheadOutcome::Measured(broadcasts as f64 / h as f64),
+            (true, Some(_)) => OverheadOutcome::Measured(broadcasts as f64),
+        }
+    }
+
+    /// The measured ratio, `None` for both non-measured cases (the
+    /// legacy `Option` view).
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            OverheadOutcome::Measured(v) => Some(*v),
+            _ => None,
         }
     }
 }
@@ -93,14 +154,23 @@ impl DeliveryReport {
     /// Transmission overhead versus an ideal unicast path of
     /// `ideal_hops` transmissions (paper §4: "the ratio of the number
     /// of packet broadcasts … to the minimum number of transmissions
-    /// necessary"). `None` when the ideal path does not exist or the
-    /// message was not delivered.
+    /// necessary"), with the two non-measurable cases kept distinct:
+    /// [`OverheadOutcome::NotDelivered`] (the flow failed, so the
+    /// broadcasts bought nothing) versus [`OverheadOutcome::NoBaseline`]
+    /// (delivered, but ground truth has no ideal path to divide by).
+    pub fn overhead_outcome(&self, ideal_hops: Option<u64>) -> OverheadOutcome {
+        OverheadOutcome::measure(self.delivered, self.broadcasts, ideal_hops)
+    }
+
+    /// Flattened view of [`DeliveryReport::overhead_outcome`].
+    ///
+    /// Contract: `None` means *either* the message was not delivered
+    /// *or* no ideal-hops baseline exists — callers that must tell
+    /// the two apart use `overhead_outcome` instead. Aggregations that
+    /// only average measured overheads (the paper's ≈13× figure) can
+    /// keep filter-mapping on this.
     pub fn overhead(&self, ideal_hops: Option<u64>) -> Option<f64> {
-        match (self.delivered, ideal_hops) {
-            (true, Some(h)) if h > 0 => Some(self.broadcasts as f64 / h as f64),
-            (true, Some(_)) => Some(self.broadcasts as f64), // same building
-            _ => None,
-        }
+        self.overhead_outcome(ideal_hops).value()
     }
 
     /// Number of APs that relayed.
@@ -320,8 +390,50 @@ pub fn simulate_delivery_into<'a>(
     rng: &mut SimRng,
     scratch: &'a mut DeliveryScratch,
 ) -> &'a DeliveryReport {
+    simulate_delivery_faulted(
+        map, apg, header, conduits, src_ap, params, None, rng, scratch,
+    )
+}
+
+/// [`simulate_delivery_into`] under a materialized fault scenario.
+///
+/// Fault semantics, chosen so `faults == None` (or an all-`Up` state)
+/// replays the healthy kernel **bit for bit**, RNG draws included:
+///
+/// * a **failed** AP neither transmits nor receives — it is skipped
+///   *before* any loss draw, so dead radios never consume randomness;
+///   a failed source produces an immediate clean failure (zero
+///   broadcasts, empty event queue — the run terminates, it does not
+///   hang);
+/// * a **degraded** AP receives through a lossier radio: its
+///   per-frame loss is `1 − (1−base)(1−extra)`;
+/// * delivery still means "an AP in the destination building received
+///   the packet" — but only *live* APs can receive, so a dark
+///   destination building can never report delivery.
+///
+/// Faults are read-only state shared by every worker; all scheduling
+/// stays inside `scratch`, so the zero-allocation steady state is
+/// preserved (enforced with faults enabled in
+/// `crates/fleet/tests/zero_alloc.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_delivery_faulted<'a>(
+    map: &CityMap,
+    apg: &ApGraph,
+    header: &CityMeshHeader,
+    conduits: &[OrientedRect],
+    src_ap: u32,
+    params: DeliveryParams,
+    faults: Option<&FaultState>,
+    rng: &mut SimRng,
+    scratch: &'a mut DeliveryScratch,
+) -> &'a DeliveryReport {
     assert!((src_ap as usize) < apg.len(), "source AP out of range");
     scratch.begin(apg.len(), params.horizon);
+    // A dead source cannot even make the first transmission: fail
+    // cleanly with an empty schedule.
+    if faults.is_some_and(|f| f.is_failed(src_ap)) {
+        return &scratch.report;
+    }
     let dst_building = header.destination();
     let DeliveryScratch {
         sim,
@@ -364,7 +476,17 @@ pub fn simulate_delivery_into<'a>(
             if rx == ap {
                 return; // no self-reception
             }
-            if params.reception_loss > 0.0 && rng.chance(params.reception_loss) {
+            // Failed radios are gone from the air, not merely lossy:
+            // skip them before the loss draw so the healthy APs' RNG
+            // stream is untouched by how many neighbors died.
+            if faults.is_some_and(|f| f.is_failed(rx)) {
+                return;
+            }
+            let loss = match faults {
+                Some(f) => combined_loss(params.reception_loss, f.extra_loss(rx)),
+                None => params.reception_loss,
+            };
+            if loss > 0.0 && rng.chance(loss) {
                 return; // frame lost to collision/fading
             }
             report.receptions += 1;
@@ -436,7 +558,7 @@ mod tests {
     fn route_header(bg: &BuildingGraph, src: u32, dst: u32) -> CityMeshHeader {
         let route = crate::plan_route(bg, src, dst).unwrap();
         let compressed = crate::compress_route(bg, &route, 50.0);
-        CityMeshHeader::new(777, 50.0, compressed.waypoints)
+        CityMeshHeader::new(777, 50.0, compressed.unwrap().waypoints)
     }
 
     #[test]
@@ -822,5 +944,42 @@ mod tests {
             ..report
         };
         assert_eq!(failed.overhead(Some(2)), None);
+    }
+
+    #[test]
+    fn overhead_outcome_distinguishes_the_two_none_cases() {
+        // The legacy `overhead` Option conflated these; the enum must
+        // keep them apart.
+        let delivered = DeliveryReport {
+            delivered: true,
+            first_delivery: Some(SimTime::ZERO),
+            broadcasts: 26,
+            receptions: 100,
+            duplicates: 60,
+            roles: vec![],
+        };
+        assert_eq!(
+            delivered.overhead_outcome(None),
+            OverheadOutcome::NoBaseline,
+            "delivered without a ground-truth path"
+        );
+        assert_eq!(
+            delivered.overhead_outcome(Some(2)),
+            OverheadOutcome::Measured(13.0)
+        );
+        let failed = DeliveryReport {
+            delivered: false,
+            ..delivered
+        };
+        assert_eq!(
+            failed.overhead_outcome(Some(2)),
+            OverheadOutcome::NotDelivered,
+            "failure dominates even when a baseline exists"
+        );
+        assert_eq!(failed.overhead_outcome(None), OverheadOutcome::NotDelivered);
+        // Both non-measured variants flatten to None identically.
+        assert_eq!(OverheadOutcome::NotDelivered.value(), None);
+        assert_eq!(OverheadOutcome::NoBaseline.value(), None);
+        assert_eq!(OverheadOutcome::Measured(2.5).value(), Some(2.5));
     }
 }

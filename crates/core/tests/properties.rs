@@ -84,7 +84,7 @@ proptest! {
         let src = rng.below(n) as u32;
         let dst = rng.below(n) as u32;
         let Ok(route) = plan_route(&bg, src, dst) else { return Ok(()) };
-        let compressed = compress_route(&bg, &route, width);
+        let compressed = compress_route(&bg, &route, width).unwrap();
         let conduits = reconstruct_conduits(&map, &compressed.waypoints, width);
         for &b in &route {
             prop_assert!(
@@ -105,7 +105,7 @@ proptest! {
         let src = rng.below(n) as u32;
         let dst = rng.below(n) as u32;
         let Ok(route) = plan_route(&bg, src, dst) else { return Ok(()) };
-        let compressed = compress_route(&bg, &route, 50.0);
+        let compressed = compress_route(&bg, &route, 50.0).unwrap();
         prop_assert_eq!(compressed.waypoints[0], route[0]);
         prop_assert_eq!(*compressed.waypoints.last().unwrap(), *route.last().unwrap());
         prop_assert!(compressed.waypoints.len() <= route.len());
@@ -145,7 +145,7 @@ proptest! {
         let src = rng.below(n) as u32;
         let dst = rng.below(n) as u32;
         let Ok(route) = plan_route(&bg, src, dst) else { return Ok(()) };
-        let compressed = compress_route(&bg, &route, 50.0);
+        let compressed = compress_route(&bg, &route, 50.0).unwrap();
         let mut header = CityMeshHeader::new(pair_seed, 50.0, compressed.waypoints.clone());
         if delta {
             header.encoding = citymesh_net::RouteEncoding::Delta;

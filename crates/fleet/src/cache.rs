@@ -117,6 +117,10 @@ mod tests {
             route_bits: 64,
             src_ap: None,
             ideal_hops: None,
+            wide_width_m: 0.0,
+            wide_conduits: Vec::new(),
+            fallback_waypoints: Vec::new(),
+            fallback_conduits: Vec::new(),
         }
     }
 

@@ -87,6 +87,15 @@ pub struct FleetReport {
     pub hops: Histogram,
     /// Compressed source-route header size, bits (routed flows).
     pub header_bits: Histogram,
+    /// Flows that needed more than one send attempt (fault runs only;
+    /// always `0` when the experiment has no fault scenario).
+    pub retried: u64,
+    /// Retried flows that were ultimately delivered by a later rung of
+    /// the recovery ladder.
+    pub recovered: u64,
+    /// Send attempts per flow (flows that were actually simulated).
+    /// Degenerate (all-ones) on fault-free runs.
+    pub retry_attempts: Histogram,
     /// Workload span: the last flow's arrival offset, ms.
     pub span_ms: f64,
     /// Wall-clock run time, seconds. **Not** covered by the digest.
@@ -113,6 +122,9 @@ impl FleetReport {
             broadcasts: Histogram::new(1.0, 1.2),
             hops: Histogram::new(1.0, 1.2),
             header_bits: Histogram::new(8.0, 1.1),
+            retried: 0,
+            recovered: 0,
+            retry_attempts: Histogram::new(1.0, 1.2),
             span_ms: 0.0,
             elapsed_secs: 0.0,
             workers: 0,
@@ -143,6 +155,15 @@ impl FleetReport {
             self.broadcasts.record(outcome.broadcasts as f64);
             if let Some(t) = outcome.latency {
                 self.latency_ms.record(t.as_millis_f64());
+            }
+        }
+        if outcome.attempts > 0 {
+            self.retry_attempts.record(outcome.attempts as f64);
+        }
+        if outcome.attempts > 1 {
+            self.retried += 1;
+            if outcome.delivered {
+                self.recovered += 1;
             }
         }
         self.span_ms = self.span_ms.max(spec.arrival_ms);
@@ -184,7 +205,24 @@ impl FleetReport {
         mix(self.broadcasts.fingerprint());
         mix(self.hops.fingerprint());
         mix(self.header_bits.fingerprint());
+        // Retry statistics join the digest only once a retry actually
+        // happened: fault-free runs (where the ladder never fires and
+        // `retry_attempts` is degenerate) keep their historical digests,
+        // so golden values pinned before fault injection stay valid.
+        if self.retried > 0 {
+            mix(self.retried);
+            mix(self.recovered);
+            mix(self.retry_attempts.fingerprint());
+        }
         h
+    }
+
+    /// Fraction of retried flows that a later ladder rung recovered.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.retried == 0 {
+            return 0.0;
+        }
+        self.recovered as f64 / self.retried as f64
     }
 }
 
@@ -284,7 +322,7 @@ fn execute_range(
 mod tests {
     use super::*;
     use crate::workload::{generate_flows, FlowModel, WorkloadConfig};
-    use citymesh_core::ExperimentConfig;
+    use citymesh_core::{ExperimentConfig, FaultScenario, RetryPolicy};
     use citymesh_map::CityArchetype;
 
     fn world(seed: u64) -> CityExperiment {
@@ -293,6 +331,18 @@ mod tests {
             map,
             ExperimentConfig {
                 seed,
+                ..ExperimentConfig::default()
+            },
+        )
+    }
+
+    fn faulted_world(seed: u64, scenario: FaultScenario) -> CityExperiment {
+        let map = CityArchetype::SurveyDowntown.generate(seed);
+        CityExperiment::prepare(
+            map,
+            ExperimentConfig {
+                seed,
+                faults: Some(scenario),
                 ..ExperimentConfig::default()
             },
         )
@@ -422,6 +472,90 @@ mod tests {
             r.cache_misses
         );
         assert!(r.cache_hits >= 180, "{} hits", r.cache_hits);
+    }
+
+    #[test]
+    fn faulted_fleet_is_worker_count_invariant() {
+        let mut scenario = FaultScenario::iid(0.25);
+        scenario.retry = RetryPolicy::ladder();
+        let exp = faulted_world(6, scenario);
+        let flows = workload(&exp, 150, 6);
+        let digests: Vec<u64> = [1usize, 4, 8]
+            .iter()
+            .map(|&w| {
+                run_fleet(
+                    &exp,
+                    &flows,
+                    &FleetConfig {
+                        workers: w,
+                        seed: 6,
+                    },
+                )
+                .digest()
+            })
+            .collect();
+        assert_eq!(digests[0], digests[1], "1 vs 4 workers");
+        assert_eq!(digests[0], digests[2], "1 vs 8 workers");
+    }
+
+    #[test]
+    fn faulted_run_records_retries_in_digest() {
+        let mut scenario = FaultScenario::iid(0.3);
+        scenario.retry = RetryPolicy::ladder();
+        let exp = faulted_world(7, scenario);
+        let flows = workload(&exp, 150, 7);
+        let r = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 7,
+            },
+        );
+        assert!(
+            r.retried > 0,
+            "a quarter of APs dark must force some retries"
+        );
+        assert!(r.recovered <= r.retried);
+        assert!(r.recovery_rate() >= 0.0 && r.recovery_rate() <= 1.0);
+        assert!(
+            r.retry_attempts.len() <= flows.len() as u64 && r.retry_attempts.len() >= r.retried,
+            "attempt histogram covers simulated flows: {} entries",
+            r.retry_attempts.len()
+        );
+        // The conditional digest block must actually fire.
+        let mut clean = r.clone();
+        clean.retried = 0;
+        assert_ne!(
+            r.digest(),
+            clean.digest(),
+            "retry stats must reach the digest when retries happened"
+        );
+    }
+
+    #[test]
+    fn fault_free_digest_ignores_retry_fields() {
+        // Fault-free runs never retry, so the retry block must stay out
+        // of the digest — this is what keeps pre-fault golden digests
+        // (e.g. the CI 500-flow pin) valid.
+        let exp = world(8);
+        let flows = workload(&exp, 80, 8);
+        let r = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 8,
+            },
+        );
+        assert_eq!(r.retried, 0);
+        let mut tweaked = r.clone();
+        tweaked.recovered = 99;
+        assert_eq!(
+            r.digest(),
+            tweaked.digest(),
+            "with zero retries the retry fields must not perturb the digest"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::sync::OnceLock;
 
-use citymesh_core::{CityExperiment, ExperimentConfig};
+use citymesh_core::{CityExperiment, ExperimentConfig, FaultScenario, RetryPolicy};
 use citymesh_fleet::{generate_flows, run_fleet, FleetConfig, FlowModel, WorkloadConfig};
 use citymesh_map::CityArchetype;
 use citymesh_simcore::substream_seed;
@@ -56,6 +56,57 @@ proptest! {
             .collect();
         prop_assert_eq!(digests[0], digests[1], "1 vs 4 workers diverged");
         prop_assert_eq!(digests[0], digests[2], "1 vs 8 workers diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same invariant with fault injection and the retry ladder
+    /// active. Faults add a second RNG consumer (the materialized
+    /// outage map) and variable per-flow attempt counts, both of which
+    /// must stay schedule-independent: the fault state is drawn once at
+    /// prepare time from its own sub-streams and the ladder's geometry
+    /// is precomputed per plan, so 1, 4, and 8 workers must agree
+    /// bit-for-bit on the full report, retry stats included.
+    #[test]
+    fn faulted_digest_is_invariant_under_worker_count(
+        seed in any::<u64>(),
+        flows in 24usize..72,
+        failure_p in 0.05f64..0.45,
+    ) {
+        let mut scenario = FaultScenario::iid(failure_p);
+        scenario.retry = RetryPolicy::ladder();
+        let map = CityArchetype::SurveyDowntown.generate(3);
+        let exp = CityExperiment::prepare(
+            map,
+            ExperimentConfig {
+                seed,
+                faults: Some(scenario),
+                ..ExperimentConfig::default()
+            },
+        );
+        let workload = generate_flows(
+            exp.map().len(),
+            &WorkloadConfig {
+                flows,
+                model: FlowModel::UniformPairs { rate_hz: 100.0 },
+                seed,
+            },
+        );
+        let reports: Vec<_> = [1usize, 4, 8]
+            .iter()
+            .map(|&workers| run_fleet(&exp, &workload, &FleetConfig { workers, seed }))
+            .collect();
+        prop_assert_eq!(reports[0].digest(), reports[1].digest(), "1 vs 4 workers diverged");
+        prop_assert_eq!(reports[0].digest(), reports[2].digest(), "1 vs 8 workers diverged");
+        prop_assert_eq!(reports[0].retried, reports[1].retried);
+        prop_assert_eq!(reports[0].recovered, reports[2].recovered);
+        prop_assert_eq!(
+            reports[0].retry_attempts.fingerprint(),
+            reports[2].retry_attempts.fingerprint(),
+            "attempt histogram diverged across worker counts"
+        );
     }
 }
 

@@ -146,6 +146,71 @@ fn steady_state_flow_loop_allocates_nothing() {
 }
 
 #[test]
+fn steady_state_flow_loop_allocates_nothing_under_faults() {
+    // The retry ladder (wide conduits, fallback routes) is fully
+    // precomputed at plan time, and the fault state is materialized at
+    // prepare time — so fault injection must not reintroduce
+    // steady-state allocations even when flows escalate through every
+    // rung.
+    let mut scenario = citymesh_core::FaultScenario::iid(0.3);
+    scenario.retry = citymesh_core::RetryPolicy::ladder();
+    let map = CityArchetype::SurveyDowntown.generate(13);
+    let exp = CityExperiment::prepare(
+        map,
+        ExperimentConfig {
+            seed: 13,
+            faults: Some(scenario),
+            ..ExperimentConfig::default()
+        },
+    );
+    let flows = generate_flows(
+        exp.map().len(),
+        &WorkloadConfig {
+            flows: 64,
+            model: FlowModel::UniformPairs { rate_hz: 200.0 },
+            seed: 13,
+        },
+    );
+    let plans: Vec<_> = flows.iter().map(|f| exp.plan_flow(f.src, f.dst)).collect();
+
+    let mut scratch = DeliveryScratch::new();
+    let mut warm_attempts = 0u64;
+    for (flow, plan) in flows.iter().zip(&plans) {
+        let msg_id = substream_seed(13, DOMAIN_MSG, flow.id);
+        let mut rng = SimRng::new(substream_seed(13, DOMAIN_SIM, flow.id));
+        let outcome = exp.simulate_flow_with(plan, msg_id, &mut rng, &mut scratch);
+        warm_attempts += outcome.attempts as u64;
+    }
+    assert!(
+        warm_attempts > flows.len() as u64,
+        "30% AP loss must force the retry ladder to fire at least once \
+         ({warm_attempts} attempts over {} flows)",
+        flows.len()
+    );
+
+    let (allocs, measured_attempts) = count_allocs(|| {
+        let mut total = 0u64;
+        for (flow, plan) in flows.iter().zip(&plans) {
+            let msg_id = substream_seed(13, DOMAIN_MSG, flow.id);
+            let mut rng = SimRng::new(substream_seed(13, DOMAIN_SIM, flow.id));
+            let outcome = exp.simulate_flow_with(plan, msg_id, &mut rng, &mut scratch);
+            total += outcome.attempts as u64;
+        }
+        total
+    });
+
+    assert_eq!(
+        measured_attempts, warm_attempts,
+        "measured pass must replay the warm-up exactly"
+    );
+    assert_eq!(
+        allocs, 0,
+        "fault-injected steady-state path must perform zero heap \
+         allocations (counted {allocs})"
+    );
+}
+
+#[test]
 fn counter_actually_counts() {
     // Guard against the test silently passing because the counter is
     // broken: an obvious allocation must register.

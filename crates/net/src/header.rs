@@ -28,6 +28,10 @@ pub const VERSION: u8 = 1;
 /// Maximum number of waypoints a route may carry (8-bit count).
 pub const MAX_WAYPOINTS: usize = 255;
 
+/// Largest conduit width the 10-bit decimeter field can encode,
+/// meters. Senders that widen conduits for retries clamp to this.
+pub const MAX_CONDUIT_WIDTH_M: f64 = 102.3;
+
 /// What the packet payload means to the receiving postbox.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MessageKind {

@@ -38,7 +38,7 @@ pub mod varint;
 pub use bitio::{BitReader, BitWriter};
 pub use crc::crc32c;
 pub use fragment::{fragment, Fragment, Reassembler};
-pub use header::{CityMeshHeader, MessageKind, RouteEncoding};
+pub use header::{CityMeshHeader, MessageKind, RouteEncoding, MAX_CONDUIT_WIDTH_M};
 pub use packet::{Packet, MAX_PAYLOAD_LEN};
 
 /// Errors produced while decoding CityMesh frames.

@@ -81,7 +81,10 @@ pub use network::{DfnNetwork, SendReceipt, User};
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use crate::network::{DfnNetwork, SendReceipt, User};
-    pub use citymesh_core::{CityExperiment, ExperimentConfig, Postbox, RebroadcastScope};
+    pub use citymesh_core::{
+        CityExperiment, ExperimentConfig, FaultScenario, FaultState, Postbox, RebroadcastScope,
+        RecoveryStage, RetryPolicy,
+    };
     pub use citymesh_crypto::{Keypair, NodeId, PostboxAddress};
     pub use citymesh_fleet::{
         generate_flows, run_fleet, FleetConfig, FleetReport, FlowModel, WorkloadConfig,

@@ -166,7 +166,8 @@ impl DfnNetwork {
             self.exp.building_graph(),
             &route,
             self.exp.config().conduit_width_m,
-        );
+        )
+        .expect("config width validated at network construction");
         receipt.waypoints = compressed.len();
         let header = CityMeshHeader::new(
             msg_id,
@@ -259,7 +260,8 @@ impl DfnNetwork {
                 self.exp.building_graph(),
                 &route,
                 self.exp.config().conduit_width_m,
-            );
+            )
+            .expect("config width validated at network construction");
             receipt.waypoints = compressed.len();
             let header = CityMeshHeader::new(
                 msg_id,
@@ -391,7 +393,8 @@ impl DfnNetwork {
             self.exp.building_graph(),
             &route,
             self.exp.config().conduit_width_m,
-        );
+        )
+        .expect("config width validated at network construction");
         push.waypoints = compressed.len();
         let mut header = CityMeshHeader::new(
             msg_id,

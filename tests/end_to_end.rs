@@ -44,7 +44,7 @@ fn payload_survives_wire_framing_end_to_end() {
     );
     let route = plan_route(exp.building_graph(), 0, (exp.map().len() - 1) as u32)
         .expect("downtown is connected");
-    let compressed = compress_route(exp.building_graph(), &route, 50.0);
+    let compressed = compress_route(exp.building_graph(), &route, 50.0).unwrap();
     let header = CityMeshHeader::new(424242, 50.0, compressed.waypoints.clone());
     let packet = Packet::new(header.clone(), Bytes::from_static(b"sealed payload here"));
 
@@ -120,7 +120,7 @@ fn delivery_report_roles_are_consistent_with_counts() {
     );
     let dst = (exp.map().len() / 2) as u32;
     let route = plan_route(exp.building_graph(), 0, dst).unwrap();
-    let compressed = compress_route(exp.building_graph(), &route, 50.0);
+    let compressed = compress_route(exp.building_graph(), &route, 50.0).unwrap();
     let header = CityMeshHeader::new(1, 50.0, compressed.waypoints);
     let src_ap = postbox_ap(exp.aps(), exp.map(), 0).unwrap();
     let mut rng = SimRng::new(1);

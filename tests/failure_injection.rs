@@ -14,6 +14,142 @@ use citymesh::core::{
 use citymesh::net::CityMeshHeader;
 use citymesh::prelude::*;
 
+/// A small faulted experiment with exactly the APs in `kill(aps)`
+/// failed, ladder policy active.
+fn targeted_experiment(
+    seed: u64,
+    retry: RetryPolicy,
+    kill: impl Fn(&CityExperiment) -> Vec<u32>,
+) -> CityExperiment {
+    let map = CityArchetype::SurveyDowntown.generate(seed);
+    let exp = CityExperiment::prepare(
+        map,
+        ExperimentConfig {
+            seed,
+            ..ExperimentConfig::default()
+        },
+    );
+    let failed = kill(&exp);
+    let state = citymesh::core::FaultState::with_failed(exp.aps(), exp.map(), &failed, retry);
+    exp.with_fault_state(state)
+}
+
+fn aps_of_building(exp: &CityExperiment, building: u32) -> Vec<u32> {
+    exp.aps()
+        .iter()
+        .filter(|a| a.building == building)
+        .map(|a| a.id)
+        .collect()
+}
+
+#[test]
+fn source_building_fully_failed_fails_cleanly() {
+    // Every AP in the source building is dead: the sender has no
+    // uplink, so the flow must fail with zero attempts — no RNG draws,
+    // no hang, no panic.
+    let exp = targeted_experiment(51, RetryPolicy::ladder(), |e| aps_of_building(e, 0));
+    let plan = exp.plan_flow(0, (exp.map().len() - 1) as u32);
+    assert!(
+        plan.src_ap.is_none(),
+        "a dark building cannot host the uplink"
+    );
+    let mut rng = SimRng::new(51);
+    let outcome = exp.simulate_flow(&plan, 1, &mut rng);
+    assert!(!outcome.delivered);
+    assert_eq!(outcome.attempts, 0, "never simulated: no attempts charged");
+    assert_eq!(outcome.recovered_by, None);
+    assert_eq!(outcome.broadcasts, 0);
+}
+
+#[test]
+fn destination_building_fully_failed_fails_cleanly() {
+    // The destination's APs are all dead: every rung of the ladder
+    // runs, every rung fails, and the flow terminates at the attempt
+    // cap instead of hanging.
+    let dst = 40u32;
+    let exp = targeted_experiment(52, RetryPolicy::ladder(), |e| aps_of_building(e, dst));
+    let plan = exp.plan_flow(0, dst);
+    assert!(plan.route_found());
+    let mut rng = SimRng::new(52);
+    let outcome = exp.simulate_flow(&plan, 2, &mut rng);
+    assert!(
+        !outcome.delivered,
+        "no live AP can receive at the destination"
+    );
+    assert_eq!(
+        outcome.attempts,
+        RetryPolicy::ladder().max_attempts,
+        "the ladder must run to its cap and stop"
+    );
+    assert_eq!(outcome.recovered_by, None);
+}
+
+#[test]
+fn every_conduit_ap_failed_fails_cleanly() {
+    // Kill everything except the source building's own APs: the packet
+    // leaves the source and dies immediately. The simulation must
+    // terminate (bounded event queue), not spin.
+    let src = 0u32;
+    let exp = targeted_experiment(53, RetryPolicy::ladder(), |e| {
+        e.aps()
+            .iter()
+            .filter(|a| a.building != src)
+            .map(|a| a.id)
+            .collect()
+    });
+    let plan = exp.plan_flow(src, (exp.map().len() / 2) as u32);
+    let mut rng = SimRng::new(53);
+    let outcome = exp.simulate_flow(&plan, 3, &mut rng);
+    assert!(!outcome.delivered);
+    assert_eq!(outcome.attempts, RetryPolicy::ladder().max_attempts);
+    // Only the source building's handful of APs can ever transmit.
+    let live = exp.aps().iter().filter(|a| a.building == src).count() as u64;
+    assert!(
+        outcome.broadcasts <= outcome.attempts as u64 * live,
+        "a dead mesh must not generate broadcast storms ({} broadcasts, {} live APs)",
+        outcome.broadcasts,
+        live
+    );
+}
+
+#[test]
+fn retry_ladder_recovers_flows_a_single_attempt_loses() {
+    // Under 30% i.i.d. AP loss, some flows that fail their first
+    // attempt are saved by a later rung — and the outcome says which.
+    let map = CityArchetype::SurveyDowntown.generate(54);
+    let mut scenario = FaultScenario::iid(0.3);
+    scenario.retry = RetryPolicy::ladder();
+    let exp = CityExperiment::prepare(
+        map,
+        ExperimentConfig {
+            seed: 54,
+            faults: Some(scenario),
+            ..ExperimentConfig::default()
+        },
+    );
+    let n = exp.map().len() as u32;
+    let mut rng = SimRng::new(54);
+    let mut recovered = 0u32;
+    for i in 0..120u32 {
+        let (src, dst) = ((i * 7) % n, (i * 13 + 5) % n);
+        if src == dst {
+            continue;
+        }
+        let plan = exp.plan_flow(src, dst);
+        let outcome = exp.simulate_flow(&plan, i as u64, &mut rng);
+        if let Some(stage) = outcome.recovered_by {
+            assert!(outcome.delivered);
+            assert!(outcome.attempts > 1);
+            assert!(!stage.label().is_empty());
+            recovered += 1;
+        }
+    }
+    assert!(
+        recovered > 0,
+        "120 flows over a 30%-dead downtown must include ladder recoveries"
+    );
+}
+
 /// Rebuilds the AP graph with a deterministic `fraction` of APs
 /// removed (re-indexing ids), returning the survivors.
 fn knock_out(aps: &[Ap], fraction: f64, rng: &mut SimRng) -> Vec<Ap> {
@@ -73,7 +209,7 @@ fn deliver(s: &Scenario, aps: &[Ap], seed: u64) -> (bool, u64) {
     let Ok(route) = plan_route(&s.bg, s.src, s.dst) else {
         return (false, 0);
     };
-    let compressed = compress_route(&s.bg, &route, 50.0);
+    let compressed = compress_route(&s.bg, &route, 50.0).unwrap();
     let header = CityMeshHeader::new(seed, 50.0, compressed.waypoints);
     let Some(src_ap) = postbox_ap(aps, &s.map, s.src) else {
         return (false, 0);
@@ -168,7 +304,7 @@ fn detour_routing_recovers_from_a_destroyed_region() {
 
     // Direct attempt fails (same setup as the blocking test).
     let direct_route = plan_route(&s.bg, s.src, s.dst).unwrap();
-    let direct = compress_route(&s.bg, &direct_route, 50.0);
+    let direct = compress_route(&s.bg, &direct_route, 50.0).unwrap();
     let src_ap = postbox_ap(&survivors, &s.map, s.src).unwrap();
     let mut rng = SimRng::new(77);
     let direct_report = simulate_delivery(
@@ -196,7 +332,7 @@ fn detour_routing_recovers_from_a_destroyed_region() {
         detour_route.iter().all(|b| !blocked.contains(b)),
         "detour must avoid the destroyed region"
     );
-    let detour = compress_route(&s.bg, &detour_route, 50.0);
+    let detour = compress_route(&s.bg, &detour_route, 50.0).unwrap();
     let detour_report = simulate_delivery(
         &s.map,
         &apg,
