@@ -7,9 +7,11 @@
 //! ```
 //!
 //! Artifacts: `table1 fig1a fig1b fig2 fig5 fig6 fig7 headers scaling
-//! ablations fleet resilience`. Text goes to stdout; SVGs are written
-//! to `figures/`; the fleet sweep writes `BENCH_fleet.json` and the
-//! resilience sweep writes `BENCH_resilience.json`.
+//! ablations fleet resilience telemetry`. Text goes to stdout; SVGs
+//! are written to `figures/`; the fleet sweep writes
+//! `BENCH_fleet.json`, the resilience sweep `BENCH_resilience.json`,
+//! and the telemetry sweep `BENCH_telemetry.json` plus one captured
+//! flow trace in `figures/postmortem_sample.json`.
 //!
 //! The `fleet` artifact takes value flags: `--flows N` runs one flow
 //! count instead of the default 1k/10k/100k sweep, `--workers N` one
@@ -21,7 +23,8 @@ use std::fs;
 use std::path::Path;
 
 use citymesh_bench::{
-    ablation, eval_figs, fleet_figs, render, resilience_figs, scaling, survey_figs, text,
+    ablation, eval_figs, fleet_figs, render, resilience_figs, scaling, survey_figs, telemetry_figs,
+    text,
 };
 use citymesh_core::{
     compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
@@ -581,6 +584,78 @@ fn main() {
         )
         .expect("write BENCH_resilience.json");
         println!("wrote BENCH_resilience.json\n");
+    }
+
+    if want("telemetry") {
+        let flows = flows_override.unwrap_or(if opts.fast { 150 } else { 500 });
+        let worker_counts: Vec<usize> = match workers_override {
+            Some(w) => vec![w.max(1)],
+            None => vec![1, 4, 8],
+        };
+        eprintln!(
+            "[running the telemetry sweep: {flows} flows, traced at workers {worker_counts:?}…]"
+        );
+        let figs = telemetry_figs::run_telemetry(SEED, flows, 0.25, &worker_counts);
+        println!(
+            "== telemetry: zero-perturbation proof + per-rung breakdown ({}, {} buildings) ==",
+            figs.city, figs.buildings
+        );
+        println!(
+            "healthy digest {:016x} — identical with tracing off and on",
+            figs.healthy_digest
+        );
+        println!(
+            "faulted digest {:016x} (p={:.2}) — identical across workers {worker_counts:?}, \
+             traced and untraced; metric fingerprint {:016x}",
+            figs.faulted_digest, figs.failure_p, figs.metrics_fingerprint
+        );
+        let rows: Vec<Vec<String>> = figs
+            .rungs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rung.to_string(),
+                    r.deliveries.to_string(),
+                    r.latency_ms_p50
+                        .map(|l| format!("{l:.1} ms"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.latency_ms_p90
+                        .map(|l| format!("{l:.1} ms"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.mean_overhead
+                        .map(|o| format!("{o:.1}x"))
+                        .unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text::table(
+                &["rung", "deliveries", "lat p50", "lat p90", "overhead"],
+                &rows
+            )
+        );
+        let rows: Vec<Vec<String>> = figs
+            .counters
+            .iter()
+            .map(|&(name, v)| vec![name.to_string(), v.to_string()])
+            .collect();
+        println!("{}", text::table(&["counter", "value"], &rows));
+        println!(
+            "{} postmortems captured ({} ring evictions, high water {})",
+            figs.postmortems, figs.trace_dropped, figs.ring_high_water
+        );
+        if let Some(sample) = &figs.sample_postmortem {
+            fs::write("figures/postmortem_sample.json", sample)
+                .expect("write figures/postmortem_sample.json");
+            println!("wrote figures/postmortem_sample.json");
+        }
+        fs::write(
+            "BENCH_telemetry.json",
+            telemetry_figs::to_json(&figs).render(),
+        )
+        .expect("write BENCH_telemetry.json");
+        println!("wrote BENCH_telemetry.json\n");
     }
 }
 

@@ -20,6 +20,9 @@
 //! * [`resilience_figs`] — graceful degradation under injected AP
 //!   failures: delivery rate vs failed fraction per archetype, retry
 //!   ladder on vs off (`BENCH_resilience.json`).
+//! * [`telemetry_figs`] — the observability layer's zero-perturbation
+//!   proof plus per-rung latency/overhead breakdowns and a sample
+//!   failure postmortem (`BENCH_telemetry.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,4 +34,5 @@ pub mod render;
 pub mod resilience_figs;
 pub mod scaling;
 pub mod survey_figs;
+pub mod telemetry_figs;
 pub mod text;

@@ -150,6 +150,18 @@ impl RecoveryStage {
             RecoveryStage::Replan => "replan",
         }
     }
+
+    /// The telemetry-layer rung this stage corresponds to (telemetry
+    /// sits below this crate in the dependency graph, so it carries
+    /// its own copy of the enum).
+    pub fn rung(&self) -> citymesh_telemetry::Rung {
+        match self {
+            RecoveryStage::First => citymesh_telemetry::Rung::First,
+            RecoveryStage::Resend => citymesh_telemetry::Rung::Resend,
+            RecoveryStage::Widen => citymesh_telemetry::Rung::Widen,
+            RecoveryStage::Replan => citymesh_telemetry::Rung::Replan,
+        }
+    }
 }
 
 /// A fault scenario: pure configuration, materialized per world by

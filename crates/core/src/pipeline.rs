@@ -28,6 +28,7 @@ use crate::faults::{FaultScenario, FaultState, RecoveryStage, RetryPolicy};
 use crate::placement::{place_aps, postbox_ap, Ap};
 use crate::route::{plan_route, plan_route_avoiding};
 use crate::sim::{simulate_delivery_faulted, DeliveryParams, DeliveryScratch};
+use citymesh_telemetry::{FlowSummary, TraceEvent};
 
 /// Sub-stream domain for fault materialization (see [`crate::faults`]).
 const DOMAIN_FAULTS: u64 = 0xFA17;
@@ -599,6 +600,14 @@ impl CityExperiment {
     /// retries stay on the zero-allocation path. Each failed attempt
     /// charges one full delivery horizon of latency (the sender only
     /// learns of failure at its timeout).
+    ///
+    /// When the scratch was built with tracing
+    /// ([`DeliveryScratch::with_tracing`]) this is also the flow
+    /// tracer's driver: it opens the flow (keyed by `msg_id` unless
+    /// the caller pre-set a key), records the plan and every ladder
+    /// attempt, and closes the flow with its outcome — all observation
+    /// only, so results and RNG draws are bit-identical with tracing
+    /// on or off.
     pub fn simulate_flow_with(
         &self,
         plan: &PlannedFlow,
@@ -606,6 +615,15 @@ impl CityExperiment {
         rng: &mut SimRng,
         scratch: &mut DeliveryScratch,
     ) -> PairOutcome {
+        scratch.tracer.begin_flow(msg_id);
+        scratch.tracer.record(TraceEvent::Plan {
+            src: plan.src,
+            dst: plan.dst,
+            route_len: plan.route_len as u32,
+            waypoints: plan.waypoints.len() as u32,
+            route_bits: plan.route_bits as u32,
+            conduits: plan.conduits.len() as u32,
+        });
         let mut outcome = PairOutcome {
             src: plan.src,
             dst: plan.dst,
@@ -623,9 +641,11 @@ impl CityExperiment {
             recovered_by: None,
         };
         if !plan.route_found() {
+            finish_flow_trace(scratch, &outcome);
             return outcome;
         }
         let Some(src_ap) = plan.src_ap else {
+            finish_flow_trace(scratch, &outcome);
             return outcome;
         };
         let faults = self.faults.as_ref();
@@ -685,6 +705,12 @@ impl CityExperiment {
                     ),
                 };
             header.reuse_for(msg_id, width, waypoints);
+            scratch.tracer.record(TraceEvent::Attempt {
+                attempt: attempts,
+                rung: stage.rung(),
+                width_dm: u32::from(header.conduit_width_dm),
+                conduits: conduits.len() as u32,
+            });
             let (delivered, first_delivery, broadcasts) = {
                 let report = simulate_delivery_faulted(
                     &self.map, &self.apg, &header, conduits, src_ap, params, faults, rng, scratch,
@@ -700,6 +726,10 @@ impl CityExperiment {
                 }
                 break;
             }
+            scratch.tracer.record(TraceEvent::AttemptFailed {
+                attempt: attempts,
+                broadcasts,
+            });
             if attempts >= policy.max_attempts {
                 break;
             }
@@ -714,6 +744,7 @@ impl CityExperiment {
         )
         .value();
         scratch.header = header;
+        finish_flow_trace(scratch, &outcome);
         outcome
     }
 
@@ -786,6 +817,20 @@ impl CityExperiment {
             outcomes,
         }
     }
+}
+
+/// Closes the scratch's active flow trace with the outcome's summary
+/// (a branch-only no-op when tracing is off or inactive).
+fn finish_flow_trace(scratch: &mut DeliveryScratch, outcome: &PairOutcome) {
+    scratch.tracer.finish_flow(FlowSummary {
+        src: outcome.src,
+        dst: outcome.dst,
+        delivered: outcome.delivered,
+        attempts: outcome.attempts,
+        recovered_by: outcome.recovered_by.map(|s| s.rung()),
+        broadcasts: outcome.broadcasts,
+        latency_ns: outcome.latency.map(|t| t.as_nanos()),
+    });
 }
 
 fn percentile_f(sorted: &[f64], q: f64) -> Option<f64> {
@@ -907,6 +952,42 @@ mod tests {
             percentile_u(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100], 0.9),
             Some(90)
         );
+    }
+
+    #[test]
+    fn tracing_is_invisible_and_captures_complete_traces() {
+        use citymesh_telemetry::TraceConfig;
+        let map = CityArchetype::SurveyDowntown.generate(5);
+        let exp = CityExperiment::prepare(map, small_config(5));
+        let mut pair_rng = SimRng::new(11);
+        let pairs = exp.sample_pairs(6, &mut pair_rng);
+        let mut plain = DeliveryScratch::new();
+        let mut traced = DeliveryScratch::with_tracing(TraceConfig::sampled(1));
+        for (i, (src, dst)) in pairs.iter().enumerate() {
+            let plan = exp.plan_flow(*src, *dst);
+            let msg_id = 1000 + i as u64;
+            let mut rng_a = SimRng::new(40 + i as u64);
+            let mut rng_b = SimRng::new(40 + i as u64);
+            let a = exp.simulate_flow_with(&plan, msg_id, &mut rng_a, &mut plain);
+            let b = exp.simulate_flow_with(&plan, msg_id, &mut rng_b, &mut traced);
+            assert_eq!(a, b, "tracing must not change outcomes");
+        }
+        // sample_every=1 captures every flow; each trace opens with the
+        // plan and its summary mirrors the outcome structure.
+        let pms = traced.tracer_mut().take_postmortems();
+        assert_eq!(pms.len(), pairs.len());
+        for pm in &pms {
+            assert!(
+                matches!(pm.events.first(), Some(TraceEvent::Plan { .. })),
+                "trace must open with the plan"
+            );
+            if pm.summary.delivered {
+                assert!(pm
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::Delivered { .. })));
+            }
+        }
     }
 
     #[test]

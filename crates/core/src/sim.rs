@@ -22,6 +22,7 @@ use citymesh_geo::OrientedRect;
 use citymesh_map::CityMap;
 use citymesh_net::{CityMeshHeader, MessageKind, RouteEncoding};
 use citymesh_simcore::{SimRng, SimTime, Simulation};
+use citymesh_telemetry::{FlowTracer, TraceConfig, TraceEvent};
 
 use crate::agent::{ApAgent, RebroadcastScope};
 use crate::apgraph::ApGraph;
@@ -227,6 +228,11 @@ pub struct DeliveryScratch {
     /// Reusable header for `CityExperiment::simulate_flow_with` (the
     /// per-flow message id varies, the waypoint buffer is recycled).
     pub(crate) header: CityMeshHeader,
+    /// Flow tracer (disabled by default). When enabled, the kernel
+    /// records per-event telemetry into its pre-allocated ring; when
+    /// disabled every tracer call is a branch, preserving the
+    /// zero-allocation steady state.
+    pub(crate) tracer: FlowTracer,
 }
 
 impl Default for DeliveryScratch {
@@ -237,8 +243,16 @@ impl Default for DeliveryScratch {
 
 impl DeliveryScratch {
     /// Creates an empty scratch. All buffers start unallocated and
-    /// grow on first use.
+    /// grow on first use. Tracing is disabled (zero overhead); use
+    /// [`DeliveryScratch::with_tracing`] to record flow telemetry.
     pub fn new() -> Self {
+        Self::with_tracing(TraceConfig::off())
+    }
+
+    /// Creates a scratch whose embedded [`FlowTracer`] follows `cfg`.
+    /// The tracer's ring is allocated here, once, so tracing itself is
+    /// allocation-free in steady state (captures still copy the ring).
+    pub fn with_tracing(cfg: TraceConfig) -> Self {
         DeliveryScratch {
             sim: Simulation::new(),
             agents: Vec::new(),
@@ -263,12 +277,24 @@ impl DeliveryScratch {
                 waypoints: Vec::new(),
                 encoding: RouteEncoding::Absolute,
             },
+            tracer: FlowTracer::new(cfg),
         }
     }
 
     /// The report of the most recent [`simulate_delivery_into`] run.
     pub fn report(&self) -> &DeliveryReport {
         &self.report
+    }
+
+    /// Read access to the embedded flow tracer.
+    pub fn tracer(&self) -> &FlowTracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the embedded flow tracer (used by callers to
+    /// set the next flow key or drain captured postmortems).
+    pub fn tracer_mut(&mut self) -> &mut FlowTracer {
+        &mut self.tracer
     }
 
     /// Consumes the scratch, yielding the last run's report without
@@ -442,6 +468,7 @@ pub fn simulate_delivery_faulted<'a>(
         gen,
         pending,
         report,
+        tracer,
         ..
     } = scratch;
     let gen = *gen;
@@ -459,6 +486,10 @@ pub fn simulate_delivery_faulted<'a>(
     if apg.building_of(src_ap) == dst_building {
         report.delivered = true;
         report.first_delivery = Some(SimTime::ZERO);
+        tracer.record(TraceEvent::Delivered {
+            ap: src_ap,
+            at_ns: 0,
+        });
     }
 
     let jitter_span = params
@@ -470,6 +501,10 @@ pub fn simulate_delivery_faulted<'a>(
     sim.run(|sim, Tx(ap)| {
         report.broadcasts += 1;
         let now = sim.now();
+        tracer.record(TraceEvent::Broadcast {
+            ap,
+            at_ns: now.as_nanos(),
+        });
         pending.clear();
         let tx_pos = apg.position(ap);
         apg.for_each_in_range(tx_pos, |rx, _| {
@@ -495,6 +530,10 @@ pub fn simulate_delivery_faulted<'a>(
             if action == crate::agent::Action::IGNORE && report.roles[rx as usize] != ApRole::Silent
             {
                 report.duplicates += 1;
+                tracer.record(TraceEvent::Duplicate {
+                    ap: rx,
+                    at_ns: now.as_nanos(),
+                });
                 return;
             }
             if report.roles[rx as usize] == ApRole::Silent {
@@ -503,6 +542,10 @@ pub fn simulate_delivery_faulted<'a>(
             if action.deliver && report.first_delivery.is_none() {
                 report.delivered = true;
                 report.first_delivery = Some(now);
+                tracer.record(TraceEvent::Delivered {
+                    ap: rx,
+                    at_ns: now.as_nanos(),
+                });
             }
             if action.rebroadcast {
                 report.roles[rx as usize] = ApRole::Relayed;

@@ -24,6 +24,7 @@ use std::time::Instant;
 use citymesh_core::{CityExperiment, DeliveryScratch, PairOutcome};
 use citymesh_simcore::stats::Histogram;
 use citymesh_simcore::{substream_seed, SimRng};
+use citymesh_telemetry::{metrics as tm, MetricSet, Postmortem, Rung, TelemetryConfig};
 
 use crate::cache::RouteCache;
 use crate::workload::{FlowKind, FlowSpec};
@@ -65,8 +66,21 @@ impl FleetConfig {
 /// cache counters, which depend on scheduling) is deterministic in
 /// `(world, workload, seed)` and covered by [`digest`].
 ///
+/// **Conditional digest mixing for retry statistics.** The three
+/// retry fields ([`retried`], [`recovered`], [`retry_attempts`]) join
+/// the digest **only when `retried > 0`** — i.e. only on runs where
+/// the recovery ladder actually fired. Fault-free runs never retry,
+/// so their digests are computed exactly as before the retry fields
+/// existed, which keeps golden digests pinned prior to fault
+/// injection (the CI 500-flow pin among them) valid forever. The
+/// corollary: on a fault-free run, mutating the retry fields does not
+/// perturb the digest (see `fault_free_digest_ignores_retry_fields`).
+///
 /// [`elapsed_secs`]: FleetReport::elapsed_secs
 /// [`digest`]: FleetReport::digest
+/// [`retried`]: FleetReport::retried
+/// [`recovered`]: FleetReport::recovered
+/// [`retry_attempts`]: FleetReport::retry_attempts
 #[derive(Clone, Debug)]
 pub struct FleetReport {
     /// Flows executed.
@@ -89,12 +103,19 @@ pub struct FleetReport {
     pub header_bits: Histogram,
     /// Flows that needed more than one send attempt (fault runs only;
     /// always `0` when the experiment has no fault scenario).
+    ///
+    /// Joins [`FleetReport::digest`] only when nonzero — see the
+    /// struct docs for the conditional digest-mixing rule.
     pub retried: u64,
     /// Retried flows that were ultimately delivered by a later rung of
     /// the recovery ladder.
+    ///
+    /// Joins the digest only when `retried > 0` (see the struct docs).
     pub recovered: u64,
     /// Send attempts per flow (flows that were actually simulated).
     /// Degenerate (all-ones) on fault-free runs.
+    ///
+    /// Joins the digest only when `retried > 0` (see the struct docs).
     pub retry_attempts: Histogram,
     /// Workload span: the last flow's arrival offset, ms.
     pub span_ms: f64,
@@ -226,6 +247,32 @@ impl FleetReport {
     }
 }
 
+/// Telemetry harvested from one traced fleet run: the merged metric
+/// set plus every captured postmortem, both schedule-independent.
+///
+/// Per-worker metric sets are merged in worker-id order, and all
+/// metric values are integers (addition commutes), so the merged set —
+/// and its [`MetricSet::fingerprint`] — is identical across worker
+/// counts. Postmortems are sorted by flow id, and each flow's capture
+/// decision depends only on the flow itself, so the postmortem vector
+/// is identical too.
+#[derive(Clone, Debug)]
+pub struct FleetTelemetry {
+    /// The merged metric registry snapshot.
+    pub metrics: MetricSet,
+    /// Every captured flow trace, ascending flow id.
+    pub postmortems: Vec<Postmortem>,
+}
+
+/// What one worker brings home: outcome records, its metric set (when
+/// metrics are on), and the postmortems its tracer captured.
+#[derive(Default)]
+struct WorkerYield {
+    records: Vec<(u64, PairOutcome)>,
+    metrics: Option<MetricSet>,
+    postmortems: Vec<Postmortem>,
+}
+
 /// Executes `flows` against `exp` on a worker pool and aggregates.
 ///
 /// Workers claim chunks of the flow vector from an atomic cursor,
@@ -233,16 +280,40 @@ impl FleetReport {
 /// sub-streams, and stash `(id, outcome)` records locally. After the
 /// pool joins, records are merged and folded in flow-id order.
 ///
+/// Telemetry is fully off on this path — byte-identical behavior and
+/// allocations to the pre-telemetry engine. Use [`run_fleet_traced`]
+/// to also collect metrics and flow traces.
+///
 /// # Panics
 /// Panics when a worker thread panics (the underlying simulation
 /// asserted), propagating the failure rather than reporting a
 /// truncated aggregate.
 pub fn run_fleet(exp: &CityExperiment, flows: &[FlowSpec], cfg: &FleetConfig) -> FleetReport {
+    run_fleet_traced(exp, flows, cfg, &TelemetryConfig::off()).0
+}
+
+/// [`run_fleet`] with observability: per-worker metric sets merged in
+/// worker-id order plus flow-trace postmortems, per `tel`.
+///
+/// The [`FleetReport`] (and its digest) is **bit-identical** to the
+/// untraced run — telemetry draws no randomness and feeds nothing
+/// back — and the returned [`FleetTelemetry`] is itself deterministic
+/// across worker counts. Returns `None` telemetry when `tel` is fully
+/// off.
+///
+/// # Panics
+/// Panics when a worker thread panics, as [`run_fleet`] does.
+pub fn run_fleet_traced(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    cfg: &FleetConfig,
+    tel: &TelemetryConfig,
+) -> (FleetReport, Option<FleetTelemetry>) {
     let workers = cfg.effective_workers().max(1);
     let cache = RouteCache::new();
     let started = Instant::now();
 
-    let records: Vec<Vec<(u64, PairOutcome)>> = if workers == 1 {
+    let yields: Vec<WorkerYield> = if workers == 1 {
         // Serial reference path: no threads, same per-flow code.
         vec![execute_range(
             exp,
@@ -250,16 +321,17 @@ pub fn run_fleet(exp: &CityExperiment, flows: &[FlowSpec], cfg: &FleetConfig) ->
             cfg.seed,
             &cache,
             &AtomicUsize::new(0),
+            tel,
         )]
     } else {
         let cursor = AtomicUsize::new(0);
-        let mut slots: Vec<Vec<(u64, PairOutcome)>> = Vec::new();
-        slots.resize_with(workers, Vec::new);
+        let mut slots: Vec<WorkerYield> = Vec::new();
+        slots.resize_with(workers, WorkerYield::default);
         crossbeam::thread::scope(|s| {
             for slot in slots.iter_mut() {
                 let (cache, cursor) = (&cache, &cursor);
                 s.spawn(move |_| {
-                    *slot = execute_range(exp, flows, cfg.seed, cache, cursor);
+                    *slot = execute_range(exp, flows, cfg.seed, cache, cursor, tel);
                 });
             }
         })
@@ -267,8 +339,30 @@ pub fn run_fleet(exp: &CityExperiment, flows: &[FlowSpec], cfg: &FleetConfig) ->
         slots
     };
 
+    // Telemetry merge, in worker-id (slot) order. Counter/bucket adds
+    // commute and gauges take max, so the result does not depend on
+    // which worker claimed which chunk.
+    let telemetry = (!tel.is_off()).then(|| {
+        let mut metrics = MetricSet::new();
+        let mut postmortems = Vec::new();
+        for y in &yields {
+            if let Some(m) = &y.metrics {
+                metrics.merge(m);
+            }
+        }
+        for y in &yields {
+            postmortems.extend(y.postmortems.iter().cloned());
+        }
+        // Flow ids are unique, so this is a total order.
+        postmortems.sort_by_key(|p: &Postmortem| (p.key, p.summary.src, p.summary.dst));
+        FleetTelemetry {
+            metrics,
+            postmortems,
+        }
+    });
+
     // Deterministic merge: flatten, order by flow id, fold serially.
-    let mut merged: Vec<(u64, PairOutcome)> = records.into_iter().flatten().collect();
+    let mut merged: Vec<(u64, PairOutcome)> = yields.into_iter().flat_map(|y| y.records).collect();
     merged.sort_unstable_by_key(|(id, _)| *id);
 
     let mut report = FleetReport::new();
@@ -279,7 +373,48 @@ pub fn run_fleet(exp: &CityExperiment, flows: &[FlowSpec], cfg: &FleetConfig) ->
     report.workers = workers;
     report.cache_hits = cache.hits();
     report.cache_misses = cache.misses();
-    report
+    (report, telemetry)
+}
+
+/// Folds one flow's outcome into a worker's metric set. Pure per-flow
+/// arithmetic on integers, so per-worker sums merge deterministically.
+fn record_flow_metrics(m: &mut MetricSet, o: &PairOutcome) {
+    m.inc(tm::FLOWS);
+    m.add(tm::BROADCASTS, o.broadcasts);
+    if o.attempts == 0 {
+        // Never reached the simulator: no route, or the source
+        // building went dark.
+        m.inc(tm::UNROUTABLE);
+    } else {
+        m.add(tm::ATTEMPTS, u64::from(o.attempts));
+        m.observe(tm::ATTEMPTS_PER_FLOW, u64::from(o.attempts));
+        m.gauge_max(tm::MAX_ATTEMPTS, u64::from(o.attempts));
+    }
+    if o.attempts > 1 {
+        m.inc(tm::RETRIED);
+        if o.delivered {
+            m.inc(tm::RECOVERED);
+        }
+    }
+    if o.delivered {
+        m.inc(tm::DELIVERED);
+        let rung = o.recovered_by.map(|s| s.rung()).unwrap_or(Rung::First);
+        m.inc(tm::rung_delivery_counter(rung));
+        if let Some(t) = o.latency {
+            m.observe(tm::rung_latency_histogram(rung), t.as_nanos() / 1_000);
+        }
+        if let Some(ov) = o.overhead {
+            m.observe(
+                tm::rung_overhead_histogram(rung),
+                (ov * 1000.0).round() as u64,
+            );
+        }
+    } else {
+        m.inc(tm::FAILED);
+        if o.attempts > 0 {
+            m.inc(tm::EXHAUSTED);
+        }
+    }
 }
 
 /// One worker's loop: claim chunks until the cursor passes the end.
@@ -296,13 +431,19 @@ fn execute_range(
     seed: u64,
     cache: &RouteCache,
     cursor: &AtomicUsize,
-) -> Vec<(u64, PairOutcome)> {
+    tel: &TelemetryConfig,
+) -> WorkerYield {
     let mut out = Vec::with_capacity(flows.len().min(CLAIM_CHUNK * 4));
-    let mut scratch = DeliveryScratch::new();
+    let mut scratch = if tel.trace.enabled {
+        DeliveryScratch::with_tracing(tel.trace)
+    } else {
+        DeliveryScratch::new()
+    };
+    let mut metrics = tel.metrics.then(MetricSet::new);
     loop {
         let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
         if start >= flows.len() {
-            return out;
+            break;
         }
         let end = (start + CLAIM_CHUNK).min(flows.len());
         out.reserve(end - start);
@@ -310,11 +451,31 @@ fn execute_range(
             let plan = cache.get_or_plan(flow.src, flow.dst, || exp.plan_flow(flow.src, flow.dst));
             let msg_id = substream_seed(seed, DOMAIN_MSG, flow.id);
             let mut rng = SimRng::new(substream_seed(seed, DOMAIN_SIM, flow.id));
-            out.push((
-                flow.id,
-                exp.simulate_flow_with(&plan, msg_id, &mut rng, &mut scratch),
-            ));
+            // Key the trace by the flow's workload identity (not the
+            // derived msg_id) so sampling and captures are stable and
+            // schedule-independent.
+            scratch.tracer_mut().set_next_key(flow.id);
+            let outcome = exp.simulate_flow_with(&plan, msg_id, &mut rng, &mut scratch);
+            if let Some(m) = metrics.as_mut() {
+                record_flow_metrics(m, &outcome);
+            }
+            out.push((flow.id, outcome));
         }
+    }
+    // Fold tracer bookkeeping into this worker's metric set: the
+    // captured/dropped totals are sums of per-flow values and the
+    // high-water mark is a max over flows, so both stay schedule-
+    // independent after the worker-order merge.
+    let tracer = scratch.tracer_mut();
+    if let Some(m) = metrics.as_mut() {
+        m.add(tm::POSTMORTEMS, tracer.captured());
+        m.add(tm::TRACE_DROPPED, tracer.dropped_total());
+        m.gauge_max(tm::TRACE_HIGH_WATER, tracer.high_water() as u64);
+    }
+    WorkerYield {
+        records: out,
+        metrics,
+        postmortems: tracer.take_postmortems(),
     }
 }
 
@@ -556,6 +717,157 @@ mod tests {
             tweaked.digest(),
             "with zero retries the retry fields must not perturb the digest"
         );
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_the_digest() {
+        // Healthy world: traced and untraced digests must be equal.
+        let exp = world(1);
+        let flows = workload(&exp, 120, 1);
+        let cfg = FleetConfig {
+            workers: 2,
+            seed: 1,
+        };
+        let plain = run_fleet(&exp, &flows, &cfg);
+        let (traced, telem) = run_fleet_traced(&exp, &flows, &cfg, &TelemetryConfig::full(5));
+        assert_eq!(plain.digest(), traced.digest(), "healthy world");
+        let telem = telem.expect("telemetry requested");
+        assert_eq!(telem.metrics.counter(tm::FLOWS), 120);
+        assert_eq!(telem.metrics.counter(tm::DELIVERED), traced.delivered);
+
+        // Faulted world: same invariant under the full retry ladder.
+        let mut scenario = FaultScenario::iid(0.25);
+        scenario.retry = RetryPolicy::ladder();
+        let fexp = faulted_world(6, scenario);
+        let fflows = workload(&fexp, 150, 6);
+        let fcfg = FleetConfig {
+            workers: 4,
+            seed: 6,
+        };
+        let fplain = run_fleet(&fexp, &fflows, &fcfg);
+        let (ftraced, ftel) = run_fleet_traced(&fexp, &fflows, &fcfg, &TelemetryConfig::full(7));
+        assert_eq!(fplain.digest(), ftraced.digest(), "faulted world");
+        let ftel = ftel.expect("telemetry requested");
+        assert_eq!(ftel.metrics.counter(tm::RETRIED), ftraced.retried);
+        assert_eq!(ftel.metrics.counter(tm::RECOVERED), ftraced.recovered);
+        assert!(
+            !ftel.postmortems.is_empty(),
+            "a faulted run must capture failed/retried flows"
+        );
+    }
+
+    #[test]
+    fn telemetry_is_worker_count_invariant() {
+        let mut scenario = FaultScenario::iid(0.25);
+        scenario.retry = RetryPolicy::ladder();
+        let exp = faulted_world(6, scenario);
+        let flows = workload(&exp, 150, 6);
+        let runs: Vec<FleetTelemetry> = [1usize, 4, 8]
+            .iter()
+            .map(|&w| {
+                run_fleet_traced(
+                    &exp,
+                    &flows,
+                    &FleetConfig {
+                        workers: w,
+                        seed: 6,
+                    },
+                    &TelemetryConfig::full(5),
+                )
+                .1
+                .expect("telemetry requested")
+            })
+            .collect();
+        for (i, t) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                runs[0].metrics.fingerprint(),
+                t.metrics.fingerprint(),
+                "metric fingerprint, 1 vs {} workers",
+                [1, 4, 8][i]
+            );
+            assert_eq!(
+                runs[0].postmortems,
+                t.postmortems,
+                "postmortems, 1 vs {} workers",
+                [1, 4, 8][i]
+            );
+        }
+        // Registry coherence on the merged set.
+        let m = &runs[0].metrics;
+        assert_eq!(
+            m.counter(tm::DELIVERED) + m.counter(tm::FAILED),
+            m.counter(tm::FLOWS)
+        );
+        assert_eq!(
+            m.counter(tm::RUNG_FIRST)
+                + m.counter(tm::RUNG_RESEND)
+                + m.counter(tm::RUNG_WIDEN)
+                + m.counter(tm::RUNG_REPLAN),
+            m.counter(tm::DELIVERED)
+        );
+        assert_eq!(m.counter(tm::POSTMORTEMS), runs[0].postmortems.len() as u64);
+    }
+
+    #[test]
+    fn postmortem_json_names_the_resolving_rung() {
+        let mut scenario = FaultScenario::iid(0.3);
+        scenario.retry = RetryPolicy::ladder();
+        let exp = faulted_world(7, scenario);
+        let flows = workload(&exp, 150, 7);
+        let (report, telem) = run_fleet_traced(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 7,
+            },
+            &TelemetryConfig::full(0),
+        );
+        assert!(report.retried > 0, "scenario must force retries");
+        let telem = telem.expect("telemetry requested");
+        // Prefer a complete (no-eviction) recovered trace; every run of
+        // this scenario has many.
+        let recovered = telem
+            .postmortems
+            .iter()
+            .find(|p| p.summary.recovered_by.is_some() && p.dropped_events == 0)
+            .expect("some retried flow recovered with a complete trace");
+        let json = recovered.to_json();
+        let rung = recovered.summary.recovered_by.unwrap().label();
+        assert!(
+            json.contains(&format!("\"outcome\":\"recovered-{rung}\"")),
+            "postmortem must name the recovering rung: {json}"
+        );
+        assert!(json.contains("\"type\":\"attempt\""));
+        if let Some(exhausted) = telem
+            .postmortems
+            .iter()
+            .find(|p| !p.summary.delivered && p.summary.attempts > 0)
+        {
+            assert!(
+                exhausted.to_json().contains("\"outcome\":\"exhausted\""),
+                "an exhausted flow must say so"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_only_config_skips_tracing() {
+        let exp = world(3);
+        let flows = workload(&exp, 60, 3);
+        let (_, telem) = run_fleet_traced(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 3,
+            },
+            &TelemetryConfig::metrics_only(),
+        );
+        let telem = telem.expect("metrics requested");
+        assert_eq!(telem.metrics.counter(tm::FLOWS), 60);
+        assert!(telem.postmortems.is_empty());
+        assert_eq!(telem.metrics.counter(tm::POSTMORTEMS), 0);
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub mod engine;
 pub mod workload;
 
 pub use cache::RouteCache;
-pub use engine::{run_fleet, FleetConfig, FleetReport};
+pub use engine::{run_fleet, run_fleet_traced, FleetConfig, FleetReport, FleetTelemetry};
 pub use workload::{generate_flows, FlowKind, FlowModel, FlowSpec, WorkloadConfig};

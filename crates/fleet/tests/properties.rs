@@ -2,10 +2,15 @@
 
 use std::sync::OnceLock;
 
-use citymesh_core::{CityExperiment, ExperimentConfig, FaultScenario, RetryPolicy};
-use citymesh_fleet::{generate_flows, run_fleet, FleetConfig, FlowModel, WorkloadConfig};
+use citymesh_core::{
+    CityExperiment, DeliveryScratch, ExperimentConfig, FaultScenario, RetryPolicy,
+};
+use citymesh_fleet::{
+    generate_flows, run_fleet, run_fleet_traced, FleetConfig, FlowModel, WorkloadConfig,
+};
 use citymesh_map::CityArchetype;
-use citymesh_simcore::substream_seed;
+use citymesh_simcore::{substream_seed, SimRng};
+use citymesh_telemetry::{TelemetryConfig, TraceConfig};
 use proptest::prelude::*;
 
 /// One prepared world shared by all digest-invariance cases: building
@@ -106,6 +111,130 @@ proptest! {
             reports[0].retry_attempts.fingerprint(),
             reports[2].retry_attempts.fingerprint(),
             "attempt histogram diverged across worker counts"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Telemetry's own determinism invariant: per-flow event sequences
+    /// (postmortems, complete with their trace events) and the merged
+    /// metric fingerprint must be identical across 1, 4, and 8
+    /// workers. Worker count changes which tracer records which flow
+    /// and how full each ring is when it does, so equality here proves
+    /// trace capture is keyed purely by flow identity and ring state
+    /// cannot leak across flows.
+    #[test]
+    fn traces_are_invariant_under_worker_count(
+        seed in any::<u64>(),
+        flows in 24usize..60,
+        failure_p in 0.1f64..0.4,
+        sample_every in 1u64..9,
+    ) {
+        let mut scenario = FaultScenario::iid(failure_p);
+        scenario.retry = RetryPolicy::ladder();
+        let map = CityArchetype::SurveyDowntown.generate(3);
+        let exp = CityExperiment::prepare(
+            map,
+            ExperimentConfig {
+                seed,
+                faults: Some(scenario),
+                ..ExperimentConfig::default()
+            },
+        );
+        let workload = generate_flows(
+            exp.map().len(),
+            &WorkloadConfig {
+                flows,
+                model: FlowModel::UniformPairs { rate_hz: 100.0 },
+                seed,
+            },
+        );
+        let tel = TelemetryConfig::full(sample_every);
+        let runs: Vec<_> = [1usize, 4, 8]
+            .iter()
+            .map(|&workers| {
+                run_fleet_traced(&exp, &workload, &FleetConfig { workers, seed }, &tel)
+                    .1
+                    .expect("telemetry requested")
+            })
+            .collect();
+        prop_assert_eq!(
+            runs[0].metrics.fingerprint(),
+            runs[1].metrics.fingerprint(),
+            "metric fingerprint diverged, 1 vs 4 workers"
+        );
+        prop_assert_eq!(
+            runs[0].metrics.fingerprint(),
+            runs[2].metrics.fingerprint(),
+            "metric fingerprint diverged, 1 vs 8 workers"
+        );
+        prop_assert_eq!(&runs[0].postmortems, &runs[1].postmortems, "postmortems diverged, 1 vs 4 workers");
+        prop_assert_eq!(&runs[0].postmortems, &runs[2].postmortems, "postmortems diverged, 1 vs 8 workers");
+    }
+
+    /// A reused traced scratch must capture exactly the trace a fresh
+    /// scratch captures: ring reuse, generation-stamped agent slabs,
+    /// and leftover postmortem buffers may not bleed one flow's events
+    /// into the next. This mirrors the engine's per-flow protocol
+    /// (same sub-stream domains) with sample_every=1 so every flow is
+    /// captured and compared.
+    #[test]
+    fn scratch_reuse_does_not_perturb_traces(
+        seed in any::<u64>(),
+        flows in 8usize..24,
+        failure_p in 0.1f64..0.4,
+    ) {
+        // The engine's sub-stream domains (crates/fleet/src/engine.rs).
+        const DOMAIN_SIM: u64 = 0x51D3;
+        const DOMAIN_MSG: u64 = 0x3564;
+        let mut scenario = FaultScenario::iid(failure_p);
+        scenario.retry = RetryPolicy::ladder();
+        let map = CityArchetype::SurveyDowntown.generate(3);
+        let exp = CityExperiment::prepare(
+            map,
+            ExperimentConfig {
+                seed,
+                faults: Some(scenario),
+                ..ExperimentConfig::default()
+            },
+        );
+        let workload = generate_flows(
+            exp.map().len(),
+            &WorkloadConfig {
+                flows,
+                model: FlowModel::UniformPairs { rate_hz: 100.0 },
+                seed,
+            },
+        );
+        let trace = TraceConfig::sampled(1);
+        let mut reused = DeliveryScratch::with_tracing(trace);
+        for flow in &workload {
+            let plan = exp.plan_flow(flow.src, flow.dst);
+            let msg_id = substream_seed(seed, DOMAIN_MSG, flow.id);
+
+            let mut rng = SimRng::new(substream_seed(seed, DOMAIN_SIM, flow.id));
+            reused.tracer_mut().set_next_key(flow.id);
+            let a = exp.simulate_flow_with(&plan, msg_id, &mut rng, &mut reused);
+
+            let mut fresh = DeliveryScratch::with_tracing(trace);
+            let mut rng = SimRng::new(substream_seed(seed, DOMAIN_SIM, flow.id));
+            fresh.tracer_mut().set_next_key(flow.id);
+            let b = exp.simulate_flow_with(&plan, msg_id, &mut rng, &mut fresh);
+
+            prop_assert_eq!(a, b, "outcome diverged between reused and fresh scratch");
+            let captured_fresh = fresh.tracer_mut().take_postmortems();
+            prop_assert_eq!(captured_fresh.len(), 1, "sample_every=1 captures every flow");
+            // The reused tracer accumulates; its newest capture must
+            // equal the fresh tracer's only capture, events included.
+            let pm_reused = reused.tracer().postmortems().last().expect("capture");
+            prop_assert_eq!(pm_reused, &captured_fresh[0]);
+        }
+        prop_assert_eq!(
+            reused.tracer().postmortems().len(),
+            workload.len(),
+            "one capture per flow"
         );
     }
 }

@@ -1,0 +1,39 @@
+//! # citymesh-telemetry
+//!
+//! Deterministic, zero-overhead-when-disabled observability for the
+//! citymesh stack: a static metric registry, a per-worker flow tracer
+//! with postmortem capture, and JSON / Prometheus exporters.
+//!
+//! Three invariants govern the whole crate:
+//!
+//! 1. **Zero overhead when off.** A disabled [`FlowTracer`] allocates
+//!    nothing and every call on it is a branch; the metric paths live
+//!    outside the delivery kernel entirely. The fleet's counting-
+//!    allocator tests pass with telemetry compiled in but disabled.
+//! 2. **Observation only.** Telemetry never draws randomness and never
+//!    feeds back into routing or simulation, so every RNG sub-stream,
+//!    flow outcome, and fleet digest is bit-identical with tracing on
+//!    or off.
+//! 3. **Schedule independence.** All metric values are integers merged
+//!    in worker-id order, and trace capture/sampling is keyed by flow
+//!    identity — aggregate metrics, fingerprints, and postmortem sets
+//!    are identical across 1, 4, or 8 workers.
+//!
+//! The crate sits at the bottom of the workspace dependency graph (no
+//! dependencies), so simcore, core, fleet, and bench can all use it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    rung_delivery_counter, rung_latency_histogram, rung_overhead_histogram, CounterDef, CounterId,
+    GaugeDef, GaugeId, HistogramDef, HistogramId, MetricSet, COUNTERS, GAUGES, HISTOGRAMS,
+};
+pub use trace::{
+    FlowSummary, FlowTracer, Postmortem, Rung, TelemetryConfig, TraceConfig, TraceEvent,
+    DEFAULT_RING_CAPACITY,
+};

@@ -1,0 +1,589 @@
+//! The static metric registry and the per-worker [`MetricSet`].
+//!
+//! Metrics are declared once, at compile time, as `const` definition
+//! tables; a [`MetricSet`] is just three flat arrays indexed by the
+//! typed ids those tables hand out. Recording is an array index plus
+//! an integer add — no locking, no hashing, no allocation — so a set
+//! can live inside each fleet worker's hot loop.
+//!
+//! Every value is an integer (`u64`): latencies are recorded in
+//! microseconds and overhead ratios in milli-units (×1000). Integer
+//! addition commutes, so merging per-worker sets in worker-id order
+//! yields bit-identical aggregates no matter which worker claimed
+//! which flow chunk — the same schedule-independence argument the
+//! fleet digest relies on.
+
+use crate::trace::Rung;
+
+/// Definition of one monotonically increasing counter.
+#[derive(Clone, Copy, Debug)]
+pub struct CounterDef {
+    /// Stable snake_case metric name (`citymesh_` prefix implied by
+    /// exporters).
+    pub name: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+}
+
+/// Definition of one gauge. Fleet gauges are high-water marks and
+/// merge by `max`.
+#[derive(Clone, Copy, Debug)]
+pub struct GaugeDef {
+    /// Stable snake_case metric name.
+    pub name: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+}
+
+/// Definition of one fixed-bucket histogram over integer samples.
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramDef {
+    /// Stable snake_case metric name.
+    pub name: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+    /// Unit of the recorded samples (informational; exporters print it).
+    pub unit: &'static str,
+    /// Inclusive upper bounds of the finite buckets, ascending. An
+    /// implicit overflow bucket catches everything above the last.
+    pub bounds: &'static [u64],
+}
+
+/// Typed handle into [`COUNTERS`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(pub(crate) usize);
+
+/// Typed handle into [`GAUGES`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) usize);
+
+/// Typed handle into [`HISTOGRAMS`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(pub(crate) usize);
+
+/// Flows that entered the engine.
+pub const FLOWS: CounterId = CounterId(0);
+/// Flows that delivered (any rung).
+pub const DELIVERED: CounterId = CounterId(1);
+/// Flows that never delivered.
+pub const FAILED: CounterId = CounterId(2);
+/// Flows that needed more than one attempt.
+pub const RETRIED: CounterId = CounterId(3);
+/// Retried flows that ultimately delivered.
+pub const RECOVERED: CounterId = CounterId(4);
+/// Send attempts simulated, all flows.
+pub const ATTEMPTS: CounterId = CounterId(5);
+/// AP broadcasts, all flows and attempts.
+pub const BROADCASTS: CounterId = CounterId(6);
+/// Deliveries won on the first rung.
+pub const RUNG_FIRST: CounterId = CounterId(7);
+/// Deliveries won by a plain resend.
+pub const RUNG_RESEND: CounterId = CounterId(8);
+/// Deliveries won by the widened conduit.
+pub const RUNG_WIDEN: CounterId = CounterId(9);
+/// Deliveries won by a replanned detour.
+pub const RUNG_REPLAN: CounterId = CounterId(10);
+/// Flows that exhausted every ladder rung.
+pub const EXHAUSTED: CounterId = CounterId(11);
+/// Flows that never reached the simulator (no route / dark source).
+pub const UNROUTABLE: CounterId = CounterId(12);
+/// Postmortem traces captured.
+pub const POSTMORTEMS: CounterId = CounterId(13);
+/// Trace events evicted from full rings.
+pub const TRACE_DROPPED: CounterId = CounterId(14);
+
+/// The counter registry; indexed by [`CounterId`].
+pub const COUNTERS: &[CounterDef] = &[
+    CounterDef {
+        name: "flows_total",
+        help: "Flows that entered the engine",
+    },
+    CounterDef {
+        name: "delivered_total",
+        help: "Flows that delivered on any rung",
+    },
+    CounterDef {
+        name: "failed_total",
+        help: "Flows that never delivered",
+    },
+    CounterDef {
+        name: "retried_total",
+        help: "Flows that needed more than one attempt",
+    },
+    CounterDef {
+        name: "recovered_total",
+        help: "Retried flows that ultimately delivered",
+    },
+    CounterDef {
+        name: "attempts_total",
+        help: "Send attempts simulated",
+    },
+    CounterDef {
+        name: "broadcasts_total",
+        help: "AP broadcasts across all attempts",
+    },
+    CounterDef {
+        name: "rung_first_total",
+        help: "Deliveries won on the first send",
+    },
+    CounterDef {
+        name: "rung_resend_total",
+        help: "Deliveries won by a plain resend",
+    },
+    CounterDef {
+        name: "rung_widen_total",
+        help: "Deliveries won by the widened conduit",
+    },
+    CounterDef {
+        name: "rung_replan_total",
+        help: "Deliveries won by a replanned detour",
+    },
+    CounterDef {
+        name: "exhausted_total",
+        help: "Flows that exhausted every ladder rung",
+    },
+    CounterDef {
+        name: "unroutable_total",
+        help: "Flows that never reached the simulator",
+    },
+    CounterDef {
+        name: "postmortems_total",
+        help: "Postmortem traces captured",
+    },
+    CounterDef {
+        name: "trace_dropped_total",
+        help: "Trace events evicted from full rings",
+    },
+];
+
+/// Highest ring occupancy any tracer reached.
+pub const TRACE_HIGH_WATER: GaugeId = GaugeId(0);
+/// Most attempts any single flow consumed.
+pub const MAX_ATTEMPTS: GaugeId = GaugeId(1);
+
+/// The gauge registry; indexed by [`GaugeId`]. All fleet gauges are
+/// high-water marks (merged by `max`).
+pub const GAUGES: &[GaugeDef] = &[
+    GaugeDef {
+        name: "trace_ring_high_water",
+        help: "Highest tracer ring occupancy reached",
+    },
+    GaugeDef {
+        name: "max_attempts_per_flow",
+        help: "Most attempts any single flow consumed",
+    },
+];
+
+/// Latency buckets, µs. The horizon-timeout penalty adds a full
+/// simulated minute per failed attempt, so the tail reaches 300 s.
+const LATENCY_BOUNDS_US: &[u64] = &[
+    100,
+    300,
+    1_000,
+    3_000,
+    10_000,
+    30_000,
+    100_000,
+    300_000,
+    1_000_000,
+    3_000_000,
+    10_000_000,
+    30_000_000,
+    60_000_000,
+    120_000_000,
+    300_000_000,
+];
+
+/// Overhead buckets, milli-units (1000 = one broadcast per flow).
+const OVERHEAD_BOUNDS_MILLI: &[u64] = &[
+    1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000, 512_000, 1_024_000,
+];
+
+/// Latency of flows delivered on the first rung, µs.
+pub const LATENCY_FIRST: HistogramId = HistogramId(0);
+/// Latency of flows recovered by a resend, µs.
+pub const LATENCY_RESEND: HistogramId = HistogramId(1);
+/// Latency of flows recovered by the widened conduit, µs.
+pub const LATENCY_WIDEN: HistogramId = HistogramId(2);
+/// Latency of flows recovered by a replan, µs.
+pub const LATENCY_REPLAN: HistogramId = HistogramId(3);
+/// Broadcast overhead of first-rung deliveries, milli-units.
+pub const OVERHEAD_FIRST: HistogramId = HistogramId(4);
+/// Broadcast overhead of resend recoveries, milli-units.
+pub const OVERHEAD_RESEND: HistogramId = HistogramId(5);
+/// Broadcast overhead of widen recoveries, milli-units.
+pub const OVERHEAD_WIDEN: HistogramId = HistogramId(6);
+/// Broadcast overhead of replan recoveries, milli-units.
+pub const OVERHEAD_REPLAN: HistogramId = HistogramId(7);
+/// Attempts each flow consumed before resolution.
+pub const ATTEMPTS_PER_FLOW: HistogramId = HistogramId(8);
+
+/// The histogram registry; indexed by [`HistogramId`].
+pub const HISTOGRAMS: &[HistogramDef] = &[
+    HistogramDef {
+        name: "latency_first_us",
+        help: "Latency of first-rung deliveries",
+        unit: "us",
+        bounds: LATENCY_BOUNDS_US,
+    },
+    HistogramDef {
+        name: "latency_resend_us",
+        help: "Latency of resend recoveries",
+        unit: "us",
+        bounds: LATENCY_BOUNDS_US,
+    },
+    HistogramDef {
+        name: "latency_widen_us",
+        help: "Latency of widen recoveries",
+        unit: "us",
+        bounds: LATENCY_BOUNDS_US,
+    },
+    HistogramDef {
+        name: "latency_replan_us",
+        help: "Latency of replan recoveries",
+        unit: "us",
+        bounds: LATENCY_BOUNDS_US,
+    },
+    HistogramDef {
+        name: "overhead_first_milli",
+        help: "Broadcast overhead of first-rung deliveries",
+        unit: "milli",
+        bounds: OVERHEAD_BOUNDS_MILLI,
+    },
+    HistogramDef {
+        name: "overhead_resend_milli",
+        help: "Broadcast overhead of resend recoveries",
+        unit: "milli",
+        bounds: OVERHEAD_BOUNDS_MILLI,
+    },
+    HistogramDef {
+        name: "overhead_widen_milli",
+        help: "Broadcast overhead of widen recoveries",
+        unit: "milli",
+        bounds: OVERHEAD_BOUNDS_MILLI,
+    },
+    HistogramDef {
+        name: "overhead_replan_milli",
+        help: "Broadcast overhead of replan recoveries",
+        unit: "milli",
+        bounds: OVERHEAD_BOUNDS_MILLI,
+    },
+    HistogramDef {
+        name: "attempts_per_flow",
+        help: "Attempts each flow consumed",
+        unit: "attempts",
+        bounds: &[1, 2, 3, 4],
+    },
+];
+
+/// The delivery counter credited to a rung.
+pub fn rung_delivery_counter(rung: Rung) -> CounterId {
+    match rung {
+        Rung::First => RUNG_FIRST,
+        Rung::Resend => RUNG_RESEND,
+        Rung::Widen => RUNG_WIDEN,
+        Rung::Replan => RUNG_REPLAN,
+    }
+}
+
+/// The latency histogram credited to a rung.
+pub fn rung_latency_histogram(rung: Rung) -> HistogramId {
+    match rung {
+        Rung::First => LATENCY_FIRST,
+        Rung::Resend => LATENCY_RESEND,
+        Rung::Widen => LATENCY_WIDEN,
+        Rung::Replan => LATENCY_REPLAN,
+    }
+}
+
+/// The overhead histogram credited to a rung.
+pub fn rung_overhead_histogram(rung: Rung) -> HistogramId {
+    match rung {
+        Rung::First => OVERHEAD_FIRST,
+        Rung::Resend => OVERHEAD_RESEND,
+        Rung::Widen => OVERHEAD_WIDEN,
+        Rung::Replan => OVERHEAD_REPLAN,
+    }
+}
+
+/// State of one histogram: finite buckets plus overflow, all integer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct HistoState {
+    /// `bounds.len() + 1` bucket counts (last = overflow).
+    pub(crate) buckets: Vec<u64>,
+    pub(crate) count: u64,
+    pub(crate) sum: u64,
+    pub(crate) max: u64,
+}
+
+impl HistoState {
+    fn new(def: &HistogramDef) -> Self {
+        HistoState {
+            buckets: vec![0; def.bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// One worker's (or one merged run's) metric values, indexed by the
+/// registry ids. Built once per worker; recording never allocates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSet {
+    counters: Vec<u64>,
+    gauges: Vec<u64>,
+    histograms: Vec<HistoState>,
+}
+
+impl Default for MetricSet {
+    fn default() -> Self {
+        MetricSet::new()
+    }
+}
+
+impl MetricSet {
+    /// A zeroed set covering the whole registry.
+    pub fn new() -> Self {
+        MetricSet {
+            counters: vec![0; COUNTERS.len()],
+            gauges: vec![0; GAUGES.len()],
+            histograms: HISTOGRAMS.iter().map(HistoState::new).collect(),
+        }
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0] += 1;
+    }
+
+    /// Adds to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0] += delta;
+    }
+
+    /// Raises a high-water gauge to at least `value`.
+    #[inline]
+    pub fn gauge_max(&mut self, id: GaugeId, value: u64) {
+        let g = &mut self.gauges[id.0];
+        *g = (*g).max(value);
+    }
+
+    /// Records one sample into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        let def = &HISTOGRAMS[id.0];
+        let h = &mut self.histograms[id.0];
+        let idx = def
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(def.bounds.len());
+        h.buckets[idx] += 1;
+        h.count += 1;
+        h.sum += value;
+        h.max = h.max.max(value);
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, id: GaugeId) -> u64 {
+        self.gauges[id.0]
+    }
+
+    /// Sample count of a histogram.
+    pub fn histo_count(&self, id: HistogramId) -> u64 {
+        self.histograms[id.0].count
+    }
+
+    /// Sample sum of a histogram (in its recorded unit).
+    pub fn histo_sum(&self, id: HistogramId) -> u64 {
+        self.histograms[id.0].sum
+    }
+
+    /// Largest sample a histogram has seen.
+    pub fn histo_max(&self, id: HistogramId) -> u64 {
+        self.histograms[id.0].max
+    }
+
+    /// Mean sample of a histogram, or `None` when empty.
+    pub fn histo_mean(&self, id: HistogramId) -> Option<f64> {
+        let h = &self.histograms[id.0];
+        (h.count > 0).then(|| h.sum as f64 / h.count as f64)
+    }
+
+    /// Approximate quantile: the upper bound of the bucket containing
+    /// the `q`-quantile sample (the recorded max for the overflow
+    /// bucket). `None` when the histogram is empty.
+    pub fn histo_quantile(&self, id: HistogramId, q: f64) -> Option<u64> {
+        let def = &HISTOGRAMS[id.0];
+        let h = &self.histograms[id.0];
+        if h.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * h.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i < def.bounds.len() {
+                    def.bounds[i]
+                } else {
+                    h.max
+                });
+            }
+        }
+        Some(h.max)
+    }
+
+    /// Folds another set into this one: counters and buckets add,
+    /// gauges take the max. Integer addition commutes, so merging the
+    /// per-worker sets in worker-id order is deterministic regardless
+    /// of which worker executed which flows.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        for (a, b) in self.gauges.iter_mut().zip(&other.gauges) {
+            *a = (*a).max(*b);
+        }
+        for (a, b) in self.histograms.iter_mut().zip(&other.histograms) {
+            for (x, y) in a.buckets.iter_mut().zip(&b.buckets) {
+                *x += y;
+            }
+            a.count += b.count;
+            a.sum += b.sum;
+            a.max = a.max.max(b.max);
+        }
+    }
+
+    /// FNV-1a digest over every counter, gauge, and histogram bucket —
+    /// the telemetry analogue of the fleet report digest, pinned by
+    /// determinism tests across worker counts.
+    pub fn fingerprint(&self) -> u64 {
+        const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = BASIS;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for &c in &self.counters {
+            mix(c);
+        }
+        for &g in &self.gauges {
+            mix(g);
+        }
+        for hist in &self.histograms {
+            mix(hist.count);
+            mix(hist.sum);
+            mix(hist.max);
+            for &b in &hist.buckets {
+                mix(b);
+            }
+        }
+        h
+    }
+
+    pub(crate) fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    pub(crate) fn gauges(&self) -> &[u64] {
+        &self.gauges
+    }
+
+    pub(crate) fn histograms(&self) -> &[HistoState] {
+        &self.histograms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_line_up() {
+        assert_eq!(COUNTERS.len(), 15);
+        assert_eq!(COUNTERS[TRACE_DROPPED.0].name, "trace_dropped_total");
+        assert_eq!(GAUGES[MAX_ATTEMPTS.0].name, "max_attempts_per_flow");
+        assert_eq!(HISTOGRAMS[ATTEMPTS_PER_FLOW.0].name, "attempts_per_flow");
+        for rung in Rung::ALL {
+            let c = rung_delivery_counter(rung);
+            assert!(COUNTERS[c.0].name.contains(rung.label()));
+            let l = rung_latency_histogram(rung);
+            assert!(HISTOGRAMS[l.0].name.contains(rung.label()));
+            let o = rung_overhead_histogram(rung);
+            assert!(HISTOGRAMS[o.0].name.contains(rung.label()));
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let mut m = MetricSet::new();
+        m.inc(FLOWS);
+        m.add(BROADCASTS, 41);
+        m.inc(BROADCASTS);
+        m.gauge_max(MAX_ATTEMPTS, 3);
+        m.gauge_max(MAX_ATTEMPTS, 2);
+        assert_eq!(m.counter(FLOWS), 1);
+        assert_eq!(m.counter(BROADCASTS), 42);
+        assert_eq!(m.gauge(MAX_ATTEMPTS), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut m = MetricSet::new();
+        for v in [1u64, 2, 2, 3, 4, 9] {
+            m.observe(ATTEMPTS_PER_FLOW, v);
+        }
+        assert_eq!(m.histo_count(ATTEMPTS_PER_FLOW), 6);
+        assert_eq!(m.histo_sum(ATTEMPTS_PER_FLOW), 21);
+        assert_eq!(m.histo_max(ATTEMPTS_PER_FLOW), 9);
+        // p50 falls in the `<= 2` bucket; p99 falls in overflow → max.
+        assert_eq!(m.histo_quantile(ATTEMPTS_PER_FLOW, 0.5), Some(2));
+        assert_eq!(m.histo_quantile(ATTEMPTS_PER_FLOW, 0.99), Some(9));
+        assert_eq!(m.histo_quantile(LATENCY_FIRST, 0.5), None);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_disjoint_workers() {
+        let mut a = MetricSet::new();
+        a.inc(FLOWS);
+        a.observe(LATENCY_FIRST, 250);
+        a.gauge_max(TRACE_HIGH_WATER, 7);
+        let mut b = MetricSet::new();
+        b.add(FLOWS, 2);
+        b.observe(LATENCY_FIRST, 5_000);
+        b.gauge_max(TRACE_HIGH_WATER, 3);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.fingerprint(), ba.fingerprint());
+        assert_eq!(ab.counter(FLOWS), 3);
+        assert_eq!(ab.gauge(TRACE_HIGH_WATER), 7);
+        assert_eq!(ab.histo_count(LATENCY_FIRST), 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_any_change() {
+        let mut m = MetricSet::new();
+        let empty = m.fingerprint();
+        m.inc(DELIVERED);
+        let one = m.fingerprint();
+        assert_ne!(empty, one);
+        m.observe(OVERHEAD_WIDEN, 12_345);
+        assert_ne!(one, m.fingerprint());
+    }
+}

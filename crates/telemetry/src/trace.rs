@@ -1,0 +1,698 @@
+//! The flow tracer: a fixed-capacity ring buffer of structured events
+//! plus the postmortem capture policy.
+//!
+//! One [`FlowTracer`] lives inside each delivery scratch (one per
+//! fleet worker). The simulation kernel and the retry ladder push
+//! [`TraceEvent`]s into it as a flow executes; when the flow finishes,
+//! the tracer decides whether to *capture* the trace as a
+//! [`Postmortem`] — always for failed or retried flows, plus an
+//! every-Nth-flow steady-state sample. Capture is keyed off the flow's
+//! deterministic identity (its workload flow id), never off worker
+//! scheduling, so the captured set is identical on 1 worker or 8.
+//!
+//! Cost model:
+//!
+//! * **disabled** (the default): [`FlowTracer::begin_flow`] and
+//!   [`FlowTracer::record`] are a load + branch; no memory is ever
+//!   allocated. The steady-state zero-allocation guarantee of the
+//!   delivery kernel is preserved bit for bit.
+//! * **enabled**: the ring is allocated once at construction and
+//!   recording is an indexed write — steady-state tracing allocates
+//!   nothing. Only a *capture* (failed / retried / sampled flow)
+//!   copies the ring out, and those are the flows worth paying for.
+//!
+//! Tracing is observation only: it draws no randomness and feeds
+//! nothing back into the simulation, so every RNG sub-stream and every
+//! fleet digest is bit-identical with tracing on or off.
+
+/// Default ring capacity when a [`TraceConfig`] constructor does not
+/// specify one. City-scale conduits generate thousands of broadcast +
+/// duplicate events per attempt (every reception in the conduit is an
+/// event), and a full retry ladder multiplies that by up to four
+/// attempts — 32Ki events (~768 KiB per worker, allocated once) keeps
+/// virtually every postmortem complete. Flows that still overflow
+/// keep their newest events and report the eviction count in
+/// [`Postmortem::dropped_events`].
+pub const DEFAULT_RING_CAPACITY: usize = 32 * 1024;
+
+/// Which rung of the sender's recovery ladder an attempt rode.
+///
+/// Mirrors the core crate's `RecoveryStage` (telemetry sits below the
+/// routing crates in the dependency graph, so it spells its own copy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// The first send (no recovery involved).
+    First,
+    /// A plain re-send over the original conduit.
+    Resend,
+    /// The widened-conduit variant.
+    Widen,
+    /// The replanned detour around known-dark buildings.
+    Replan,
+}
+
+impl Rung {
+    /// All rungs, ladder order.
+    pub const ALL: [Rung; 4] = [Rung::First, Rung::Resend, Rung::Widen, Rung::Replan];
+
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rung::First => "first",
+            Rung::Resend => "resend",
+            Rung::Widen => "widen",
+            Rung::Replan => "replan",
+        }
+    }
+}
+
+/// One structured event in a flow's trace. All variants are `Copy` and
+/// fixed-size so the ring buffer never allocates per event.
+///
+/// Times are simulation nanoseconds within the current attempt (each
+/// attempt restarts the simulated clock at zero; the `attempt` field
+/// of the preceding [`TraceEvent::Attempt`] disambiguates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The RNG-free planning half of the flow, recorded once at start.
+    Plan {
+        /// Source building.
+        src: u32,
+        /// Destination building.
+        dst: u32,
+        /// Buildings on the planned route (0 = no route).
+        route_len: u32,
+        /// Waypoints after conduit compression.
+        waypoints: u32,
+        /// Compressed source-route header size, bits.
+        route_bits: u32,
+        /// Conduit rectangles covering the route.
+        conduits: u32,
+    },
+    /// One send attempt begins on the given ladder rung.
+    Attempt {
+        /// 1-based attempt number.
+        attempt: u32,
+        /// The ladder rung this attempt rides.
+        rung: Rung,
+        /// Conduit width of this attempt, decimeters.
+        width_dm: u32,
+        /// Conduit rectangles of this attempt's geometry.
+        conduits: u32,
+    },
+    /// An AP transmitted the packet.
+    Broadcast {
+        /// Transmitting AP id.
+        ap: u32,
+        /// Simulation time of the transmission, ns.
+        at_ns: u64,
+    },
+    /// An AP suppressed a duplicate reception.
+    Duplicate {
+        /// Suppressing AP id.
+        ap: u32,
+        /// Simulation time of the reception, ns.
+        at_ns: u64,
+    },
+    /// A destination-building AP received the packet (first delivery
+    /// of the current attempt).
+    Delivered {
+        /// Receiving AP id.
+        ap: u32,
+        /// Simulation time of the reception, ns.
+        at_ns: u64,
+    },
+    /// An attempt ran to its horizon without delivering.
+    AttemptFailed {
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// Broadcasts spent by this attempt alone.
+        broadcasts: u64,
+    },
+}
+
+/// Flow-level outcome handed to [`FlowTracer::finish_flow`]; becomes
+/// the header of a captured [`Postmortem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowSummary {
+    /// Source building.
+    pub src: u32,
+    /// Destination building.
+    pub dst: u32,
+    /// Whether any attempt delivered.
+    pub delivered: bool,
+    /// Attempts actually simulated (0 = never reached the simulator).
+    pub attempts: u32,
+    /// The rung that finally delivered, when delivery needed more than
+    /// one attempt.
+    pub recovered_by: Option<Rung>,
+    /// Total broadcasts across all attempts.
+    pub broadcasts: u64,
+    /// End-to-end latency (timeout penalties included), ns.
+    pub latency_ns: Option<u64>,
+}
+
+impl FlowSummary {
+    /// Stable outcome label: `delivered`, `recovered-<rung>`,
+    /// `exhausted` (simulated but never delivered), or `unroutable`
+    /// (never reached the simulator — no route or dark source).
+    pub fn outcome_label(&self) -> &'static str {
+        match (self.delivered, self.recovered_by, self.attempts) {
+            (true, Some(Rung::Resend), _) => "recovered-resend",
+            (true, Some(Rung::Widen), _) => "recovered-widen",
+            (true, Some(Rung::Replan), _) => "recovered-replan",
+            (true, Some(Rung::First), _) | (true, None, _) => "delivered",
+            (false, _, 0) => "unroutable",
+            (false, _, _) => "exhausted",
+        }
+    }
+}
+
+/// A captured flow trace: the summary plus every ring event, exported
+/// for post-hoc analysis of *why* a flow failed or which rung saved it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Postmortem {
+    /// Deterministic flow identity (the workload flow id under the
+    /// fleet engine; the message id elsewhere).
+    pub key: u64,
+    /// Why this trace was kept.
+    pub summary: FlowSummary,
+    /// Events that fell off the ring (oldest-first eviction) before
+    /// capture; 0 means `events` is the complete trace.
+    pub dropped_events: u64,
+    /// The event trace, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Postmortem {
+    /// Serializes the full postmortem as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let s = &self.summary;
+        let mut out = String::with_capacity(256 + self.events.len() * 64);
+        out.push_str(&format!(
+            "{{\"flow\":{},\"src\":{},\"dst\":{},\"outcome\":\"{}\",\"delivered\":{},\
+             \"attempts\":{},\"recovered_by\":{},\"broadcasts\":{},\"latency_ms\":{},\
+             \"dropped_events\":{},\"events\":[",
+            self.key,
+            s.src,
+            s.dst,
+            s.outcome_label(),
+            s.delivered,
+            s.attempts,
+            match s.recovered_by {
+                Some(r) => format!("\"{}\"", r.label()),
+                None => "null".into(),
+            },
+            s.broadcasts,
+            match s.latency_ns {
+                Some(ns) => format!("{:?}", ns as f64 / 1e6),
+                None => "null".into(),
+            },
+            self.dropped_events,
+        ));
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&event_json(ev));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn event_json(ev: &TraceEvent) -> String {
+    match ev {
+        TraceEvent::Plan {
+            src,
+            dst,
+            route_len,
+            waypoints,
+            route_bits,
+            conduits,
+        } => format!(
+            "{{\"type\":\"plan\",\"src\":{src},\"dst\":{dst},\"route_len\":{route_len},\
+             \"waypoints\":{waypoints},\"route_bits\":{route_bits},\"conduits\":{conduits}}}"
+        ),
+        TraceEvent::Attempt {
+            attempt,
+            rung,
+            width_dm,
+            conduits,
+        } => format!(
+            "{{\"type\":\"attempt\",\"attempt\":{attempt},\"rung\":\"{}\",\
+             \"width_dm\":{width_dm},\"conduits\":{conduits}}}",
+            rung.label()
+        ),
+        TraceEvent::Broadcast { ap, at_ns } => {
+            format!("{{\"type\":\"broadcast\",\"ap\":{ap},\"t_ns\":{at_ns}}}")
+        }
+        TraceEvent::Duplicate { ap, at_ns } => {
+            format!("{{\"type\":\"duplicate\",\"ap\":{ap},\"t_ns\":{at_ns}}}")
+        }
+        TraceEvent::Delivered { ap, at_ns } => {
+            format!("{{\"type\":\"delivered\",\"ap\":{ap},\"t_ns\":{at_ns}}}")
+        }
+        TraceEvent::AttemptFailed {
+            attempt,
+            broadcasts,
+        } => format!(
+            "{{\"type\":\"attempt_failed\",\"attempt\":{attempt},\"broadcasts\":{broadcasts}}}"
+        ),
+    }
+}
+
+/// Tracer configuration. The default is fully disabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch; `false` makes every tracer call a no-op branch.
+    pub enabled: bool,
+    /// Steady-state sampling: capture every flow whose key is a
+    /// multiple of this (0 = capture failures/retries only).
+    pub sample_every: u64,
+    /// Ring capacity in events; allocated once at tracer construction.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+impl TraceConfig {
+    /// Tracing fully disabled (the zero-overhead default).
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            sample_every: 0,
+            ring_capacity: 0,
+        }
+    }
+
+    /// Capture failed and retried flows only.
+    pub fn failures_only() -> Self {
+        TraceConfig {
+            enabled: true,
+            sample_every: 0,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Capture failures/retries plus every `n`-th flow by key
+    /// (`n == 0` degrades to [`TraceConfig::failures_only`]).
+    pub fn sampled(n: u64) -> Self {
+        TraceConfig {
+            enabled: true,
+            sample_every: n,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+/// Top-level telemetry switchboard consumed by the fleet engine:
+/// metric recording and flow tracing toggle independently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Record per-flow metrics into the worker's metric set.
+    pub metrics: bool,
+    /// Flow tracer configuration.
+    pub trace: TraceConfig,
+}
+
+impl TelemetryConfig {
+    /// Everything off — byte-for-byte the legacy engine behavior.
+    pub fn off() -> Self {
+        TelemetryConfig::default()
+    }
+
+    /// Metrics only, no tracing.
+    pub fn metrics_only() -> Self {
+        TelemetryConfig {
+            metrics: true,
+            trace: TraceConfig::off(),
+        }
+    }
+
+    /// Metrics plus tracing with an every-`n`-th-flow sample.
+    pub fn full(sample_every: u64) -> Self {
+        TelemetryConfig {
+            metrics: true,
+            trace: TraceConfig::sampled(sample_every),
+        }
+    }
+
+    /// Whether every subsystem is disabled.
+    pub fn is_off(&self) -> bool {
+        !self.metrics && !self.trace.enabled
+    }
+}
+
+/// The per-scratch flow tracer. See the module docs for the cost
+/// model; see [`FlowTracer::begin_flow`] / [`FlowTracer::record`] /
+/// [`FlowTracer::finish_flow`] for the per-flow protocol.
+#[derive(Debug)]
+pub struct FlowTracer {
+    cfg: TraceConfig,
+    /// Ring storage; grows by `push` up to `cfg.ring_capacity` on the
+    /// first flows, then is written in place forever after.
+    ring: Vec<TraceEvent>,
+    /// Index of the oldest live event.
+    start: usize,
+    /// Live event count (≤ capacity).
+    len: usize,
+    /// Events evicted from the ring during the current flow.
+    dropped_flow: u64,
+    dropped_total: u64,
+    high_water: usize,
+    /// A flow is being traced (between `begin_flow` and `finish_flow`).
+    active: bool,
+    sampled: bool,
+    key: u64,
+    next_key: Option<u64>,
+    postmortems: Vec<Postmortem>,
+    captured: u64,
+    flows: u64,
+}
+
+impl Default for FlowTracer {
+    fn default() -> Self {
+        FlowTracer::disabled()
+    }
+}
+
+impl FlowTracer {
+    /// A tracer that never records and never allocates.
+    pub fn disabled() -> Self {
+        FlowTracer::new(TraceConfig::off())
+    }
+
+    /// Builds a tracer, pre-allocating the ring when enabled so that
+    /// recording is allocation-free from the first event on.
+    pub fn new(cfg: TraceConfig) -> Self {
+        let capacity = if cfg.enabled { cfg.ring_capacity } else { 0 };
+        FlowTracer {
+            cfg: TraceConfig {
+                ring_capacity: capacity,
+                ..cfg
+            },
+            ring: Vec::with_capacity(capacity),
+            start: 0,
+            len: 0,
+            dropped_flow: 0,
+            dropped_total: 0,
+            high_water: 0,
+            active: false,
+            sampled: false,
+            key: 0,
+            next_key: None,
+            postmortems: Vec::new(),
+            captured: 0,
+            flows: 0,
+        }
+    }
+
+    /// Whether this tracer can ever record.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled && self.cfg.ring_capacity > 0
+    }
+
+    /// The configuration this tracer was built with.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Overrides the key of the *next* `begin_flow` (the fleet engine
+    /// sets the workload flow id here so captures and sampling are
+    /// keyed by flow identity, not by the message id).
+    pub fn set_next_key(&mut self, key: u64) {
+        if self.cfg.enabled {
+            self.next_key = Some(key);
+        }
+    }
+
+    /// Starts tracing one flow under `fallback_key` (used when no
+    /// [`FlowTracer::set_next_key`] is pending). No-op when disabled.
+    pub fn begin_flow(&mut self, fallback_key: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.key = self.next_key.take().unwrap_or(fallback_key);
+        self.sampled = self.cfg.sample_every > 0 && self.key.is_multiple_of(self.cfg.sample_every);
+        self.start = 0;
+        self.len = 0;
+        self.dropped_flow = 0;
+        self.active = true;
+        self.flows += 1;
+    }
+
+    /// Appends one event to the active flow's ring; evicts the oldest
+    /// event when full. No-op (a branch) when no flow is active.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if !self.active {
+            return;
+        }
+        let cap = self.cfg.ring_capacity;
+        if self.len < cap {
+            let pos = (self.start + self.len) % cap;
+            if pos == self.ring.len() {
+                self.ring.push(ev); // first fill only; capacity reserved
+            } else {
+                self.ring[pos] = ev;
+            }
+            self.len += 1;
+            self.high_water = self.high_water.max(self.len);
+        } else {
+            self.ring[self.start] = ev;
+            self.start = (self.start + 1) % cap;
+            self.dropped_flow += 1;
+        }
+    }
+
+    /// Ends the active flow and captures a [`Postmortem`] when the
+    /// retention policy says so: the flow failed, needed more than one
+    /// attempt, or fell on the every-Nth sample. Returns whether a
+    /// capture happened. No-op when no flow is active.
+    pub fn finish_flow(&mut self, summary: FlowSummary) -> bool {
+        if !self.active {
+            return false;
+        }
+        self.active = false;
+        self.dropped_total += self.dropped_flow;
+        let keep = self.sampled || !summary.delivered || summary.attempts > 1;
+        if !keep {
+            return false;
+        }
+        let events = (0..self.len)
+            .map(|i| self.ring[(self.start + i) % self.cfg.ring_capacity])
+            .collect();
+        self.postmortems.push(Postmortem {
+            key: self.key,
+            summary,
+            dropped_events: self.dropped_flow,
+            events,
+        });
+        self.captured += 1;
+        true
+    }
+
+    /// Drains every postmortem captured so far.
+    pub fn take_postmortems(&mut self) -> Vec<Postmortem> {
+        std::mem::take(&mut self.postmortems)
+    }
+
+    /// Captured postmortems awaiting [`FlowTracer::take_postmortems`].
+    pub fn postmortems(&self) -> &[Postmortem] {
+        &self.postmortems
+    }
+
+    /// Total captures over the tracer's lifetime.
+    pub fn captured(&self) -> u64 {
+        self.captured
+    }
+
+    /// Flows traced over the tracer's lifetime.
+    pub fn flows_traced(&self) -> u64 {
+        self.flows
+    }
+
+    /// Total events evicted from the ring over the tracer's lifetime.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
+    /// Highest ring occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(delivered: bool, attempts: u32) -> FlowSummary {
+        FlowSummary {
+            src: 1,
+            dst: 2,
+            delivered,
+            attempts,
+            recovered_by: None,
+            broadcasts: 10,
+            latency_ns: delivered.then_some(5_000_000),
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = FlowTracer::disabled();
+        t.begin_flow(7);
+        t.record(TraceEvent::Broadcast { ap: 1, at_ns: 0 });
+        assert!(!t.finish_flow(summary(false, 3)));
+        assert!(t.postmortems().is_empty());
+        assert_eq!(t.high_water(), 0);
+        assert_eq!(t.ring.capacity(), 0, "disabled tracer must not allocate");
+    }
+
+    #[test]
+    fn failures_and_retries_are_always_captured() {
+        let mut t = FlowTracer::new(TraceConfig::failures_only());
+        // Clean first-try delivery: not captured.
+        t.begin_flow(1);
+        t.record(TraceEvent::Broadcast { ap: 0, at_ns: 0 });
+        assert!(!t.finish_flow(summary(true, 1)));
+        // Failure: captured.
+        t.begin_flow(2);
+        t.record(TraceEvent::AttemptFailed {
+            attempt: 1,
+            broadcasts: 4,
+        });
+        assert!(t.finish_flow(summary(false, 1)));
+        // Retried delivery: captured.
+        t.begin_flow(3);
+        assert!(t.finish_flow(summary(true, 2)));
+        assert_eq!(t.captured(), 2);
+        assert_eq!(t.postmortems()[0].key, 2);
+        assert_eq!(t.postmortems()[1].key, 3);
+    }
+
+    #[test]
+    fn sampling_is_keyed_not_scheduled() {
+        let mut t = FlowTracer::new(TraceConfig::sampled(10));
+        for key in [5u64, 10, 15, 20, 25] {
+            t.begin_flow(key);
+            t.record(TraceEvent::Broadcast { ap: 0, at_ns: 0 });
+            t.finish_flow(summary(true, 1));
+        }
+        let keys: Vec<u64> = t.postmortems().iter().map(|p| p.key).collect();
+        assert_eq!(keys, vec![10, 20], "keys divisible by 10 are sampled");
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let mut t = FlowTracer::new(TraceConfig {
+            enabled: true,
+            sample_every: 1,
+            ring_capacity: 4,
+        });
+        t.begin_flow(0);
+        for i in 0..10u32 {
+            t.record(TraceEvent::Broadcast {
+                ap: i,
+                at_ns: i as u64,
+            });
+        }
+        assert!(t.finish_flow(summary(true, 1)));
+        let p = &t.postmortems()[0];
+        assert_eq!(p.dropped_events, 6);
+        assert_eq!(p.events.len(), 4);
+        // The ring keeps the newest events, oldest first.
+        let aps: Vec<u32> = p
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Broadcast { ap, .. } => *ap,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(aps, vec![6, 7, 8, 9]);
+        assert_eq!(t.dropped_total(), 6);
+        assert_eq!(t.high_water(), 4);
+    }
+
+    #[test]
+    fn ring_storage_never_regrows_after_first_fill() {
+        let mut t = FlowTracer::new(TraceConfig {
+            enabled: true,
+            sample_every: 0,
+            ring_capacity: 8,
+        });
+        for flow in 0..5u64 {
+            t.begin_flow(flow);
+            for i in 0..20u32 {
+                t.record(TraceEvent::Duplicate {
+                    ap: i,
+                    at_ns: i as u64,
+                });
+            }
+            t.finish_flow(summary(true, 1));
+        }
+        assert_eq!(t.ring.len(), 8);
+        assert_eq!(t.ring.capacity(), 8, "ring must stay at its reservation");
+    }
+
+    #[test]
+    fn next_key_overrides_fallback_once() {
+        let mut t = FlowTracer::new(TraceConfig::sampled(1));
+        t.set_next_key(42);
+        t.begin_flow(999);
+        t.finish_flow(summary(true, 1));
+        t.begin_flow(1000);
+        t.finish_flow(summary(true, 1));
+        let keys: Vec<u64> = t.postmortems().iter().map(|p| p.key).collect();
+        assert_eq!(keys, vec![42, 1000]);
+    }
+
+    #[test]
+    fn postmortem_json_names_the_recovering_rung() {
+        let mut s = summary(true, 3);
+        s.recovered_by = Some(Rung::Widen);
+        let p = Postmortem {
+            key: 17,
+            summary: s,
+            dropped_events: 0,
+            events: vec![
+                TraceEvent::Plan {
+                    src: 1,
+                    dst: 2,
+                    route_len: 5,
+                    waypoints: 3,
+                    route_bits: 96,
+                    conduits: 2,
+                },
+                TraceEvent::Attempt {
+                    attempt: 3,
+                    rung: Rung::Widen,
+                    width_dm: 1000,
+                    conduits: 2,
+                },
+                TraceEvent::Delivered { ap: 9, at_ns: 123 },
+            ],
+        };
+        let json = p.to_json();
+        assert!(json.contains("\"outcome\":\"recovered-widen\""), "{json}");
+        assert!(json.contains("\"recovered_by\":\"widen\""));
+        assert!(json.contains("\"type\":\"plan\""));
+        assert!(json.contains("\"rung\":\"widen\""));
+        assert!(json.contains("\"type\":\"delivered\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn exhausted_and_unroutable_labels() {
+        assert_eq!(summary(false, 4).outcome_label(), "exhausted");
+        assert_eq!(summary(false, 0).outcome_label(), "unroutable");
+        assert_eq!(summary(true, 1).outcome_label(), "delivered");
+    }
+}

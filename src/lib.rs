@@ -53,6 +53,7 @@
 //! | [`crypto`] | self-certifying IDs, X25519 + ChaCha20-Poly1305 |
 //! | [`core`] | building routing, conduits, agents, postboxes, sim |
 //! | [`fleet`] | parallel heavy-traffic engine, deterministic workloads |
+//! | [`telemetry`] | metrics registry, flow tracer, failure postmortems |
 //! | [`baselines`] | flooding, greedy geographic, MANET cost models |
 //! | [`measure`] | the synthetic §2 wardriving study |
 //!
@@ -73,6 +74,7 @@ pub use citymesh_map as map;
 pub use citymesh_measure as measure;
 pub use citymesh_net as net;
 pub use citymesh_simcore as simcore;
+pub use citymesh_telemetry as telemetry;
 
 mod network;
 
@@ -87,10 +89,12 @@ pub mod prelude {
     };
     pub use citymesh_crypto::{Keypair, NodeId, PostboxAddress};
     pub use citymesh_fleet::{
-        generate_flows, run_fleet, FleetConfig, FleetReport, FlowModel, WorkloadConfig,
+        generate_flows, run_fleet, run_fleet_traced, FleetConfig, FleetReport, FleetTelemetry,
+        FlowModel, WorkloadConfig,
     };
     pub use citymesh_geo::{Point, Polygon};
     pub use citymesh_map::{CityArchetype, CityMap};
     pub use citymesh_net::CityMeshHeader;
     pub use citymesh_simcore::{SimRng, SimTime};
+    pub use citymesh_telemetry::{MetricSet, Postmortem, Rung, TelemetryConfig, TraceConfig};
 }
