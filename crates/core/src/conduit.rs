@@ -99,6 +99,25 @@ pub fn compress_route(
     route: &[u32],
     width_m: f64,
 ) -> Result<CompressedRoute, ConduitError> {
+    let mut waypoints = Vec::new();
+    compress_route_into(bg, route, width_m, &mut waypoints)?;
+    Ok(CompressedRoute { waypoints, width_m })
+}
+
+/// [`compress_route`] against a caller-owned waypoint buffer: clears
+/// `out` and fills it with the waypoint ids, allocating only when the
+/// buffer must grow. The steady-state planner reuses one buffer across
+/// flows, so compression becomes allocation-free once warm.
+///
+/// # Errors
+/// Same contract as [`compress_route`]; `out` is left cleared on error.
+pub fn compress_route_into(
+    bg: &BuildingGraph,
+    route: &[u32],
+    width_m: f64,
+    out: &mut Vec<u32>,
+) -> Result<(), ConduitError> {
+    out.clear();
     if route.is_empty() {
         return Err(ConduitError::EmptyRoute);
     }
@@ -108,7 +127,8 @@ pub fn compress_route(
         return Err(ConduitError::NonPositiveWidth(width_m));
     }
 
-    let mut waypoints = vec![route[0]];
+    let waypoints = out;
+    waypoints.push(route[0]);
     let mut start = 0usize; // index of the current waypoint within `route`
 
     while start + 1 < route.len() {
@@ -132,7 +152,7 @@ pub fn compress_route(
         start = best;
     }
 
-    Ok(CompressedRoute { waypoints, width_m })
+    Ok(())
 }
 
 /// Reconstructs the conduit rectangles for a waypoint list — the
@@ -142,6 +162,21 @@ pub fn compress_route(
 /// A single-waypoint route yields one degenerate conduit (a disc of
 /// radius `W/2` around the destination building's centroid).
 pub fn reconstruct_conduits(map: &CityMap, waypoints: &[u32], width_m: f64) -> Vec<OrientedRect> {
+    let mut out = Vec::new();
+    reconstruct_conduits_into(map, waypoints, width_m, &mut out);
+    out
+}
+
+/// [`reconstruct_conduits`] against a caller-owned buffer: clears `out`
+/// and fills it with the conduit rectangles, allocating only when the
+/// buffer must grow.
+pub fn reconstruct_conduits_into(
+    map: &CityMap,
+    waypoints: &[u32],
+    width_m: f64,
+    out: &mut Vec<OrientedRect>,
+) {
+    out.clear();
     let centroid = |id: u32| -> Point {
         map.building(id)
             .unwrap_or_else(|| panic!("waypoint {id} not in map"))
@@ -149,12 +184,14 @@ pub fn reconstruct_conduits(map: &CityMap, waypoints: &[u32], width_m: f64) -> V
     };
     if waypoints.len() == 1 {
         let c = centroid(waypoints[0]);
-        return vec![OrientedRect::new(Segment::new(c, c), width_m)];
+        out.push(OrientedRect::new(Segment::new(c, c), width_m));
+        return;
     }
-    waypoints
-        .windows(2)
-        .map(|w| OrientedRect::new(Segment::new(centroid(w[0]), centroid(w[1])), width_m))
-        .collect()
+    out.extend(
+        waypoints
+            .windows(2)
+            .map(|w| OrientedRect::new(Segment::new(centroid(w[0]), centroid(w[1])), width_m)),
+    );
 }
 
 /// Whether `p` lies within any of `conduits` (the rebroadcast

@@ -58,15 +58,19 @@ pub use apgraph::ApGraph;
 pub use bridge::{apply_bridges, extend_placement, plan_bridges, Bridge, BridgePlan};
 pub use buildgraph::{BuildingGraph, BuildingGraphParams};
 pub use conduit::{
-    compress_route, reconstruct_conduits, within_conduits, CompressedRoute, ConduitError,
+    compress_route, compress_route_into, reconstruct_conduits, reconstruct_conduits_into,
+    within_conduits, CompressedRoute, ConduitError,
 };
 pub use faults::{ApHealth, FaultScenario, FaultState, RecoveryStage, RetryPolicy};
 pub use pipeline::{
-    CityExperiment, CityResult, ConfigError, ExperimentConfig, PairOutcome, PlannedFlow,
+    CityExperiment, CityResult, ConfigError, ExperimentConfig, PairOutcome, PlanScratch,
+    PlannedFlow,
 };
 pub use placement::{place_aps, postbox_ap, Ap};
 pub use postbox::{Postbox, PostboxError, StoredMessage};
-pub use route::{plan_route, plan_route_avoiding, RouteError};
+pub use route::{
+    plan_route, plan_route_avoiding, plan_route_avoiding_into, plan_route_into, RouteError,
+};
 pub use sim::{
     simulate_delivery, simulate_delivery_faulted, simulate_delivery_into, ApRole, DeliveryParams,
     DeliveryReport, DeliveryScratch, OverheadOutcome,

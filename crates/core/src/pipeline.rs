@@ -15,7 +15,10 @@
 //! plus the §4 header statistics (median / 90th-percentile compressed
 //! route bits).
 
+use std::sync::OnceLock;
+
 use citymesh_geo::OrientedRect;
+use citymesh_graph::PlannerScratch;
 use citymesh_map::CityMap;
 use citymesh_net::{CityMeshHeader, MAX_CONDUIT_WIDTH_M};
 use citymesh_simcore::{split_seed, SimRng, SimTime};
@@ -23,10 +26,12 @@ use citymesh_simcore::{split_seed, SimRng, SimTime};
 use crate::agent::RebroadcastScope;
 use crate::apgraph::ApGraph;
 use crate::buildgraph::{BuildingGraph, BuildingGraphParams};
-use crate::conduit::{compress_route, reconstruct_conduits};
+use crate::conduit::{
+    compress_route, compress_route_into, reconstruct_conduits, reconstruct_conduits_into,
+};
 use crate::faults::{FaultScenario, FaultState, RecoveryStage, RetryPolicy};
 use crate::placement::{place_aps, postbox_ap, Ap};
-use crate::route::{plan_route, plan_route_avoiding};
+use crate::route::{plan_route_avoiding, plan_route_avoiding_into, plan_route_into};
 use crate::sim::{simulate_delivery_faulted, DeliveryParams, DeliveryScratch};
 use citymesh_telemetry::{FlowSummary, TraceEvent};
 
@@ -226,35 +231,80 @@ pub struct PlannedFlow {
     /// Ideal-unicast hop count from `src_ap` (ground truth), when
     /// reachable.
     pub ideal_hops: Option<u64>,
+    /// The uncompressed primary route, kept only under a fault
+    /// scenario: the lazy replan rung must compare its detour against
+    /// the *route* (distinct routes can compress to identical
+    /// waypoints, and the Replan-vs-Resend rung label feeds the fleet
+    /// digest). Empty in the healthy world.
+    replan_route: Vec<u32>,
+    /// Retry-ladder geometry (widened conduits, replanned detour),
+    /// materialized lazily the first time a simulation climbs to rung
+    /// 3 — the healthy path, and every flow that delivers within two
+    /// attempts, never pays for the ladder. The cell is interior
+    /// mutability over an immutable pure value: concurrent workers may
+    /// race to initialize it, but every initializer computes the same
+    /// variants from the same plan, so whichever wins is
+    /// indistinguishable.
+    recovery: OnceLock<RecoveryVariants>,
+}
+
+/// The retry ladder's precomputable geometry; see
+/// [`PlannedFlow::recovery`].
+#[derive(Clone, Debug, Default)]
+struct RecoveryVariants {
     /// Width of the widened-conduit retry variant, meters (0 when the
     /// scenario's ladder never widens).
-    pub wide_width_m: f64,
+    wide_width_m: f64,
     /// Conduits of the widened variant: same waypoints, fatter
-    /// rectangles, clamped to the header-encodable maximum. Computed
-    /// at plan time so the widen rung allocates nothing per flow.
-    pub wide_conduits: Vec<OrientedRect>,
+    /// rectangles, clamped to the header-encodable maximum.
+    wide_conduits: Vec<OrientedRect>,
     /// Waypoints of the replanned detour around buildings with zero
     /// live APs (empty when the ladder never replans, the map is
     /// fresh, or no distinct detour exists).
-    pub fallback_waypoints: Vec<u32>,
+    fallback_waypoints: Vec<u32>,
     /// Conduits of the replanned detour.
-    pub fallback_conduits: Vec<OrientedRect>,
+    fallback_conduits: Vec<OrientedRect>,
 }
 
 impl PlannedFlow {
+    /// An empty, route-less plan for `src → dst` — the state
+    /// [`CityExperiment::plan_flow_into`] starts from, and a buffer
+    /// donor whose vectors it reuses.
+    pub fn empty(src: u32, dst: u32) -> Self {
+        PlannedFlow {
+            src,
+            dst,
+            reachable: false,
+            route_len: 0,
+            waypoints: Vec::new(),
+            conduits: Vec::new(),
+            route_bits: 0,
+            src_ap: None,
+            ideal_hops: None,
+            replan_route: Vec::new(),
+            recovery: OnceLock::new(),
+        }
+    }
+
+    /// Clears every field back to [`PlannedFlow::empty`] semantics
+    /// while keeping the vector capacities for reuse.
+    fn reset(&mut self, src: u32, dst: u32) {
+        self.src = src;
+        self.dst = dst;
+        self.reachable = false;
+        self.route_len = 0;
+        self.waypoints.clear();
+        self.conduits.clear();
+        self.route_bits = 0;
+        self.src_ap = None;
+        self.ideal_hops = None;
+        self.replan_route.clear();
+        self.recovery.take();
+    }
+
     /// Whether planning produced a usable route.
     pub fn route_found(&self) -> bool {
         !self.waypoints.is_empty()
-    }
-
-    /// Whether the plan carries a widened-conduit retry variant.
-    pub fn has_wide_variant(&self) -> bool {
-        !self.wide_conduits.is_empty()
-    }
-
-    /// Whether the plan carries a replanned detour.
-    pub fn has_fallback(&self) -> bool {
-        !self.fallback_conduits.is_empty()
     }
 }
 
@@ -325,6 +375,46 @@ pub struct CityResult {
     pub outcomes: Vec<PairOutcome>,
 }
 
+/// Reusable buffers for [`CityExperiment::plan_flow_into`]: the graph
+/// search scratch (shared by route planning over the building graph
+/// and the ideal-hops BFS over the AP graph — it grows to the larger
+/// of the two), the uncompressed-route buffer, and a header used to
+/// probe route bits without allocating a waypoint vector per plan.
+/// One scratch per worker; a warm scratch plans with zero heap
+/// allocations.
+#[derive(Clone, Debug)]
+pub struct PlanScratch {
+    search: PlannerScratch,
+    route: Vec<u32>,
+    header: CityMeshHeader,
+}
+
+impl PlanScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        PlanScratch {
+            search: PlannerScratch::new(),
+            route: Vec::new(),
+            // Placeholder header; every plan overwrites it via
+            // `reuse_for`. Owns no heap memory until first use.
+            header: CityMeshHeader {
+                kind: citymesh_net::MessageKind::Data,
+                ttl: 64,
+                msg_id: 0,
+                conduit_width_dm: 0,
+                waypoints: Vec::new(),
+                encoding: citymesh_net::RouteEncoding::Absolute,
+            },
+        }
+    }
+}
+
+impl Default for PlanScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A prepared city: placement + graphs, ready to run pairs.
 #[derive(Clone, Debug)]
 pub struct CityExperiment {
@@ -338,6 +428,14 @@ pub struct CityExperiment {
     /// of the seed, so it is identical no matter how many workers
     /// later share this experiment.
     faults: Option<FaultState>,
+    /// Per-building postbox AP (closest AP to the centroid), healthy
+    /// world — `postbox_ap` precomputed for every building so each
+    /// plan does an O(1) lookup instead of an O(APs) scan.
+    postbox: Vec<Option<u32>>,
+    /// Per-building *live* postbox AP under the fault state (closest
+    /// surviving AP); empty when no scenario is active. Rebuilt
+    /// whenever the fault state changes.
+    postbox_live: Vec<Option<u32>>,
 }
 
 impl CityExperiment {
@@ -379,6 +477,10 @@ impl CityExperiment {
         let faults = config.faults.map(|sc| {
             FaultState::materialize(&sc, &aps, &map, split_seed(config.seed, DOMAIN_FAULTS))
         });
+        let postbox = (0..map.len())
+            .map(|b| postbox_ap(&aps, &map, b as u32))
+            .collect();
+        let postbox_live = live_postbox_table(&map, &aps, faults.as_ref());
         CityExperiment {
             map,
             aps,
@@ -386,6 +488,8 @@ impl CityExperiment {
             bg,
             config,
             faults,
+            postbox,
+            postbox_live,
         }
     }
 
@@ -411,6 +515,7 @@ impl CityExperiment {
             self.aps.len()
         );
         self.faults = Some(state);
+        self.postbox_live = live_postbox_table(&self.map, &self.aps, self.faults.as_ref());
         self
     }
 
@@ -469,107 +574,147 @@ impl CityExperiment {
     ///
     /// Pure in the prepared world, so results are safely shareable
     /// across threads and cacheable by `(src, dst)`.
+    /// Convenience wrapper over
+    /// [`CityExperiment::plan_flow_into`] that allocates one-shot
+    /// buffers; planner loops (and the fleet's cache-miss path) hold a
+    /// [`PlanScratch`] and call `plan_flow_into` directly.
     pub fn plan_flow(&self, src: u32, dst: u32) -> PlannedFlow {
-        let mut plan = PlannedFlow {
-            src,
-            dst,
-            reachable: self.reachable(src, dst),
-            route_len: 0,
-            waypoints: Vec::new(),
-            conduits: Vec::new(),
-            route_bits: 0,
-            src_ap: None,
-            ideal_hops: None,
-            wide_width_m: 0.0,
-            wide_conduits: Vec::new(),
-            fallback_waypoints: Vec::new(),
-            fallback_conduits: Vec::new(),
-        };
+        let mut scratch = PlanScratch::new();
+        let mut plan = PlannedFlow::empty(src, dst);
+        self.plan_flow_into(src, dst, &mut scratch, &mut plan);
+        plan
+    }
+
+    /// The RNG-free planning half of a flow against caller-owned
+    /// buffers: resets `plan` and fills it in place, reusing both its
+    /// vectors and `scratch`'s search state, so a warm caller plans
+    /// with **zero heap allocations** (asserted by the counting
+    /// allocator in `crates/fleet/tests/zero_alloc.rs`). Produces
+    /// exactly the plan [`CityExperiment::plan_flow`] returns — the
+    /// allocating entry point is a wrapper over this kernel.
+    pub fn plan_flow_into(
+        &self,
+        src: u32,
+        dst: u32,
+        scratch: &mut PlanScratch,
+        plan: &mut PlannedFlow,
+    ) {
+        plan.reset(src, dst);
+        plan.reachable = self.reachable(src, dst);
         let faults = self.faults.as_ref();
         // Plan over the map the sender believes in: the cached
         // pre-disaster graph when the map is stale (the paper's
         // static-map assumption under stress), the surviving graph —
         // dark buildings avoided — when it is fresh.
-        let route = match faults {
-            Some(f) if !f.stale_map() => {
-                plan_route_avoiding(&self.bg, src, dst, f.blocked_buildings())
-            }
-            _ => plan_route(&self.bg, src, dst),
+        let routed = match faults {
+            Some(f) if !f.stale_map() => plan_route_avoiding_into(
+                &self.bg,
+                src,
+                dst,
+                f.blocked_buildings(),
+                &mut scratch.search,
+                &mut scratch.route,
+            ),
+            _ => plan_route_into(&self.bg, src, dst, &mut scratch.search, &mut scratch.route),
         };
-        let Ok(route) = route else {
-            return plan;
-        };
-        plan.route_len = route.len();
-        let compressed = compress_route(&self.bg, &route, self.config.conduit_width_m)
-            .expect("config width validated at prepare time; route is non-empty");
+        if routed.is_err() {
+            return;
+        }
+        plan.route_len = scratch.route.len();
+        compress_route_into(
+            &self.bg,
+            &scratch.route,
+            self.config.conduit_width_m,
+            &mut plan.waypoints,
+        )
+        .expect("config width validated at prepare time; route is non-empty");
         // Header size depends only on the waypoints and width; probe it
         // with a placeholder message id (route bits exclude the id).
-        let header = CityMeshHeader::new(0, self.config.conduit_width_m, compressed.waypoints);
-        plan.route_bits = header.route_bits();
+        scratch
+            .header
+            .reuse_for(0, self.config.conduit_width_m, &plan.waypoints);
+        plan.route_bits = scratch.header.route_bits();
         // Under faults the sender's uplink is the surviving postbox
         // AP: closest live AP to the centroid, `None` when the source
         // building is dark (the flow then fails cleanly, unsimulated).
+        // Both lookups hit the tables precomputed at preparation time.
         plan.src_ap = match faults {
-            Some(f) => f.postbox_ap_live(&self.aps, &self.map, src),
-            None => postbox_ap(&self.aps, &self.map, src),
+            Some(_) => self.postbox_live[src as usize],
+            None => self.postbox[src as usize],
         };
         if let Some(src_ap) = plan.src_ap {
-            plan.ideal_hops = self.apg.ideal_hops_to_building(src_ap, dst);
+            plan.ideal_hops =
+                self.apg
+                    .ideal_hops_to_building_with(src_ap, dst, &mut scratch.search);
         }
         // Conduits are what every relaying AP reconstructs from the
         // header; using the header's round-tripped width keeps them
         // bit-identical to a relay-side reconstruction.
-        plan.conduits =
-            reconstruct_conduits(&self.map, &header.waypoints, header.conduit_width_m());
-        if let Some(f) = faults {
-            self.plan_recovery_variants(&mut plan, f, &route, &header.waypoints);
+        reconstruct_conduits_into(
+            &self.map,
+            &plan.waypoints,
+            scratch.header.conduit_width_m(),
+            &mut plan.conduits,
+        );
+        // Keep the uncompressed route for the lazy replan rung's
+        // detour comparison; the ladder geometry itself is deferred
+        // until a simulation actually climbs that far.
+        if faults.is_some() {
+            plan.replan_route.extend_from_slice(&scratch.route);
         }
-        plan.waypoints = header.waypoints;
-        plan
     }
 
-    /// Precomputes the retry ladder's geometry so every rung reuses
-    /// cached state at simulation time (the steady-state path must not
-    /// allocate, and the fleet's route cache amortizes this across all
-    /// flows sharing the pair).
-    fn plan_recovery_variants(
+    /// Materializes the retry ladder's geometry for `plan`, computing
+    /// it at most once per plan (the result is memoized in the plan's
+    /// [`OnceLock`]). Called lazily from the simulation loop the first
+    /// time a flow escalates to rung 3, so plans that deliver within
+    /// two attempts — and the entire healthy world — never pay for
+    /// widened conduits or a replanned detour.
+    fn recovery_variants<'a>(
         &self,
-        plan: &mut PlannedFlow,
+        plan: &'a PlannedFlow,
         faults: &FaultState,
-        route: &[u32],
-        waypoints: &[u32],
-    ) {
-        let policy = faults.retry();
-        // Widen rung: same waypoints, fatter conduits, clamped to the
-        // header-encodable width.
-        if policy.max_attempts >= 3 && policy.widen_factor > 1.0 {
-            let w = (self.config.conduit_width_m * policy.widen_factor).min(MAX_CONDUIT_WIDTH_M);
-            let wide_header = CityMeshHeader::new(0, w, waypoints.to_vec());
-            plan.wide_width_m = wide_header.conduit_width_m();
-            plan.wide_conduits =
-                reconstruct_conduits(&self.map, &wide_header.waypoints, plan.wide_width_m);
-        }
-        // Replan rung: detour around buildings with zero live APs.
-        // Only meaningful when the primary plan was drawn on a stale
-        // map and a genuinely different detour survives.
-        if policy.max_attempts >= 4 && faults.stale_map() && !faults.blocked_buildings().is_empty()
-        {
-            let Ok(detour) =
-                plan_route_avoiding(&self.bg, plan.src, plan.dst, faults.blocked_buildings())
-            else {
-                return;
-            };
-            if detour == route {
-                return;
+    ) -> &'a RecoveryVariants {
+        plan.recovery.get_or_init(|| {
+            let mut rec = RecoveryVariants::default();
+            let policy = faults.retry();
+            // Widen rung: same waypoints, fatter conduits, clamped to
+            // the header-encodable width.
+            if policy.max_attempts >= 3 && policy.widen_factor > 1.0 {
+                let w =
+                    (self.config.conduit_width_m * policy.widen_factor).min(MAX_CONDUIT_WIDTH_M);
+                let wide_header = CityMeshHeader::new(0, w, plan.waypoints.clone());
+                rec.wide_width_m = wide_header.conduit_width_m();
+                rec.wide_conduits =
+                    reconstruct_conduits(&self.map, &wide_header.waypoints, rec.wide_width_m);
             }
-            let Ok(c) = compress_route(&self.bg, &detour, self.config.conduit_width_m) else {
-                return;
-            };
-            let h = CityMeshHeader::new(0, self.config.conduit_width_m, c.waypoints);
-            plan.fallback_conduits =
-                reconstruct_conduits(&self.map, &h.waypoints, h.conduit_width_m());
-            plan.fallback_waypoints = h.waypoints;
-        }
+            // Replan rung: detour around buildings with zero live APs.
+            // Only meaningful when the primary plan was drawn on a
+            // stale map and a genuinely different detour survives. The
+            // comparison runs against the *uncompressed* primary route
+            // the plan kept for exactly this purpose.
+            if policy.max_attempts >= 4
+                && faults.stale_map()
+                && !faults.blocked_buildings().is_empty()
+            {
+                let Ok(detour) =
+                    plan_route_avoiding(&self.bg, plan.src, plan.dst, faults.blocked_buildings())
+                else {
+                    return rec;
+                };
+                if detour == plan.replan_route {
+                    return rec;
+                }
+                let Ok(c) = compress_route(&self.bg, &detour, self.config.conduit_width_m) else {
+                    return rec;
+                };
+                let h = CityMeshHeader::new(0, self.config.conduit_width_m, c.waypoints);
+                rec.fallback_conduits =
+                    reconstruct_conduits(&self.map, &h.waypoints, h.conduit_width_m());
+                rec.fallback_waypoints = h.waypoints;
+            }
+            rec
+        })
     }
 
     /// The stochastic half of a flow: drives the event simulation over
@@ -677,32 +822,52 @@ impl CityExperiment {
             // Rung selection: 1 → first send, 2 → re-send, 3 → widen,
             // 4+ → replan; rungs without geometry degrade to a re-send
             // so the ladder is always bounded by `max_attempts`.
+            // Reaching rung 3 is what materializes the lazy ladder
+            // geometry; attempts only exceed 1 under a fault scenario,
+            // so `faults` is always present here.
+            let resend = || {
+                (
+                    RecoveryStage::Resend,
+                    &plan.waypoints[..],
+                    &plan.conduits[..],
+                    self.config.conduit_width_m,
+                )
+            };
             let (stage, waypoints, conduits, width): (RecoveryStage, &[u32], &[OrientedRect], f64) =
-                match attempts {
-                    1 => (
+                match (attempts, faults) {
+                    (1, _) => (
                         RecoveryStage::First,
                         &plan.waypoints,
                         &plan.conduits,
                         self.config.conduit_width_m,
                     ),
-                    3 if plan.has_wide_variant() => (
-                        RecoveryStage::Widen,
-                        &plan.waypoints,
-                        &plan.wide_conduits,
-                        plan.wide_width_m,
-                    ),
-                    n if n >= 4 && plan.has_fallback() => (
-                        RecoveryStage::Replan,
-                        &plan.fallback_waypoints,
-                        &plan.fallback_conduits,
-                        self.config.conduit_width_m,
-                    ),
-                    _ => (
-                        RecoveryStage::Resend,
-                        &plan.waypoints,
-                        &plan.conduits,
-                        self.config.conduit_width_m,
-                    ),
+                    (3, Some(f)) => {
+                        let rec = self.recovery_variants(plan, f);
+                        if rec.wide_conduits.is_empty() {
+                            resend()
+                        } else {
+                            (
+                                RecoveryStage::Widen,
+                                &plan.waypoints,
+                                &rec.wide_conduits,
+                                rec.wide_width_m,
+                            )
+                        }
+                    }
+                    (n, Some(f)) if n >= 4 => {
+                        let rec = self.recovery_variants(plan, f);
+                        if rec.fallback_conduits.is_empty() {
+                            resend()
+                        } else {
+                            (
+                                RecoveryStage::Replan,
+                                &rec.fallback_waypoints,
+                                &rec.fallback_conduits,
+                                self.config.conduit_width_m,
+                            )
+                        }
+                    }
+                    _ => resend(),
                 };
             header.reuse_for(msg_id, width, waypoints);
             scratch.tracer.record(TraceEvent::Attempt {
@@ -816,6 +981,18 @@ impl CityExperiment {
             p90_route_bits: percentile_u(&bits, 0.9),
             outcomes,
         }
+    }
+}
+
+/// Precomputes [`FaultState::postbox_ap_live`] for every building —
+/// one O(buildings × APs) pass at preparation time replaces an O(APs)
+/// scan per planned flow. Empty (no table) when no scenario is active.
+fn live_postbox_table(map: &CityMap, aps: &[Ap], faults: Option<&FaultState>) -> Vec<Option<u32>> {
+    match faults {
+        Some(f) => (0..map.len())
+            .map(|b| f.postbox_ap_live(aps, map, b as u32))
+            .collect(),
+        None => Vec::new(),
     }
 }
 

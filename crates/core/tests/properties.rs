@@ -2,7 +2,8 @@
 
 use citymesh_core::{
     compress_route, place_aps, plan_route, reconstruct_conduits, within_conduits, BuildingGraph,
-    BuildingGraphParams, CityExperiment, DeliveryScratch, ExperimentConfig,
+    BuildingGraphParams, CityExperiment, DeliveryScratch, ExperimentConfig, FaultScenario,
+    PlanScratch, PlannedFlow,
 };
 use citymesh_geo::{Point, Polygon, Rect};
 use citymesh_map::CityMap;
@@ -216,6 +217,104 @@ proptest! {
             prop_assert_eq!(&fresh, &reused, "flow {} diverged under scratch reuse", i);
             prop_assert_eq!(rng_fresh.below(u64::MAX), rng_scratch.below(u64::MAX),
                 "RNG streams desynchronized on flow {}", i);
+        }
+    }
+
+    /// The goal-directed A* behind `plan_route` is optimal: its path
+    /// cost equals the full-Dijkstra distance. Grid cities matter here
+    /// — their uniform pitch produces *exact* floating-point cost
+    /// ties, the regime where an inadmissible heuristic or sloppy
+    /// tie-breaking would first surface as a longer route.
+    #[test]
+    fn plan_route_cost_is_optimal(
+        g in grid_city(),
+        pair_seed in any::<u64>(),
+        exponent in 1.0..4.0f64,
+    ) {
+        let map = build_map(&g);
+        let params = BuildingGraphParams { max_gap_m: 40.0, weight_exponent: exponent };
+        let bg = BuildingGraph::build(&map, params);
+        let mut rng = SimRng::new(pair_seed);
+        let n = map.len() as u64;
+        let src = rng.below(n) as u32;
+        let dst = rng.below(n) as u32;
+        let truth = citymesh_graph::dijkstra(bg.graph(), src);
+        match plan_route(&bg, src, dst) {
+            Ok(route) => {
+                prop_assert_eq!(route[0], src);
+                prop_assert_eq!(*route.last().unwrap(), dst);
+                let mut cost = 0.0;
+                for w in route.windows(2) {
+                    let e = bg.graph().neighbors(w[0]).iter().find(|e| e.to == w[1]);
+                    prop_assert!(e.is_some(), "route used non-edge {}–{}", w[0], w[1]);
+                    cost += e.unwrap().weight;
+                }
+                let best = truth.dist[dst as usize];
+                prop_assert!(
+                    (cost - best).abs() <= 1e-9 * best.max(1.0),
+                    "A* route cost {} is not the shortest distance {}", cost, best
+                );
+            }
+            Err(_) => prop_assert!(
+                truth.dist[dst as usize].is_infinite(),
+                "plan_route failed on a connected pair"
+            ),
+        }
+    }
+
+    /// Planning into one dirtied `PlanScratch` + reused `PlannedFlow`
+    /// is field-for-field equivalent to a fresh `plan_flow`, and the
+    /// resulting plans simulate identically draw-for-draw — including
+    /// under faults with a stale map, where the lazy recovery rungs
+    /// (widen, replan-around-casualties) are exercised. This is the
+    /// contract that lets the fleet engine plan through one scratch
+    /// per worker without perturbing any digest.
+    #[test]
+    fn plan_scratch_reuse_equals_fresh_plan(
+        g in grid_city(),
+        world_seed in any::<u64>(),
+        pair_seed in any::<u64>(),
+        failure_p in 0.0..0.35f64,
+    ) {
+        let map = build_map(&g);
+        let mut scenario = FaultScenario::iid(failure_p);
+        scenario.stale_map = true;
+        let exp = CityExperiment::prepare(
+            map,
+            ExperimentConfig {
+                seed: world_seed,
+                reachability_pairs: 10,
+                delivery_pairs: 4,
+                faults: Some(scenario),
+                ..ExperimentConfig::default()
+            },
+        );
+        let n = exp.map().len() as u64;
+        let mut pick = SimRng::new(pair_seed);
+        let mut plan_scratch = PlanScratch::new();
+        let mut reused = PlannedFlow::empty(0, 0);
+        let mut sim_scratch = DeliveryScratch::new();
+        for i in 0..6u64 {
+            let src = pick.below(n) as u32;
+            let dst = pick.below(n) as u32;
+            let fresh = exp.plan_flow(src, dst);
+            exp.plan_flow_into(src, dst, &mut plan_scratch, &mut reused);
+            prop_assert_eq!(fresh.src, reused.src);
+            prop_assert_eq!(fresh.dst, reused.dst);
+            prop_assert_eq!(fresh.reachable, reused.reachable);
+            prop_assert_eq!(fresh.route_len, reused.route_len);
+            prop_assert_eq!(&fresh.waypoints, &reused.waypoints);
+            prop_assert_eq!(&fresh.conduits, &reused.conduits);
+            prop_assert_eq!(fresh.route_bits, reused.route_bits);
+            prop_assert_eq!(fresh.src_ap, reused.src_ap);
+            prop_assert_eq!(fresh.ideal_hops, reused.ideal_hops);
+            let msg_id = 0x5EED_1000 + i;
+            let mut rng_fresh = SimRng::new(pair_seed ^ i);
+            let mut rng_reused = rng_fresh.clone();
+            let out_fresh = exp.simulate_flow(&fresh, msg_id, &mut rng_fresh);
+            let out_reused =
+                exp.simulate_flow_with(&reused, msg_id, &mut rng_reused, &mut sim_scratch);
+            prop_assert_eq!(&out_fresh, &out_reused, "flow {} diverged under plan reuse", i);
         }
     }
 

@@ -8,7 +8,7 @@
 //! during an outage. This crate supplies the minimal primitive suite
 //! for that design:
 //!
-//! * [`sha256`] / [`sha512`] — FIPS 180-4 hashes (NIST test vectors).
+//! * [`sha256()`] / [`sha512()`] — FIPS 180-4 hashes (NIST test vectors).
 //! * [`hmac`] / [`hkdf`] — RFC 2104 / RFC 5869 keyed MAC and KDF.
 //! * [`chacha20`] + [`poly1305`] + [`aead`] — the RFC 8439 AEAD.
 //! * [`x25519`] — RFC 7748 Diffie–Hellman over Curve25519.

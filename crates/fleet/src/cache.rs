@@ -107,21 +107,12 @@ mod tests {
     use super::*;
 
     fn dummy_plan(src: u32, dst: u32) -> PlannedFlow {
-        PlannedFlow {
-            src,
-            dst,
-            reachable: true,
-            route_len: 2,
-            waypoints: vec![src, dst],
-            conduits: Vec::new(),
-            route_bits: 64,
-            src_ap: None,
-            ideal_hops: None,
-            wide_width_m: 0.0,
-            wide_conduits: Vec::new(),
-            fallback_waypoints: Vec::new(),
-            fallback_conduits: Vec::new(),
-        }
+        let mut plan = PlannedFlow::empty(src, dst);
+        plan.reachable = true;
+        plan.route_len = 2;
+        plan.waypoints = vec![src, dst];
+        plan.route_bits = 64;
+        plan
     }
 
     #[test]

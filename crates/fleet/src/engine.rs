@@ -21,7 +21,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use citymesh_core::{CityExperiment, DeliveryScratch, PairOutcome};
+use citymesh_core::{CityExperiment, DeliveryScratch, PairOutcome, PlanScratch, PlannedFlow};
 use citymesh_simcore::stats::Histogram;
 use citymesh_simcore::{substream_seed, SimRng};
 use citymesh_telemetry::{metrics as tm, MetricSet, Postmortem, Rung, TelemetryConfig};
@@ -439,6 +439,11 @@ fn execute_range(
     } else {
         DeliveryScratch::new()
     };
+    // Planner scratch for cache misses: the search buffers warm up on
+    // the first few unseen pairs and are reused for every miss after
+    // that (only the cached `PlannedFlow`'s own vectors still
+    // allocate — they outlive the worker inside the shared cache).
+    let mut plan_scratch = PlanScratch::new();
     let mut metrics = tel.metrics.then(MetricSet::new);
     loop {
         let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
@@ -448,7 +453,11 @@ fn execute_range(
         let end = (start + CLAIM_CHUNK).min(flows.len());
         out.reserve(end - start);
         for flow in &flows[start..end] {
-            let plan = cache.get_or_plan(flow.src, flow.dst, || exp.plan_flow(flow.src, flow.dst));
+            let plan = cache.get_or_plan(flow.src, flow.dst, || {
+                let mut plan = PlannedFlow::empty(flow.src, flow.dst);
+                exp.plan_flow_into(flow.src, flow.dst, &mut plan_scratch, &mut plan);
+                plan
+            });
             let msg_id = substream_seed(seed, DOMAIN_MSG, flow.id);
             let mut rng = SimRng::new(substream_seed(seed, DOMAIN_SIM, flow.id));
             // Key the trace by the flow's workload identity (not the

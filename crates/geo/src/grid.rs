@@ -132,14 +132,24 @@ impl GridIndex {
         out
     }
 
+    /// Calls `f(id, pos)` for every item inside `rect` (boundary
+    /// inclusive) without allocating — the alloc-free core of
+    /// [`query_rect`](Self::query_rect), sized O(items in cells
+    /// overlapping `rect`). Visit order follows the bucket layout
+    /// (row-major cells, insertion order within a cell), so callers
+    /// needing a canonical order must impose it themselves.
+    pub fn for_each_in_rect(&self, rect: Rect, mut f: impl FnMut(u32, Point)) {
+        self.for_each_cell_overlapping(rect, |id, pos| {
+            if rect.contains(pos) {
+                f(id, pos);
+            }
+        });
+    }
+
     /// Collects ids of every item inside `rect` (boundary inclusive).
     pub fn query_rect(&self, rect: Rect) -> Vec<u32> {
         let mut out = Vec::new();
-        self.for_each_cell_overlapping(rect, |id, pos| {
-            if rect.contains(pos) {
-                out.push(id);
-            }
-        });
+        self.for_each_in_rect(rect, |id, _| out.push(id));
         out
     }
 
@@ -253,6 +263,19 @@ mod tests {
         expect.sort_unstable();
         got.sort_unstable();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn for_each_in_rect_passes_matching_positions() {
+        let (pts, idx) = grid_of_points();
+        let rect = Rect::from_corners(Point::new(0.0, 0.0), Point::new(25.0, 25.0));
+        let mut seen = 0usize;
+        idx.for_each_in_rect(rect, |id, pos| {
+            assert_eq!(pos, pts[id as usize]);
+            assert!(rect.contains(pos));
+            seen += 1;
+        });
+        assert_eq!(seen, 9); // 3×3 lattice corner
     }
 
     #[test]

@@ -18,10 +18,15 @@
 #![warn(missing_docs)]
 
 mod adjacency;
+mod scratch;
 mod search;
 mod union_find;
 
 pub use adjacency::{Edge, Graph};
+pub use scratch::{
+    astar_path_filtered_into, astar_path_into, bfs_distance_to, dijkstra_path_filtered_into,
+    dijkstra_path_into, PlannerScratch,
+};
 pub use search::{
     astar, bfs, bfs_path, connected_components, dijkstra, dijkstra_path, dijkstra_path_filtered,
     largest_component, PathResult, INFINITY,

@@ -1,0 +1,527 @@
+//! Reusable planner scratch: zero-allocation point-to-point search.
+//!
+//! [`dijkstra_path`] allocates `dist`/`parent`/`settled` vectors sized
+//! `|V|` plus a fresh binary heap on every call. A route planner that
+//! serves millions of flows pays that cost per flow even though almost
+//! every call touches only a tiny corridor of the graph. This module
+//! provides the steady-state alternative: a [`PlannerScratch`] that
+//! owns every buffer a search needs and clears them in O(touched) via
+//! generation stamps, plus `_into` kernels that write the path into a
+//! caller-owned buffer. After a warm-up call, planning performs **zero
+//! heap allocations**.
+//!
+//! # Deterministic tie-breaking (the A* ≡ Dijkstra contract)
+//!
+//! The `_into` kernels share one canonical tie-breaking rule:
+//!
+//! 1. the heap pops by *(key ascending, vertex id ascending)* — key is
+//!    `dist` for Dijkstra and `dist + h` for A*;
+//! 2. a relaxation `u → v` updates `v` when it strictly improves
+//!    `dist[v]`, **or** when it exactly ties `dist[v]` and `u` has a
+//!    smaller id than the current parent;
+//! 3. settled vertices are never updated.
+//!
+//! Under rule 2 the final parent of every settled vertex is the
+//! minimum-id optimal predecessor among those settled before it — a
+//! quantity independent of settle *order*. Dijkstra and A* settle
+//! vertices in different orders, but with a *strictly consistent*
+//! heuristic (`h(u) − h(v) < w(u,v)` on every edge, which includes
+//! `h ≡ 0` on graphs with positive weights) every optimal predecessor
+//! of a vertex has a strictly smaller heap key and therefore settles
+//! first in **both** algorithms. Both parent trees then agree on every
+//! vertex they share, so [`astar_path_into`] returns paths
+//! **bit-identical** to [`dijkstra_path_into`]. The building graph's
+//! cubed-distance weights satisfy strict consistency for the Euclidean
+//! heuristic because every weight is `max(d, 1)^e ≥ max(d, 1) > h`-drop
+//! for exponents `e ≥ 1` (see `citymesh-core`'s route planner).
+//!
+//! [`dijkstra_path`]: crate::dijkstra_path
+
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use crate::search::HeapItem;
+use crate::{Graph, INFINITY};
+
+/// Reusable buffers for point-to-point search over a [`Graph`].
+///
+/// One scratch serves searches over graphs of *different* sizes (the
+/// route planner shares one between the building graph and the AP
+/// graph): buffers grow to the largest vertex count seen and are
+/// logically cleared per run by bumping a generation counter, so a
+/// warm scratch performs no allocation and no O(|V|) clearing.
+///
+/// ```
+/// use citymesh_graph::{dijkstra_path_into, Graph, PlannerScratch};
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// g.add_edge(0, 2, 10.0);
+/// let mut scratch = PlannerScratch::new();
+/// let mut path = Vec::new();
+/// assert!(dijkstra_path_into(&g, 0, 2, &mut scratch, &mut path));
+/// assert_eq!(path, vec![0, 1, 2]);
+/// // Reuse: the second call allocates nothing.
+/// assert!(dijkstra_path_into(&g, 2, 0, &mut scratch, &mut path));
+/// assert_eq!(path, vec![2, 1, 0]);
+/// ```
+///
+/// # Deterministic tie-breaking (the A* ≡ Dijkstra contract)
+///
+/// All kernels taking a `PlannerScratch` share one canonical rule:
+/// the heap pops by *(key ascending, vertex id ascending)*; a
+/// relaxation `u → v` updates `v` when it strictly improves `dist[v]`
+/// **or** exactly ties it with `u` smaller than the current parent;
+/// settled vertices are never updated. The final parent of every
+/// vertex is then the minimum-id optimal predecessor among those
+/// settled before it. With a *strictly consistent* heuristic
+/// (`h(u) − h(v) < w(u, v)` on every edge — which includes `h ≡ 0` on
+/// positive-weight graphs) every optimal predecessor settles first in
+/// both A* and Dijkstra, so [`astar_path_into`] returns paths
+/// bit-identical to [`dijkstra_path_into`]. DESIGN.md §10 carries the
+/// full argument.
+#[derive(Clone, Debug, Default)]
+pub struct PlannerScratch {
+    /// Slot `v` is valid for this run iff `stamp[v] == gen`.
+    stamp: Vec<u32>,
+    gen: u32,
+    dist: Vec<f64>,
+    parent: Vec<u32>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapItem>,
+    queue: VecDeque<u32>,
+}
+
+impl PlannerScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Largest vertex count the buffers currently cover.
+    pub fn capacity(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Prepares for a search over `n` vertices: grows buffers if this
+    /// is the largest graph seen, invalidates every slot by bumping
+    /// the generation (O(1); a full re-stamp happens only when the
+    /// `u32` generation wraps, once per ~4 billion searches), and
+    /// clears the retained heap/queue without releasing capacity.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, INFINITY);
+            self.parent.resize(n, u32::MAX);
+            self.settled.resize(n, false);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+        self.heap.clear();
+        self.queue.clear();
+    }
+
+    /// `(dist, parent)` of `v`, defaulting to (∞, MAX) when untouched
+    /// this run.
+    #[inline]
+    fn entry(&self, v: u32) -> (f64, u32) {
+        let i = v as usize;
+        if self.stamp[i] == self.gen {
+            (self.dist[i], self.parent[i])
+        } else {
+            (INFINITY, u32::MAX)
+        }
+    }
+
+    /// Writes `(dist, parent)` for `v`, stamping the slot.
+    #[inline]
+    fn write(&mut self, v: u32, dist: f64, parent: u32) {
+        let i = v as usize;
+        if self.stamp[i] != self.gen {
+            self.stamp[i] = self.gen;
+            self.settled[i] = false;
+        }
+        self.dist[i] = dist;
+        self.parent[i] = parent;
+    }
+
+    #[inline]
+    fn is_settled(&self, v: u32) -> bool {
+        let i = v as usize;
+        self.stamp[i] == self.gen && self.settled[i]
+    }
+
+    #[inline]
+    fn settle(&mut self, v: u32) {
+        // Popped vertices were always written first, so the slot is
+        // already stamped.
+        debug_assert_eq!(self.stamp[v as usize], self.gen);
+        self.settled[v as usize] = true;
+    }
+
+    /// Whether `v` was touched this run (BFS visited-set).
+    #[inline]
+    fn is_visited(&self, v: u32) -> bool {
+        self.stamp[v as usize] == self.gen
+    }
+
+    /// Traces the parent chain from `target` into `out` (reversed into
+    /// source→target order). The chain was written this generation.
+    fn trace_into(&self, target: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.push(target);
+        let mut cur = target;
+        loop {
+            let p = self.parent[cur as usize];
+            if p == u32::MAX {
+                break;
+            }
+            out.push(p);
+            cur = p;
+            debug_assert!(out.len() <= self.stamp.len(), "parent cycle");
+        }
+        out.reverse();
+    }
+}
+
+/// A* from `source` to `target` restricted to vertices `allowed`
+/// admits (endpoints are always allowed), writing the path into `out`.
+/// Returns `false` — with `out` cleared — when no path exists.
+///
+/// This is the master kernel behind [`dijkstra_path_into`],
+/// [`dijkstra_path_filtered_into`], and [`astar_path_into`]; see the
+/// [`PlannerScratch`] docs for the canonical tie-breaking rule and the
+/// conditions under which all of them return bit-identical paths.
+///
+/// `h` must be admissible (`h(v) ≤` cheapest remaining cost) for the
+/// result to be a shortest path, and strictly consistent for the
+/// cross-kernel bit-identity guarantee. `h(target)` is ignored (taken
+/// as 0).
+///
+/// # Panics
+/// Panics when `source` or `target` is out of range.
+pub fn astar_path_filtered_into(
+    g: &Graph,
+    source: u32,
+    target: u32,
+    h: impl Fn(u32) -> f64,
+    allowed: impl Fn(u32) -> bool,
+    scratch: &mut PlannerScratch,
+    out: &mut Vec<u32>,
+) -> bool {
+    let n = g.num_vertices();
+    assert!(
+        (source as usize) < n && (target as usize) < n,
+        "vertex out of range"
+    );
+    out.clear();
+    if source == target {
+        out.push(source);
+        return true;
+    }
+    scratch.begin(n);
+    scratch.write(source, 0.0, u32::MAX);
+    scratch.heap.push(HeapItem {
+        dist: h(source),
+        vertex: source,
+    });
+    while let Some(HeapItem { vertex: u, .. }) = scratch.heap.pop() {
+        if scratch.is_settled(u) {
+            continue; // stale lazy-deleted entry
+        }
+        scratch.settle(u);
+        if u == target {
+            scratch.trace_into(target, out);
+            return true;
+        }
+        let (d, _) = scratch.entry(u);
+        for e in g.neighbors(u) {
+            if scratch.is_settled(e.to) {
+                continue;
+            }
+            if e.to != target && e.to != source && !allowed(e.to) {
+                continue;
+            }
+            let nd = d + e.weight;
+            let (cur, cur_parent) = scratch.entry(e.to);
+            if nd < cur {
+                scratch.write(e.to, nd, u);
+                scratch.heap.push(HeapItem {
+                    dist: nd + h(e.to),
+                    vertex: e.to,
+                });
+            } else if nd == cur && u < cur_parent {
+                // Canonical tie-break: equal-cost predecessors resolve
+                // to the smallest id. The key is unchanged, so no new
+                // heap entry is needed.
+                scratch.write(e.to, nd, u);
+            }
+        }
+    }
+    out.clear();
+    false
+}
+
+/// [`dijkstra_path`](crate::dijkstra_path) against reusable scratch
+/// buffers: writes the path into `out`, returns `false` when
+/// unreachable, allocates nothing once warm.
+pub fn dijkstra_path_into(
+    g: &Graph,
+    source: u32,
+    target: u32,
+    scratch: &mut PlannerScratch,
+    out: &mut Vec<u32>,
+) -> bool {
+    astar_path_filtered_into(g, source, target, |_| 0.0, |_| true, scratch, out)
+}
+
+/// [`dijkstra_path_filtered`](crate::dijkstra_path_filtered) against
+/// reusable scratch buffers (endpoints exempt from the filter).
+pub fn dijkstra_path_filtered_into(
+    g: &Graph,
+    source: u32,
+    target: u32,
+    allowed: impl Fn(u32) -> bool,
+    scratch: &mut PlannerScratch,
+    out: &mut Vec<u32>,
+) -> bool {
+    astar_path_filtered_into(g, source, target, |_| 0.0, allowed, scratch, out)
+}
+
+/// Goal-directed A* against reusable scratch buffers. With a strictly
+/// consistent heuristic the result is bit-identical to
+/// [`dijkstra_path_into`] (see [`PlannerScratch`]).
+pub fn astar_path_into(
+    g: &Graph,
+    source: u32,
+    target: u32,
+    h: impl Fn(u32) -> f64,
+    scratch: &mut PlannerScratch,
+    out: &mut Vec<u32>,
+) -> bool {
+    astar_path_filtered_into(g, source, target, h, |_| true, scratch, out)
+}
+
+/// Breadth-first hop count from `source` to the nearest vertex for
+/// which `found` returns `true`, or `None` when no such vertex is
+/// reachable. `found` is probed in nondecreasing hop order, so the
+/// first hit is minimal — the search stops there instead of exploring
+/// the whole component, and a warm scratch allocates nothing.
+///
+/// This is the ideal-unicast query (paper §4's overhead denominator)
+/// in its early-exit form: "hops from this AP to any AP of the
+/// destination building".
+///
+/// # Panics
+/// Panics when `source` is out of range.
+pub fn bfs_distance_to(
+    g: &Graph,
+    source: u32,
+    mut found: impl FnMut(u32) -> bool,
+    scratch: &mut PlannerScratch,
+) -> Option<u64> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    scratch.begin(n);
+    scratch.write(source, 0.0, u32::MAX);
+    if found(source) {
+        return Some(0);
+    }
+    scratch.queue.push_back(source);
+    while let Some(u) = scratch.queue.pop_front() {
+        let (d, _) = scratch.entry(u);
+        for e in g.neighbors(u) {
+            if !scratch.is_visited(e.to) {
+                scratch.write(e.to, d + 1.0, u);
+                // Vertices are discovered in nondecreasing hop order,
+                // so the first match is the minimum.
+                if found(e.to) {
+                    return Some(d as u64 + 1);
+                }
+                scratch.queue.push_back(e.to);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, dijkstra_path, dijkstra_path_filtered};
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 10.0);
+        g
+    }
+
+    #[test]
+    fn into_matches_allocating_dijkstra() {
+        let g = diamond();
+        let mut s = PlannerScratch::new();
+        let mut path = Vec::new();
+        assert!(dijkstra_path_into(&g, 0, 2, &mut s, &mut path));
+        assert_eq!(Some(path.clone()), dijkstra_path(&g, 0, 2));
+        assert!(!dijkstra_path_into(&g, 0, 3, &mut s, &mut path));
+        assert!(path.is_empty());
+        assert_eq!(dijkstra_path(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn scratch_reuse_across_runs_and_graph_sizes() {
+        let g = diamond();
+        let mut big = Graph::new(100);
+        for i in 0..99 {
+            big.add_edge(i, i + 1, 1.0);
+        }
+        let mut s = PlannerScratch::new();
+        let mut path = Vec::new();
+        for _ in 0..5 {
+            assert!(dijkstra_path_into(&big, 0, 99, &mut s, &mut path));
+            assert_eq!(path.len(), 100);
+            assert!(dijkstra_path_into(&g, 0, 2, &mut s, &mut path));
+            assert_eq!(path, vec![0, 1, 2]);
+        }
+        assert_eq!(s.capacity(), 100);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = diamond();
+        let mut s = PlannerScratch::new();
+        let mut path = vec![9, 9];
+        assert!(dijkstra_path_into(&g, 3, 3, &mut s, &mut path));
+        assert_eq!(path, vec![3]);
+    }
+
+    #[test]
+    fn filtered_matches_allocating_filtered() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 3, 5.0);
+        g.add_edge(3, 2, 5.0);
+        let mut s = PlannerScratch::new();
+        let mut path = Vec::new();
+        assert!(dijkstra_path_filtered_into(
+            &g,
+            0,
+            2,
+            |v| v != 1,
+            &mut s,
+            &mut path
+        ));
+        assert_eq!(
+            Some(path.clone()),
+            dijkstra_path_filtered(&g, 0, 2, |v| v != 1)
+        );
+        assert!(!dijkstra_path_filtered_into(
+            &g,
+            0,
+            2,
+            |v| v != 1 && v != 3,
+            &mut s,
+            &mut path
+        ));
+        // Endpoints exempt from the filter, like the allocating kernel.
+        assert!(dijkstra_path_filtered_into(
+            &g,
+            0,
+            2,
+            |v| v != 0 && v != 2 && v != 1,
+            &mut s,
+            &mut path
+        ));
+        assert_eq!(path, vec![0, 3, 2]);
+    }
+
+    #[test]
+    fn equal_cost_ties_resolve_to_smallest_parent_id() {
+        // Two equal-cost two-hop paths 0→{1,2}→3. The canonical rule
+        // must pick the via-1 path regardless of relaxation order.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        let mut s = PlannerScratch::new();
+        let mut d_path = Vec::new();
+        let mut a_path = Vec::new();
+        assert!(dijkstra_path_into(&g, 0, 3, &mut s, &mut d_path));
+        assert_eq!(d_path, vec![0, 1, 3]);
+        // A* with an admissible, strictly consistent heuristic (h ≡ 0
+        // is strictly consistent here: all weights positive).
+        assert!(astar_path_into(&g, 0, 3, |_| 0.0, &mut s, &mut a_path));
+        assert_eq!(a_path, d_path);
+    }
+
+    #[test]
+    fn astar_euclidean_matches_dijkstra_on_a_lattice_with_ties() {
+        // 8×8 unit lattice, cubed weights (w = 8 per edge): many exact
+        // equal-cost Manhattan paths between far corners. Strict
+        // consistency holds (8 > 1 ≥ h-drop per edge), so A* must be
+        // bit-identical to Dijkstra, including on ties.
+        let nx = 8u32;
+        let pos = |v: u32| ((v % nx) as f64, (v / nx) as f64);
+        let mut g = Graph::new((nx * nx) as usize);
+        for y in 0..nx {
+            for x in 0..nx {
+                let v = y * nx + x;
+                if x + 1 < nx {
+                    g.add_edge(v, v + 1, 2.0f64.powi(3));
+                }
+                if y + 1 < nx {
+                    g.add_edge(v, v + nx, 2.0f64.powi(3));
+                }
+            }
+        }
+        let mut s = PlannerScratch::new();
+        let mut d_path = Vec::new();
+        let mut a_path = Vec::new();
+        for (src, dst) in [(0, nx * nx - 1), (3, 60), (7, 56), (0, 63), (21, 42)] {
+            let (tx, ty) = pos(dst);
+            assert!(dijkstra_path_into(&g, src, dst, &mut s, &mut d_path));
+            assert!(astar_path_into(
+                &g,
+                src,
+                dst,
+                |v| {
+                    let (x, y) = pos(v);
+                    ((x - tx).powi(2) + (y - ty).powi(2)).sqrt()
+                },
+                &mut s,
+                &mut a_path
+            ));
+            assert_eq!(a_path, d_path, "pair ({src},{dst}) diverged");
+        }
+    }
+
+    #[test]
+    fn bfs_distance_to_matches_full_bfs() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(4, 5, 1.0); // disconnected pair
+        let mut s = PlannerScratch::new();
+        let full = bfs(&g, 0);
+        assert_eq!(
+            bfs_distance_to(&g, 0, |v| v == 3, &mut s),
+            Some(full.dist[3] as u64)
+        );
+        assert_eq!(bfs_distance_to(&g, 0, |v| v == 0, &mut s), Some(0));
+        assert_eq!(bfs_distance_to(&g, 0, |v| v >= 4, &mut s), None);
+        // Predicate over a set: nearest of {2, 3} is 2 hops away.
+        assert_eq!(
+            bfs_distance_to(&g, 0, |v| v == 2 || v == 3, &mut s),
+            Some(2)
+        );
+    }
+}

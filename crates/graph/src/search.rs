@@ -42,10 +42,10 @@ impl PathResult {
 }
 
 /// A heap entry ordered by *smallest* distance first.
-#[derive(PartialEq)]
-struct HeapItem {
-    dist: f64,
-    vertex: u32,
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct HeapItem {
+    pub(crate) dist: f64,
+    pub(crate) vertex: u32,
 }
 
 impl Eq for HeapItem {}

@@ -1,6 +1,9 @@
 //! Property-based tests for the graph crate.
 
-use citymesh_graph::{astar, bfs, connected_components, dijkstra, Graph, UnionFind};
+use citymesh_graph::{
+    astar, astar_path_into, bfs, bfs_distance_to, connected_components, dijkstra,
+    dijkstra_path_into, Graph, PlannerScratch, UnionFind,
+};
 use proptest::prelude::*;
 
 /// A random undirected graph as (n, edge list).
@@ -106,6 +109,89 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// A synthetic city: random building centroids joined within a gap
+    /// radius with cubed-distance weights (exactly how `BuildingGraph`
+    /// weighs edges). Goal-directed A* with the Euclidean heuristic
+    /// must return paths *bit-identical* to Dijkstra — same vertices in
+    /// the same order — for every reachable pair, and `None`-equivalent
+    /// otherwise. One shared scratch serves every query.
+    #[test]
+    fn astar_bit_identical_to_dijkstra_on_synthetic_cities(
+        pts in proptest::collection::vec((0.0..400.0f64, 0.0..400.0f64), 2..40),
+        exponent in 1.0..4.0f64,
+        pairs in proptest::collection::vec((0usize..40, 0usize..40), 1..12),
+    ) {
+        let n = pts.len();
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = ((pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2)).sqrt();
+                if d <= 120.0 {
+                    g.add_edge(i as u32, j as u32, d.max(1.0).powf(exponent));
+                }
+            }
+        }
+        let mut scratch = PlannerScratch::new();
+        let mut d_path = Vec::new();
+        let mut a_path = Vec::new();
+        for (s, t) in pairs {
+            let (s, t) = ((s % n) as u32, (t % n) as u32);
+            let found = dijkstra_path_into(&g, s, t, &mut scratch, &mut d_path);
+            // Euclidean straight-line distance: admissible and strictly
+            // consistent for exponent ≥ 1 (weights are max(d,1)^e ≥ d).
+            let (tx, ty) = pts[t as usize];
+            let h = |v: u32| {
+                let (x, y) = pts[v as usize];
+                ((x - tx).powi(2) + (y - ty).powi(2)).sqrt()
+            };
+            let a_found = astar_path_into(&g, s, t, h, &mut scratch, &mut a_path);
+            prop_assert_eq!(found, a_found, "reachability diverged for {}->{}", s, t);
+            prop_assert_eq!(&d_path, &a_path, "path diverged for {}->{}", s, t);
+        }
+    }
+
+    /// The scratch kernels agree with the allocating baselines on
+    /// arbitrary graphs (parallel edges, self-loops, zero weights):
+    /// same path cost and same reachability, and `bfs_distance_to`
+    /// equals the full-BFS minimum over the accepting set.
+    #[test]
+    fn scratch_kernels_match_allocating_baselines(
+        (n, edges) in random_graph(),
+        target in 0u32..40,
+        accept_mod in 2u32..5,
+    ) {
+        let g = build(n, &edges);
+        let target = target % n as u32;
+        let d = dijkstra(&g, 0);
+        let mut scratch = PlannerScratch::new();
+        let mut path = Vec::new();
+        let found = dijkstra_path_into(&g, 0, target, &mut scratch, &mut path);
+        prop_assert_eq!(found, d.dist[target as usize].is_finite());
+        if found {
+            let mut cost = 0.0;
+            for w in path.windows(2) {
+                let best = g
+                    .neighbors(w[0])
+                    .iter()
+                    .filter(|e| e.to == w[1])
+                    .map(|e| e.weight)
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(best.is_finite(), "path uses a non-edge");
+                cost += best;
+            }
+            prop_assert!((cost - d.dist[target as usize]).abs() < 1e-6);
+        }
+        let b = bfs(&g, 0);
+        let expected = (0..n as u32)
+            .filter(|v| v % accept_mod == 0 && b.dist[*v as usize].is_finite())
+            .map(|v| b.dist[v as usize] as u64)
+            .min();
+        prop_assert_eq!(
+            bfs_distance_to(&g, 0, |v| v % accept_mod == 0, &mut scratch),
+            expected
+        );
     }
 
     /// BFS distance from the source to itself is 0 and every reachable

@@ -131,7 +131,7 @@ impl SimRng {
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
-    /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+    /// Bernoulli trial with success probability `p` (clamped to \[0,1\]).
     pub fn chance(&mut self, p: f64) -> bool {
         self.uniform() < p.clamp(0.0, 1.0)
     }

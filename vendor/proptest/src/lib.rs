@@ -3,7 +3,7 @@
 //!
 //! The build environment has no crates.io access (DESIGN.md §5), so
 //! the workspace vendors a small property-testing core with the same
-//! spelling as the real crate: the [`Strategy`] trait with
+//! spelling as the real crate: the [`strategy::Strategy`] trait with
 //! `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`,
 //! range and tuple strategies, [`arbitrary::any`],
 //! [`collection::vec`], `Just`, `prop_oneof!`, the `proptest!` test
