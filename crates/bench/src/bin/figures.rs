@@ -7,12 +7,12 @@
 //! ```
 //!
 //! Artifacts: `table1 fig1a fig1b fig2 fig5 fig6 fig7 headers scaling
-//! ablations fleet planner resilience telemetry`. Text goes to stdout;
-//! SVGs are written to `figures/`; the fleet sweep writes
+//! ablations fleet planner resilience churn telemetry`. Text goes to
+//! stdout; SVGs are written to `figures/`; the fleet sweep writes
 //! `BENCH_fleet.json`, the planner sweep `BENCH_planner.json`, the
-//! resilience sweep `BENCH_resilience.json`, and the telemetry sweep
-//! `BENCH_telemetry.json` plus one captured flow trace in
-//! `figures/postmortem_sample.json`.
+//! resilience sweep `BENCH_resilience.json`, the churn sweep
+//! `BENCH_churn.json`, and the telemetry sweep `BENCH_telemetry.json`
+//! plus one captured flow trace in `figures/postmortem_sample.json`.
 //!
 //! The `fleet` artifact takes value flags: `--flows N` runs one flow
 //! count instead of the default 1k/10k/100k sweep, `--workers N` one
@@ -24,8 +24,8 @@ use std::fs;
 use std::path::Path;
 
 use citymesh_bench::{
-    ablation, eval_figs, fleet_figs, planner_figs, render, resilience_figs, scaling, survey_figs,
-    telemetry_figs, text,
+    ablation, churn_figs, eval_figs, fleet_figs, planner_figs, render, resilience_figs, scaling,
+    survey_figs, telemetry_figs, text,
 };
 use citymesh_core::{
     compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
@@ -642,6 +642,73 @@ fn main() {
         )
         .expect("write BENCH_resilience.json");
         println!("wrote BENCH_resilience.json\n");
+    }
+
+    if want("churn") {
+        // Total scheduled events per point; mechanism mix is fixed
+        // inside the sweep (half aftershocks, a quarter battery waves,
+        // the rest crew repairs).
+        let event_levels = [0usize, 2, 4, 8];
+        let flows = flows_override.unwrap_or(if opts.fast { 150 } else { 400 });
+        let worker_counts: Vec<usize> = match workers_override {
+            Some(w) => vec![w.max(1)],
+            None => vec![1, 4, 8],
+        };
+        eprintln!(
+            "[running the churn sweep: events {event_levels:?} × 4 archetypes × 3 strategies, \
+             {flows} flows/point, workers {worker_counts:?}…]"
+        );
+        let figs = churn_figs::run_churn_figs(SEED, &event_levels, flows, &worker_counts);
+        println!("== churn: delivery and replan cost under a mutating world ==");
+        for curve in &figs.curves {
+            let rows: Vec<Vec<String>> = curve
+                .points
+                .iter()
+                .flat_map(|p| {
+                    p.strategies.iter().map(move |s| {
+                        vec![
+                            p.events.to_string(),
+                            format!("{:.1}", p.churn_rate_hz),
+                            s.strategy.to_string(),
+                            format!("{:.1}%", s.delivery_rate * 100.0),
+                            s.recovered.to_string(),
+                            format!("{}/{}", s.evicted_incremental, s.evicted_flush),
+                            format!("{}/{}", s.planned_incremental, s.planned_flush),
+                            format!("{:016x}", s.digest),
+                        ]
+                    })
+                })
+                .collect();
+            println!(
+                "-- {} ({} buildings) --\n{}",
+                curve.archetype,
+                curve.buildings,
+                text::table(
+                    &[
+                        "events",
+                        "rate/s",
+                        "strategy",
+                        "delivered",
+                        "recovered",
+                        "evict inc/flush",
+                        "plan inc/flush",
+                        "digest"
+                    ],
+                    &rows
+                )
+            );
+            let path = format!("figures/churn_{}.svg", curve.archetype);
+            write_svg(&path, &churn_figs::curve_svg(curve));
+            println!("wrote {path}");
+        }
+        println!(
+            "all worker counts and both invalidation policies agree on every digest; \
+             incremental eviction cost {} entries vs {} for full flushes\n",
+            figs.total_evicted_incremental, figs.total_evicted_flush
+        );
+        fs::write("BENCH_churn.json", churn_figs::to_json(&figs).render())
+            .expect("write BENCH_churn.json");
+        println!("wrote BENCH_churn.json\n");
     }
 
     if want("telemetry") {

@@ -23,6 +23,11 @@
 //! * [`resilience_figs`] — graceful degradation under injected AP
 //!   failures: delivery rate vs failed fraction per archetype, retry
 //!   ladder on vs off (`BENCH_resilience.json`).
+//! * [`churn_figs`] — the dynamic-world sweep: delivery rate and
+//!   replan cost vs churn level per archetype for static-plan vs
+//!   retry-ladder vs reactive-repair senders, with incremental cache
+//!   invalidation digest-checked against full flushes
+//!   (`BENCH_churn.json`).
 //! * [`telemetry_figs`] — the observability layer's zero-perturbation
 //!   proof plus per-rung latency/overhead breakdowns and a sample
 //!   failure postmortem (`BENCH_telemetry.json`).
@@ -31,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod churn_figs;
 pub mod eval_figs;
 pub mod fleet_figs;
 pub mod planner_figs;

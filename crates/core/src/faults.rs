@@ -291,6 +291,13 @@ pub struct FaultState {
     retry: RetryPolicy,
     stale_map: bool,
     blackout_centers: Vec<Point>,
+    /// Monotone world-mutation counter: 0 at materialization, bumped
+    /// by [`FaultState::advance_epoch`] every time a churn event lands.
+    /// Deliberately excluded from [`FaultState::fingerprint`] so the
+    /// golden fingerprints of static (epoch-0) scenarios are unchanged;
+    /// callers who want "fingerprint per epoch" simply call
+    /// `fingerprint()` after each application.
+    epoch: u64,
 }
 
 impl FaultState {
@@ -362,6 +369,7 @@ impl FaultState {
             retry: scenario.retry,
             stale_map: scenario.stale_map,
             blackout_centers: centers,
+            epoch: 0,
         }
     }
 
@@ -376,6 +384,7 @@ impl FaultState {
             retry: RetryPolicy::none(),
             stale_map: true,
             blackout_centers: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -418,6 +427,7 @@ impl FaultState {
             retry,
             stale_map: true,
             blackout_centers: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -484,6 +494,94 @@ impl FaultState {
     /// The scenario's recovery ladder.
     pub fn retry(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// Swaps the recovery ladder attached to this state. Churn
+    /// experiments use this to run the *same* materialized world under
+    /// different sender strategies without re-drawing any randomness.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The world-mutation epoch (0 until the first churn event).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bumps the epoch counter and returns the new value. Called once
+    /// per applied world event, *after* the health changes land.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Applies a batch of per-AP health transitions (one churn event's
+    /// materialized change list), updating the failed/degraded tallies
+    /// and collecting the buildings whose AP population changed into
+    /// `touched` (sorted, deduplicated). Returns how many APs actually
+    /// changed state. No-op entries (an AP already in the target
+    /// state) are skipped and do not touch their building.
+    ///
+    /// The caller is responsible for refreshing derived per-building
+    /// state afterwards (blocked-set membership via
+    /// [`FaultState::refresh_building`], live postbox tables) and for
+    /// advancing the epoch — [`crate::CityExperiment::apply_world_event`]
+    /// packages the full sequence.
+    ///
+    /// # Panics
+    /// Panics when `aps.len()` differs from this state's AP count or a
+    /// change names an AP outside it.
+    pub fn apply_health(
+        &mut self,
+        changes: &[(u32, ApHealth)],
+        aps: &[Ap],
+        touched: &mut Vec<u32>,
+    ) -> usize {
+        assert_eq!(
+            aps.len(),
+            self.health.len(),
+            "AP placement does not match this fault state"
+        );
+        touched.clear();
+        let mut applied = 0usize;
+        for &(ap, next) in changes {
+            let slot = &mut self.health[ap as usize];
+            let prev = *slot;
+            if prev == next {
+                continue;
+            }
+            match prev {
+                ApHealth::Failed => self.failed -= 1,
+                ApHealth::Degraded => self.degraded -= 1,
+                ApHealth::Up => {}
+            }
+            match next {
+                ApHealth::Failed => self.failed += 1,
+                ApHealth::Degraded => self.degraded += 1,
+                ApHealth::Up => {}
+            }
+            *slot = next;
+            applied += 1;
+            touched.push(aps[ap as usize].building);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        applied
+    }
+
+    /// Recomputes `building`'s membership in the blocked set from the
+    /// current health of `building_aps` (its AP bucket, e.g. from
+    /// [`crate::ApGraph::aps_of_building`]). Incremental counterpart
+    /// of the full scan done at materialization: after a churn event,
+    /// only the touched buildings need this.
+    pub fn refresh_building(&mut self, building: u32, building_aps: &[u32]) {
+        let has_ap = !building_aps.is_empty();
+        let has_live = building_aps.iter().any(|&ap| !self.is_failed(ap));
+        if has_ap && !has_live {
+            self.blocked_buildings.insert(building);
+        } else {
+            self.blocked_buildings.remove(&building);
+        }
     }
 
     /// Whether senders plan on the stale (pre-disaster) map.
@@ -750,6 +848,63 @@ mod tests {
             ..FaultScenario::default()
         };
         assert!(shrink.validate().is_err());
+    }
+
+    #[test]
+    fn apply_health_keeps_tallies_and_blocked_set_consistent() {
+        let (map, aps) = world(12);
+        let mut st = FaultState::healthy(aps.len());
+        assert_eq!(st.epoch(), 0);
+
+        // Kill every AP of one building: the tallies must move, the
+        // building must join the blocked set, and reviving one AP must
+        // clear it again.
+        let b = aps[0].building;
+        let bucket: Vec<u32> = aps
+            .iter()
+            .filter(|a| a.building == b)
+            .map(|a| a.id)
+            .collect();
+        let kill: Vec<(u32, ApHealth)> = bucket.iter().map(|&ap| (ap, ApHealth::Failed)).collect();
+        let mut touched = Vec::new();
+        let applied = st.apply_health(&kill, &aps, &mut touched);
+        assert_eq!(applied, bucket.len());
+        assert_eq!(touched, vec![b]);
+        assert_eq!(st.failed_count(), bucket.len());
+        st.refresh_building(b, &bucket);
+        assert!(st.building_blocked(b));
+        assert_eq!(st.advance_epoch(), 1);
+
+        // Re-applying the same changes is a no-op: nothing flips twice.
+        assert_eq!(st.apply_health(&kill, &aps, &mut touched), 0);
+        assert!(touched.is_empty());
+
+        let revive = [(bucket[0], ApHealth::Up)];
+        assert_eq!(st.apply_health(&revive, &aps, &mut touched), 1);
+        assert_eq!(touched, vec![b]);
+        st.refresh_building(b, &bucket);
+        assert!(!st.building_blocked(b));
+        assert_eq!(st.failed_count(), bucket.len() - 1);
+
+        // A full-scan rebuild agrees with the incremental bookkeeping.
+        let failed: Vec<u32> = (0..aps.len() as u32).filter(|&a| st.is_failed(a)).collect();
+        let rebuilt = FaultState::with_failed(&aps, &map, &failed, RetryPolicy::none());
+        assert_eq!(rebuilt.failed_count(), st.failed_count());
+        assert_eq!(rebuilt.fingerprint(), st.fingerprint());
+    }
+
+    #[test]
+    fn epoch_does_not_perturb_fingerprint() {
+        let (_map, aps) = world(14);
+        let mut st = FaultState::healthy(aps.len());
+        let before = st.fingerprint();
+        st.advance_epoch();
+        assert_eq!(
+            st.fingerprint(),
+            before,
+            "epoch is bookkeeping, not world state: golden fingerprints \
+             of static scenarios must not move"
+        );
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub use conduit::{
 };
 pub use faults::{ApHealth, FaultScenario, FaultState, RecoveryStage, RetryPolicy};
 pub use pipeline::{
-    CityExperiment, CityResult, ConfigError, ExperimentConfig, PairOutcome, PlanScratch,
-    PlannedFlow,
+    CityExperiment, CityResult, ConfigError, EpochTransition, ExperimentConfig, PairOutcome,
+    PlanScratch, PlannedFlow,
 };
 pub use placement::{place_aps, postbox_ap, Ap};
 pub use postbox::{Postbox, PostboxError, StoredMessage};

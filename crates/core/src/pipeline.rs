@@ -15,7 +15,7 @@
 //! plus the §4 header statistics (median / 90th-percentile compressed
 //! route bits).
 
-use std::sync::OnceLock;
+use std::sync::{Arc, RwLock};
 
 use citymesh_geo::OrientedRect;
 use citymesh_graph::PlannerScratch;
@@ -29,7 +29,7 @@ use crate::buildgraph::{BuildingGraph, BuildingGraphParams};
 use crate::conduit::{
     compress_route, compress_route_into, reconstruct_conduits, reconstruct_conduits_into,
 };
-use crate::faults::{FaultScenario, FaultState, RecoveryStage, RetryPolicy};
+use crate::faults::{ApHealth, FaultScenario, FaultState, RecoveryStage, RetryPolicy};
 use crate::placement::{place_aps, postbox_ap, Ap};
 use crate::route::{plan_route_avoiding, plan_route_avoiding_into, plan_route_into};
 use crate::sim::{simulate_delivery_faulted, DeliveryParams, DeliveryScratch};
@@ -241,11 +241,61 @@ pub struct PlannedFlow {
     /// materialized lazily the first time a simulation climbs to rung
     /// 3 — the healthy path, and every flow that delivers within two
     /// attempts, never pays for the ladder. The cell is interior
-    /// mutability over an immutable pure value: concurrent workers may
-    /// race to initialize it, but every initializer computes the same
-    /// variants from the same plan, so whichever wins is
-    /// indistinguishable.
-    recovery: OnceLock<RecoveryVariants>,
+    /// mutability over a pure value *keyed by the fault-state epoch*:
+    /// the replan detour depends on the current blocked set, so under
+    /// world churn a plan kept across an epoch boundary transparently
+    /// recomputes its ladder geometry on first escalation in the new
+    /// epoch — making a cache-retained plan behaviorally identical to
+    /// a freshly planned one. Concurrent workers may race to install a
+    /// given epoch's variants, but every initializer computes the same
+    /// value, so whichever wins is indistinguishable.
+    recovery: RecoveryCell,
+}
+
+/// The epoch-keyed memo slot behind [`PlannedFlow::recovery`]: at most
+/// one `(epoch, variants)` pair, replaced whenever a simulation
+/// escalates under a newer fault-state epoch. Reads on the steady
+/// state path are a lock-free-enough `RwLock` read + `Arc` clone —
+/// both allocation-free, preserving the zero-alloc per-flow loop.
+#[derive(Debug, Default)]
+struct RecoveryCell(RwLock<Option<(u64, Arc<RecoveryVariants>)>>);
+
+impl RecoveryCell {
+    /// The memoized variants, if they were computed for `epoch`.
+    fn get(&self, epoch: u64) -> Option<Arc<RecoveryVariants>> {
+        match &*self.0.read().expect("recovery cell poisoned") {
+            Some((e, rec)) if *e == epoch => Some(Arc::clone(rec)),
+            _ => None,
+        }
+    }
+
+    /// Installs `rec` for `epoch` unless a racing worker already did;
+    /// returns whichever value ends up memoized (the values are equal
+    /// by construction — recovery geometry is a pure function of the
+    /// plan and the epoch's fault state).
+    fn set(&self, epoch: u64, rec: Arc<RecoveryVariants>) -> Arc<RecoveryVariants> {
+        let mut slot = self.0.write().expect("recovery cell poisoned");
+        match &*slot {
+            Some((e, cur)) if *e == epoch => Arc::clone(cur),
+            _ => {
+                *slot = Some((epoch, Arc::clone(&rec)));
+                rec
+            }
+        }
+    }
+
+    /// Drops the memo (plan reuse across `(src, dst)` reassignment).
+    fn clear(&self) {
+        *self.0.write().expect("recovery cell poisoned") = None;
+    }
+}
+
+impl Clone for RecoveryCell {
+    fn clone(&self) -> Self {
+        RecoveryCell(RwLock::new(
+            self.0.read().expect("recovery cell poisoned").clone(),
+        ))
+    }
 }
 
 /// The retry ladder's precomputable geometry; see
@@ -282,7 +332,7 @@ impl PlannedFlow {
             src_ap: None,
             ideal_hops: None,
             replan_route: Vec::new(),
-            recovery: OnceLock::new(),
+            recovery: RecoveryCell::default(),
         }
     }
 
@@ -299,12 +349,20 @@ impl PlannedFlow {
         self.src_ap = None;
         self.ideal_hops = None;
         self.replan_route.clear();
-        self.recovery.take();
+        self.recovery.clear();
     }
 
     /// Whether planning produced a usable route.
     pub fn route_found(&self) -> bool {
         !self.waypoints.is_empty()
+    }
+
+    /// The uncompressed primary building route, kept only under a
+    /// fault scenario (empty in the healthy world, where nothing needs
+    /// it). The reactive-repair baseline walks this to locate the
+    /// first blocked building after a failure notification.
+    pub fn primary_route(&self) -> &[u32] {
+        &self.replan_route
     }
 }
 
@@ -415,6 +473,24 @@ impl Default for PlanScratch {
     }
 }
 
+/// Summary of one applied world event, returned by
+/// [`CityExperiment::apply_world_event`]: what changed and the
+/// world's new epoch. The fleet layer uses `touched_buildings` to
+/// key incremental route-cache invalidation.
+#[derive(Clone, Debug)]
+pub struct EpochTransition {
+    /// The epoch the world just entered (1 after the first event).
+    pub epoch: u64,
+    /// Number of APs whose health actually flipped (no-op changes in
+    /// the event's list are skipped).
+    pub aps_changed: usize,
+    /// Buildings owning a flipped AP, sorted and deduplicated.
+    pub touched_buildings: Vec<u32>,
+    /// [`FaultState::fingerprint`] after the event — the per-epoch
+    /// fingerprint churn experiments chain into their timeline digest.
+    pub fingerprint: u64,
+}
+
 /// A prepared city: placement + graphs, ready to run pairs.
 #[derive(Clone, Debug)]
 pub struct CityExperiment {
@@ -517,6 +593,45 @@ impl CityExperiment {
         self.faults = Some(state);
         self.postbox_live = live_postbox_table(&self.map, &self.aps, self.faults.as_ref());
         self
+    }
+
+    /// Applies one churn event's materialized health changes to the
+    /// live world and advances the fault-state epoch: per-AP health
+    /// flips land first, then the derived per-building state — blocked
+    /// set membership and live postbox AP — is refreshed for exactly
+    /// the touched buildings (the incremental counterpart of the full
+    /// `live_postbox_table` scan done at preparation time).
+    ///
+    /// Everything downstream keys off the epoch: plans cached across
+    /// the boundary recompute their lazy ladder geometry on first
+    /// escalation, so a kept plan is behaviorally identical to a
+    /// freshly planned one. The change list comes from a materialized
+    /// event timeline (`citymesh-dynamics`), which is worker-count
+    /// independent — so applying it between parallel epochs preserves
+    /// the engine's digest invariance.
+    ///
+    /// # Panics
+    /// Panics when the experiment carries no fault state (prepare with
+    /// a scenario — the null [`FaultScenario::default`] is enough — or
+    /// attach one via [`CityExperiment::with_fault_state`]).
+    pub fn apply_world_event(&mut self, changes: &[(u32, ApHealth)]) -> EpochTransition {
+        let faults = self
+            .faults
+            .as_mut()
+            .expect("apply_world_event requires a fault state; prepare with a scenario");
+        let mut touched = Vec::new();
+        let aps_changed = faults.apply_health(changes, &self.aps, &mut touched);
+        for &b in &touched {
+            faults.refresh_building(b, self.apg.aps_of_building(b));
+            self.postbox_live[b as usize] = faults.postbox_ap_live(&self.aps, &self.map, b);
+        }
+        let epoch = faults.advance_epoch();
+        EpochTransition {
+            epoch,
+            aps_changed,
+            touched_buildings: touched,
+            fingerprint: faults.fingerprint(),
+        }
     }
 
     /// The city map.
@@ -665,56 +780,65 @@ impl CityExperiment {
     }
 
     /// Materializes the retry ladder's geometry for `plan`, computing
-    /// it at most once per plan (the result is memoized in the plan's
-    /// [`OnceLock`]). Called lazily from the simulation loop the first
-    /// time a flow escalates to rung 3, so plans that deliver within
-    /// two attempts — and the entire healthy world — never pay for
-    /// widened conduits or a replanned detour.
-    fn recovery_variants<'a>(
-        &self,
-        plan: &'a PlannedFlow,
-        faults: &FaultState,
-    ) -> &'a RecoveryVariants {
-        plan.recovery.get_or_init(|| {
-            let mut rec = RecoveryVariants::default();
-            let policy = faults.retry();
-            // Widen rung: same waypoints, fatter conduits, clamped to
-            // the header-encodable width.
-            if policy.max_attempts >= 3 && policy.widen_factor > 1.0 {
-                let w =
-                    (self.config.conduit_width_m * policy.widen_factor).min(MAX_CONDUIT_WIDTH_M);
-                let wide_header = CityMeshHeader::new(0, w, plan.waypoints.clone());
-                rec.wide_width_m = wide_header.conduit_width_m();
-                rec.wide_conduits =
-                    reconstruct_conduits(&self.map, &wide_header.waypoints, rec.wide_width_m);
+    /// it at most once per plan *per fault-state epoch* (the result is
+    /// memoized in the plan's [`RecoveryCell`], keyed by
+    /// [`FaultState::epoch`]). Called lazily from the simulation loop
+    /// the first time a flow escalates to rung 3, so plans that
+    /// deliver within two attempts — and the entire healthy world —
+    /// never pay for widened conduits or a replanned detour. Under
+    /// churn, a plan kept in the route cache across an epoch boundary
+    /// recomputes here on its first post-event escalation, because the
+    /// replan detour depends on the *current* blocked set — this is
+    /// what makes incremental cache invalidation digest-equal to a
+    /// full flush.
+    fn recovery_variants(&self, plan: &PlannedFlow, faults: &FaultState) -> Arc<RecoveryVariants> {
+        let epoch = faults.epoch();
+        if let Some(rec) = plan.recovery.get(epoch) {
+            return rec;
+        }
+        let rec = Arc::new(self.compute_recovery(plan, faults));
+        plan.recovery.set(epoch, rec)
+    }
+
+    /// The pure computation behind [`CityExperiment::recovery_variants`]:
+    /// widen-rung conduits and the replan-rung detour for `plan` under
+    /// the current fault state.
+    fn compute_recovery(&self, plan: &PlannedFlow, faults: &FaultState) -> RecoveryVariants {
+        let mut rec = RecoveryVariants::default();
+        let policy = faults.retry();
+        // Widen rung: same waypoints, fatter conduits, clamped to
+        // the header-encodable width.
+        if policy.max_attempts >= 3 && policy.widen_factor > 1.0 {
+            let w = (self.config.conduit_width_m * policy.widen_factor).min(MAX_CONDUIT_WIDTH_M);
+            let wide_header = CityMeshHeader::new(0, w, plan.waypoints.clone());
+            rec.wide_width_m = wide_header.conduit_width_m();
+            rec.wide_conduits =
+                reconstruct_conduits(&self.map, &wide_header.waypoints, rec.wide_width_m);
+        }
+        // Replan rung: detour around buildings with zero live APs.
+        // Only meaningful when the primary plan was drawn on a
+        // stale map and a genuinely different detour survives. The
+        // comparison runs against the *uncompressed* primary route
+        // the plan kept for exactly this purpose.
+        if policy.max_attempts >= 4 && faults.stale_map() && !faults.blocked_buildings().is_empty()
+        {
+            let Ok(detour) =
+                plan_route_avoiding(&self.bg, plan.src, plan.dst, faults.blocked_buildings())
+            else {
+                return rec;
+            };
+            if detour == plan.replan_route {
+                return rec;
             }
-            // Replan rung: detour around buildings with zero live APs.
-            // Only meaningful when the primary plan was drawn on a
-            // stale map and a genuinely different detour survives. The
-            // comparison runs against the *uncompressed* primary route
-            // the plan kept for exactly this purpose.
-            if policy.max_attempts >= 4
-                && faults.stale_map()
-                && !faults.blocked_buildings().is_empty()
-            {
-                let Ok(detour) =
-                    plan_route_avoiding(&self.bg, plan.src, plan.dst, faults.blocked_buildings())
-                else {
-                    return rec;
-                };
-                if detour == plan.replan_route {
-                    return rec;
-                }
-                let Ok(c) = compress_route(&self.bg, &detour, self.config.conduit_width_m) else {
-                    return rec;
-                };
-                let h = CityMeshHeader::new(0, self.config.conduit_width_m, c.waypoints);
-                rec.fallback_conduits =
-                    reconstruct_conduits(&self.map, &h.waypoints, h.conduit_width_m());
-                rec.fallback_waypoints = h.waypoints;
-            }
-            rec
-        })
+            let Ok(c) = compress_route(&self.bg, &detour, self.config.conduit_width_m) else {
+                return rec;
+            };
+            let h = CityMeshHeader::new(0, self.config.conduit_width_m, c.waypoints);
+            rec.fallback_conduits =
+                reconstruct_conduits(&self.map, &h.waypoints, h.conduit_width_m());
+            rec.fallback_waypoints = h.waypoints;
+        }
+        rec
     }
 
     /// The stochastic half of a flow: drives the event simulation over
@@ -817,6 +941,10 @@ impl CityExperiment {
         let mut attempts = 0u32;
         let mut total_broadcasts = 0u64;
         let mut penalty = SimTime::ZERO;
+        // Holds the plan's ladder geometry across the borrow into the
+        // rung-selection match: `recovery_variants` hands back an
+        // `Arc`, and the chosen conduit slice must outlive the match.
+        let mut rec_holder: Option<Arc<RecoveryVariants>> = None;
         loop {
             attempts += 1;
             // Rung selection: 1 → first send, 2 → re-send, 3 → widen,
@@ -842,7 +970,7 @@ impl CityExperiment {
                         self.config.conduit_width_m,
                     ),
                     (3, Some(f)) => {
-                        let rec = self.recovery_variants(plan, f);
+                        let rec = rec_holder.insert(self.recovery_variants(plan, f));
                         if rec.wide_conduits.is_empty() {
                             resend()
                         } else {
@@ -855,7 +983,7 @@ impl CityExperiment {
                         }
                     }
                     (n, Some(f)) if n >= 4 => {
-                        let rec = self.recovery_variants(plan, f);
+                        let rec = rec_holder.insert(self.recovery_variants(plan, f));
                         if rec.fallback_conduits.is_empty() {
                             resend()
                         } else {

@@ -1,0 +1,843 @@
+//! The epoch-barrier churn engine.
+//!
+//! [`run_churn`] drives one workload through a mutating world. The
+//! flow set is partitioned by arrival time against the timeline's
+//! event instants; each partition (an *epoch*) runs on the fleet
+//! engine's worker pool against a frozen fault state, then the next
+//! event is applied serially at the barrier — health flips, blocked
+//! set, postbox table, fault-state epoch counter — and the shared
+//! route cache is invalidated before the next epoch starts. Because
+//! events are pre-materialized ([`Timeline`]) and flows carry per-flow
+//! RNG sub-streams keyed by their global workload id, the whole run is
+//! schedule-independent: 1 worker and 8 fold to the same
+//! [`ChurnReport::digest`].
+//!
+//! # Invalidation
+//!
+//! The cache survives the barrier; the [`InvalidationPolicy`] decides
+//! what must go:
+//!
+//! * [`InvalidationPolicy::FullFlush`] — drop everything, the safe
+//!   baseline: every post-event flow replans.
+//! * [`InvalidationPolicy::Incremental`] — evict only plans the event
+//!   could observably touch: those whose source or destination
+//!   building changed state (the sender's postbox uplink is baked into
+//!   the cached plan), plus those with a changed AP inside one of
+//!   their conduit rectangles (found through the AP graph's spatial
+//!   bucket index, not a city scan). Everything else stays warm.
+//!
+//! Incremental eviction is digest-equal to a full flush — asserted by
+//! proptests and the churn bench — because a kept plan's simulation
+//! only consults the *live* fault state: route geometry is planned on
+//! the stale pre-disaster map (the paper's assumption, enforced here),
+//! per-AP health is read at delivery time, and the lazy retry-ladder
+//! geometry is keyed by fault-state epoch inside the plan itself. The
+//! only fault-dependent value a plan caches is its source postbox
+//! uplink, and any event that changes it touches the source building —
+//! which is exactly the first eviction criterion. The conduit-overlap
+//! criterion is a deliberate conservative superset (it keeps the
+//! policy honest if delivery ever grows a plan-time dependence on
+//! conduit AP health), and the bench verifies it still evicts strictly
+//! less than a flush.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use citymesh_baselines::deliver_with_local_repair;
+use citymesh_core::{CityExperiment, DeliveryScratch, PairOutcome, RetryPolicy};
+use citymesh_fleet::{
+    record_flow_metrics, run_fleet_on_cache, FleetConfig, FleetReport, FleetTelemetry, FlowSpec,
+    RouteCache, DOMAIN_MSG, DOMAIN_SIM,
+};
+use citymesh_simcore::{substream_seed, SimRng};
+use citymesh_telemetry::{metrics as tm, MetricSet, TelemetryConfig};
+
+use crate::timeline::Timeline;
+
+/// How the sender population reacts to failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// One send over the pre-planned conduits; no reaction at all.
+    /// The paper's static plan, the floor every reactive scheme must
+    /// beat under churn.
+    StaticPlan,
+    /// The sender's full retry ladder: resend, widen, end-to-end
+    /// replan (the PR-5 graceful-degradation machinery, unchanged).
+    RetryLadder,
+    /// Babel/QSPN-style reactive local repair
+    /// ([`citymesh_baselines::deliver_with_local_repair`]): splice a
+    /// detour around the first dark building on each failure
+    /// notification instead of re-planning end to end.
+    ReactiveRepair,
+}
+
+impl Strategy {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::StaticPlan => "static",
+            Strategy::RetryLadder => "ladder",
+            Strategy::ReactiveRepair => "reactive",
+        }
+    }
+}
+
+/// What to evict from the route cache when an event lands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvalidationPolicy {
+    /// Evict only plans the event could observably touch (see the
+    /// module docs for the exact criteria).
+    Incremental,
+    /// Drop the whole cache at every event.
+    FullFlush,
+}
+
+/// Churn-engine execution knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnEngineConfig {
+    /// Worker threads per epoch (the fleet pool size).
+    pub workers: usize,
+    /// Root seed for per-flow message-id and simulation sub-streams —
+    /// use the same seed as the plain fleet runs you compare against.
+    pub seed: u64,
+    /// Cache invalidation policy at event barriers.
+    pub invalidation: InvalidationPolicy,
+    /// Send attempts for [`Strategy::ReactiveRepair`] (the other
+    /// strategies take their attempt budget from the fault state's
+    /// retry policy).
+    pub reactive_max_attempts: u32,
+}
+
+impl Default for ChurnEngineConfig {
+    fn default() -> Self {
+        ChurnEngineConfig {
+            workers: 1,
+            seed: 0,
+            invalidation: InvalidationPolicy::Incremental,
+            reactive_max_attempts: 4,
+        }
+    }
+}
+
+/// One epoch's summary inside a [`ChurnReport`].
+#[derive(Clone, Debug)]
+pub struct EpochStat {
+    /// Fault-state epoch the flows of this slice simulated against.
+    pub epoch: u64,
+    /// Flows simulated in this epoch.
+    pub flows: u64,
+    /// Aggregate digest of this epoch's flow outcomes.
+    pub fleet_digest: u64,
+    /// Fault-state fingerprint *after* the event closing this epoch
+    /// (equal to the pre-event fingerprint for the final epoch, which
+    /// no event closes).
+    pub fault_fingerprint: u64,
+    /// APs whose health the closing event actually flipped (0 for the
+    /// final epoch).
+    pub aps_changed: u64,
+    /// Cached routes evicted at the closing barrier (0 for the final
+    /// epoch).
+    pub evicted: u64,
+}
+
+/// Aggregate result of one churn run.
+///
+/// The digest-bearing fields describe *outcomes* (what was delivered,
+/// under which world) and are identical across worker counts and
+/// invalidation policies; the cost fields (evictions, planner
+/// invocations, repair bills) describe *work* and are exactly what the
+/// policies trade off.
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// Flows simulated across all epochs.
+    pub flows: u64,
+    /// Flows delivered.
+    pub delivered: u64,
+    /// Flows that needed more than one send attempt.
+    pub retried: u64,
+    /// Retried flows ultimately delivered.
+    pub recovered: u64,
+    /// Epochs executed (`timeline.len() + 1`).
+    pub epochs: u64,
+    /// World events applied.
+    pub events_applied: u64,
+    /// Total per-AP health flips across all events.
+    pub aps_changed: u64,
+    /// Cached routes evicted across all barriers. **Not** covered by
+    /// the digest (it is the policy cost being measured).
+    pub routes_evicted: u64,
+    /// Planner invocations (cumulative route-cache misses). **Not**
+    /// covered by the digest.
+    pub routes_planned: u64,
+    /// Cumulative route-cache hits. **Not** covered by the digest.
+    pub cache_hits: u64,
+    /// Reactive strategy: local splices performed.
+    pub repairs: u64,
+    /// Reactive strategy: full re-discoveries performed.
+    pub full_replans: u64,
+    /// Reactive strategy: buildings recomputed across all repairs —
+    /// the locality dividend against the ladder's end-to-end replans.
+    pub repair_buildings: u64,
+    /// Fingerprint of the timeline this run replayed.
+    pub timeline_fingerprint: u64,
+    /// Per-epoch summaries, in execution order.
+    pub epoch_stats: Vec<EpochStat>,
+}
+
+impl ChurnReport {
+    /// Delivered fraction over all flows.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.flows == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.flows as f64
+    }
+
+    /// FNV-1a over the outcome-bearing state: per-epoch fleet digests
+    /// and fault fingerprints in order, the timeline fingerprint, and
+    /// the aggregate outcome counters. Work-accounting fields
+    /// (evictions, planner invocations, repair bills) are excluded —
+    /// equal digests across invalidation policies is the correctness
+    /// claim, differing work is the point.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.flows);
+        mix(self.delivered);
+        mix(self.retried);
+        mix(self.recovered);
+        mix(self.epochs);
+        mix(self.events_applied);
+        mix(self.aps_changed);
+        mix(self.timeline_fingerprint);
+        for e in &self.epoch_stats {
+            mix(e.epoch);
+            mix(e.flows);
+            mix(e.fleet_digest);
+            mix(e.fault_fingerprint);
+        }
+        h
+    }
+}
+
+/// Runs `flows` through the mutating world described by `timeline`.
+///
+/// `exp` must carry a fault state (prepare it with a scenario — the
+/// engine mutates a private clone, the caller's world is untouched)
+/// whose map is stale ([`FaultScenario::stale_map`]), because the
+/// incremental-invalidation equivalence argument relies on route
+/// geometry being a pure function of the pre-disaster map. `flows`
+/// must be sorted by ascending id with nondecreasing `arrival_ms`
+/// (every generated workload is).
+///
+/// An event at time `t` is applied before flows with `arrival_ms ≥ t`;
+/// ties go to the event (the flow sees the post-event world).
+///
+/// Returns the report plus merged telemetry when `tel` asks for any —
+/// per-epoch metric sets merge commutatively, then the engine adds its
+/// own churn counters (`churn_events_total`, `routes_evicted_total`,
+/// `epoch_transitions_total`). The report digest is identical traced
+/// or untraced, exactly like the fleet engine's.
+///
+/// [`FaultScenario::stale_map`]: citymesh_core::FaultScenario
+///
+/// # Panics
+/// Panics when `exp` has no fault state, when its map is not stale,
+/// or when a worker thread panics.
+pub fn run_churn(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    timeline: &Timeline,
+    strategy: Strategy,
+    cfg: &ChurnEngineConfig,
+    tel: &TelemetryConfig,
+) -> (ChurnReport, Option<FleetTelemetry>) {
+    let state = exp
+        .fault_state()
+        .expect("run_churn requires a fault state; prepare the experiment with a scenario");
+    assert!(
+        state.stale_map(),
+        "run_churn requires stale-map planning (incremental invalidation \
+         relies on routes being a pure function of the pre-disaster map)"
+    );
+    debug_assert!(
+        flows.windows(2).all(|w| w[0].id < w[1].id),
+        "flows must be sorted by ascending id"
+    );
+    debug_assert!(
+        flows.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
+        "flow arrivals must be nondecreasing"
+    );
+
+    // The engine's private world; the sender population's reaction is
+    // the fault state's retry policy (reactive does its own retrying).
+    let mut fs = state.clone();
+    fs.set_retry(match strategy {
+        Strategy::StaticPlan | Strategy::ReactiveRepair => RetryPolicy::none(),
+        Strategy::RetryLadder => RetryPolicy::ladder(),
+    });
+    let mut world = exp.clone().with_fault_state(fs);
+
+    let cache = RouteCache::new();
+    let fleet_cfg = FleetConfig {
+        workers: cfg.workers,
+        seed: cfg.seed,
+    };
+    let mut report = ChurnReport {
+        flows: 0,
+        delivered: 0,
+        retried: 0,
+        recovered: 0,
+        epochs: 0,
+        events_applied: 0,
+        aps_changed: 0,
+        routes_evicted: 0,
+        routes_planned: 0,
+        cache_hits: 0,
+        repairs: 0,
+        full_replans: 0,
+        repair_buildings: 0,
+        timeline_fingerprint: timeline.fingerprint(),
+        epoch_stats: Vec::with_capacity(timeline.len() + 1),
+    };
+    let mut metrics = (!tel.is_off()).then(MetricSet::new);
+    let mut postmortems = Vec::new();
+
+    let mut next = 0usize;
+    for k in 0..=timeline.len() {
+        let end = match timeline.events().get(k) {
+            Some(ev) => next + flows[next..].partition_point(|f| f.arrival_ms < ev.at_ms),
+            None => flows.len(),
+        };
+        let slice = &flows[next..end];
+        next = end;
+
+        let epoch = world
+            .fault_state()
+            .expect("world was prepared with a fault state")
+            .epoch();
+        let (fleet, epoch_tel) = match strategy {
+            Strategy::StaticPlan | Strategy::RetryLadder => {
+                run_fleet_on_cache(&world, slice, &fleet_cfg, &cache, tel)
+            }
+            Strategy::ReactiveRepair => {
+                run_reactive_epoch(&world, slice, cfg, &cache, tel, &mut report)
+            }
+        };
+        if let (Some(m), Some(t)) = (metrics.as_mut(), epoch_tel.as_ref()) {
+            m.merge(&t.metrics);
+        }
+        if let Some(t) = epoch_tel {
+            postmortems.extend(t.postmortems);
+        }
+        report.flows += fleet.flows;
+        report.delivered += fleet.delivered;
+        report.retried += fleet.retried;
+        report.recovered += fleet.recovered;
+        report.epochs += 1;
+
+        let mut stat = EpochStat {
+            epoch,
+            flows: fleet.flows,
+            fleet_digest: fleet.digest(),
+            fault_fingerprint: world
+                .fault_state()
+                .expect("world was prepared with a fault state")
+                .fingerprint(),
+            aps_changed: 0,
+            evicted: 0,
+        };
+
+        if let Some(ev) = timeline.events().get(k) {
+            let transition = world.apply_world_event(&ev.changes);
+            let evicted = match cfg.invalidation {
+                InvalidationPolicy::FullFlush => cache.clear(),
+                InvalidationPolicy::Incremental => {
+                    let touched: HashSet<u32> =
+                        transition.touched_buildings.iter().copied().collect();
+                    let changed_aps: HashSet<u32> = ev.changes.iter().map(|&(ap, _)| ap).collect();
+                    let apg = world.ap_graph();
+                    let mut candidates = Vec::new();
+                    cache.evict_where(|plan| {
+                        if touched.contains(&plan.src) || touched.contains(&plan.dst) {
+                            return true;
+                        }
+                        let mut hit = false;
+                        apg.for_each_ap_in_conduits(&plan.conduits, &mut candidates, |id, _| {
+                            hit |= changed_aps.contains(&id);
+                        });
+                        hit
+                    })
+                }
+            };
+            report.events_applied += 1;
+            report.aps_changed += transition.aps_changed as u64;
+            report.routes_evicted += evicted;
+            stat.aps_changed = transition.aps_changed as u64;
+            stat.evicted = evicted;
+            stat.fault_fingerprint = transition.fingerprint;
+            if let Some(m) = metrics.as_mut() {
+                m.inc(tm::EVENTS_APPLIED);
+                m.inc(tm::EPOCH_TRANSITIONS);
+                m.add(tm::ROUTES_EVICTED, evicted);
+            }
+        }
+        report.epoch_stats.push(stat);
+    }
+
+    report.routes_planned = cache.misses();
+    report.cache_hits = cache.hits();
+    let telemetry = metrics.map(|metrics| FleetTelemetry {
+        metrics,
+        postmortems,
+    });
+    (report, telemetry)
+}
+
+/// Flow chunk claimed per cursor fetch in the reactive worker loop.
+const CLAIM_CHUNK: usize = 32;
+
+/// One epoch of [`Strategy::ReactiveRepair`]: the fleet engine's
+/// claim-chunk worker loop, but each flow is delivered through
+/// [`deliver_with_local_repair`] instead of the pipeline's ladder.
+/// Outcomes are merged and folded in ascending flow-id order, repair
+/// bills are summed (order-free `u64` adds), and per-flow RNG
+/// sub-streams come from the same `(seed, domain, flow id)` scheme the
+/// fleet uses — so the epoch digest is worker-count independent on the
+/// same grounds.
+fn run_reactive_epoch(
+    world: &CityExperiment,
+    slice: &[FlowSpec],
+    cfg: &ChurnEngineConfig,
+    cache: &RouteCache,
+    tel: &TelemetryConfig,
+    report: &mut ChurnReport,
+) -> (FleetReport, Option<FleetTelemetry>) {
+    struct Yield {
+        records: Vec<(u64, PairOutcome)>,
+        metrics: Option<MetricSet>,
+        repairs: u64,
+        full_replans: u64,
+        repair_buildings: u64,
+    }
+    let run_range = |cursor: &AtomicUsize| -> Yield {
+        let mut y = Yield {
+            records: Vec::new(),
+            metrics: tel.metrics.then(MetricSet::new),
+            repairs: 0,
+            full_replans: 0,
+            repair_buildings: 0,
+        };
+        let mut scratch = DeliveryScratch::new();
+        loop {
+            let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+            if start >= slice.len() {
+                break;
+            }
+            for flow in &slice[start..(start + CLAIM_CHUNK).min(slice.len())] {
+                let plan =
+                    cache.get_or_plan(flow.src, flow.dst, || world.plan_flow(flow.src, flow.dst));
+                let msg_id = substream_seed(cfg.seed, DOMAIN_MSG, flow.id);
+                let mut rng = SimRng::new(substream_seed(cfg.seed, DOMAIN_SIM, flow.id));
+                let out = deliver_with_local_repair(
+                    world,
+                    &plan,
+                    msg_id,
+                    cfg.reactive_max_attempts,
+                    &mut rng,
+                    &mut scratch,
+                );
+                if let Some(m) = y.metrics.as_mut() {
+                    record_flow_metrics(m, &out.outcome);
+                }
+                y.repairs += out.repairs;
+                y.full_replans += out.full_replans;
+                y.repair_buildings += out.replanned_buildings;
+                y.records.push((flow.id, out.outcome));
+            }
+        }
+        y
+    };
+
+    let workers = cfg.workers.max(1).min(slice.len().max(1));
+    let yields: Vec<Yield> = if workers == 1 {
+        vec![run_range(&AtomicUsize::new(0))]
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Yield>> = Vec::new();
+        slots.resize_with(workers, || None);
+        crossbeam::thread::scope(|s| {
+            for slot in slots.iter_mut() {
+                let cursor = &cursor;
+                s.spawn(move |_| {
+                    *slot = Some(run_range(cursor));
+                });
+            }
+        })
+        .expect("reactive churn worker panicked");
+        slots.into_iter().flatten().collect()
+    };
+
+    let metrics = tel.metrics.then(|| {
+        let mut m = MetricSet::new();
+        for y in &yields {
+            if let Some(ym) = &y.metrics {
+                m.merge(ym);
+            }
+        }
+        m
+    });
+    for y in &yields {
+        report.repairs += y.repairs;
+        report.full_replans += y.full_replans;
+        report.repair_buildings += y.repair_buildings;
+    }
+    let mut merged: Vec<(u64, PairOutcome)> = yields.into_iter().flat_map(|y| y.records).collect();
+    merged.sort_unstable_by_key(|(id, _)| *id);
+    let mut fleet = FleetReport::empty();
+    for ((id, outcome), spec) in merged.iter().zip(slice) {
+        debug_assert_eq!(*id, spec.id, "flows must be sorted by ascending id");
+        fleet.absorb_outcome(spec, outcome);
+    }
+    fleet.workers = workers;
+    let telemetry = metrics.map(|metrics| FleetTelemetry {
+        metrics,
+        // Reactive delivery does not feed the flow tracer; failure
+        // forensics under churn come from the fleet strategies.
+        postmortems: Vec::new(),
+    });
+    (fleet, telemetry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::ChurnConfig;
+    use citymesh_core::{ExperimentConfig, FaultScenario};
+    use citymesh_fleet::{generate_flows, FlowModel, WorkloadConfig};
+    use citymesh_map::CityArchetype;
+
+    fn world(seed: u64) -> CityExperiment {
+        CityExperiment::prepare(
+            CityArchetype::SurveyDowntown.generate(seed),
+            ExperimentConfig {
+                seed,
+                faults: Some(FaultScenario::district_blackouts(1, 100.0)),
+                ..ExperimentConfig::default()
+            },
+        )
+    }
+
+    fn workload(exp: &CityExperiment, flows: usize, seed: u64) -> Vec<FlowSpec> {
+        generate_flows(
+            exp.map().len(),
+            &WorkloadConfig {
+                flows,
+                model: FlowModel::Hotspot {
+                    hotspots: 6,
+                    exponent: 1.2,
+                    rate_hz: 150.0,
+                },
+                seed,
+            },
+        )
+    }
+
+    fn run(
+        exp: &CityExperiment,
+        flows: &[FlowSpec],
+        tl: &Timeline,
+        strategy: Strategy,
+        workers: usize,
+        invalidation: InvalidationPolicy,
+    ) -> ChurnReport {
+        run_churn(
+            exp,
+            flows,
+            tl,
+            strategy,
+            &ChurnEngineConfig {
+                workers,
+                seed: 33,
+                invalidation,
+                reactive_max_attempts: 4,
+            },
+            &TelemetryConfig::off(),
+        )
+        .0
+    }
+
+    #[test]
+    fn epochs_partition_the_workload_and_events_apply() {
+        let exp = world(33);
+        let flows = workload(&exp, 300, 33);
+        let tl = Timeline::materialize(
+            &exp,
+            &ChurnConfig {
+                seed: 33,
+                horizon_ms: flows.last().unwrap().arrival_ms,
+                ..ChurnConfig::default()
+            },
+        );
+        assert!(!tl.is_empty());
+        for strategy in [
+            Strategy::StaticPlan,
+            Strategy::RetryLadder,
+            Strategy::ReactiveRepair,
+        ] {
+            let r = run(
+                &exp,
+                &flows,
+                &tl,
+                strategy,
+                1,
+                InvalidationPolicy::Incremental,
+            );
+            assert_eq!(r.flows, flows.len() as u64, "{}", strategy.label());
+            assert_eq!(r.epochs, tl.len() as u64 + 1);
+            assert_eq!(r.events_applied, tl.len() as u64);
+            assert!(r.aps_changed > 0, "events must flip some APs");
+            assert_eq!(
+                r.epoch_stats.iter().map(|e| e.flows).sum::<u64>(),
+                r.flows,
+                "epochs partition the workload"
+            );
+            assert!(r.delivered > 0);
+        }
+    }
+
+    #[test]
+    fn digests_are_worker_count_invariant() {
+        let exp = world(34);
+        let flows = workload(&exp, 240, 34);
+        let tl = Timeline::materialize(
+            &exp,
+            &ChurnConfig {
+                seed: 34,
+                horizon_ms: flows.last().unwrap().arrival_ms,
+                ..ChurnConfig::default()
+            },
+        );
+        for strategy in [
+            Strategy::StaticPlan,
+            Strategy::RetryLadder,
+            Strategy::ReactiveRepair,
+        ] {
+            let serial = run(
+                &exp,
+                &flows,
+                &tl,
+                strategy,
+                1,
+                InvalidationPolicy::Incremental,
+            );
+            let parallel = run(
+                &exp,
+                &flows,
+                &tl,
+                strategy,
+                4,
+                InvalidationPolicy::Incremental,
+            );
+            assert_eq!(
+                serial.digest(),
+                parallel.digest(),
+                "{}: serial and 4-worker churn runs must agree",
+                strategy.label()
+            );
+            assert_eq!(serial.routes_evicted, parallel.routes_evicted);
+        }
+    }
+
+    #[test]
+    fn incremental_eviction_is_digest_equal_and_cheaper() {
+        let exp = world(35);
+        let flows = workload(&exp, 300, 35);
+        let tl = Timeline::materialize(
+            &exp,
+            &ChurnConfig {
+                aftershocks: 2,
+                battery_waves: 1,
+                crew_repairs: 1,
+                seed: 35,
+                horizon_ms: flows.last().unwrap().arrival_ms,
+                ..ChurnConfig::default()
+            },
+        );
+        for strategy in [Strategy::RetryLadder, Strategy::ReactiveRepair] {
+            let incremental = run(
+                &exp,
+                &flows,
+                &tl,
+                strategy,
+                2,
+                InvalidationPolicy::Incremental,
+            );
+            let flush = run(
+                &exp,
+                &flows,
+                &tl,
+                strategy,
+                2,
+                InvalidationPolicy::FullFlush,
+            );
+            assert_eq!(
+                incremental.digest(),
+                flush.digest(),
+                "{}: invalidation policy must not change outcomes",
+                strategy.label()
+            );
+            assert!(
+                incremental.routes_evicted < flush.routes_evicted,
+                "{}: incremental must evict strictly fewer ({} vs {})",
+                strategy.label(),
+                incremental.routes_evicted,
+                flush.routes_evicted
+            );
+            assert!(
+                incremental.routes_planned <= flush.routes_planned,
+                "{}: fewer evictions cannot mean more replans",
+                strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn reactive_repairs_are_counted_and_ladder_free() {
+        let exp = world(36);
+        let flows = workload(&exp, 300, 36);
+        let tl = Timeline::materialize(
+            &exp,
+            &ChurnConfig {
+                aftershocks: 3,
+                seed: 36,
+                horizon_ms: flows.last().unwrap().arrival_ms,
+                ..ChurnConfig::default()
+            },
+        );
+        let reactive = run(
+            &exp,
+            &flows,
+            &tl,
+            Strategy::ReactiveRepair,
+            2,
+            InvalidationPolicy::Incremental,
+        );
+        assert!(
+            reactive.repairs + reactive.full_replans > 0,
+            "aftershocks on a blacked-out downtown must trigger repairs"
+        );
+        assert!(reactive.repair_buildings > 0);
+        let ladder = run(
+            &exp,
+            &flows,
+            &tl,
+            Strategy::RetryLadder,
+            2,
+            InvalidationPolicy::Incremental,
+        );
+        assert_eq!(ladder.repairs, 0, "only reactive fills the repair bill");
+        assert_eq!(ladder.repair_buildings, 0);
+        let r#static = run(
+            &exp,
+            &flows,
+            &tl,
+            Strategy::StaticPlan,
+            2,
+            InvalidationPolicy::Incremental,
+        );
+        assert_eq!(r#static.retried, 0, "static never retries");
+        assert!(
+            ladder.delivered >= r#static.delivered,
+            "the ladder can only help"
+        );
+    }
+
+    #[test]
+    fn traced_runs_keep_the_digest_and_count_churn() {
+        let exp = world(37);
+        let flows = workload(&exp, 200, 37);
+        let tl = Timeline::materialize(
+            &exp,
+            &ChurnConfig {
+                seed: 37,
+                horizon_ms: flows.last().unwrap().arrival_ms,
+                ..ChurnConfig::default()
+            },
+        );
+        let cfg = ChurnEngineConfig {
+            workers: 2,
+            seed: 37,
+            invalidation: InvalidationPolicy::Incremental,
+            reactive_max_attempts: 4,
+        };
+        for strategy in [Strategy::RetryLadder, Strategy::ReactiveRepair] {
+            let (untraced, none) =
+                run_churn(&exp, &flows, &tl, strategy, &cfg, &TelemetryConfig::off());
+            assert!(none.is_none());
+            let (traced, telemetry) = run_churn(
+                &exp,
+                &flows,
+                &tl,
+                strategy,
+                &cfg,
+                &TelemetryConfig::metrics_only(),
+            );
+            assert_eq!(
+                untraced.digest(),
+                traced.digest(),
+                "{}: telemetry must not perturb churn outcomes",
+                strategy.label()
+            );
+            let telemetry = telemetry.expect("metrics were requested");
+            let m = &telemetry.metrics;
+            assert_eq!(m.counter(tm::EVENTS_APPLIED), untraced.events_applied);
+            assert_eq!(m.counter(tm::EPOCH_TRANSITIONS), untraced.events_applied);
+            assert_eq!(m.counter(tm::ROUTES_EVICTED), untraced.routes_evicted);
+            assert_eq!(m.counter(tm::FLOWS), untraced.flows);
+        }
+    }
+
+    #[test]
+    fn empty_timeline_ladder_matches_plain_fleet() {
+        // With no events, the churn engine is the fleet engine: one
+        // epoch, same digest as run_fleet on the same world/workload.
+        let exp = world(38);
+        let flows = workload(&exp, 200, 38);
+        let tl = Timeline::materialize(
+            &exp,
+            &ChurnConfig {
+                aftershocks: 0,
+                battery_waves: 0,
+                crew_repairs: 0,
+                seed: 38,
+                ..ChurnConfig::default()
+            },
+        );
+        let churn = run(
+            &exp,
+            &flows,
+            &tl,
+            Strategy::RetryLadder,
+            2,
+            InvalidationPolicy::Incremental,
+        );
+        assert_eq!(churn.epochs, 1);
+        let fleet = citymesh_fleet::run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 33,
+            },
+        );
+        assert_eq!(
+            churn.epoch_stats[0].fleet_digest,
+            fleet.digest(),
+            "an event-free churn run is exactly a fleet run"
+        );
+    }
+}

@@ -100,6 +100,40 @@ impl RouteCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Evicts every cached plan matching `pred` and returns how many
+    /// were dropped — the incremental-invalidation primitive for world
+    /// churn: after an event, only plans whose geometry the event
+    /// could have touched need to go; everything else stays warm.
+    ///
+    /// Shards are drained one at a time under their own write locks,
+    /// so concurrent readers of other shards are unaffected. Callers
+    /// running between parallel epochs (the churn engine's barrier)
+    /// see a fully quiesced cache anyway, which is what makes the
+    /// eviction count deterministic.
+    pub fn evict_where(&self, mut pred: impl FnMut(&PlannedFlow) -> bool) -> u64 {
+        let mut evicted = 0u64;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            let before = guard.len();
+            guard.retain(|_, plan| !pred(plan));
+            evicted += (before - guard.len()) as u64;
+        }
+        evicted
+    }
+
+    /// Drops every cached plan and returns how many there were — the
+    /// blunt full-flush invalidation baseline that
+    /// [`RouteCache::evict_where`] is measured against.
+    pub fn clear(&self) -> u64 {
+        let mut evicted = 0u64;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            evicted += guard.len() as u64;
+            guard.clear();
+        }
+        evicted
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +181,37 @@ mod tests {
         // Directionality matters: (a, b) and (b, a) are separate.
         let p = cache.get_or_plan(3, 4, || unreachable!("must be cached"));
         assert_eq!((p.src, p.dst), (3, 4));
+    }
+
+    #[test]
+    fn eviction_is_targeted_and_counted() {
+        let cache = RouteCache::new();
+        for src in 0..10u32 {
+            for dst in 0..10u32 {
+                if src != dst {
+                    cache.get_or_plan(src, dst, || dummy_plan(src, dst));
+                }
+            }
+        }
+        let total = 10 * 9;
+        assert_eq!(cache.len(), total);
+
+        // Evict everything touching building 3 (as src or dst).
+        let evicted = cache.evict_where(|p| p.src == 3 || p.dst == 3);
+        assert_eq!(evicted, 18, "9 routes out of 3 plus 9 routes into 3");
+        assert_eq!(cache.len(), total - 18);
+        // Survivors are still served from cache; victims re-plan.
+        cache.get_or_plan(1, 2, || unreachable!("must have survived"));
+        let mut replanned = false;
+        cache.get_or_plan(3, 4, || {
+            replanned = true;
+            dummy_plan(3, 4)
+        });
+        assert!(replanned, "evicted pair must be planned again");
+
+        let flushed = cache.clear();
+        assert_eq!(flushed as usize, total - 18 + 1);
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -30,9 +30,13 @@ use crate::cache::RouteCache;
 use crate::workload::{FlowKind, FlowSpec};
 
 /// Sub-stream domain for per-flow delivery simulation randomness.
-const DOMAIN_SIM: u64 = 0x51D3;
-/// Sub-stream domain for per-flow message ids.
-const DOMAIN_MSG: u64 = 0x3564;
+/// Public so engines layered on top (the churn engine's
+/// reactive-repair strategy, the zero-alloc guard tests) replay the
+/// exact per-flow streams this engine uses.
+pub const DOMAIN_SIM: u64 = 0x51D3;
+/// Sub-stream domain for per-flow message ids (public for the same
+/// reason as [`DOMAIN_SIM`]).
+pub const DOMAIN_MSG: u64 = 0x3564;
 
 /// How many flows a worker claims per counter increment. Large enough
 /// to amortize the atomic, small enough to balance tail stragglers.
@@ -131,6 +135,15 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
+    /// An all-zero report with empty histograms: the accumulator that
+    /// engines layered on top of this crate (the churn engine's
+    /// reactive-repair strategy) fold their own outcome streams into
+    /// via [`FleetReport::absorb_outcome`], producing digests on the
+    /// same footing as [`run_fleet`]'s.
+    pub fn empty() -> Self {
+        Self::new()
+    }
+
     fn new() -> Self {
         FleetReport {
             flows: 0,
@@ -155,7 +168,13 @@ impl FleetReport {
     }
 
     /// Folds one flow's outcome in. Must be called in ascending
-    /// flow-id order to keep floating-point accumulation canonical.
+    /// flow-id order to keep floating-point accumulation canonical —
+    /// external engines sort their merged `(id, outcome)` records
+    /// exactly like [`run_fleet`] does before folding.
+    pub fn absorb_outcome(&mut self, spec: &FlowSpec, outcome: &PairOutcome) {
+        self.absorb(spec, outcome);
+    }
+
     fn absorb(&mut self, spec: &FlowSpec, outcome: &PairOutcome) {
         self.flows += 1;
         if spec.kind == FlowKind::PostboxCheckin {
@@ -309,8 +328,30 @@ pub fn run_fleet_traced(
     cfg: &FleetConfig,
     tel: &TelemetryConfig,
 ) -> (FleetReport, Option<FleetTelemetry>) {
+    run_fleet_on_cache(exp, flows, cfg, &RouteCache::new(), tel)
+}
+
+/// [`run_fleet_traced`] against a caller-owned [`RouteCache`] instead
+/// of a run-private one — the churn engine's building block: the cache
+/// (and its warm plans) persists across epochs while the world mutates
+/// between them, with invalidation handled by the caller
+/// ([`RouteCache::evict_where`] / [`RouteCache::clear`]).
+///
+/// `flows` must be sorted by ascending flow id (every generated
+/// workload is, and any contiguous epoch slice of one stays so); the
+/// report's cache counters are the cache's *cumulative* totals, so
+/// per-epoch deltas are the caller's bookkeeping.
+///
+/// # Panics
+/// Panics when a worker thread panics, as [`run_fleet`] does.
+pub fn run_fleet_on_cache(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    cfg: &FleetConfig,
+    cache: &RouteCache,
+    tel: &TelemetryConfig,
+) -> (FleetReport, Option<FleetTelemetry>) {
     let workers = cfg.effective_workers().max(1);
-    let cache = RouteCache::new();
     let started = Instant::now();
 
     let yields: Vec<WorkerYield> = if workers == 1 {
@@ -319,7 +360,7 @@ pub fn run_fleet_traced(
             exp,
             flows,
             cfg.seed,
-            &cache,
+            cache,
             &AtomicUsize::new(0),
             tel,
         )]
@@ -329,7 +370,7 @@ pub fn run_fleet_traced(
         slots.resize_with(workers, WorkerYield::default);
         crossbeam::thread::scope(|s| {
             for slot in slots.iter_mut() {
-                let (cache, cursor) = (&cache, &cursor);
+                let cursor = &cursor;
                 s.spawn(move |_| {
                     *slot = execute_range(exp, flows, cfg.seed, cache, cursor, tel);
                 });
@@ -362,12 +403,16 @@ pub fn run_fleet_traced(
     });
 
     // Deterministic merge: flatten, order by flow id, fold serially.
+    // Every flow yields exactly one record, so the sorted records zip
+    // 1:1 with the (ascending-id) flow slice — which keeps the fold
+    // correct for epoch sub-slices whose ids don't start at zero.
     let mut merged: Vec<(u64, PairOutcome)> = yields.into_iter().flat_map(|y| y.records).collect();
     merged.sort_unstable_by_key(|(id, _)| *id);
 
     let mut report = FleetReport::new();
-    for (id, outcome) in &merged {
-        report.absorb(&flows[*id as usize], outcome);
+    for ((id, outcome), spec) in merged.iter().zip(flows) {
+        debug_assert_eq!(*id, spec.id, "flows must be sorted by ascending id");
+        report.absorb(spec, outcome);
     }
     report.elapsed_secs = started.elapsed().as_secs_f64();
     report.workers = workers;
@@ -378,7 +423,10 @@ pub fn run_fleet_traced(
 
 /// Folds one flow's outcome into a worker's metric set. Pure per-flow
 /// arithmetic on integers, so per-worker sums merge deterministically.
-fn record_flow_metrics(m: &mut MetricSet, o: &PairOutcome) {
+/// Public so custom per-flow engines (the churn engine's reactive
+/// strategy) feed the same registry the same way, keeping the
+/// traced-vs-untraced digest-equality invariant intact for them too.
+pub fn record_flow_metrics(m: &mut MetricSet, o: &PairOutcome) {
     m.inc(tm::FLOWS);
     m.add(tm::BROADCASTS, o.broadcasts);
     if o.attempts == 0 {

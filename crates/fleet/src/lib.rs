@@ -46,5 +46,8 @@ pub mod engine;
 pub mod workload;
 
 pub use cache::RouteCache;
-pub use engine::{run_fleet, run_fleet_traced, FleetConfig, FleetReport, FleetTelemetry};
+pub use engine::{
+    record_flow_metrics, run_fleet, run_fleet_on_cache, run_fleet_traced, FleetConfig, FleetReport,
+    FleetTelemetry, DOMAIN_MSG, DOMAIN_SIM,
+};
 pub use workload::{generate_flows, FlowKind, FlowModel, FlowSpec, WorkloadConfig};

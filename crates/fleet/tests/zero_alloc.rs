@@ -218,6 +218,90 @@ fn steady_state_flow_loop_allocates_nothing_under_faults() {
 }
 
 #[test]
+fn steady_state_is_alloc_free_between_churn_events() {
+    // The churn engine's epoch model promises that *event application*
+    // may allocate (health flips, postbox refresh, lazy RecoveryCell
+    // re-materialization at the new epoch) but the steady state
+    // between events must stay on the zero-alloc path. With plans held
+    // across the event, the sequence is: warm pass at epoch 0, apply
+    // a mid-run aftershock (uncounted), one re-warm pass to pay the
+    // epoch-keyed recovery recomputation, then a counted replay that
+    // must allocate nothing.
+    let mut scenario = citymesh_core::FaultScenario::iid(0.15);
+    scenario.retry = citymesh_core::RetryPolicy::ladder();
+    let map = CityArchetype::SurveyDowntown.generate(17);
+    let mut exp = CityExperiment::prepare(
+        map,
+        ExperimentConfig {
+            seed: 17,
+            faults: Some(scenario),
+            ..ExperimentConfig::default()
+        },
+    );
+    let flows = generate_flows(
+        exp.map().len(),
+        &WorkloadConfig {
+            flows: 64,
+            model: FlowModel::UniformPairs { rate_hz: 200.0 },
+            seed: 17,
+        },
+    );
+    let plans: Vec<_> = flows.iter().map(|f| exp.plan_flow(f.src, f.dst)).collect();
+    let mut scratch = DeliveryScratch::new();
+
+    // Warm pass at the initial epoch.
+    for (flow, plan) in flows.iter().zip(&plans) {
+        let msg_id = substream_seed(17, DOMAIN_MSG, flow.id);
+        let mut rng = SimRng::new(substream_seed(17, DOMAIN_SIM, flow.id));
+        exp.simulate_flow_with(plan, msg_id, &mut rng, &mut scratch);
+    }
+
+    // A mid-run event: fail a slice of APs outright. Application is
+    // allowed to allocate — it happens at an epoch barrier, off the
+    // per-flow hot path.
+    let changes: Vec<(u32, citymesh_core::ApHealth)> = (0..40)
+        .map(|ap| (ap * 7, citymesh_core::ApHealth::Failed))
+        .collect();
+    let transition = exp.apply_world_event(&changes);
+    assert!(
+        transition.aps_changed > 0,
+        "the event must actually flip APs"
+    );
+
+    // Re-warm at the new epoch: each plan's epoch-keyed recovery cell
+    // recomputes lazily on first touch and may allocate once.
+    let mut warm_attempts = 0u64;
+    for (flow, plan) in flows.iter().zip(&plans) {
+        let msg_id = substream_seed(17, DOMAIN_MSG, flow.id);
+        let mut rng = SimRng::new(substream_seed(17, DOMAIN_SIM, flow.id));
+        let outcome = exp.simulate_flow_with(plan, msg_id, &mut rng, &mut scratch);
+        warm_attempts += outcome.attempts as u64;
+    }
+
+    // Counted replay at the post-event epoch: zero allocations.
+    let (allocs, measured_attempts) = count_allocs(|| {
+        let mut total = 0u64;
+        for (flow, plan) in flows.iter().zip(&plans) {
+            let msg_id = substream_seed(17, DOMAIN_MSG, flow.id);
+            let mut rng = SimRng::new(substream_seed(17, DOMAIN_SIM, flow.id));
+            let outcome = exp.simulate_flow_with(plan, msg_id, &mut rng, &mut scratch);
+            total += outcome.attempts as u64;
+        }
+        total
+    });
+
+    assert_eq!(
+        measured_attempts, warm_attempts,
+        "measured pass must replay the post-event warm-up exactly"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady state between churn events must perform zero heap \
+         allocations (counted {allocs})"
+    );
+}
+
+#[test]
 fn counter_actually_counts() {
     // Guard against the test silently passing because the counter is
     // broken: an obvious allocation must register.

@@ -91,6 +91,12 @@ pub const UNROUTABLE: CounterId = CounterId(12);
 pub const POSTMORTEMS: CounterId = CounterId(13);
 /// Trace events evicted from full rings.
 pub const TRACE_DROPPED: CounterId = CounterId(14);
+/// World-churn events applied to the live fault state.
+pub const EVENTS_APPLIED: CounterId = CounterId(15);
+/// Cached routes evicted by churn invalidation (targeted or flush).
+pub const ROUTES_EVICTED: CounterId = CounterId(16);
+/// Fault-state epoch transitions (one per applied event).
+pub const EPOCH_TRANSITIONS: CounterId = CounterId(17);
 
 /// The counter registry; indexed by [`CounterId`].
 pub const COUNTERS: &[CounterDef] = &[
@@ -153,6 +159,18 @@ pub const COUNTERS: &[CounterDef] = &[
     CounterDef {
         name: "trace_dropped_total",
         help: "Trace events evicted from full rings",
+    },
+    CounterDef {
+        name: "churn_events_total",
+        help: "World-churn events applied to the live fault state",
+    },
+    CounterDef {
+        name: "routes_evicted_total",
+        help: "Cached routes evicted by churn invalidation",
+    },
+    CounterDef {
+        name: "epoch_transitions_total",
+        help: "Fault-state epoch transitions",
     },
 ];
 
@@ -512,8 +530,14 @@ mod tests {
 
     #[test]
     fn registry_ids_line_up() {
-        assert_eq!(COUNTERS.len(), 15);
+        assert_eq!(COUNTERS.len(), 18);
         assert_eq!(COUNTERS[TRACE_DROPPED.0].name, "trace_dropped_total");
+        assert_eq!(COUNTERS[EVENTS_APPLIED.0].name, "churn_events_total");
+        assert_eq!(COUNTERS[ROUTES_EVICTED.0].name, "routes_evicted_total");
+        assert_eq!(
+            COUNTERS[EPOCH_TRANSITIONS.0].name,
+            "epoch_transitions_total"
+        );
         assert_eq!(GAUGES[MAX_ATTEMPTS.0].name, "max_attempts_per_flow");
         assert_eq!(HISTOGRAMS[ATTEMPTS_PER_FLOW.0].name, "attempts_per_flow");
         for rung in Rung::ALL {

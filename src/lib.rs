@@ -54,7 +54,8 @@
 //! | [`core`] | building routing, conduits, agents, postboxes, sim |
 //! | [`fleet`] | parallel heavy-traffic engine, deterministic workloads |
 //! | [`telemetry`] | metrics registry, flow tracer, failure postmortems |
-//! | [`baselines`] | flooding, greedy geographic, MANET cost models |
+//! | [`baselines`] | flooding, greedy geographic, reactive repair, MANET cost models |
+//! | [`dynamics`] | churn engine: event timelines, epoch barriers, cache invalidation |
 //! | [`measure`] | the synthetic §2 wardriving study |
 //!
 //! The [`DfnNetwork`] type in this crate wires all of it into a
@@ -67,6 +68,7 @@
 pub use citymesh_baselines as baselines;
 pub use citymesh_core as core;
 pub use citymesh_crypto as crypto;
+pub use citymesh_dynamics as dynamics;
 pub use citymesh_fleet as fleet;
 pub use citymesh_geo as geo;
 pub use citymesh_graph as graph;
@@ -88,6 +90,9 @@ pub mod prelude {
         RecoveryStage, RetryPolicy,
     };
     pub use citymesh_crypto::{Keypair, NodeId, PostboxAddress};
+    pub use citymesh_dynamics::{
+        run_churn, ChurnConfig, ChurnEngineConfig, ChurnReport, InvalidationPolicy, Timeline,
+    };
     pub use citymesh_fleet::{
         generate_flows, run_fleet, run_fleet_traced, FleetConfig, FleetReport, FleetTelemetry,
         FlowModel, WorkloadConfig,
