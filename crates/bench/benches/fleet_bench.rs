@@ -78,6 +78,7 @@ fn bench_fleet_execution(c: &mut Criterion) {
                     &FleetConfig {
                         workers,
                         seed: SEED,
+                        ..FleetConfig::default()
                     },
                 ))
             })

@@ -7,25 +7,32 @@
 //! ```
 //!
 //! Artifacts: `table1 fig1a fig1b fig2 fig5 fig6 fig7 headers scaling
-//! ablations fleet planner resilience churn telemetry`. Text goes to
-//! stdout; SVGs are written to `figures/`; the fleet sweep writes
-//! `BENCH_fleet.json`, the planner sweep `BENCH_planner.json`, the
-//! resilience sweep `BENCH_resilience.json`, the churn sweep
-//! `BENCH_churn.json`, and the telemetry sweep `BENCH_telemetry.json`
-//! plus one captured flow trace in `figures/postmortem_sample.json`.
+//! ablations fleet planner resilience churn telemetry metro`. Text
+//! goes to stdout; SVGs are written to `figures/`; the fleet sweep
+//! writes `BENCH_fleet.json`, the planner sweep `BENCH_planner.json`,
+//! the resilience sweep `BENCH_resilience.json`, the churn sweep
+//! `BENCH_churn.json`, the telemetry sweep `BENCH_telemetry.json`
+//! plus one captured flow trace in `figures/postmortem_sample.json`,
+//! and the metro sweep `BENCH_metro.json`.
 //!
 //! The `fleet` artifact takes value flags: `--flows N` runs one flow
 //! count instead of the default 1k/10k/100k sweep, `--workers N` one
 //! worker count instead of 1/4/8, and `--cold` skips the unmeasured
 //! warm-up pass so the recorded throughput includes scratch/cache
 //! warm-up costs (the default, warmed numbers measure steady state).
+//! The `metro` artifact takes `--smoke`: a CI-sized sweep that also
+//! *asserts* the hierarchical planner is at least as fast as the flat
+//! one at the largest smoke size. Every sweep ends with a
+//! `[sweep …]` line reporting its wall time and the process peak RSS
+//! so regressions in either are visible from the log alone.
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 use citymesh_bench::{
-    ablation, churn_figs, eval_figs, fleet_figs, planner_figs, render, resilience_figs, scaling,
-    survey_figs, telemetry_figs, text,
+    ablation, churn_figs, eval_figs, fleet_figs, metro_figs, planner_figs, render, resilience_figs,
+    scaling, survey_figs, telemetry_figs, text,
 };
 use citymesh_core::{
     compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
@@ -50,6 +57,18 @@ impl Opts {
             (1.0, 1000, 50) // the paper's §4 protocol
         }
     }
+}
+
+/// Prints one sweep's wall time and the process peak RSS so far —
+/// the footer every heavy sweep ends with.
+fn sweep_stats(name: &str, started: Instant) {
+    let rss = metro_figs::peak_rss_kb()
+        .map(|kb| format!("{:.0} MiB", kb as f64 / 1024.0))
+        .unwrap_or_else(|| "n/a".into());
+    println!(
+        "[sweep {name}: {:.1} s wall, peak RSS {rss}]\n",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 /// Removes `name <value>` from `args` and returns the parsed value.
@@ -470,6 +489,7 @@ fn main() {
     }
 
     if want("fleet") {
+        let sweep_started = Instant::now();
         let flow_counts: Vec<usize> = match flows_override {
             Some(n) => vec![n],
             None if opts.fast => vec![500, 2_000],
@@ -524,10 +544,12 @@ fn main() {
         println!("all worker counts agree on every digest: parallel == serial, bit for bit\n");
         fs::write("BENCH_fleet.json", fleet_figs::to_json(&figs).render())
             .expect("write BENCH_fleet.json");
-        println!("wrote BENCH_fleet.json\n");
+        println!("wrote BENCH_fleet.json");
+        sweep_stats("fleet", sweep_started);
     }
 
     if want("planner") {
+        let sweep_started = Instant::now();
         let pairs = match flows_override {
             Some(n) => n,
             None if opts.fast => 1_500,
@@ -581,10 +603,12 @@ fn main() {
         );
         fs::write("BENCH_planner.json", planner_figs::to_json(&figs).render())
             .expect("write BENCH_planner.json");
-        println!("wrote BENCH_planner.json\n");
+        println!("wrote BENCH_planner.json");
+        sweep_stats("planner", sweep_started);
     }
 
     if want("resilience") {
+        let sweep_started = Instant::now();
         // Failure probabilities swept per archetype; flows per point.
         let failure_ps = [0.0, 0.1, 0.2, 0.3, 0.4];
         let flows = flows_override.unwrap_or(if opts.fast { 150 } else { 500 });
@@ -641,10 +665,12 @@ fn main() {
             resilience_figs::to_json(&figs).render(),
         )
         .expect("write BENCH_resilience.json");
-        println!("wrote BENCH_resilience.json\n");
+        println!("wrote BENCH_resilience.json");
+        sweep_stats("resilience", sweep_started);
     }
 
     if want("churn") {
+        let sweep_started = Instant::now();
         // Total scheduled events per point; mechanism mix is fixed
         // inside the sweep (half aftershocks, a quarter battery waves,
         // the rest crew repairs).
@@ -708,10 +734,12 @@ fn main() {
         );
         fs::write("BENCH_churn.json", churn_figs::to_json(&figs).render())
             .expect("write BENCH_churn.json");
-        println!("wrote BENCH_churn.json\n");
+        println!("wrote BENCH_churn.json");
+        sweep_stats("churn", sweep_started);
     }
 
     if want("telemetry") {
+        let sweep_started = Instant::now();
         let flows = flows_override.unwrap_or(if opts.fast { 150 } else { 500 });
         let worker_counts: Vec<usize> = match workers_override {
             Some(w) => vec![w.max(1)],
@@ -780,7 +808,129 @@ fn main() {
             telemetry_figs::to_json(&figs).render(),
         )
         .expect("write BENCH_telemetry.json");
-        println!("wrote BENCH_telemetry.json\n");
+        println!("wrote BENCH_telemetry.json");
+        sweep_stats("telemetry", sweep_started);
+    }
+
+    if want("metro") {
+        let sweep_started = Instant::now();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        // (tiles_x, tiles_y, sampled pairs). Pair counts shrink as the
+        // flat planner's per-query cost grows with city size.
+        // The smoke's largest size is 4x4 (~22k buildings), safely past
+        // the flat/hier crossover (up to ~12k buildings the two
+        // planners trade within noise) so the hier >= flat gate below
+        // cannot flake: the full sweep measures hier at 5.4x there.
+        let specs: Vec<(usize, usize, usize)> = if smoke {
+            vec![(1, 1, 48), (4, 4, 24)]
+        } else if opts.fast {
+            vec![(2, 2, 128), (4, 4, 64)]
+        } else {
+            vec![(2, 2, 256), (4, 4, 128), (7, 7, 96), (10, 10, 64)]
+        };
+        let worker_counts: Vec<usize> = match workers_override {
+            Some(w) => vec![w.max(1)],
+            None => vec![1, 4, 8],
+        };
+        eprintln!(
+            "[running the metro hierarchical-routing sweep: tiles {:?} × flat/hier × workers {worker_counts:?}…]",
+            specs.iter().map(|s| format!("{}x{}", s.0, s.1)).collect::<Vec<_>>()
+        );
+        let figs = metro_figs::run_metro_figs(SEED, &specs, &worker_counts);
+        println!("== metro: flat vs district-overlay hierarchical routing ==");
+        let rows: Vec<Vec<String>> = figs
+            .sizes
+            .iter()
+            .flat_map(|s| {
+                s.runs.iter().map(move |r| {
+                    vec![
+                        format!("{}x{}", s.tiles.0, s.tiles.1),
+                        s.buildings.to_string(),
+                        s.districts.to_string(),
+                        r.mode.label().to_string(),
+                        r.workers.to_string(),
+                        format!("{:.0}", r.plans_per_sec),
+                        format!("{:016x}", r.digest),
+                    ]
+                })
+            })
+            .collect();
+        println!(
+            "{}",
+            text::table(
+                &[
+                    "tiles",
+                    "buildings",
+                    "districts",
+                    "mode",
+                    "workers",
+                    "plans/s",
+                    "digest"
+                ],
+                &rows
+            )
+        );
+        let rows: Vec<Vec<String>> = figs
+            .sizes
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("{}x{}", s.tiles.0, s.tiles.1),
+                    s.buildings.to_string(),
+                    s.aps.to_string(),
+                    format!("{:.1}", s.flat_bytes_per_ap()),
+                    format!("{:.1}", s.hier_bytes_per_ap()),
+                    format!("{:.0}", s.gen_ms),
+                    format!("{:.0}", s.graph_ms),
+                    format!("{:.0}", s.hier_build_ms),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text::table(
+                &[
+                    "tiles",
+                    "buildings",
+                    "APs",
+                    "flat B/AP",
+                    "hier B/AP",
+                    "gen ms",
+                    "graph ms",
+                    "hier ms"
+                ],
+                &rows
+            )
+        );
+        if let Some(largest) = figs.sizes.last() {
+            let flat = largest.rate(metro_figs::MetroMode::Flat);
+            let hier = largest.rate(metro_figs::MetroMode::Hier);
+            println!(
+                "largest city ({} buildings): hier {:.1}x the flat planner at {} worker(s)",
+                largest.buildings,
+                if flat > 0.0 { hier / flat } else { 0.0 },
+                worker_counts[0]
+            );
+            if smoke {
+                assert!(
+                    hier >= flat,
+                    "smoke gate: hier ({hier:.0}/s) must not be slower than flat ({flat:.0}/s) \
+                     at the largest smoke size"
+                );
+                println!("smoke gate passed: hier >= flat at the largest smoke size");
+            }
+        }
+        println!("all worker counts agree on every digest; flat and hier agree on routability\n");
+        write_svg(
+            "figures/metro_throughput.svg",
+            &metro_figs::throughput_svg(&figs),
+        );
+        write_svg("figures/metro_memory.svg", &metro_figs::memory_svg(&figs));
+        println!("wrote figures/metro_throughput.svg and figures/metro_memory.svg");
+        fs::write("BENCH_metro.json", metro_figs::to_json(&figs).render())
+            .expect("write BENCH_metro.json");
+        println!("wrote BENCH_metro.json");
+        sweep_stats("metro", sweep_started);
     }
 }
 

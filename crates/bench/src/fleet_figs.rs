@@ -92,7 +92,15 @@ pub fn run_fleet_figs(
                 seed,
             },
         );
-        run_fleet(&exp, &warm, &FleetConfig { workers: 1, seed });
+        run_fleet(
+            &exp,
+            &warm,
+            &FleetConfig {
+                workers: 1,
+                seed,
+                ..FleetConfig::default()
+            },
+        );
     }
 
     let mut runs = Vec::new();
@@ -100,7 +108,15 @@ pub fn run_fleet_figs(
         let specs = generate_flows(buildings, &WorkloadConfig { flows, model, seed });
         let mut digests: Vec<u64> = Vec::new();
         for &workers in worker_counts {
-            let report = run_fleet(&exp, &specs, &FleetConfig { workers, seed });
+            let report = run_fleet(
+                &exp,
+                &specs,
+                &FleetConfig {
+                    workers,
+                    seed,
+                    ..FleetConfig::default()
+                },
+            );
             digests.push(report.digest());
             runs.push(FleetRun {
                 flows,

@@ -31,6 +31,9 @@
 //! * [`telemetry_figs`] — the observability layer's zero-perturbation
 //!   proof plus per-rung latency/overhead breakdowns and a sample
 //!   failure postmortem (`BENCH_telemetry.json`).
+//! * [`metro_figs`] — metro-scale hierarchical routing: flat vs
+//!   district-overlay planner throughput and per-AP routing-state
+//!   size over tiled 100k-building cities (`BENCH_metro.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod ablation;
 pub mod churn_figs;
 pub mod eval_figs;
 pub mod fleet_figs;
+pub mod metro_figs;
 pub mod planner_figs;
 pub mod render;
 pub mod resilience_figs;

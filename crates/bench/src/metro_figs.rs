@@ -1,0 +1,552 @@
+//! Metro-scale hierarchical routing figures (`figures -- metro`).
+//!
+//! Tiles the eight full-city archetypes into metropolises of growing
+//! size ([`citymesh_map::generate_metro`]), builds the flat building
+//! graph and the district-overlay hierarchy over each, then measures
+//! raw routing-kernel throughput — flat ALT/A* ([`plan_route_into`])
+//! vs the hierarchical planner ([`HierPlanner::plan_route_into`]) —
+//! over the same deterministic pair sample at several worker counts.
+//!
+//! Two invariants are asserted, not just reported:
+//!
+//! * per `(size, mode)`, every worker count folds to the same route
+//!   digest — routing is pure, so scheduling must be invisible;
+//! * flat and hier agree on how many pairs are routable (the
+//!   hierarchy's exactness is proven pathwise by the `hier_props`
+//!   proptests; here we keep the cheap structural check).
+//!
+//! The data lands in `BENCH_metro.json` via [`to_json`]; the binary
+//! also renders plans/sec and bytes/AP vs city size as SVG charts via
+//! [`throughput_svg`] / [`memory_svg`].
+
+use std::time::Instant;
+
+use citymesh_core::{
+    place_aps, plan_route_into, BuildingGraph, BuildingGraphParams, HierParams, HierPlanScratch,
+    HierPlanner,
+};
+use citymesh_graph::PlannerScratch;
+use citymesh_map::{generate_metro, MetroParams};
+use citymesh_simcore::{substream_seed, SimRng};
+
+use crate::text::json::Value;
+
+/// Sub-stream domain for metro benchmark pair sampling.
+const DOMAIN_METRO_PAIRS: u64 = 0x4D50;
+
+/// Which routing kernel a [`MetroRun`] measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetroMode {
+    /// The flat ALT/A* planner over the whole building graph.
+    Flat,
+    /// The district-overlay hierarchical planner.
+    Hier,
+}
+
+impl MetroMode {
+    /// Stable lowercase label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetroMode::Flat => "flat",
+            MetroMode::Hier => "hier",
+        }
+    }
+}
+
+/// One measured `(mode, workers)` routing sweep at one city size.
+pub struct MetroRun {
+    /// Which kernel ran.
+    pub mode: MetroMode,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Planned pairs per wall-clock second.
+    pub plans_per_sec: f64,
+    /// Pairs for which a route exists.
+    pub routes_found: usize,
+    /// Order-independent FNV fold of every planned route; equal
+    /// across worker counts by construction of the kernel.
+    pub digest: u64,
+}
+
+/// Everything measured at one metro size.
+pub struct MetroSize {
+    /// Tile grid (x, y) handed to [`MetroParams::with_tiles`].
+    pub tiles: (usize, usize),
+    /// Buildings in the generated metropolis.
+    pub buildings: usize,
+    /// APs a default-density placement puts on it.
+    pub aps: usize,
+    /// Districts the partition produced.
+    pub districts: usize,
+    /// Border nodes in the overlay graph.
+    pub border_nodes: usize,
+    /// Sampled src/dst pairs per run.
+    pub pairs: usize,
+    /// Map synthesis time, ms.
+    pub gen_ms: f64,
+    /// Building-graph (CSR + landmarks) build time, ms.
+    pub graph_ms: f64,
+    /// Hierarchy (partition + overlay) build time, ms.
+    pub hier_build_ms: f64,
+    /// Resident bytes of the flat routing state (CSR graph +
+    /// centroids + landmark tables).
+    pub graph_bytes: usize,
+    /// Additional resident bytes of the hierarchy.
+    pub hier_bytes: usize,
+    /// Every `(mode, workers)` run, in sweep order.
+    pub runs: Vec<MetroRun>,
+    /// Wall time of this whole size point, ms.
+    pub wall_ms: f64,
+    /// Process peak RSS after this size point, KiB (from
+    /// `/proc/self/status`; 0 where unavailable).
+    pub peak_rss_kb: u64,
+}
+
+impl MetroSize {
+    /// Flat routing state per AP, bytes.
+    pub fn flat_bytes_per_ap(&self) -> f64 {
+        self.graph_bytes as f64 / self.aps.max(1) as f64
+    }
+
+    /// Flat + hierarchy routing state per AP, bytes.
+    pub fn hier_bytes_per_ap(&self) -> f64 {
+        (self.graph_bytes + self.hier_bytes) as f64 / self.aps.max(1) as f64
+    }
+
+    /// plans/sec of `mode` at the first swept worker count.
+    pub fn rate(&self, mode: MetroMode) -> f64 {
+        self.runs
+            .iter()
+            .find(|r| r.mode == mode)
+            .map(|r| r.plans_per_sec)
+            .unwrap_or(0.0)
+    }
+}
+
+/// All size points of one metro sweep.
+pub struct MetroFigures {
+    /// Size points in sweep order (ascending building count).
+    pub sizes: Vec<MetroSize>,
+}
+
+/// Process peak resident set size in KiB, read from
+/// `/proc/self/status` (`VmHWM`). Returns `None` off Linux or when
+/// the file is unreadable — callers report 0 rather than failing a
+/// benchmark over an observability nicety.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// FNV-1a over one pair's outcome, keyed by the pair index so the
+/// XOR fold cannot cancel identical routes from different pairs.
+fn pair_fingerprint(index: u64, route: &[u32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(index);
+    eat(route.len() as u64);
+    for &v in route {
+        eat(u64::from(v));
+    }
+    h
+}
+
+/// Draws `pairs` deterministic src/dst samples over `n` buildings.
+fn sample_pairs(seed: u64, ordinal: u64, n: usize, pairs: usize) -> Vec<(u32, u32)> {
+    let mut rng = SimRng::new(substream_seed(seed, DOMAIN_METRO_PAIRS, ordinal));
+    let mut out = Vec::with_capacity(pairs);
+    while out.len() < pairs {
+        let src = rng.below(n as u64) as u32;
+        let dst = rng.below(n as u64) as u32;
+        if src != dst {
+            out.push((src, dst));
+        }
+    }
+    out
+}
+
+/// Plans every pair once with the given kernel across `workers`
+/// threads and returns `(plans_per_sec, routes_found, digest)`. The
+/// digest XOR-folds per-pair fingerprints, so it cannot depend on
+/// which worker planned which pair.
+fn run_mode(
+    bg: &BuildingGraph,
+    hier: Option<&HierPlanner>,
+    pairs: &[(u32, u32)],
+    workers: usize,
+) -> (f64, usize, u64) {
+    let workers = workers.max(1).min(pairs.len().max(1));
+    let chunk = pairs.len().div_ceil(workers);
+    let started = Instant::now();
+    let mut found = 0usize;
+    let mut digest = 0u64;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                s.spawn(move |_| {
+                    let base = (ci * chunk) as u64;
+                    let mut flat_scratch = PlannerScratch::new();
+                    let mut hier_scratch = HierPlanScratch::new();
+                    let mut route: Vec<u32> = Vec::new();
+                    let mut found = 0usize;
+                    let mut digest = 0u64;
+                    for (i, &(src, dst)) in slice.iter().enumerate() {
+                        let ok = match hier {
+                            Some(h) => h
+                                .plan_route_into(bg, src, dst, &mut hier_scratch, &mut route)
+                                .is_ok(),
+                            None => {
+                                plan_route_into(bg, src, dst, &mut flat_scratch, &mut route).is_ok()
+                            }
+                        };
+                        if ok {
+                            found += 1;
+                            digest ^= pair_fingerprint(base + i as u64, &route);
+                        } else {
+                            digest ^= pair_fingerprint(base + i as u64, &[]);
+                        }
+                    }
+                    (found, digest)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (f, d) = h.join().expect("metro routing worker panicked");
+            found += f;
+            digest ^= d;
+        }
+    })
+    .expect("metro routing scope panicked");
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    (pairs.len() as f64 / secs, found, digest)
+}
+
+/// Runs the sweep: for each `(tiles_x, tiles_y, pairs)` spec, builds
+/// the metro world once and measures both kernels at every worker
+/// count.
+///
+/// # Panics
+/// Panics when any two worker counts at the same `(size, mode)` point
+/// disagree on the digest, or when flat and hier disagree on how many
+/// of the sampled pairs are routable.
+pub fn run_metro_figs(
+    seed: u64,
+    specs: &[(usize, usize, usize)],
+    worker_counts: &[usize],
+) -> MetroFigures {
+    let mut sizes = Vec::new();
+    for (ordinal, &(tx, ty, pairs)) in specs.iter().enumerate() {
+        let point_started = Instant::now();
+        let params = MetroParams::with_tiles(tx, ty);
+        let t = Instant::now();
+        let map = generate_metro(&params, seed);
+        let gen_ms = t.elapsed().as_secs_f64() * 1e3;
+        let buildings = map.len();
+
+        let t = Instant::now();
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        let graph_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let planner = HierPlanner::build(&bg, &HierParams::default());
+        let hier_build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // AP count from placement alone: the full AP mesh graph is
+        // deliberately NOT built here (at metro scale its adjacency
+        // dwarfs the routing state this sweep is sizing).
+        let mut rng = SimRng::new(substream_seed(
+            seed,
+            DOMAIN_METRO_PAIRS,
+            0x1000 + ordinal as u64,
+        ));
+        let aps = place_aps(&map, 200.0, &mut rng).len();
+
+        let pair_sample = sample_pairs(seed, ordinal as u64, buildings, pairs);
+        // Unmeasured warm pass: settles allocator state (and the
+        // scratch slabs of this thread) before any timed run, same
+        // rationale as the fleet sweep's warm-up.
+        let warm = &pair_sample[..pair_sample.len().min(16)];
+        run_mode(&bg, None, warm, 1);
+        run_mode(&bg, Some(&planner), warm, 1);
+
+        let mut runs = Vec::new();
+        for mode in [MetroMode::Flat, MetroMode::Hier] {
+            let hier = (mode == MetroMode::Hier).then_some(&planner);
+            let mut digests = Vec::new();
+            let mut founds = Vec::new();
+            for &w in worker_counts {
+                let (rate, found, digest) = run_mode(&bg, hier, &pair_sample, w);
+                digests.push(digest);
+                founds.push(found);
+                runs.push(MetroRun {
+                    mode,
+                    workers: w,
+                    plans_per_sec: rate,
+                    routes_found: found,
+                    digest,
+                });
+            }
+            assert!(
+                digests.windows(2).all(|d| d[0] == d[1]),
+                "{}x{ty} {}: digests differ across workers: {digests:x?}",
+                tx,
+                mode.label()
+            );
+            assert!(
+                founds.windows(2).all(|f| f[0] == f[1]),
+                "{tx}x{ty} {}: routable counts differ across workers",
+                mode.label()
+            );
+        }
+        let flat_found = runs
+            .iter()
+            .find(|r| r.mode == MetroMode::Flat)
+            .map(|r| r.routes_found);
+        let hier_found = runs
+            .iter()
+            .find(|r| r.mode == MetroMode::Hier)
+            .map(|r| r.routes_found);
+        assert_eq!(
+            flat_found, hier_found,
+            "{tx}x{ty}: flat and hier disagree on routability"
+        );
+
+        sizes.push(MetroSize {
+            tiles: (tx, ty),
+            buildings,
+            aps,
+            districts: planner.hierarchy().partition().num_districts(),
+            border_nodes: planner.hierarchy().num_border_nodes(),
+            pairs,
+            gen_ms,
+            graph_ms,
+            hier_build_ms,
+            graph_bytes: bg.memory_bytes(),
+            hier_bytes: planner.memory_bytes(),
+            runs,
+            wall_ms: point_started.elapsed().as_secs_f64() * 1e3,
+            peak_rss_kb: peak_rss_kb().unwrap_or(0),
+        });
+    }
+    MetroFigures { sizes }
+}
+
+/// Serializes the sweep for `BENCH_metro.json`.
+pub fn to_json(figs: &MetroFigures) -> Value {
+    Value::Obj(vec![(
+        "sizes".into(),
+        Value::Arr(
+            figs.sizes
+                .iter()
+                .map(|s| {
+                    Value::Obj(vec![
+                        (
+                            "tiles".into(),
+                            Value::Str(format!("{}x{}", s.tiles.0, s.tiles.1)),
+                        ),
+                        ("buildings".into(), Value::Int(s.buildings as i64)),
+                        ("aps".into(), Value::Int(s.aps as i64)),
+                        ("districts".into(), Value::Int(s.districts as i64)),
+                        ("border_nodes".into(), Value::Int(s.border_nodes as i64)),
+                        ("pairs".into(), Value::Int(s.pairs as i64)),
+                        ("gen_ms".into(), Value::Num(s.gen_ms)),
+                        ("graph_ms".into(), Value::Num(s.graph_ms)),
+                        ("hier_build_ms".into(), Value::Num(s.hier_build_ms)),
+                        ("graph_bytes".into(), Value::Int(s.graph_bytes as i64)),
+                        ("hier_bytes".into(), Value::Int(s.hier_bytes as i64)),
+                        (
+                            "flat_bytes_per_ap".into(),
+                            Value::Num(s.flat_bytes_per_ap()),
+                        ),
+                        (
+                            "hier_bytes_per_ap".into(),
+                            Value::Num(s.hier_bytes_per_ap()),
+                        ),
+                        ("wall_ms".into(), Value::Num(s.wall_ms)),
+                        ("peak_rss_kb".into(), Value::Int(s.peak_rss_kb as i64)),
+                        (
+                            "runs".into(),
+                            Value::Arr(
+                                s.runs
+                                    .iter()
+                                    .map(|r| {
+                                        Value::Obj(vec![
+                                            ("mode".into(), Value::Str(r.mode.label().into())),
+                                            ("workers".into(), Value::Int(r.workers as i64)),
+                                            ("plans_per_sec".into(), Value::Num(r.plans_per_sec)),
+                                            (
+                                                "routes_found".into(),
+                                                Value::Int(r.routes_found as i64),
+                                            ),
+                                            (
+                                                "digest".into(),
+                                                Value::Str(format!("{:016x}", r.digest)),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Shared scaffold for the two log-x charts.
+fn chart_svg(
+    title: &str,
+    y_label: &str,
+    figs: &MetroFigures,
+    flat_y: &dyn Fn(&MetroSize) -> f64,
+    hier_y: &dyn Fn(&MetroSize) -> f64,
+) -> String {
+    const W: f64 = 420.0;
+    const H: f64 = 280.0;
+    const M: f64 = 48.0;
+    let xs: Vec<f64> = figs
+        .sizes
+        .iter()
+        .map(|s| (s.buildings.max(1) as f64).log10())
+        .collect();
+    let ys: Vec<f64> = figs
+        .sizes
+        .iter()
+        .flat_map(|s| [flat_y(s), hier_y(s)])
+        .collect();
+    let (x0, x1) = (
+        xs.iter().copied().fold(f64::MAX, f64::min),
+        xs.iter().copied().fold(0.0, f64::max),
+    );
+    let y1 = ys.iter().copied().fold(0.0, f64::max).max(1.0);
+    let x = |b: f64| M + (b - x0) / (x1 - x0).max(1e-9) * (W - 2.0 * M);
+    let y = |v: f64| H - M - (v / y1).clamp(0.0, 1.0) * (H - 2.0 * M);
+    let path = |f: &dyn Fn(&MetroSize) -> f64| {
+        figs.sizes
+            .iter()
+            .zip(&xs)
+            .map(|(s, &lx)| format!("{:.1},{:.1}", x(lx), y(f(s))))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\" font-size=\"11\">\n"
+    ));
+    s.push_str(&format!(
+        "<text x=\"{}\" y=\"16\" text-anchor=\"middle\" font-size=\"13\">{title}</text>\n",
+        W / 2.0
+    ));
+    s.push_str(&format!(
+        "<line x1=\"{M}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"#444\"/>\n\
+         <line x1=\"{M}\" y1=\"{M}\" x2=\"{M}\" y2=\"{0}\" stroke=\"#444\"/>\n",
+        H - M,
+        W - M
+    ));
+    for size in &figs.sizes {
+        let lx = (size.buildings.max(1) as f64).log10();
+        s.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{}k</text>\n",
+            x(lx),
+            H - M + 14.0,
+            size.buildings / 1000
+        ));
+    }
+    s.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{y1:.0}</text>\n",
+        M - 4.0,
+        y(y1) + 4.0
+    ));
+    s.push_str(&format!(
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"#d62728\" stroke-width=\"2\"/>\n",
+        path(flat_y)
+    ));
+    s.push_str(&format!(
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"#1f77b4\" stroke-width=\"2\"/>\n",
+        path(hier_y)
+    ));
+    s.push_str(&format!(
+        "<text x=\"{0}\" y=\"{1}\" fill=\"#d62728\">flat</text>\n\
+         <text x=\"{0}\" y=\"{2}\" fill=\"#1f77b4\">hier</text>\n",
+        W - M - 50.0,
+        M + 14.0,
+        M + 28.0
+    ));
+    s.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">buildings (log scale)</text>\n",
+        W / 2.0,
+        H - 8.0
+    ));
+    s.push_str(&format!(
+        "<text x=\"14\" y=\"{}\" transform=\"rotate(-90 14 {0})\" text-anchor=\"middle\">{y_label}</text>\n",
+        H / 2.0
+    ));
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Plans/sec vs city size, flat vs hier (single-worker rates).
+pub fn throughput_svg(figs: &MetroFigures) -> String {
+    chart_svg(
+        "metro routing throughput",
+        "plans / sec",
+        figs,
+        &|s| s.rate(MetroMode::Flat),
+        &|s| s.rate(MetroMode::Hier),
+    )
+}
+
+/// Routing-state bytes per AP vs city size, flat vs flat+hier.
+pub fn memory_svg(figs: &MetroFigures) -> String {
+    chart_svg(
+        "routing state per AP",
+        "bytes / AP",
+        figs,
+        &|s| s.flat_bytes_per_ap(),
+        &|s| s.hier_bytes_per_ap(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_runs_and_serializes() {
+        let figs = run_metro_figs(5, &[(1, 1, 24)], &[1, 2]);
+        assert_eq!(figs.sizes.len(), 1);
+        let s = &figs.sizes[0];
+        assert!(s.buildings > 200, "one tile must hold a real city");
+        assert!(s.aps > 0 && s.districts > 1 && s.border_nodes > 0);
+        assert_eq!(s.runs.len(), 4);
+        let flat = s.runs.iter().find(|r| r.mode == MetroMode::Flat).unwrap();
+        let hier = s.runs.iter().find(|r| r.mode == MetroMode::Hier).unwrap();
+        assert!(flat.routes_found > 0);
+        assert_eq!(flat.routes_found, hier.routes_found);
+        let rendered = to_json(&figs).render();
+        assert!(rendered.contains("\"plans_per_sec\""));
+        assert!(rendered.contains("\"hier_bytes_per_ap\""));
+        let svg = throughput_svg(&figs);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>\n"));
+        assert!(memory_svg(&figs).contains("bytes / AP"));
+    }
+
+    #[test]
+    fn pair_fingerprint_is_index_keyed() {
+        let r = [1u32, 2, 3];
+        assert_ne!(pair_fingerprint(0, &r), pair_fingerprint(1, &r));
+        assert_ne!(pair_fingerprint(0, &r), pair_fingerprint(0, &[1, 2]));
+    }
+}

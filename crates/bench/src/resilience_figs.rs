@@ -162,7 +162,17 @@ fn run_point(
 
     let reports: Vec<_> = worker_counts
         .iter()
-        .map(|&workers| run_fleet(&ladder, &workload, &FleetConfig { workers, seed }))
+        .map(|&workers| {
+            run_fleet(
+                &ladder,
+                &workload,
+                &FleetConfig {
+                    workers,
+                    seed,
+                    ..FleetConfig::default()
+                },
+            )
+        })
         .collect();
     let digests: Vec<u64> = reports.iter().map(|r| r.digest()).collect();
     assert!(
@@ -179,6 +189,7 @@ fn run_point(
         &FleetConfig {
             workers: worker_counts[0],
             seed,
+            ..FleetConfig::default()
         },
     );
 

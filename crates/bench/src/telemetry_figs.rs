@@ -131,6 +131,7 @@ pub fn run_telemetry(
     let base_cfg = FleetConfig {
         workers: worker_counts[0],
         seed,
+        ..FleetConfig::default()
     };
     let plain = run_fleet(&exp, &workload, &base_cfg);
     let (traced, _) = run_fleet_traced(&exp, &workload, &base_cfg, &tel);
@@ -159,8 +160,16 @@ pub fn run_telemetry(
     let mut runs: Vec<_> = worker_counts
         .iter()
         .map(|&workers| {
-            let (report, telem) =
-                run_fleet_traced(&fexp, &workload, &FleetConfig { workers, seed }, &tel);
+            let (report, telem) = run_fleet_traced(
+                &fexp,
+                &workload,
+                &FleetConfig {
+                    workers,
+                    seed,
+                    ..FleetConfig::default()
+                },
+                &tel,
+            );
             (workers, report, telem.expect("telemetry was requested"))
         })
         .collect();

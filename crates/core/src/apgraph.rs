@@ -11,14 +11,18 @@
 //! evaluation honest.
 
 use citymesh_geo::{GridIndex, OrientedRect, Point};
-use citymesh_graph::{bfs_distance_to, connected_components, Graph, PlannerScratch};
+use citymesh_graph::{bfs_distance_to, connected_components, CsrGraph, Graph, PlannerScratch};
 
 use crate::placement::Ap;
 
 /// AP graph plus the indexes the simulator needs.
+///
+/// Like [`crate::BuildingGraph`], the adjacency structure is frozen
+/// into CSR form at build time: at metro scale (~1M APs) a per-vertex
+/// `Vec` would cost one allocation and a 24-byte header per AP.
 #[derive(Clone, Debug)]
 pub struct ApGraph {
-    graph: Graph,
+    graph: CsrGraph,
     index: GridIndex,
     range_m: f64,
     building_of: Vec<u32>,
@@ -49,6 +53,7 @@ impl ApGraph {
                 }
             });
         }
+        let graph = CsrGraph::from_graph(&graph);
         let (components, num_components) = connected_components(&graph);
         let building_of: Vec<u32> = aps.iter().map(|a| a.building).collect();
         // Counting sort into CSR buckets. Iterating APs in id order
@@ -93,9 +98,21 @@ impl ApGraph {
         self.building_of.is_empty()
     }
 
-    /// The underlying unweighted graph.
-    pub fn graph(&self) -> &Graph {
+    /// The underlying unweighted graph, in frozen CSR form.
+    pub fn graph(&self) -> &CsrGraph {
         &self.graph
+    }
+
+    /// Heap bytes held by the graph and its simulator-facing indexes —
+    /// the metro sweep's memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.graph.memory_bytes()
+            + self.index.memory_bytes()
+            + self.building_of.capacity() * size_of::<u32>()
+            + self.components.capacity() * size_of::<u32>()
+            + self.bucket_starts.capacity() * size_of::<u32>()
+            + self.bucket_items.capacity() * size_of::<u32>()
     }
 
     /// The transmission range used to build the graph.

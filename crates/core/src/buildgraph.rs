@@ -8,7 +8,7 @@
 //! most likely to have real AP coverage.
 
 use citymesh_geo::Point;
-use citymesh_graph::{connected_components, dijkstra, Graph};
+use citymesh_graph::{connected_components, dijkstra, CsrGraph, Graph};
 use citymesh_map::CityMap;
 
 /// Number of ALT landmarks embedded in every building graph (fewer on
@@ -48,11 +48,15 @@ impl Default for BuildingGraphParams {
 
 /// The predicted-connectivity graph over a city's buildings.
 ///
-/// Wraps the generic [`Graph`] with the map-derived context route
+/// Wraps a frozen [`CsrGraph`] with the map-derived context route
 /// planning needs (centroids for heuristics and conduit geometry).
+/// Construction goes through a growable [`Graph`] and freezes to CSR
+/// before landmark embedding: at metro scale (100k+ buildings) the
+/// per-vertex `Vec` fan-out would cost one allocation per building
+/// and shred cache locality on the planning hot path.
 #[derive(Clone, Debug)]
 pub struct BuildingGraph {
-    graph: Graph,
+    graph: CsrGraph,
     centroids: Vec<Point>,
     params: BuildingGraphParams,
     /// ALT landmark distances, vertex-major: `lm_dist[v * lm_count + k]`
@@ -107,6 +111,7 @@ impl BuildingGraph {
             }
         }
 
+        let graph = CsrGraph::from_graph(&graph);
         let (lm_dist, lm_count) = build_landmarks(&graph);
         BuildingGraph {
             graph,
@@ -158,9 +163,17 @@ impl BuildingGraph {
         h
     }
 
-    /// The underlying weighted graph.
-    pub fn graph(&self) -> &Graph {
+    /// The underlying weighted graph, in frozen CSR form.
+    pub fn graph(&self) -> &CsrGraph {
         &self.graph
+    }
+
+    /// Heap bytes held by the graph, centroids, and landmark tables —
+    /// the metro sweep's memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+            + self.centroids.capacity() * std::mem::size_of::<Point>()
+            + self.lm_dist.capacity() * std::mem::size_of::<f64>()
     }
 
     /// Construction parameters.
@@ -205,7 +218,7 @@ impl BuildingGraph {
 /// Vertices on islands no landmark has reached look infinitely far,
 /// so sampling naturally spreads landmarks across predicted islands
 /// before refining within them.
-fn build_landmarks(graph: &Graph) -> (Vec<f64>, usize) {
+fn build_landmarks(graph: &CsrGraph) -> (Vec<f64>, usize) {
     let n = graph.num_vertices();
     if n == 0 {
         return (Vec::new(), 0);

@@ -14,7 +14,8 @@
 //! 1. [`buildgraph`] — predict inter-building AP connectivity from
 //!    footprints alone and weight edges by cubed distance.
 //! 2. [`route`] — plan the building route (Dijkstra over the building
-//!    graph).
+//!    graph); [`hier`] is its metro-scale counterpart, routing over a
+//!    district overlay so planning stays sublinear in city size.
 //! 3. [`conduit`] — compress the route into waypoint buildings whose
 //!    connecting conduits (width `W`) cover every routed building
 //!    (Figure 4), and reconstruct conduits at relay time.
@@ -47,6 +48,7 @@ pub mod bridge;
 pub mod buildgraph;
 pub mod conduit;
 pub mod faults;
+pub mod hier;
 pub mod pipeline;
 pub mod placement;
 pub mod postbox;
@@ -62,6 +64,11 @@ pub use conduit::{
     within_conduits, CompressedRoute, ConduitError,
 };
 pub use faults::{ApHealth, FaultScenario, FaultState, RecoveryStage, RetryPolicy};
+pub use hier::{HierPlanScratch, HierPlanner};
+// Hier tuning/stats types live in `citymesh-graph`; re-exported here so
+// downstream crates (fleet, bench) can configure the hierarchical
+// planner without a direct graph dependency.
+pub use citymesh_graph::{HierParams, HierStats};
 pub use pipeline::{
     CityExperiment, CityResult, ConfigError, EpochTransition, ExperimentConfig, PairOutcome,
     PlanScratch, PlannedFlow,

@@ -18,7 +18,7 @@
 use std::sync::{Arc, RwLock};
 
 use citymesh_geo::OrientedRect;
-use citymesh_graph::PlannerScratch;
+use citymesh_graph::{HierParams, PlannerScratch};
 use citymesh_map::CityMap;
 use citymesh_net::{CityMeshHeader, MAX_CONDUIT_WIDTH_M};
 use citymesh_simcore::{split_seed, SimRng, SimTime};
@@ -30,6 +30,7 @@ use crate::conduit::{
     compress_route, compress_route_into, reconstruct_conduits, reconstruct_conduits_into,
 };
 use crate::faults::{ApHealth, FaultScenario, FaultState, RecoveryStage, RetryPolicy};
+use crate::hier::{HierPlanScratch, HierPlanner};
 use crate::placement::{place_aps, postbox_ap, Ap};
 use crate::route::{plan_route_avoiding, plan_route_avoiding_into, plan_route_into};
 use crate::sim::{simulate_delivery_faulted, DeliveryParams, DeliveryScratch};
@@ -445,6 +446,10 @@ pub struct PlanScratch {
     search: PlannerScratch,
     route: Vec<u32>,
     header: CityMeshHeader,
+    /// Hierarchical-planner state, used only by
+    /// [`CityExperiment::plan_flow_hier_into`]. Defaults empty, so
+    /// flat-planning callers pay nothing for it.
+    hier: HierPlanScratch,
 }
 
 impl PlanScratch {
@@ -453,6 +458,7 @@ impl PlanScratch {
         PlanScratch {
             search: PlannerScratch::new(),
             route: Vec::new(),
+            hier: HierPlanScratch::new(),
             // Placeholder header; every plan overwrites it via
             // `reuse_for`. Owns no heap memory until first use.
             header: CityMeshHeader {
@@ -464,6 +470,13 @@ impl PlanScratch {
                 encoding: citymesh_net::RouteEncoding::Absolute,
             },
         }
+    }
+
+    /// Cumulative hierarchical-planner counters accumulated by this
+    /// scratch — what the fleet engine folds into worker metrics.
+    /// All-zero unless [`CityExperiment::plan_flow_hier_into`] ran.
+    pub fn hier_stats(&self) -> citymesh_graph::HierStats {
+        self.hier.stats()
     }
 }
 
@@ -512,6 +525,11 @@ pub struct CityExperiment {
     /// surviving AP); empty when no scenario is active. Rebuilt
     /// whenever the fault state changes.
     postbox_live: Vec<Option<u32>>,
+    /// District-overlay planner, built on demand by
+    /// [`CityExperiment::enable_hier`]. `None` means
+    /// [`CityExperiment::plan_flow_hier_into`] is unavailable; the flat
+    /// path never consults it.
+    hier: Option<HierPlanner>,
 }
 
 impl CityExperiment {
@@ -566,6 +584,7 @@ impl CityExperiment {
             faults,
             postbox,
             postbox_live,
+            hier: None,
         }
     }
 
@@ -654,6 +673,23 @@ impl CityExperiment {
         &self.bg
     }
 
+    /// Builds the district-overlay planner so
+    /// [`CityExperiment::plan_flow_hier_into`] becomes available.
+    /// This is the one-time prepare-phase cost of hierarchical
+    /// planning (partitioning, border discovery, overlay arcs,
+    /// landmarks); queries afterwards allocate nothing. Idempotent in
+    /// effect: rebuilding with the same params yields an identical
+    /// planner.
+    pub fn enable_hier(&mut self, params: &HierParams) {
+        self.hier = Some(HierPlanner::build(&self.bg, params));
+    }
+
+    /// The district-overlay planner, when
+    /// [`CityExperiment::enable_hier`] has run.
+    pub fn hier_planner(&self) -> Option<&HierPlanner> {
+        self.hier.as_ref()
+    }
+
     /// The configuration in effect.
     pub fn config(&self) -> &ExperimentConfig {
         &self.config
@@ -735,6 +771,57 @@ impl CityExperiment {
         if routed.is_err() {
             return;
         }
+        self.finish_plan(src, dst, scratch, plan);
+    }
+
+    /// Hierarchical counterpart of [`CityExperiment::plan_flow_into`]:
+    /// identical plan semantics, but the route comes from the district
+    /// overlay (sublinear in city size) instead of the flat ALT/A*
+    /// search. Because hierarchical routes are cost-optimal with the
+    /// same canonical tie-break, downstream state — compression,
+    /// conduits, header bits — is computed by exactly the same code.
+    ///
+    /// Route-cache keys are unaffected: plans remain keyed by
+    /// `(src, dst)` and the planner choice is engine configuration.
+    ///
+    /// # Panics
+    /// Panics when [`CityExperiment::enable_hier`] has not run.
+    pub fn plan_flow_hier_into(
+        &self,
+        src: u32,
+        dst: u32,
+        scratch: &mut PlanScratch,
+        plan: &mut PlannedFlow,
+    ) {
+        let planner = self
+            .hier
+            .as_ref()
+            .expect("plan_flow_hier_into requires CityExperiment::enable_hier");
+        plan.reset(src, dst);
+        plan.reachable = self.reachable(src, dst);
+        let faults = self.faults.as_ref();
+        let routed = match faults {
+            Some(f) if !f.stale_map() => planner.plan_route_avoiding_into(
+                &self.bg,
+                src,
+                dst,
+                f.blocked_buildings(),
+                &mut scratch.hier,
+                &mut scratch.route,
+            ),
+            _ => planner.plan_route_into(&self.bg, src, dst, &mut scratch.hier, &mut scratch.route),
+        };
+        if routed.is_err() {
+            return;
+        }
+        self.finish_plan(src, dst, scratch, plan);
+    }
+
+    /// The planner-independent tail of flow planning: compression,
+    /// header probing, source-AP lookup, ideal hops, conduit
+    /// reconstruction. `scratch.route` holds the routed buildings.
+    fn finish_plan(&self, src: u32, dst: u32, scratch: &mut PlanScratch, plan: &mut PlannedFlow) {
+        let faults = self.faults.as_ref();
         plan.route_len = scratch.route.len();
         compress_route_into(
             &self.bg,

@@ -1,0 +1,258 @@
+//! Property-based tests for the hierarchical planner's exactness.
+//!
+//! The district-overlay planner ([`HierPlanner`]) is an *exact*
+//! optimization: on every city, healthy or faulted, it must find
+//! routes of the same cost as the flat optimal planner. These
+//! properties drive both planners over randomized small grid cities
+//! and compare costs (with a 1e-9 relative tolerance — the two
+//! planners sum the same weights in different orders), plus the
+//! scratch-reuse and pipeline-level equivalences.
+
+use std::collections::HashSet;
+
+use citymesh_core::{
+    plan_route, plan_route_avoiding, BuildingGraph, BuildingGraphParams, CityExperiment,
+    ExperimentConfig, FaultScenario, HierParams, HierPlanScratch, HierPlanner, PlanScratch,
+    PlannedFlow,
+};
+use citymesh_geo::{Point, Polygon, Rect};
+use citymesh_map::CityMap;
+use citymesh_simcore::SimRng;
+use proptest::prelude::*;
+
+/// A random small grid city: `cols × rows` buildings on a `pitch`
+/// spacing with some randomly removed (removals create detours and
+/// disconnected islands — exactly the cases that stress the overlay).
+#[derive(Debug, Clone)]
+struct GridCity {
+    cols: usize,
+    rows: usize,
+    pitch: f64,
+    removed_seed: u64,
+    removal: f64,
+}
+
+fn grid_city() -> impl Strategy<Value = GridCity> {
+    (
+        3usize..10,
+        3usize..10,
+        25.0..45.0f64,
+        any::<u64>(),
+        0.0..0.3f64,
+    )
+        .prop_map(|(cols, rows, pitch, removed_seed, removal)| GridCity {
+            cols,
+            rows,
+            pitch,
+            removed_seed,
+            removal,
+        })
+}
+
+fn build_map(g: &GridCity) -> CityMap {
+    let mut rng = SimRng::new(g.removed_seed);
+    let mut footprints = Vec::new();
+    for y in 0..g.rows {
+        for x in 0..g.cols {
+            if rng.chance(g.removal) {
+                continue;
+            }
+            let ox = x as f64 * g.pitch;
+            let oy = y as f64 * g.pitch;
+            footprints.push(Polygon::rect(Rect::from_corners(
+                Point::new(ox, oy),
+                Point::new(ox + 12.0, oy + 12.0),
+            )));
+        }
+    }
+    if footprints.len() < 2 {
+        footprints = vec![
+            Polygon::rect(Rect::from_corners(
+                Point::new(0.0, 0.0),
+                Point::new(12.0, 12.0),
+            )),
+            Polygon::rect(Rect::from_corners(
+                Point::new(30.0, 0.0),
+                Point::new(42.0, 12.0),
+            )),
+        ];
+    }
+    CityMap::new("prop-grid", footprints, vec![])
+}
+
+/// Small districts so even these tiny cities exercise real overlay
+/// searches instead of collapsing into one district.
+fn hier_params() -> HierParams {
+    HierParams {
+        target_district_size: 12,
+        ..HierParams::default()
+    }
+}
+
+/// Cost of a route: sum over consecutive pairs of the cheapest
+/// parallel edge between them. Panics if the route uses a non-edge.
+fn route_cost(bg: &BuildingGraph, route: &[u32]) -> f64 {
+    route
+        .windows(2)
+        .map(|w| {
+            bg.graph()
+                .neighbors(w[0])
+                .iter()
+                .filter(|e| e.to == w[1])
+                .map(|e| e.weight)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+fn costs_agree(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Healthy-city exactness: hier and flat agree on routability and
+    /// on the optimal cost for every sampled pair.
+    #[test]
+    fn hier_cost_equals_flat_cost(g in grid_city(), pair_seed in any::<u64>()) {
+        let map = build_map(&g);
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        let planner = HierPlanner::build(&bg, &hier_params());
+        let mut rng = SimRng::new(pair_seed);
+        let n = map.len() as u64;
+        for _ in 0..8 {
+            let src = rng.below(n) as u32;
+            let dst = rng.below(n) as u32;
+            let flat = plan_route(&bg, src, dst);
+            let hier = planner.plan_route(&bg, src, dst);
+            match (flat, hier) {
+                (Ok(f), Ok(h)) => {
+                    let (fc, hc) = (route_cost(&bg, &f), route_cost(&bg, &h));
+                    prop_assert!(
+                        costs_agree(fc, hc),
+                        "pair {src}->{dst}: flat cost {fc}, hier cost {hc}"
+                    );
+                    prop_assert_eq!(h[0], src);
+                    prop_assert_eq!(*h.last().unwrap(), dst);
+                }
+                (Err(_), Err(_)) => {}
+                (f, h) => prop_assert!(
+                    false,
+                    "routability disagreement at {src}->{dst}: flat {f:?}, hier {h:?}"
+                ),
+            }
+        }
+    }
+
+    /// Faulted exactness: with a random blocked set, the hierarchical
+    /// detour has the same cost as the flat optimal detour.
+    #[test]
+    fn hier_faulted_cost_equals_flat(g in grid_city(), pair_seed in any::<u64>(), block_p in 0.0..0.25f64) {
+        let map = build_map(&g);
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        let planner = HierPlanner::build(&bg, &hier_params());
+        let mut rng = SimRng::new(pair_seed);
+        let n = map.len() as u64;
+        let src = rng.below(n) as u32;
+        let dst = rng.below(n) as u32;
+        let blocked: HashSet<u32> = (0..n as u32)
+            .filter(|&b| b != src && b != dst && rng.chance(block_p))
+            .collect();
+        let flat = plan_route_avoiding(&bg, src, dst, &blocked);
+        let mut scratch = HierPlanScratch::new();
+        let mut hier_route = Vec::new();
+        let hier =
+            planner.plan_route_avoiding_into(&bg, src, dst, &blocked, &mut scratch, &mut hier_route);
+        match (flat, hier) {
+            (Ok(f), Ok(())) => {
+                for &b in &hier_route {
+                    prop_assert!(
+                        b == src || b == dst || !blocked.contains(&b),
+                        "hier route crosses blocked building {b}"
+                    );
+                }
+                let (fc, hc) = (route_cost(&bg, &f), route_cost(&bg, &hier_route));
+                prop_assert!(
+                    costs_agree(fc, hc),
+                    "faulted pair {src}->{dst}: flat cost {fc}, hier cost {hc}"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (f, h) => prop_assert!(
+                false,
+                "faulted routability disagreement at {src}->{dst}: flat {f:?}, hier {h:?}"
+            ),
+        }
+    }
+
+    /// Scratch reuse is invisible: planning many pairs through one
+    /// warm [`HierPlanScratch`] yields the same routes as a fresh
+    /// scratch per pair.
+    #[test]
+    fn hier_scratch_reuse_matches_fresh(g in grid_city(), pair_seed in any::<u64>()) {
+        let map = build_map(&g);
+        let bg = BuildingGraph::build(&map, BuildingGraphParams::default());
+        let planner = HierPlanner::build(&bg, &hier_params());
+        let mut rng = SimRng::new(pair_seed);
+        let n = map.len() as u64;
+        let mut warm = HierPlanScratch::new();
+        let mut warm_route = Vec::new();
+        for _ in 0..8 {
+            let src = rng.below(n) as u32;
+            let dst = rng.below(n) as u32;
+            let warm_ok = planner
+                .plan_route_into(&bg, src, dst, &mut warm, &mut warm_route)
+                .is_ok();
+            let mut fresh = HierPlanScratch::new();
+            let mut fresh_route = Vec::new();
+            let fresh_ok = planner
+                .plan_route_into(&bg, src, dst, &mut fresh, &mut fresh_route)
+                .is_ok();
+            prop_assert_eq!(warm_ok, fresh_ok, "routability differs warm vs fresh");
+            prop_assert_eq!(&warm_route, &fresh_route, "route differs warm vs fresh");
+        }
+    }
+
+    /// Pipeline equivalence: `plan_flow_hier_into` agrees with
+    /// `plan_flow_into` on every route-independent artifact (the
+    /// routes themselves are cost-equal by the properties above) —
+    /// healthy and under injected faults.
+    #[test]
+    fn plan_flow_hier_matches_flat(g in grid_city(), pair_seed in any::<u64>(), faulted in any::<bool>()) {
+        let map = build_map(&g);
+        let cfg = ExperimentConfig {
+            seed: pair_seed,
+            faults: faulted.then(|| FaultScenario::iid(0.2)),
+            ..ExperimentConfig::default()
+        };
+        let mut exp = CityExperiment::prepare(map, cfg);
+        exp.enable_hier(&hier_params());
+        let mut rng = SimRng::new(pair_seed ^ 0x9E37);
+        let n = exp.map().len() as u64;
+        let mut scratch = PlanScratch::new();
+        for _ in 0..6 {
+            let src = rng.below(n) as u32;
+            let dst = rng.below(n) as u32;
+            let mut flat = PlannedFlow::empty(src, dst);
+            exp.plan_flow_into(src, dst, &mut scratch, &mut flat);
+            let mut hier = PlannedFlow::empty(src, dst);
+            exp.plan_flow_hier_into(src, dst, &mut scratch, &mut hier);
+            prop_assert_eq!(flat.route_len > 0, hier.route_len > 0, "routability differs");
+            prop_assert_eq!(flat.reachable, hier.reachable);
+            prop_assert_eq!(flat.src_ap, hier.src_ap);
+            prop_assert_eq!(flat.ideal_hops, hier.ideal_hops);
+            if flat.route_len > 0 {
+                // Exact waypoint equality is NOT asserted: on these
+                // deliberately symmetric grids, distinct equal-cost
+                // routes exist and the two planners may legitimately
+                // pick different ones. (On the jittered archetype
+                // geometry, where exact cost ties are measure-zero,
+                // the fleet engine's hier-vs-flat digest equality test
+                // shows the routes do coincide bit-for-bit.)
+                prop_assert_eq!(flat.waypoints.first(), hier.waypoints.first());
+                prop_assert_eq!(flat.waypoints.last(), hier.waypoints.last());
+            }
+        }
+    }
+}

@@ -285,6 +285,7 @@ pub fn run_churn(
     let fleet_cfg = FleetConfig {
         workers: cfg.workers,
         seed: cfg.seed,
+        ..FleetConfig::default()
     };
     let mut report = ChurnReport {
         flows: 0,
@@ -832,6 +833,7 @@ mod tests {
             &FleetConfig {
                 workers: 2,
                 seed: 33,
+                ..FleetConfig::default()
             },
         );
         assert_eq!(

@@ -50,6 +50,15 @@ pub struct FleetConfig {
     /// Root seed for all simulation sub-streams (typically the same
     /// seed the workload was generated from).
     pub seed: u64,
+    /// Plan cache misses with the district-overlay hierarchical
+    /// planner ([`CityExperiment::plan_flow_hier_into`]) instead of
+    /// the flat ALT/A* path. Requires `CityExperiment::enable_hier`
+    /// to have run on the experiment. Route-cache keys are unchanged
+    /// (`(src, dst)`), and because hierarchical routes are
+    /// cost-optimal with the same canonical tie-break, reports and
+    /// digests are expected to match the flat planner's bit for bit
+    /// whenever route costs are untied. Defaults to `false`.
+    pub use_hier_planner: bool,
 }
 
 impl FleetConfig {
@@ -359,7 +368,7 @@ pub fn run_fleet_on_cache(
         vec![execute_range(
             exp,
             flows,
-            cfg.seed,
+            cfg,
             cache,
             &AtomicUsize::new(0),
             tel,
@@ -372,7 +381,7 @@ pub fn run_fleet_on_cache(
             for slot in slots.iter_mut() {
                 let cursor = &cursor;
                 s.spawn(move |_| {
-                    *slot = execute_range(exp, flows, cfg.seed, cache, cursor, tel);
+                    *slot = execute_range(exp, flows, cfg, cache, cursor, tel);
                 });
             }
         })
@@ -476,11 +485,12 @@ pub fn record_flow_metrics(m: &mut MetricSet, o: &PairOutcome) {
 fn execute_range(
     exp: &CityExperiment,
     flows: &[FlowSpec],
-    seed: u64,
+    cfg: &FleetConfig,
     cache: &RouteCache,
     cursor: &AtomicUsize,
     tel: &TelemetryConfig,
 ) -> WorkerYield {
+    let seed = cfg.seed;
     let mut out = Vec::with_capacity(flows.len().min(CLAIM_CHUNK * 4));
     let mut scratch = if tel.trace.enabled {
         DeliveryScratch::with_tracing(tel.trace)
@@ -503,7 +513,11 @@ fn execute_range(
         for flow in &flows[start..end] {
             let plan = cache.get_or_plan(flow.src, flow.dst, || {
                 let mut plan = PlannedFlow::empty(flow.src, flow.dst);
-                exp.plan_flow_into(flow.src, flow.dst, &mut plan_scratch, &mut plan);
+                if cfg.use_hier_planner {
+                    exp.plan_flow_hier_into(flow.src, flow.dst, &mut plan_scratch, &mut plan);
+                } else {
+                    exp.plan_flow_into(flow.src, flow.dst, &mut plan_scratch, &mut plan);
+                }
                 plan
             });
             let msg_id = substream_seed(seed, DOMAIN_MSG, flow.id);
@@ -528,6 +542,15 @@ fn execute_range(
         m.add(tm::POSTMORTEMS, tracer.captured());
         m.add(tm::TRACE_DROPPED, tracer.dropped_total());
         m.gauge_max(tm::TRACE_HIGH_WATER, tracer.high_water() as u64);
+        // Hier planner work counters. Like the route cache's hit/miss
+        // totals these are schedule-dependent (racing workers may
+        // double-plan a pair), so they are informational only and
+        // excluded from digests. All zero when the flat planner runs.
+        let h = plan_scratch.hier_stats();
+        m.add(tm::HIER_QUERIES, h.queries);
+        m.add(tm::HIER_DIRECT_ROUTES, h.direct_routes);
+        m.add(tm::HIER_OVERLAY_SETTLED, h.overlay_settled);
+        m.add(tm::HIER_EXPANSIONS, h.expansions);
     }
     WorkerYield {
         records: out,
@@ -591,6 +614,7 @@ mod tests {
             &FleetConfig {
                 workers: 1,
                 seed: 1,
+                ..FleetConfig::default()
             },
         );
         let parallel = run_fleet(
@@ -599,6 +623,7 @@ mod tests {
             &FleetConfig {
                 workers: 4,
                 seed: 1,
+                ..FleetConfig::default()
             },
         );
         assert_eq!(serial.digest(), parallel.digest());
@@ -620,6 +645,7 @@ mod tests {
             &FleetConfig {
                 workers: 2,
                 seed: 2,
+                ..FleetConfig::default()
             },
         );
         let b = run_fleet(
@@ -628,6 +654,7 @@ mod tests {
             &FleetConfig {
                 workers: 2,
                 seed: 3,
+                ..FleetConfig::default()
             },
         );
         assert_ne!(
@@ -647,6 +674,7 @@ mod tests {
             &FleetConfig {
                 workers: 2,
                 seed: 3,
+                ..FleetConfig::default()
             },
         );
         assert_eq!(r.flows, 100);
@@ -681,6 +709,7 @@ mod tests {
             &FleetConfig {
                 workers: 2,
                 seed: 4,
+                ..FleetConfig::default()
             },
         );
         assert_eq!(r.cache_hits + r.cache_misses, 200);
@@ -707,6 +736,7 @@ mod tests {
                     &FleetConfig {
                         workers: w,
                         seed: 6,
+                        ..FleetConfig::default()
                     },
                 )
                 .digest()
@@ -728,6 +758,7 @@ mod tests {
             &FleetConfig {
                 workers: 2,
                 seed: 7,
+                ..FleetConfig::default()
             },
         );
         assert!(
@@ -764,6 +795,7 @@ mod tests {
             &FleetConfig {
                 workers: 2,
                 seed: 8,
+                ..FleetConfig::default()
             },
         );
         assert_eq!(r.retried, 0);
@@ -784,6 +816,7 @@ mod tests {
         let cfg = FleetConfig {
             workers: 2,
             seed: 1,
+            ..FleetConfig::default()
         };
         let plain = run_fleet(&exp, &flows, &cfg);
         let (traced, telem) = run_fleet_traced(&exp, &flows, &cfg, &TelemetryConfig::full(5));
@@ -800,6 +833,7 @@ mod tests {
         let fcfg = FleetConfig {
             workers: 4,
             seed: 6,
+            ..FleetConfig::default()
         };
         let fplain = run_fleet(&fexp, &fflows, &fcfg);
         let (ftraced, ftel) = run_fleet_traced(&fexp, &fflows, &fcfg, &TelemetryConfig::full(7));
@@ -828,6 +862,7 @@ mod tests {
                     &FleetConfig {
                         workers: w,
                         seed: 6,
+                        ..FleetConfig::default()
                     },
                     &TelemetryConfig::full(5),
                 )
@@ -877,6 +912,7 @@ mod tests {
             &FleetConfig {
                 workers: 2,
                 seed: 7,
+                ..FleetConfig::default()
             },
             &TelemetryConfig::full(0),
         );
@@ -918,6 +954,7 @@ mod tests {
             &FleetConfig {
                 workers: 2,
                 seed: 3,
+                ..FleetConfig::default()
             },
             &TelemetryConfig::metrics_only(),
         );
@@ -925,6 +962,69 @@ mod tests {
         assert_eq!(telem.metrics.counter(tm::FLOWS), 60);
         assert!(telem.postmortems.is_empty());
         assert_eq!(telem.metrics.counter(tm::POSTMORTEMS), 0);
+    }
+
+    #[test]
+    fn hier_planner_matches_flat_digest() {
+        use citymesh_core::HierParams;
+        let mut exp = world(9);
+        exp.enable_hier(&HierParams::default());
+        let flows = workload(&exp, 150, 9);
+        let flat = run_fleet_traced(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 1,
+                seed: 9,
+                ..FleetConfig::default()
+            },
+            &TelemetryConfig::metrics_only(),
+        );
+        let hier = run_fleet_traced(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 1,
+                seed: 9,
+                use_hier_planner: true,
+            },
+            &TelemetryConfig::metrics_only(),
+        );
+        // The hierarchical planner is exact, so swapping it in changes
+        // no route and no outcome: the reports are bit-identical.
+        assert_eq!(flat.0.digest(), hier.0.digest());
+        let fm = flat.1.expect("metrics requested").metrics;
+        let hm = hier.1.expect("metrics requested").metrics;
+        assert_eq!(fm.counter(tm::HIER_QUERIES), 0, "flat run plans flat");
+        assert!(hm.counter(tm::HIER_QUERIES) > 0, "hier run must use hier");
+        assert!(hm.counter(tm::HIER_EXPANSIONS) > 0);
+        // Parallel hier runs still merge to the same digest.
+        let par = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 4,
+                seed: 9,
+                use_hier_planner: true,
+            },
+        );
+        assert_eq!(par.digest(), hier.0.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_hier")]
+    fn hier_flag_without_enable_hier_panics() {
+        let exp = world(10);
+        let flows = workload(&exp, 4, 10);
+        run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 1,
+                seed: 10,
+                use_hier_planner: true,
+            },
+        );
     }
 
     #[test]
@@ -942,6 +1042,7 @@ mod tests {
             &FleetConfig {
                 workers: 3,
                 seed: 5,
+                ..FleetConfig::default()
             },
         );
         assert_eq!(r.flows, 0);

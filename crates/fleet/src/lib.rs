@@ -33,8 +33,8 @@
 //!         seed: 42,
 //!     },
 //! );
-//! let serial = run_fleet(&exp, &flows, &FleetConfig { workers: 1, seed: 42 });
-//! let parallel = run_fleet(&exp, &flows, &FleetConfig { workers: 4, seed: 42 });
+//! let serial = run_fleet(&exp, &flows, &FleetConfig { workers: 1, seed: 42, ..FleetConfig::default() });
+//! let parallel = run_fleet(&exp, &flows, &FleetConfig { workers: 4, seed: 42, ..FleetConfig::default() });
 //! assert_eq!(serial.digest(), parallel.digest());
 //! ```
 

@@ -149,6 +149,78 @@ fn steady_state_flow_loop_allocates_nothing() {
 }
 
 #[test]
+fn steady_state_hier_flow_loop_allocates_nothing() {
+    // The hierarchical planner's steady state must match the flat
+    // planner's zero-allocation guarantee: building the hierarchy
+    // (`enable_hier`) is prepare-time and may allocate freely, but a
+    // warm plan+simulate loop through `plan_flow_hier_into` — overlay
+    // Dijkstra, per-district ALT searches, border stitching — must
+    // stay inside the warmed `PlanScratch` buffers.
+    let map = CityArchetype::SurveyDowntown.generate(19);
+    let mut exp = CityExperiment::prepare(
+        map,
+        ExperimentConfig {
+            seed: 19,
+            ..ExperimentConfig::default()
+        },
+    );
+    exp.enable_hier(&citymesh_core::HierParams::default());
+    let flows = generate_flows(
+        exp.map().len(),
+        &WorkloadConfig {
+            flows: 64,
+            model: FlowModel::UniformPairs { rate_hz: 200.0 },
+            seed: 19,
+        },
+    );
+
+    let mut plan_scratch = PlanScratch::new();
+    let mut plan = PlannedFlow::empty(0, 0);
+    let mut scratch = DeliveryScratch::new();
+
+    let mut warm_broadcasts = 0u64;
+    for flow in &flows {
+        exp.plan_flow_hier_into(flow.src, flow.dst, &mut plan_scratch, &mut plan);
+        let msg_id = substream_seed(19, DOMAIN_MSG, flow.id);
+        let mut rng = SimRng::new(substream_seed(19, DOMAIN_SIM, flow.id));
+        let outcome = exp.simulate_flow_with(&plan, msg_id, &mut rng, &mut scratch);
+        warm_broadcasts += outcome.broadcasts;
+    }
+    assert!(
+        warm_broadcasts > 0,
+        "workload must actually exercise the simulator"
+    );
+    assert!(
+        plan_scratch.hier_stats().queries >= flows.len() as u64,
+        "every plan must have gone through the hierarchical planner"
+    );
+
+    let (allocs, measured_broadcasts) = count_allocs(|| {
+        let mut total = 0u64;
+        for flow in &flows {
+            exp.plan_flow_hier_into(flow.src, flow.dst, &mut plan_scratch, &mut plan);
+            let msg_id = substream_seed(19, DOMAIN_MSG, flow.id);
+            let mut rng = SimRng::new(substream_seed(19, DOMAIN_SIM, flow.id));
+            let outcome = exp.simulate_flow_with(&plan, msg_id, &mut rng, &mut scratch);
+            total += outcome.broadcasts;
+        }
+        total
+    });
+
+    assert_eq!(
+        measured_broadcasts, warm_broadcasts,
+        "measured pass must replay the warm-up exactly"
+    );
+    assert_eq!(
+        allocs,
+        0,
+        "steady-state hierarchical plan+simulate path must perform zero \
+         heap allocations (counted {allocs} over {} flows)",
+        flows.len()
+    );
+}
+
+#[test]
 fn steady_state_flow_loop_allocates_nothing_under_faults() {
     // Recovery variants (wide conduits, fallback routes) are
     // materialized lazily, on the first ladder escalation of each

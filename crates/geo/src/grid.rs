@@ -96,6 +96,14 @@ impl GridIndex {
         self.positions.len()
     }
 
+    /// Heap bytes held by the index (capacity, not length) — feeds
+    /// the metro sweep's memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.starts.capacity() * std::mem::size_of::<u32>()
+            + self.items.capacity() * std::mem::size_of::<u32>()
+            + self.positions.capacity() * std::mem::size_of::<Point>()
+    }
+
     /// Whether the index is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {

@@ -1,4 +1,5 @@
-//! Compact adjacency-list graph.
+//! Compact adjacency-list graph, its frozen CSR form, and the
+//! [`Adjacency`] trait every search kernel is generic over.
 
 /// A weighted edge out of some vertex.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -112,6 +113,135 @@ impl Graph {
     }
 }
 
+/// Read-only adjacency access: the interface every search kernel in
+/// this crate is generic over.
+///
+/// Two implementations exist: [`Graph`] (growable, one `Vec` per
+/// vertex — the build-time form) and [`CsrGraph`] (frozen, two flat
+/// arrays — the query-time form). Both present identical neighbor
+/// *order*, so a search over a frozen graph is bit-identical to the
+/// same search over the graph it was frozen from.
+pub trait Adjacency {
+    /// Number of vertices (`0..n` are the valid ids).
+    fn num_vertices(&self) -> usize;
+    /// The outgoing edges of `u`, in insertion order.
+    fn neighbors(&self, u: u32) -> &[Edge];
+}
+
+impl Adjacency for Graph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+    #[inline]
+    fn neighbors(&self, u: u32) -> &[Edge] {
+        &self.adj[u as usize]
+    }
+}
+
+/// A frozen compressed-sparse-row graph: per-vertex edge lists packed
+/// into one flat array behind an offsets table.
+///
+/// [`Graph`] spends one heap allocation (and a 24-byte `Vec` header)
+/// per vertex — at metro scale (100k buildings, ~1M APs) that
+/// per-vertex fan-out dominates memory and shreds cache locality.
+/// Freezing to CSR keeps exactly two allocations regardless of vertex
+/// count while preserving per-vertex edge *order*, so every search
+/// result (including tie-breaks) is bit-identical to the source graph.
+#[derive(Clone, Debug, Default)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `edges` for vertex `v`.
+    offsets: Vec<u32>,
+    edges: Vec<Edge>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Freezes `g` into CSR form, preserving per-vertex edge order.
+    ///
+    /// # Panics
+    /// Panics when `g` has ≥ `u32::MAX` directed edges (far beyond any
+    /// city this system models).
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.adj.len();
+        let total: usize = g.adj.iter().map(Vec::len).sum();
+        assert!(
+            total < u32::MAX as usize,
+            "graph too large to freeze: {total} directed edges"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for adj in &g.adj {
+            edges.extend_from_slice(adj);
+            offsets.push(edges.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            edges,
+            num_edges: g.num_edges,
+        }
+    }
+
+    /// Number of undirected edges in the source graph (directed arcs
+    /// counted once each), mirroring [`Graph::num_edges`].
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The outgoing edges of `u`, in the source graph's order.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[Edge] {
+        let i = u as usize;
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Degree (number of outgoing edges) of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Mean degree across all vertices (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            return 0.0;
+        }
+        self.edges.len() as f64 / n as f64
+    }
+
+    /// Whether an edge/arc `u → v` exists.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).iter().any(|e| e.to == v)
+    }
+
+    /// Heap bytes held by the structure (capacity, not length) — the
+    /// metro sweep's memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.edges.capacity() * std::mem::size_of::<Edge>()
+    }
+}
+
+impl Adjacency for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+    #[inline]
+    fn neighbors(&self, u: u32) -> &[Edge] {
+        CsrGraph::neighbors(self, u)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +312,35 @@ mod tests {
         g.add_edge(0, 1, 1.0);
         g.add_edge(2, 3, 1.0);
         assert_eq!(g.mean_degree(), 1.0);
+    }
+
+    #[test]
+    fn csr_freeze_preserves_everything() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(0, 1, 9.0); // parallel edge, later in order
+        g.add_arc(3, 4, 1.0);
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.num_vertices(), g.num_vertices());
+        assert_eq!(c.num_edges(), g.num_edges());
+        assert_eq!(c.mean_degree(), g.mean_degree());
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(c.neighbors(v), g.neighbors(v), "vertex {v} order");
+            assert_eq!(c.degree(v), g.degree(v));
+        }
+        assert!(c.has_edge(3, 4));
+        assert!(!c.has_edge(4, 3));
+        assert!(c.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn csr_empty_graph() {
+        let c = CsrGraph::from_graph(&Graph::new(0));
+        assert_eq!(c.num_vertices(), 0);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.mean_degree(), 0.0);
+        let d = CsrGraph::default();
+        assert_eq!(d.num_vertices(), 0);
     }
 }

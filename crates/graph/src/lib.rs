@@ -18,11 +18,16 @@
 #![warn(missing_docs)]
 
 mod adjacency;
+mod hierarchy;
 mod scratch;
 mod search;
 mod union_find;
 
-pub use adjacency::{Edge, Graph};
+pub use adjacency::{Adjacency, CsrGraph, Edge, Graph};
+pub use hierarchy::{
+    HierParams, HierScratch, HierStats, Hierarchy, Partition, MAX_DISTRICT_LANDMARKS,
+    MAX_OVERLAY_LANDMARKS,
+};
 pub use scratch::{
     astar_path_filtered_into, astar_path_into, bfs_distance_to, dijkstra_path_filtered_into,
     dijkstra_path_into, PlannerScratch,

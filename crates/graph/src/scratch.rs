@@ -41,9 +41,10 @@ use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
 use crate::search::HeapItem;
-use crate::{Graph, INFINITY};
+use crate::{Adjacency, INFINITY};
 
-/// Reusable buffers for point-to-point search over a [`Graph`].
+/// Reusable buffers for point-to-point search over any [`Adjacency`]
+/// implementation ([`Graph`](crate::Graph) or [`CsrGraph`](crate::CsrGraph)).
 ///
 /// One scratch serves searches over graphs of *different* sizes (the
 /// route planner shares one between the building graph and the AP
@@ -89,7 +90,7 @@ pub struct PlannerScratch {
     dist: Vec<f64>,
     parent: Vec<u32>,
     settled: Vec<bool>,
-    heap: BinaryHeap<HeapItem>,
+    pub(crate) heap: BinaryHeap<HeapItem>,
     queue: VecDeque<u32>,
 }
 
@@ -109,7 +110,7 @@ impl PlannerScratch {
     /// the generation (O(1); a full re-stamp happens only when the
     /// `u32` generation wraps, once per ~4 billion searches), and
     /// clears the retained heap/queue without releasing capacity.
-    fn begin(&mut self, n: usize) {
+    pub(crate) fn begin(&mut self, n: usize) {
         if self.stamp.len() < n {
             self.stamp.resize(n, 0);
             self.dist.resize(n, INFINITY);
@@ -128,7 +129,7 @@ impl PlannerScratch {
     /// `(dist, parent)` of `v`, defaulting to (∞, MAX) when untouched
     /// this run.
     #[inline]
-    fn entry(&self, v: u32) -> (f64, u32) {
+    pub(crate) fn entry(&self, v: u32) -> (f64, u32) {
         let i = v as usize;
         if self.stamp[i] == self.gen {
             (self.dist[i], self.parent[i])
@@ -139,7 +140,7 @@ impl PlannerScratch {
 
     /// Writes `(dist, parent)` for `v`, stamping the slot.
     #[inline]
-    fn write(&mut self, v: u32, dist: f64, parent: u32) {
+    pub(crate) fn write(&mut self, v: u32, dist: f64, parent: u32) {
         let i = v as usize;
         if self.stamp[i] != self.gen {
             self.stamp[i] = self.gen;
@@ -150,13 +151,13 @@ impl PlannerScratch {
     }
 
     #[inline]
-    fn is_settled(&self, v: u32) -> bool {
+    pub(crate) fn is_settled(&self, v: u32) -> bool {
         let i = v as usize;
         self.stamp[i] == self.gen && self.settled[i]
     }
 
     #[inline]
-    fn settle(&mut self, v: u32) {
+    pub(crate) fn settle(&mut self, v: u32) {
         // Popped vertices were always written first, so the slot is
         // already stamped.
         debug_assert_eq!(self.stamp[v as usize], self.gen);
@@ -165,13 +166,13 @@ impl PlannerScratch {
 
     /// Whether `v` was touched this run (BFS visited-set).
     #[inline]
-    fn is_visited(&self, v: u32) -> bool {
+    pub(crate) fn is_visited(&self, v: u32) -> bool {
         self.stamp[v as usize] == self.gen
     }
 
     /// Traces the parent chain from `target` into `out` (reversed into
     /// source→target order). The chain was written this generation.
-    fn trace_into(&self, target: u32, out: &mut Vec<u32>) {
+    pub(crate) fn trace_into(&self, target: u32, out: &mut Vec<u32>) {
         out.clear();
         out.push(target);
         let mut cur = target;
@@ -204,8 +205,8 @@ impl PlannerScratch {
 ///
 /// # Panics
 /// Panics when `source` or `target` is out of range.
-pub fn astar_path_filtered_into(
-    g: &Graph,
+pub fn astar_path_filtered_into<G: Adjacency + ?Sized>(
+    g: &G,
     source: u32,
     target: u32,
     h: impl Fn(u32) -> f64,
@@ -269,8 +270,8 @@ pub fn astar_path_filtered_into(
 /// [`dijkstra_path`](crate::dijkstra_path) against reusable scratch
 /// buffers: writes the path into `out`, returns `false` when
 /// unreachable, allocates nothing once warm.
-pub fn dijkstra_path_into(
-    g: &Graph,
+pub fn dijkstra_path_into<G: Adjacency + ?Sized>(
+    g: &G,
     source: u32,
     target: u32,
     scratch: &mut PlannerScratch,
@@ -281,8 +282,8 @@ pub fn dijkstra_path_into(
 
 /// [`dijkstra_path_filtered`](crate::dijkstra_path_filtered) against
 /// reusable scratch buffers (endpoints exempt from the filter).
-pub fn dijkstra_path_filtered_into(
-    g: &Graph,
+pub fn dijkstra_path_filtered_into<G: Adjacency + ?Sized>(
+    g: &G,
     source: u32,
     target: u32,
     allowed: impl Fn(u32) -> bool,
@@ -295,8 +296,8 @@ pub fn dijkstra_path_filtered_into(
 /// Goal-directed A* against reusable scratch buffers. With a strictly
 /// consistent heuristic the result is bit-identical to
 /// [`dijkstra_path_into`] (see [`PlannerScratch`]).
-pub fn astar_path_into(
-    g: &Graph,
+pub fn astar_path_into<G: Adjacency + ?Sized>(
+    g: &G,
     source: u32,
     target: u32,
     h: impl Fn(u32) -> f64,
@@ -318,8 +319,8 @@ pub fn astar_path_into(
 ///
 /// # Panics
 /// Panics when `source` is out of range.
-pub fn bfs_distance_to(
-    g: &Graph,
+pub fn bfs_distance_to<G: Adjacency + ?Sized>(
+    g: &G,
     source: u32,
     mut found: impl FnMut(u32) -> bool,
     scratch: &mut PlannerScratch,
@@ -352,7 +353,7 @@ pub fn bfs_distance_to(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{bfs, dijkstra_path, dijkstra_path_filtered};
+    use crate::{bfs, dijkstra_path, dijkstra_path_filtered, Graph};
 
     fn diamond() -> Graph {
         let mut g = Graph::new(4);

@@ -4,7 +4,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
-use crate::Graph;
+use crate::Adjacency;
 
 /// Distance value for unreachable vertices.
 pub const INFINITY: f64 = f64::INFINITY;
@@ -87,13 +87,13 @@ impl PartialOrd for HeapItem {
 /// assert_eq!(result.dist[2], 2.0);
 /// assert_eq!(result.path_to(2), Some(vec![0, 1, 2]));
 /// ```
-pub fn dijkstra(g: &Graph, source: u32) -> PathResult {
+pub fn dijkstra<G: Adjacency + ?Sized>(g: &G, source: u32) -> PathResult {
     dijkstra_bounded(g, source, None)
 }
 
 /// Like [`dijkstra`] but may stop early once `target` is settled,
 /// which is the common case for point-to-point route planning.
-pub fn dijkstra_path(g: &Graph, source: u32, target: u32) -> Option<Vec<u32>> {
+pub fn dijkstra_path<G: Adjacency + ?Sized>(g: &G, source: u32, target: u32) -> Option<Vec<u32>> {
     dijkstra_bounded(g, source, Some(target)).path_to(target)
 }
 
@@ -101,8 +101,8 @@ pub fn dijkstra_path(g: &Graph, source: u32, target: u32) -> Option<Vec<u32>> {
 /// (the source and target are always allowed). Used for detour
 /// planning around failed or compromised regions: blocked vertices are
 /// simply invisible to the search.
-pub fn dijkstra_path_filtered(
-    g: &Graph,
+pub fn dijkstra_path_filtered<G: Adjacency + ?Sized>(
+    g: &G,
     source: u32,
     target: u32,
     allowed: impl Fn(u32) -> bool,
@@ -148,7 +148,7 @@ pub fn dijkstra_path_filtered(
     None
 }
 
-fn dijkstra_bounded(g: &Graph, source: u32, target: Option<u32>) -> PathResult {
+fn dijkstra_bounded<G: Adjacency + ?Sized>(g: &G, source: u32, target: Option<u32>) -> PathResult {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
     let mut dist = vec![INFINITY; n];
@@ -189,7 +189,7 @@ fn dijkstra_bounded(g: &Graph, source: u32, target: Option<u32>) -> PathResult {
 /// The BFS hop count over the AP graph is the paper's "minimum number
 /// of transmissions necessary" — the denominator of the transmission-
 /// overhead metric (§4).
-pub fn bfs(g: &Graph, source: u32) -> PathResult {
+pub fn bfs<G: Adjacency + ?Sized>(g: &G, source: u32) -> PathResult {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
     let mut dist = vec![INFINITY; n];
@@ -212,7 +212,7 @@ pub fn bfs(g: &Graph, source: u32) -> PathResult {
 
 /// Hop-minimal path from `source` to `target`, or `None` when
 /// disconnected.
-pub fn bfs_path(g: &Graph, source: u32, target: u32) -> Option<Vec<u32>> {
+pub fn bfs_path<G: Adjacency + ?Sized>(g: &G, source: u32, target: u32) -> Option<Vec<u32>> {
     bfs(g, source).path_to(target)
 }
 
@@ -222,7 +222,12 @@ pub fn bfs_path(g: &Graph, source: u32, target: u32) -> Option<Vec<u32>> {
 ///
 /// Used by route planning over large building graphs where the
 /// Euclidean lower bound prunes most of the city.
-pub fn astar(g: &Graph, source: u32, target: u32, h: impl Fn(u32) -> f64) -> Option<Vec<u32>> {
+pub fn astar<G: Adjacency + ?Sized>(
+    g: &G,
+    source: u32,
+    target: u32,
+    h: impl Fn(u32) -> f64,
+) -> Option<Vec<u32>> {
     let n = g.num_vertices();
     assert!(
         (source as usize) < n && (target as usize) < n,
@@ -267,7 +272,7 @@ pub fn astar(g: &Graph, source: u32, target: u32, h: impl Fn(u32) -> f64) -> Opt
 ///
 /// The paper's *reachability* metric is "source and destination share
 /// a component of the AP graph" (§4).
-pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+pub fn connected_components<G: Adjacency + ?Sized>(g: &G) -> (Vec<u32>, usize) {
     let n = g.num_vertices();
     let mut labels = vec![u32::MAX; n];
     let mut count = 0u32;
@@ -294,7 +299,7 @@ pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
 /// Returns `(component_label, size)` of the largest connected
 /// component, or `None` for an empty graph. Used to report how badly a
 /// city fractures into islands (paper §4: the Washington D.C. case).
-pub fn largest_component(g: &Graph) -> Option<(u32, usize)> {
+pub fn largest_component<G: Adjacency + ?Sized>(g: &G) -> Option<(u32, usize)> {
     let (labels, count) = connected_components(g);
     if count == 0 {
         return None;
@@ -313,6 +318,7 @@ pub fn largest_component(g: &Graph) -> Option<(u32, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     /// A small weighted graph with a known shortest-path structure:
     ///

@@ -12,8 +12,8 @@
 //! ablations can sweep any knob; `generate(params, seed)` is a pure
 //! function of its arguments.
 
-use citymesh_geo::{Point, Polygon, Rect};
-use citymesh_simcore::{split_seed, SimRng};
+use citymesh_geo::{Point, Polygon, Rect, Vec2};
+use citymesh_simcore::{split_seed, substream_seed, SimRng};
 
 use crate::city::{CityMap, Obstacle, ObstacleKind};
 
@@ -434,6 +434,213 @@ pub fn generate(params: &CityParams, seed: u64) -> CityMap {
     CityMap::new(params.name.clone(), kept, obstacles)
 }
 
+/// Side of one metro tile, meters — the extent of every full-city
+/// archetype (see [`CityArchetype::params`]).
+pub const METRO_TILE_M: f64 = 1500.0;
+
+/// RNG sub-stream domain for per-tile metro generation.
+const DOMAIN_METRO_TILE: u64 = 0x3E70;
+
+/// Parameters for metro-scale generation: a `tiles_x × tiles_y` grid
+/// of full-city archetype tiles separated by arterial corridors.
+///
+/// Each corridor carries a chain of small *relay buildings* (street
+/// cabinets, kiosks, transit shelters — urban furniture that hosts
+/// APs) so predicted connectivity bridges the inter-tile gap; without
+/// them the >40 m gap between tiles would sever every district from
+/// its neighbors. Corridors double as the inter-district arterial
+/// conduits the hierarchical planner routes over.
+#[derive(Clone, Debug)]
+pub struct MetroParams {
+    /// Metro name (propagates to [`CityMap::name`]).
+    pub name: String,
+    /// Tile columns (west–east).
+    pub tiles_x: usize,
+    /// Tile rows (south–north).
+    pub tiles_y: usize,
+    /// Width of the arterial corridor between adjacent tiles, meters.
+    pub arterial_gap_m: f64,
+    /// Center-to-center spacing of relay buildings along a corridor,
+    /// meters. Must leave an edge-to-edge gap below the building-graph
+    /// `max_gap_m` (40 m at the default range) for chains to link.
+    pub relay_spacing_m: f64,
+    /// Side of the square relay buildings, meters.
+    pub relay_size_m: f64,
+    /// How deep on-ramp relay chains reach into a tile from its east
+    /// and north corridors, meters. Tile street grids start flush
+    /// against their west/south edges but can leave up to ~80 m of
+    /// empty margin on the east/north (wherever the block pitch
+    /// doesn't divide the tile side), so those sides need ramps to
+    /// reach the built-up area.
+    pub ramp_depth_m: f64,
+}
+
+impl MetroParams {
+    /// Parameters for a `tiles_x × tiles_y` metro with default
+    /// corridor geometry.
+    pub fn with_tiles(tiles_x: usize, tiles_y: usize) -> Self {
+        MetroParams {
+            name: format!("metro-{tiles_x}x{tiles_y}"),
+            tiles_x,
+            tiles_y,
+            arterial_gap_m: 24.0,
+            relay_spacing_m: 28.0,
+            relay_size_m: 10.0,
+            ramp_depth_m: 150.0,
+        }
+    }
+
+    /// Tile pitch (tile side plus corridor width), meters.
+    pub fn pitch_m(&self) -> f64 {
+        METRO_TILE_M + self.arterial_gap_m
+    }
+}
+
+impl Default for MetroParams {
+    fn default() -> Self {
+        MetroParams::with_tiles(4, 4)
+    }
+}
+
+/// Generates a metro-scale city: the eight full-city archetypes tiled
+/// cyclically into a `tiles_x × tiles_y` grid, stitched by arterial
+/// relay chains. Pure in `(params, seed)`.
+///
+/// Each tile is generated with its own RNG sub-stream
+/// (`substream_seed(seed, DOMAIN, tile_ordinal)`), so tile contents
+/// are independent of grid dimensions: tile (0,0) of a 2×2 metro and
+/// of a 10×10 metro are identical. Obstacles stay per-tile during
+/// carving but are not retained in the output map (at 100k+ buildings
+/// the routing layers never consult them and the polygons would
+/// dominate memory).
+///
+/// # Panics
+/// Panics on zero tile counts or non-positive corridor geometry.
+pub fn generate_metro(params: &MetroParams, seed: u64) -> CityMap {
+    assert!(
+        params.tiles_x >= 1 && params.tiles_y >= 1,
+        "metro needs at least one tile"
+    );
+    assert!(
+        params.arterial_gap_m > 0.0 && params.relay_spacing_m > 0.0 && params.relay_size_m > 0.0,
+        "corridor geometry must be positive"
+    );
+    let pitch = params.pitch_m();
+    let archetypes = CityArchetype::cities();
+    let mut footprints = Vec::new();
+
+    for ty in 0..params.tiles_y {
+        for tx in 0..params.tiles_x {
+            let ordinal = (ty * params.tiles_x + tx) as u64;
+            let arch = archetypes[ordinal as usize % archetypes.len()];
+            let tile = generate(
+                &arch.params(),
+                substream_seed(seed, DOMAIN_METRO_TILE, ordinal),
+            );
+            let offset = Vec2 {
+                x: tx as f64 * pitch,
+                y: ty as f64 * pitch,
+            };
+            for b in tile.buildings() {
+                footprints.push(translated(&b.footprint, offset));
+            }
+        }
+    }
+
+    // Full extent of the built-up area (last tile has no trailing
+    // corridor).
+    let total_w = params.tiles_x as f64 * pitch - params.arterial_gap_m;
+    let total_h = params.tiles_y as f64 * pitch - params.arterial_gap_m;
+
+    // Arterial corridors: one relay chain down the center of every
+    // inter-tile gap, spanning the whole metro. Vertical and
+    // horizontal chains cross within relay spacing of each other at
+    // intersections, so the arterial grid is itself connected.
+    for gx in 1..params.tiles_x {
+        let cx = gx as f64 * pitch - params.arterial_gap_m / 2.0;
+        relay_chain(
+            params,
+            Point::new(cx, 0.0),
+            Vec2 { x: 0.0, y: 1.0 },
+            total_h,
+            &mut footprints,
+        );
+    }
+    for gy in 1..params.tiles_y {
+        let cy = gy as f64 * pitch - params.arterial_gap_m / 2.0;
+        relay_chain(
+            params,
+            Point::new(0.0, cy),
+            Vec2 { x: 1.0, y: 0.0 },
+            total_w,
+            &mut footprints,
+        );
+    }
+
+    // On-ramps. A tile's street grid starts `street_w` from its west
+    // and south edges — within predicted range of those corridors —
+    // but its east/north margins depend on how the block pitch divides
+    // the tile side and can exceed the connectivity gap. Three
+    // perpendicular ramp chains per served side reach from the
+    // corridor into the built-up interior.
+    let ramp_fracs = [0.25, 0.5, 0.75];
+    for ty in 0..params.tiles_y {
+        for tx in 0..params.tiles_x {
+            let ox = tx as f64 * pitch;
+            let oy = ty as f64 * pitch;
+            if tx + 1 < params.tiles_x {
+                // East corridor, ramps reaching west into this tile.
+                let cx = (tx + 1) as f64 * pitch - params.arterial_gap_m / 2.0;
+                for f in ramp_fracs {
+                    relay_chain(
+                        params,
+                        Point::new(cx, oy + f * METRO_TILE_M),
+                        Vec2 { x: -1.0, y: 0.0 },
+                        params.ramp_depth_m,
+                        &mut footprints,
+                    );
+                }
+            }
+            if ty + 1 < params.tiles_y {
+                // North corridor, ramps reaching south into this tile.
+                let cy = (ty + 1) as f64 * pitch - params.arterial_gap_m / 2.0;
+                for f in ramp_fracs {
+                    relay_chain(
+                        params,
+                        Point::new(ox + f * METRO_TILE_M, cy),
+                        Vec2 { x: 0.0, y: -1.0 },
+                        params.ramp_depth_m,
+                        &mut footprints,
+                    );
+                }
+            }
+        }
+    }
+
+    CityMap::new(params.name.clone(), footprints, Vec::new())
+}
+
+/// `poly` translated by `offset`.
+fn translated(poly: &Polygon, offset: Vec2) -> Polygon {
+    Polygon::new(poly.ring().iter().map(|&p| p + offset).collect())
+        .expect("translation preserves polygon validity")
+}
+
+/// Appends a chain of square relay buildings starting at `start` and
+/// marching along unit direction `dir` for `span` meters.
+fn relay_chain(params: &MetroParams, start: Point, dir: Vec2, span: f64, out: &mut Vec<Polygon>) {
+    let half = params.relay_size_m / 2.0;
+    let mut s = half;
+    while s + half <= span + 1e-9 {
+        let c = start + dir * s;
+        out.push(Polygon::rect(Rect::from_corners(
+            Point::new(c.x - half, c.y - half),
+            Point::new(c.x + half, c.y + half),
+        )));
+        s += params.relay_spacing_m;
+    }
+}
+
 /// Fills one block with jittered lot buildings.
 fn fill_block(params: &CityParams, ox: f64, oy: f64, rng: &mut SimRng, out: &mut Vec<Polygon>) {
     let nx = (params.block_w / params.lot_size).floor().max(1.0) as usize;
@@ -771,6 +978,100 @@ mod tests {
                 "corridor blocked at {mid:?}"
             );
         }
+    }
+
+    #[test]
+    fn metro_generation_is_deterministic() {
+        let p = MetroParams::with_tiles(2, 2);
+        let a = generate_metro(&p, 77);
+        let b = generate_metro(&p, 77);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.buildings().iter().zip(b.buildings()) {
+            assert_eq!(x.centroid, y.centroid);
+            assert_eq!(x.area, y.area);
+        }
+        assert_eq!(a.name(), "metro-2x2");
+    }
+
+    #[test]
+    fn metro_tiles_are_independent_of_grid_size() {
+        // Tile (0,0) is seeded by its ordinal, so the buildings inside
+        // the first tile footprint-match between a 1×1 and a 3×2 metro
+        // (relay chains only exist in the larger one).
+        let small = generate_metro(&MetroParams::with_tiles(1, 1), 5);
+        let large = generate_metro(&MetroParams::with_tiles(3, 2), 5);
+        let in_tile0 = |m: &CityMap| {
+            let mut pts: Vec<(u64, u64)> = m
+                .buildings()
+                .iter()
+                .filter(|b| b.centroid.x < METRO_TILE_M && b.centroid.y < METRO_TILE_M)
+                .map(|b| (b.centroid.x.to_bits(), b.centroid.y.to_bits()))
+                .collect();
+            pts.sort_unstable();
+            pts
+        };
+        let a = in_tile0(&small);
+        let mut b = in_tile0(&large);
+        // The larger metro adds ramp relays inside tile 0; every
+        // building of the 1×1 metro must appear verbatim.
+        b.retain(|p| a.binary_search(p).is_ok());
+        assert_eq!(a, b, "tile (0,0) must be grid-size independent");
+        assert_eq!(small.len(), a.len(), "1×1 metro is exactly one tile");
+    }
+
+    #[test]
+    fn metro_scales_with_tile_count() {
+        let one = generate_metro(&MetroParams::with_tiles(1, 1), 9);
+        let four = generate_metro(&MetroParams::with_tiles(2, 2), 9);
+        // Four tiles of differing archetypes plus relay chains: well
+        // over 3× one tile.
+        assert!(
+            four.len() > 3 * one.len(),
+            "{} vs {}",
+            four.len(),
+            one.len()
+        );
+        // Buildings span all four tile regions.
+        let pitch = MetroParams::with_tiles(2, 2).pitch_m();
+        for (qx, qy) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let n = four
+                .buildings()
+                .iter()
+                .filter(|b| {
+                    (b.centroid.x / pitch) as usize == qx && (b.centroid.y / pitch) as usize == qy
+                })
+                .count();
+            assert!(n > 200, "quadrant ({qx},{qy}) has only {n} buildings");
+        }
+    }
+
+    #[test]
+    fn metro_relay_chains_bridge_corridors() {
+        let p = MetroParams::with_tiles(2, 1);
+        let m = generate_metro(&p, 3);
+        // The vertical corridor centerline carries relays spaced below
+        // the 40 m building-graph gap along the full height.
+        let cx = p.pitch_m() - p.arterial_gap_m / 2.0;
+        let mut ys: Vec<f64> = m
+            .buildings()
+            .iter()
+            .filter(|b| (b.centroid.x - cx).abs() < 1e-6)
+            .map(|b| b.centroid.y)
+            .collect();
+        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(ys.len() > 40, "corridor has only {} relays", ys.len());
+        for w in ys.windows(2) {
+            let edge_gap = (w[1] - w[0]) - p.relay_size_m;
+            assert!(
+                edge_gap < 40.0,
+                "relay chain gap {edge_gap} severs the corridor"
+            );
+        }
+        assert!(ys[0] < p.relay_spacing_m, "chain starts at the south edge");
+        assert!(
+            METRO_TILE_M - ys[ys.len() - 1] < 2.0 * p.relay_spacing_m,
+            "chain reaches the north edge"
+        );
     }
 
     #[test]

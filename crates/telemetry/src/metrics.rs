@@ -97,6 +97,22 @@ pub const EVENTS_APPLIED: CounterId = CounterId(15);
 pub const ROUTES_EVICTED: CounterId = CounterId(16);
 /// Fault-state epoch transitions (one per applied event).
 pub const EPOCH_TRANSITIONS: CounterId = CounterId(17);
+/// Hierarchical planner queries answered (one per cache-miss plan when
+/// the hierarchical fast path is enabled).
+///
+/// Like the route-cache hit/miss counts, hier planner counters are
+/// *schedule-dependent*: racing workers may double-plan a pair, so the
+/// totals vary with worker count. They are excluded from digests.
+pub const HIER_QUERIES: CounterId = CounterId(18);
+/// Hier queries answered entirely inside one district (no overlay
+/// search). Schedule-dependent; excluded from digests.
+pub const HIER_DIRECT_ROUTES: CounterId = CounterId(19);
+/// Border nodes settled by overlay Dijkstra across all hier queries.
+/// Schedule-dependent; excluded from digests.
+pub const HIER_OVERLAY_SETTLED: CounterId = CounterId(20);
+/// Vertex expansions performed by hier intra-district searches.
+/// Schedule-dependent; excluded from digests.
+pub const HIER_EXPANSIONS: CounterId = CounterId(21);
 
 /// The counter registry; indexed by [`CounterId`].
 pub const COUNTERS: &[CounterDef] = &[
@@ -171,6 +187,22 @@ pub const COUNTERS: &[CounterDef] = &[
     CounterDef {
         name: "epoch_transitions_total",
         help: "Fault-state epoch transitions",
+    },
+    CounterDef {
+        name: "hier_queries_total",
+        help: "Hierarchical planner queries answered",
+    },
+    CounterDef {
+        name: "hier_direct_routes_total",
+        help: "Hier queries resolved inside one district",
+    },
+    CounterDef {
+        name: "hier_overlay_settled_total",
+        help: "Border nodes settled by overlay Dijkstra",
+    },
+    CounterDef {
+        name: "hier_expansions_total",
+        help: "Vertex expansions in hier intra-district searches",
     },
 ];
 
@@ -530,7 +562,9 @@ mod tests {
 
     #[test]
     fn registry_ids_line_up() {
-        assert_eq!(COUNTERS.len(), 18);
+        assert_eq!(COUNTERS.len(), 22);
+        assert_eq!(COUNTERS[HIER_QUERIES.0].name, "hier_queries_total");
+        assert_eq!(COUNTERS[HIER_EXPANSIONS.0].name, "hier_expansions_total");
         assert_eq!(COUNTERS[TRACE_DROPPED.0].name, "trace_dropped_total");
         assert_eq!(COUNTERS[EVENTS_APPLIED.0].name, "churn_events_total");
         assert_eq!(COUNTERS[ROUTES_EVICTED.0].name, "routes_evicted_total");

@@ -54,6 +54,7 @@ fn main() {
         &FleetConfig {
             workers: 0, // one per CPU
             seed: SEED,
+            ..FleetConfig::default()
         },
     );
     println!(
@@ -93,6 +94,7 @@ fn main() {
         &FleetConfig {
             workers: 1,
             seed: SEED,
+            ..FleetConfig::default()
         },
     );
     println!(

@@ -47,7 +47,7 @@
 //! |---|---|
 //! | [`geo`] | points, polygons, conduit rectangles, spatial index |
 //! | [`map`] | city model, synthetic city generator, OSM loader |
-//! | [`graph`] | Dijkstra / BFS / components / union-find |
+//! | [`graph`] | Dijkstra / BFS / components / union-find, district-overlay hierarchy |
 //! | [`simcore`] | deterministic discrete-event engine, radio models |
 //! | [`net`] | packet wire format (bit-packed conduit headers) |
 //! | [`crypto`] | self-certifying IDs, X25519 + ChaCha20-Poly1305 |
@@ -86,8 +86,8 @@ pub use network::{DfnNetwork, SendReceipt, User};
 pub mod prelude {
     pub use crate::network::{DfnNetwork, SendReceipt, User};
     pub use citymesh_core::{
-        CityExperiment, ExperimentConfig, FaultScenario, FaultState, Postbox, RebroadcastScope,
-        RecoveryStage, RetryPolicy,
+        CityExperiment, ExperimentConfig, FaultScenario, FaultState, HierParams, HierPlanScratch,
+        HierPlanner, HierStats, Postbox, RebroadcastScope, RecoveryStage, RetryPolicy,
     };
     pub use citymesh_crypto::{Keypair, NodeId, PostboxAddress};
     pub use citymesh_dynamics::{
@@ -98,7 +98,7 @@ pub mod prelude {
         FlowModel, WorkloadConfig,
     };
     pub use citymesh_geo::{Point, Polygon};
-    pub use citymesh_map::{CityArchetype, CityMap};
+    pub use citymesh_map::{generate_metro, CityArchetype, CityMap, MetroParams};
     pub use citymesh_net::CityMeshHeader;
     pub use citymesh_simcore::{SimRng, SimTime};
     pub use citymesh_telemetry::{MetricSet, Postmortem, Rung, TelemetryConfig, TraceConfig};

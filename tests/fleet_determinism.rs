@@ -33,8 +33,24 @@ fn one_worker_equals_eight_workers() {
         },
     );
 
-    let serial = run_fleet(&exp, &flows, &FleetConfig { workers: 1, seed });
-    let parallel = run_fleet(&exp, &flows, &FleetConfig { workers: 8, seed });
+    let serial = run_fleet(
+        &exp,
+        &flows,
+        &FleetConfig {
+            workers: 1,
+            seed,
+            ..FleetConfig::default()
+        },
+    );
+    let parallel = run_fleet(
+        &exp,
+        &flows,
+        &FleetConfig {
+            workers: 8,
+            seed,
+            ..FleetConfig::default()
+        },
+    );
 
     // The digest covers every deterministic field; equality means the
     // complete aggregate state (all four histograms bucket-for-bucket,
@@ -91,7 +107,18 @@ fn determinism_holds_across_worker_counts_and_models() {
         );
         let digests: Vec<u64> = [1usize, 2, 5]
             .iter()
-            .map(|&workers| run_fleet(&exp, &flows, &FleetConfig { workers, seed }).digest())
+            .map(|&workers| {
+                run_fleet(
+                    &exp,
+                    &flows,
+                    &FleetConfig {
+                        workers,
+                        seed,
+                        ..FleetConfig::default()
+                    },
+                )
+                .digest()
+            })
             .collect();
         assert!(
             digests.windows(2).all(|w| w[0] == w[1]),
@@ -112,7 +139,16 @@ fn same_city_different_seeds_diverge() {
                 seed,
             },
         );
-        run_fleet(&exp, &flows, &FleetConfig { workers: 2, seed }).digest()
+        run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed,
+                ..FleetConfig::default()
+            },
+        )
+        .digest()
     };
     assert_ne!(mk(1), mk(2), "seeds must reach workload and simulation");
 }
