@@ -7,13 +7,14 @@
 //! ```
 //!
 //! Artifacts: `table1 fig1a fig1b fig2 fig5 fig6 fig7 headers scaling
-//! ablations fleet planner resilience churn telemetry metro`. Text
-//! goes to stdout; SVGs are written to `figures/`; the fleet sweep
-//! writes `BENCH_fleet.json`, the planner sweep `BENCH_planner.json`,
-//! the resilience sweep `BENCH_resilience.json`, the churn sweep
-//! `BENCH_churn.json`, the telemetry sweep `BENCH_telemetry.json`
-//! plus one captured flow trace in `figures/postmortem_sample.json`,
-//! and the metro sweep `BENCH_metro.json`.
+//! ablations fleet planner resilience churn telemetry metro
+//! streaming`. Text goes to stdout; SVGs are written to `figures/`;
+//! the fleet sweep writes `BENCH_fleet.json`, the planner sweep
+//! `BENCH_planner.json`, the resilience sweep `BENCH_resilience.json`,
+//! the churn sweep `BENCH_churn.json`, the telemetry sweep
+//! `BENCH_telemetry.json` plus one captured flow trace in
+//! `figures/postmortem_sample.json`, the metro sweep
+//! `BENCH_metro.json`, and the streaming sweep `BENCH_streaming.json`.
 //!
 //! The `fleet` artifact takes value flags: `--flows N` runs one flow
 //! count instead of the default 1k/10k/100k sweep, `--workers N` one
@@ -22,9 +23,13 @@
 //! warm-up costs (the default, warmed numbers measure steady state).
 //! The `metro` artifact takes `--smoke`: a CI-sized sweep that also
 //! *asserts* the hierarchical planner is at least as fast as the flat
-//! one at the largest smoke size. Every sweep ends with a
-//! `[sweep …]` line reporting its wall time and the process peak RSS
-//! so regressions in either are visible from the log alone.
+//! one at the largest smoke size. The `streaming` artifact takes
+//! `--smoke` too: a CI-sized load sweep that *asserts* the engine
+//! sheds explicitly (and keeps accounting balanced) past 2x the
+//! estimated capacity on both the flat and the hierarchical scenario.
+//! Every sweep ends with a `[sweep …]` line reporting its wall time
+//! and the process peak RSS so regressions in either are visible from
+//! the log alone.
 
 use std::fs;
 use std::path::Path;
@@ -32,7 +37,7 @@ use std::time::Instant;
 
 use citymesh_bench::{
     ablation, churn_figs, eval_figs, fleet_figs, metro_figs, planner_figs, render, resilience_figs,
-    scaling, survey_figs, telemetry_figs, text,
+    scaling, streaming_figs, survey_figs, telemetry_figs, text,
 };
 use citymesh_core::{
     compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
@@ -931,6 +936,136 @@ fn main() {
             .expect("write BENCH_metro.json");
         println!("wrote BENCH_metro.json");
         sweep_stats("metro", sweep_started);
+    }
+
+    if want("streaming") {
+        let sweep_started = Instant::now();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        // Offered load as multiples of the per-scenario estimated
+        // capacity; flow counts keep overload points long enough to
+        // reach shedding steady state.
+        let (multipliers, flat_flows, metro_flows, tiles): (
+            Vec<f64>,
+            usize,
+            usize,
+            (usize, usize),
+        ) = if smoke {
+            (vec![0.4, 2.5], 400, 300, (1, 1))
+        } else if opts.fast {
+            (vec![0.25, 0.75, 1.5, 3.0], 1_500, 800, (2, 2))
+        } else {
+            (
+                vec![0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0],
+                4_000,
+                1_500,
+                (2, 2),
+            )
+        };
+        let flat_flows = flows_override.unwrap_or(flat_flows);
+        let metro_flows = flows_override.unwrap_or(metro_flows);
+        let worker_counts: Vec<usize> = match workers_override {
+            Some(w) => vec![w.max(1)],
+            None => vec![1, 4, 8],
+        };
+        let scenarios = [
+            streaming_figs::StreamScenario {
+                label: "downtown-flat",
+                metro_tiles: None,
+                flows: flat_flows,
+            },
+            streaming_figs::StreamScenario {
+                label: "metro-hier",
+                metro_tiles: Some(tiles),
+                flows: metro_flows,
+            },
+        ];
+        eprintln!(
+            "[running the streaming latency-under-load sweep: load {multipliers:?} x capacity, \
+             downtown {flat_flows} / metro-{}x{} {metro_flows} flows per point, \
+             workers {worker_counts:?}…]",
+            tiles.0, tiles.1
+        );
+        let figs =
+            streaming_figs::run_streaming_figs(SEED, &scenarios, &multipliers, &worker_counts);
+        println!(
+            "== streaming: sojourn, shedding, and the saturation knee under open-loop load =="
+        );
+        for curve in &figs.curves {
+            let rows: Vec<Vec<String>> = curve
+                .points
+                .iter()
+                .map(|p| {
+                    vec![
+                        format!("{:.2}x", p.multiplier),
+                        format!("{:.0}", p.rate_hz),
+                        p.offered.to_string(),
+                        format!("{:.1}%", p.shed_rate() * 100.0),
+                        format!("{}/{}", p.shed_backpressure, p.shed_deadline),
+                        format!("{}/{}", p.degraded_tracing, p.degraded_retry),
+                        format!("{:.2}", p.p50_sojourn_ms),
+                        format!("{:.2}", p.p99_sojourn_ms),
+                        p.max_depth.to_string(),
+                        format!("{:016x}", p.digest),
+                    ]
+                })
+                .collect();
+            println!(
+                "-- {} ({} buildings, {} servers x {} queue, {:.0} ms deadline, \
+                 capacity ~{:.0}/s) --\n{}",
+                curve.label,
+                curve.buildings,
+                curve.servers,
+                curve.queue_capacity,
+                curve.deadline_ms,
+                curve.capacity_hz,
+                text::table(
+                    &[
+                        "load", "rate/s", "offered", "shed", "bp/ddl", "rung1/2", "p50 ms",
+                        "p99 ms", "depth", "digest"
+                    ],
+                    &rows
+                )
+            );
+            match curve.knee_multiplier {
+                Some(k) => println!("saturation knee at {k:.2}x estimated capacity"),
+                None => println!("no saturation knee inside the swept range"),
+            }
+            let path = format!("figures/streaming_{}.svg", curve.label);
+            write_svg(&path, &streaming_figs::curve_svg(curve));
+            println!("wrote {path}");
+            if smoke {
+                let over = curve.points.last().expect("sweep has points");
+                assert!(
+                    over.multiplier >= 2.0 && over.shed() > 0,
+                    "smoke gate: {} must shed explicitly at {:.1}x capacity",
+                    curve.label,
+                    over.multiplier
+                );
+                assert_eq!(
+                    over.offered,
+                    over.admitted + over.shed(),
+                    "smoke gate: {} accounting must balance under overload",
+                    curve.label
+                );
+                println!(
+                    "smoke gate passed: shed {} of {} offered at {:.1}x, accounting balanced",
+                    over.shed(),
+                    over.offered,
+                    over.multiplier
+                );
+            }
+        }
+        println!(
+            "all worker counts agree on every digest; every shed flow is counted, \
+             p99 stays inside the deadline+service bound\n"
+        );
+        fs::write(
+            "BENCH_streaming.json",
+            streaming_figs::to_json(&figs).render(),
+        )
+        .expect("write BENCH_streaming.json");
+        println!("wrote BENCH_streaming.json");
+        sweep_stats("streaming", sweep_started);
     }
 }
 

@@ -34,6 +34,10 @@
 //! * [`metro_figs`] — metro-scale hierarchical routing: flat vs
 //!   district-overlay planner throughput and per-AP routing-state
 //!   size over tiled 100k-building cities (`BENCH_metro.json`).
+//! * [`streaming_figs`] — always-on engine latency under load: p50/p99
+//!   sojourn, explicit shed counts, and the saturation knee vs offered
+//!   load, flat downtown and hierarchical metro
+//!   (`BENCH_streaming.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +51,7 @@ pub mod planner_figs;
 pub mod render;
 pub mod resilience_figs;
 pub mod scaling;
+pub mod streaming_figs;
 pub mod survey_figs;
 pub mod telemetry_figs;
 pub mod text;

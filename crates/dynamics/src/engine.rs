@@ -245,8 +245,9 @@ impl ChurnReport {
 /// [`FaultScenario::stale_map`]: citymesh_core::FaultScenario
 ///
 /// # Panics
-/// Panics when `exp` has no fault state, when its map is not stale,
-/// or when a worker thread panics.
+/// Panics when `exp` has no fault state, when its map is not stale
+/// (use [`try_run_churn`] for a `Result` instead), or when a worker
+/// thread panics.
 pub fn run_churn(
     exp: &CityExperiment,
     flows: &[FlowSpec],
@@ -255,14 +256,57 @@ pub fn run_churn(
     cfg: &ChurnEngineConfig,
     tel: &TelemetryConfig,
 ) -> (ChurnReport, Option<FleetTelemetry>) {
-    let state = exp
-        .fault_state()
-        .expect("run_churn requires a fault state; prepare the experiment with a scenario");
-    assert!(
-        state.stale_map(),
-        "run_churn requires stale-map planning (incremental invalidation \
-         relies on routes being a pure function of the pre-disaster map)"
-    );
+    try_run_churn(exp, flows, timeline, strategy, cfg, tel).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A churn run rejected before any epoch started: the experiment is
+/// missing a prerequisite the engine's correctness argument needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnError {
+    /// The experiment carries no fault state, so there is nothing for
+    /// world events to mutate.
+    MissingFaultState,
+    /// The fault scenario plans on the live map; incremental
+    /// invalidation relies on routes being a pure function of the
+    /// pre-disaster (stale) map.
+    FreshMap,
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::MissingFaultState => write!(
+                f,
+                "run_churn requires a fault state; prepare the experiment with a scenario"
+            ),
+            ChurnError::FreshMap => write!(
+                f,
+                "run_churn requires stale-map planning (incremental invalidation \
+                 relies on routes being a pure function of the pre-disaster map)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
+/// [`run_churn`] with the missing-fault-state and fresh-map panics
+/// turned into typed [`ChurnError`]s.
+///
+/// # Panics
+/// Still panics when a worker thread panics mid-run.
+pub fn try_run_churn(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    timeline: &Timeline,
+    strategy: Strategy,
+    cfg: &ChurnEngineConfig,
+    tel: &TelemetryConfig,
+) -> Result<(ChurnReport, Option<FleetTelemetry>), ChurnError> {
+    let state = exp.fault_state().ok_or(ChurnError::MissingFaultState)?;
+    if !state.stale_map() {
+        return Err(ChurnError::FreshMap);
+    }
     debug_assert!(
         flows.windows(2).all(|w| w[0].id < w[1].id),
         "flows must be sorted by ascending id"
@@ -395,7 +439,7 @@ pub fn run_churn(
         metrics,
         postmortems,
     });
-    (report, telemetry)
+    Ok((report, telemetry))
 }
 
 /// Flow chunk claimed per cursor fetch in the reactive worker loop.
@@ -800,6 +844,57 @@ mod tests {
             assert_eq!(m.counter(tm::ROUTES_EVICTED), untraced.routes_evicted);
             assert_eq!(m.counter(tm::FLOWS), untraced.flows);
         }
+    }
+
+    #[test]
+    fn try_run_churn_types_every_rejection() {
+        let flows = {
+            let exp = world(40);
+            workload(&exp, 20, 40)
+        };
+        // No fault state at all.
+        let healthy = CityExperiment::prepare(
+            CityArchetype::SurveyDowntown.generate(40),
+            ExperimentConfig {
+                seed: 40,
+                ..ExperimentConfig::default()
+            },
+        );
+        let tl = Timeline::materialize(&healthy, &ChurnConfig::default());
+        let err = try_run_churn(
+            &healthy,
+            &flows,
+            &tl,
+            Strategy::RetryLadder,
+            &ChurnEngineConfig::default(),
+            &TelemetryConfig::off(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ChurnError::MissingFaultState);
+        assert!(err.to_string().contains("fault state"));
+
+        // A fault state that plans on the live (fresh) map.
+        let mut scenario = FaultScenario::district_blackouts(1, 100.0);
+        scenario.stale_map = false;
+        let fresh = CityExperiment::prepare(
+            CityArchetype::SurveyDowntown.generate(40),
+            ExperimentConfig {
+                seed: 40,
+                faults: Some(scenario),
+                ..ExperimentConfig::default()
+            },
+        );
+        let err = try_run_churn(
+            &fresh,
+            &flows,
+            &tl,
+            Strategy::RetryLadder,
+            &ChurnEngineConfig::default(),
+            &TelemetryConfig::off(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ChurnError::FreshMap);
+        assert!(err.to_string().contains("stale-map"));
     }
 
     #[test]

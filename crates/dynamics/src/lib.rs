@@ -69,7 +69,8 @@ pub mod events;
 pub mod timeline;
 
 pub use engine::{
-    run_churn, ChurnEngineConfig, ChurnReport, EpochStat, InvalidationPolicy, Strategy,
+    run_churn, try_run_churn, ChurnEngineConfig, ChurnError, ChurnReport, EpochStat,
+    InvalidationPolicy, Strategy,
 };
 pub use events::{WorldEvent, WorldEventKind};
 pub use timeline::{

@@ -71,7 +71,41 @@ impl FleetConfig {
             .map(|n| n.get())
             .unwrap_or(1)
     }
+
+    /// Checks this config against the experiment it is about to run
+    /// on. The `try_run_fleet*` entry points call this; the panicking
+    /// entry points panic with the same error's message.
+    pub fn validate(&self, exp: &CityExperiment) -> Result<(), FleetError> {
+        if self.use_hier_planner && exp.hier_planner().is_none() {
+            return Err(FleetError::HierPlannerNotEnabled);
+        }
+        Ok(())
+    }
 }
+
+/// A rejected fleet configuration: the engine refuses to start rather
+/// than panicking mid-run deep inside a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetError {
+    /// [`FleetConfig::use_hier_planner`] was set but
+    /// [`CityExperiment::enable_hier`] never ran on the experiment, so
+    /// there is no district overlay to query.
+    HierPlannerNotEnabled,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::HierPlannerNotEnabled => write!(
+                f,
+                "FleetConfig::use_hier_planner requires CityExperiment::enable_hier \
+                 to have run on the experiment"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
 
 /// Aggregated results of one fleet run.
 ///
@@ -313,11 +347,26 @@ struct WorkerYield {
 /// to also collect metrics and flow traces.
 ///
 /// # Panics
-/// Panics when a worker thread panics (the underlying simulation
-/// asserted), propagating the failure rather than reporting a
-/// truncated aggregate.
+/// Panics on a rejected configuration ([`FleetConfig::validate`] — use
+/// [`try_run_fleet`] for a `Result` instead) or when a worker thread
+/// panics (the underlying simulation asserted), propagating the
+/// failure rather than reporting a truncated aggregate.
 pub fn run_fleet(exp: &CityExperiment, flows: &[FlowSpec], cfg: &FleetConfig) -> FleetReport {
-    run_fleet_traced(exp, flows, cfg, &TelemetryConfig::off()).0
+    try_run_fleet(exp, flows, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_fleet`] with the config misuse panic turned into a typed
+/// error: returns [`FleetError`] instead of starting the pool when the
+/// configuration cannot run against this experiment.
+///
+/// # Panics
+/// Still panics when a worker thread panics mid-run.
+pub fn try_run_fleet(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    cfg: &FleetConfig,
+) -> Result<FleetReport, FleetError> {
+    Ok(try_run_fleet_traced(exp, flows, cfg, &TelemetryConfig::off())?.0)
 }
 
 /// [`run_fleet`] with observability: per-worker metric sets merged in
@@ -330,14 +379,28 @@ pub fn run_fleet(exp: &CityExperiment, flows: &[FlowSpec], cfg: &FleetConfig) ->
 /// off.
 ///
 /// # Panics
-/// Panics when a worker thread panics, as [`run_fleet`] does.
+/// Panics on a rejected configuration or when a worker thread panics,
+/// as [`run_fleet`] does.
 pub fn run_fleet_traced(
     exp: &CityExperiment,
     flows: &[FlowSpec],
     cfg: &FleetConfig,
     tel: &TelemetryConfig,
 ) -> (FleetReport, Option<FleetTelemetry>) {
-    run_fleet_on_cache(exp, flows, cfg, &RouteCache::new(), tel)
+    try_run_fleet_traced(exp, flows, cfg, tel).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_fleet_traced`] with configuration misuse as a typed error.
+///
+/// # Panics
+/// Still panics when a worker thread panics mid-run.
+pub fn try_run_fleet_traced(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    cfg: &FleetConfig,
+    tel: &TelemetryConfig,
+) -> Result<(FleetReport, Option<FleetTelemetry>), FleetError> {
+    try_run_fleet_on_cache(exp, flows, cfg, &RouteCache::new(), tel)
 }
 
 /// [`run_fleet_traced`] against a caller-owned [`RouteCache`] instead
@@ -352,7 +415,8 @@ pub fn run_fleet_traced(
 /// per-epoch deltas are the caller's bookkeeping.
 ///
 /// # Panics
-/// Panics when a worker thread panics, as [`run_fleet`] does.
+/// Panics on a rejected configuration or when a worker thread panics,
+/// as [`run_fleet`] does.
 pub fn run_fleet_on_cache(
     exp: &CityExperiment,
     flows: &[FlowSpec],
@@ -360,6 +424,23 @@ pub fn run_fleet_on_cache(
     cache: &RouteCache,
     tel: &TelemetryConfig,
 ) -> (FleetReport, Option<FleetTelemetry>) {
+    try_run_fleet_on_cache(exp, flows, cfg, cache, tel).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_fleet_on_cache`] with configuration misuse as a typed error:
+/// the config is checked against the experiment before any worker
+/// spawns, so a bad combination never panics mid-pool.
+///
+/// # Panics
+/// Still panics when a worker thread panics mid-run.
+pub fn try_run_fleet_on_cache(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    cfg: &FleetConfig,
+    cache: &RouteCache,
+    tel: &TelemetryConfig,
+) -> Result<(FleetReport, Option<FleetTelemetry>), FleetError> {
+    cfg.validate(exp)?;
     let workers = cfg.effective_workers().max(1);
     let started = Instant::now();
 
@@ -427,7 +508,7 @@ pub fn run_fleet_on_cache(
     report.workers = workers;
     report.cache_hits = cache.hits();
     report.cache_misses = cache.misses();
-    (report, telemetry)
+    Ok((report, telemetry))
 }
 
 /// Folds one flow's outcome into a worker's metric set. Pure per-flow
@@ -1025,6 +1106,31 @@ mod tests {
                 use_hier_planner: true,
             },
         );
+    }
+
+    #[test]
+    fn hier_flag_without_enable_hier_is_a_typed_error() {
+        let exp = world(10);
+        let flows = workload(&exp, 4, 10);
+        let cfg = FleetConfig {
+            workers: 1,
+            seed: 10,
+            use_hier_planner: true,
+        };
+        assert_eq!(cfg.validate(&exp), Err(FleetError::HierPlannerNotEnabled));
+        let err = try_run_fleet(&exp, &flows, &cfg).unwrap_err();
+        assert_eq!(err, FleetError::HierPlannerNotEnabled);
+        assert!(
+            err.to_string().contains("enable_hier"),
+            "the error message must name the missing prerequisite"
+        );
+        // The same config runs fine once the overlay exists, and the
+        // typed path returns the same report as the panicking one.
+        let mut hier_exp = world(10);
+        hier_exp.enable_hier(&citymesh_core::HierParams::default());
+        assert_eq!(cfg.validate(&hier_exp), Ok(()));
+        let ok = try_run_fleet(&hier_exp, &flows, &cfg).expect("hier enabled");
+        assert_eq!(ok.digest(), run_fleet(&hier_exp, &flows, &cfg).digest());
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub mod workload;
 
 pub use cache::RouteCache;
 pub use engine::{
-    record_flow_metrics, run_fleet, run_fleet_on_cache, run_fleet_traced, FleetConfig, FleetReport,
+    record_flow_metrics, run_fleet, run_fleet_on_cache, run_fleet_traced, try_run_fleet,
+    try_run_fleet_on_cache, try_run_fleet_traced, FleetConfig, FleetError, FleetReport,
     FleetTelemetry, DOMAIN_MSG, DOMAIN_SIM,
 };
-pub use workload::{generate_flows, FlowKind, FlowModel, FlowSpec, WorkloadConfig};
+pub use workload::{
+    generate_flows, try_generate_flows, FlowKind, FlowModel, FlowSpec, WorkloadConfig,
+    WorkloadError,
+};

@@ -28,7 +28,7 @@ pub enum FlowKind {
 }
 
 /// One generated flow: endpoints, kind, and arrival time.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FlowSpec {
     /// Dense flow id, `0..flows`; also the sub-stream index.
     pub id: u64,
@@ -113,12 +113,152 @@ impl Default for WorkloadConfig {
     }
 }
 
+impl WorkloadConfig {
+    /// Rejects degenerate workload parameters (zero or non-finite
+    /// arrival rate, empty hotspot set, out-of-range check-in
+    /// fraction) before any flow is generated — a zero rate would
+    /// otherwise push every arrival to +∞ instead of failing fast.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let rate = match self.model {
+            FlowModel::UniformPairs { rate_hz }
+            | FlowModel::Hotspot { rate_hz, .. }
+            | FlowModel::PoissonBatches { rate_hz, .. }
+            | FlowModel::PostboxMix { rate_hz, .. } => rate_hz,
+        };
+        require_positive_rate("rate_hz", rate)?;
+        match self.model {
+            FlowModel::Hotspot {
+                hotspots, exponent, ..
+            } => {
+                if hotspots == 0 {
+                    return Err(WorkloadError::NoHotspots);
+                }
+                if !exponent.is_finite() {
+                    return Err(WorkloadError::NotFinite {
+                        field: "exponent",
+                        value: exponent,
+                    });
+                }
+            }
+            FlowModel::PoissonBatches { mean_batch, .. } => {
+                require_positive_rate("mean_batch", mean_batch)?;
+            }
+            FlowModel::PostboxMix {
+                checkin_fraction, ..
+            } => {
+                if !(0.0..=1.0).contains(&checkin_fraction) {
+                    return Err(WorkloadError::OutOfRange {
+                        field: "checkin_fraction",
+                        value: checkin_fraction,
+                    });
+                }
+            }
+            FlowModel::UniformPairs { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+fn require_positive_rate(field: &'static str, value: f64) -> Result<(), WorkloadError> {
+    if !value.is_finite() {
+        return Err(WorkloadError::NotFinite { field, value });
+    }
+    if value <= 0.0 {
+        return Err(WorkloadError::NotPositive { field, value });
+    }
+    Ok(())
+}
+
+/// A rejected workload description: the generator refuses degenerate
+/// parameters with a typed error instead of clamping them silently or
+/// producing a workload that hangs downstream engines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorkloadError {
+    /// Fewer than two buildings: no distinct src/dst pair exists.
+    TooFewBuildings {
+        /// The city size that was offered.
+        buildings: usize,
+    },
+    /// A rate or batch-size parameter that must be positive was not.
+    NotPositive {
+        /// Offending parameter.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter was NaN or infinite.
+    NotFinite {
+        /// Offending parameter.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A fraction parameter left `[0, 1]`.
+    OutOfRange {
+        /// Offending parameter.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A hotspot model with zero hotspot buildings.
+    NoHotspots,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::TooFewBuildings { buildings } => write!(
+                f,
+                "workload needs at least two buildings for traffic (city has {buildings})"
+            ),
+            WorkloadError::NotPositive { field, value } => {
+                write!(
+                    f,
+                    "workload parameter `{field}` must be positive, got {value}"
+                )
+            }
+            WorkloadError::NotFinite { field, value } => {
+                write!(
+                    f,
+                    "workload parameter `{field}` must be finite, got {value}"
+                )
+            }
+            WorkloadError::OutOfRange { field, value } => {
+                write!(
+                    f,
+                    "workload parameter `{field}` must lie in [0, 1], got {value}"
+                )
+            }
+            WorkloadError::NoHotspots => {
+                write!(f, "hotspot workload needs at least one hotspot building")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// Generates the flow set for a city of `buildings` buildings.
 ///
 /// # Panics
-/// Panics when `buildings < 2` — no distinct src/dst pair exists.
+/// Panics on a rejected workload description — `buildings < 2` (no
+/// distinct src/dst pair exists) or degenerate model parameters
+/// ([`WorkloadConfig::validate`]). Use [`try_generate_flows`] for a
+/// `Result` instead.
 pub fn generate_flows(buildings: usize, cfg: &WorkloadConfig) -> Vec<FlowSpec> {
-    assert!(buildings >= 2, "need at least two buildings for traffic");
+    try_generate_flows(buildings, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`generate_flows`] with degenerate inputs as a typed error instead
+/// of a panic.
+pub fn try_generate_flows(
+    buildings: usize,
+    cfg: &WorkloadConfig,
+) -> Result<Vec<FlowSpec>, WorkloadError> {
+    if buildings < 2 {
+        return Err(WorkloadError::TooFewBuildings { buildings });
+    }
+    cfg.validate()?;
     let b = buildings as u64;
 
     // Workload-level structure comes from its own sub-stream so that
@@ -197,7 +337,7 @@ pub fn generate_flows(buildings: usize, cfg: &WorkloadConfig) -> Vec<FlowSpec> {
         }
     }
 
-    (0..cfg.flows as u64)
+    Ok((0..cfg.flows as u64)
         .map(|id| {
             let mut rng = SimRng::new(substream_seed(cfg.seed, DOMAIN_FLOW, id));
             let src = rng.below(b) as u32;
@@ -233,7 +373,7 @@ pub fn generate_flows(buildings: usize, cfg: &WorkloadConfig) -> Vec<FlowSpec> {
                 arrival_ms: arrivals[id as usize],
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Uniform destination ≠ `src`.
@@ -372,5 +512,113 @@ mod tests {
     #[should_panic(expected = "at least two buildings")]
     fn rejects_degenerate_city() {
         generate_flows(1, &WorkloadConfig::default());
+    }
+
+    #[test]
+    fn try_generate_flows_types_every_rejection() {
+        // Degenerate city.
+        assert_eq!(
+            try_generate_flows(1, &WorkloadConfig::default()),
+            Err(WorkloadError::TooFewBuildings { buildings: 1 })
+        );
+        // Zero and negative arrival rates (a zero rate would push
+        // every arrival to +∞, i.e. a hang downstream, not a panic).
+        for bad_rate in [0.0, -5.0] {
+            assert_eq!(
+                try_generate_flows(
+                    10,
+                    &cfg(FlowModel::UniformPairs { rate_hz: bad_rate }, 10, 0)
+                ),
+                Err(WorkloadError::NotPositive {
+                    field: "rate_hz",
+                    value: bad_rate
+                })
+            );
+        }
+        // Non-finite rate.
+        assert!(matches!(
+            try_generate_flows(
+                10,
+                &cfg(FlowModel::UniformPairs { rate_hz: f64::NAN }, 10, 0)
+            ),
+            Err(WorkloadError::NotFinite {
+                field: "rate_hz",
+                ..
+            })
+        ));
+        // Hotspot model with no hotspots or a NaN exponent.
+        assert_eq!(
+            try_generate_flows(
+                10,
+                &cfg(
+                    FlowModel::Hotspot {
+                        hotspots: 0,
+                        exponent: 1.0,
+                        rate_hz: 10.0
+                    },
+                    10,
+                    0
+                )
+            ),
+            Err(WorkloadError::NoHotspots)
+        );
+        assert!(matches!(
+            try_generate_flows(
+                10,
+                &cfg(
+                    FlowModel::Hotspot {
+                        hotspots: 3,
+                        exponent: f64::INFINITY,
+                        rate_hz: 10.0
+                    },
+                    10,
+                    0
+                )
+            ),
+            Err(WorkloadError::NotFinite {
+                field: "exponent",
+                ..
+            })
+        ));
+        // Zero batch size.
+        assert_eq!(
+            try_generate_flows(
+                10,
+                &cfg(
+                    FlowModel::PoissonBatches {
+                        mean_batch: 0.0,
+                        rate_hz: 10.0
+                    },
+                    10,
+                    0
+                )
+            ),
+            Err(WorkloadError::NotPositive {
+                field: "mean_batch",
+                value: 0.0
+            })
+        );
+        // Check-in fraction outside [0, 1].
+        assert_eq!(
+            try_generate_flows(
+                10,
+                &cfg(
+                    FlowModel::PostboxMix {
+                        checkin_fraction: 1.5,
+                        rate_hz: 10.0
+                    },
+                    10,
+                    0
+                )
+            ),
+            Err(WorkloadError::OutOfRange {
+                field: "checkin_fraction",
+                value: 1.5
+            })
+        );
+        // And the happy path still generates.
+        let flows = try_generate_flows(10, &cfg(FlowModel::UniformPairs { rate_hz: 10.0 }, 25, 0))
+            .expect("valid workload");
+        assert_eq!(flows.len(), 25);
     }
 }

@@ -374,6 +374,101 @@ fn steady_state_is_alloc_free_between_churn_events() {
 }
 
 #[test]
+fn streaming_steady_state_allocates_nothing() {
+    // The always-on engine's per-flow path adds admission control on
+    // top of plan+simulate: retire completions from the ring, decide
+    // admit/shed, then (when admitted) plan into the scratch, simulate,
+    // and commit the modeled completion. The ring is preallocated at
+    // construction, so a warm streaming loop — including the overload
+    // sheds and the degradation rungs — must allocate exactly nothing.
+    use citymesh_stream::{
+        generate_stream_flows, Admission, ArrivalProcess, ServerQueue, StreamConfig, StreamWorkload,
+    };
+
+    let map = CityArchetype::SurveyDowntown.generate(23);
+    let exp = CityExperiment::prepare(
+        map,
+        ExperimentConfig {
+            seed: 23,
+            ..ExperimentConfig::default()
+        },
+    );
+    // ~2000 flows/s against one modeled ~2 ms server: sustained
+    // overload, so the counted region exercises admit, backpressure
+    // shed, and both degradation rungs.
+    let flows = generate_stream_flows(
+        exp.map().len(),
+        &StreamWorkload {
+            flows: 96,
+            process: ArrivalProcess::Poisson { rate_hz: 2000.0 },
+            seed: 23,
+        },
+    );
+    let cfg = StreamConfig {
+        seed: 23,
+        queue_capacity: 16,
+        deadline_ms: f64::INFINITY,
+        ..StreamConfig::default()
+    };
+
+    let mut plan_scratch = PlanScratch::new();
+    let mut plan = PlannedFlow::empty(0, 0);
+    let mut scratch = DeliveryScratch::new();
+
+    // One serial server, exactly the engine's per-server loop body.
+    let pass = |q: &mut ServerQueue,
+                plan_scratch: &mut PlanScratch,
+                plan: &mut PlannedFlow,
+                scratch: &mut DeliveryScratch| {
+        let (mut admitted, mut shed, mut broadcasts) = (0u64, 0u64, 0u64);
+        for flow in &flows {
+            match q.offer(flow.arrival_ms) {
+                Admission::Shed { .. } => shed += 1,
+                Admission::Admit { start_ms, .. } => {
+                    exp.plan_flow_into(flow.src, flow.dst, plan_scratch, plan);
+                    let msg_id = substream_seed(23, DOMAIN_MSG, flow.id);
+                    let mut rng = SimRng::new(substream_seed(23, DOMAIN_SIM, flow.id));
+                    let outcome = exp.simulate_flow_with(plan, msg_id, &mut rng, scratch);
+                    let service_ms = cfg.service.base_ms
+                        + cfg.service.per_broadcast_ms * outcome.broadcasts as f64;
+                    q.commit(start_ms, service_ms);
+                    admitted += 1;
+                    broadcasts += outcome.broadcasts;
+                }
+            }
+        }
+        (admitted, shed, broadcasts)
+    };
+
+    // Warm pass: scratch buffers grow to their high-water mark.
+    let mut warm_queue = ServerQueue::new(&cfg);
+    let warm = pass(&mut warm_queue, &mut plan_scratch, &mut plan, &mut scratch);
+    assert!(warm.0 > 0, "overloaded stream must still admit flows");
+    assert!(warm.1 > 0, "overloaded stream must shed flows");
+    assert!(warm.2 > 0, "workload must exercise the simulator");
+
+    // Counted replay: a fresh ring (constructed before counting — the
+    // one-time ring allocation is setup, not steady state) and the warm
+    // scratches. Per-flow sub-streams make the replay exact.
+    let mut queue = ServerQueue::new(&cfg);
+    let (allocs, measured) =
+        count_allocs(|| pass(&mut queue, &mut plan_scratch, &mut plan, &mut scratch));
+
+    assert_eq!(
+        measured, warm,
+        "measured pass must replay the warm-up exactly"
+    );
+    assert_eq!(
+        allocs,
+        0,
+        "steady-state streaming path (admission + plan + simulate + \
+         commit) must perform zero heap allocations (counted {allocs} \
+         over {} flows)",
+        flows.len()
+    );
+}
+
+#[test]
 fn counter_actually_counts() {
     // Guard against the test silently passing because the counter is
     // broken: an obvious allocation must register.

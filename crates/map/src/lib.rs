@@ -29,5 +29,6 @@ pub mod synth;
 pub use city::{Building, CityMap, MapStats, Obstacle, ObstacleKind};
 pub use codec::{decode_map, encode_map, CodecError, DEFAULT_QUANTUM_MM};
 pub use synth::{
-    generate_metro, CityArchetype, CityParams, MetroParams, ObstacleSpec, METRO_TILE_M,
+    generate_metro, try_generate_metro, CityArchetype, CityParams, MetroParams, MetroParamsError,
+    ObstacleSpec, METRO_TILE_M,
 };

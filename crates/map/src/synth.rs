@@ -494,7 +494,73 @@ impl MetroParams {
     pub fn pitch_m(&self) -> f64 {
         METRO_TILE_M + self.arterial_gap_m
     }
+
+    /// Rejects degenerate metro parameters — zero tile counts, or
+    /// corridor geometry that is zero, negative, or non-finite — with
+    /// a typed error before any tile is generated.
+    pub fn validate(&self) -> Result<(), MetroParamsError> {
+        if self.tiles_x == 0 || self.tiles_y == 0 {
+            return Err(MetroParamsError::ZeroTiles {
+                tiles_x: self.tiles_x,
+                tiles_y: self.tiles_y,
+            });
+        }
+        for (field, value) in [
+            ("arterial_gap_m", self.arterial_gap_m),
+            ("relay_spacing_m", self.relay_spacing_m),
+            ("relay_size_m", self.relay_size_m),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(MetroParamsError::NonPositiveGeometry { field, value });
+            }
+        }
+        if !self.ramp_depth_m.is_finite() || self.ramp_depth_m < 0.0 {
+            return Err(MetroParamsError::NonPositiveGeometry {
+                field: "ramp_depth_m",
+                value: self.ramp_depth_m,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// Rejected [`MetroParams`]: the generator refuses degenerate grids
+/// with a typed error instead of panicking mid-generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetroParamsError {
+    /// A zero tile count in either dimension: no city to generate.
+    ZeroTiles {
+        /// Requested columns.
+        tiles_x: usize,
+        /// Requested rows.
+        tiles_y: usize,
+    },
+    /// Corridor geometry that is zero, negative, or non-finite —
+    /// relay chains could not bridge the inter-tile gaps.
+    NonPositiveGeometry {
+        /// Offending parameter.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for MetroParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetroParamsError::ZeroTiles { tiles_x, tiles_y } => write!(
+                f,
+                "metro needs at least one tile in each dimension (got {tiles_x}x{tiles_y})"
+            ),
+            MetroParamsError::NonPositiveGeometry { field, value } => write!(
+                f,
+                "metro corridor geometry must be positive: `{field}` = {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetroParamsError {}
 
 impl Default for MetroParams {
     fn default() -> Self {
@@ -515,16 +581,23 @@ impl Default for MetroParams {
 /// dominate memory).
 ///
 /// # Panics
-/// Panics on zero tile counts or non-positive corridor geometry.
+/// Panics on zero tile counts or non-positive corridor geometry
+/// ([`MetroParams::validate`]). Use [`try_generate_metro`] for a
+/// `Result` instead.
 pub fn generate_metro(params: &MetroParams, seed: u64) -> CityMap {
-    assert!(
-        params.tiles_x >= 1 && params.tiles_y >= 1,
-        "metro needs at least one tile"
-    );
-    assert!(
-        params.arterial_gap_m > 0.0 && params.relay_spacing_m > 0.0 && params.relay_size_m > 0.0,
-        "corridor geometry must be positive"
-    );
+    try_generate_metro(params, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`generate_metro`] with degenerate parameters as a typed error
+/// instead of a panic.
+pub fn try_generate_metro(params: &MetroParams, seed: u64) -> Result<CityMap, MetroParamsError> {
+    params.validate()?;
+    Ok(generate_metro_validated(params, seed))
+}
+
+/// The metro generator proper; `params` has already passed
+/// [`MetroParams::validate`].
+fn generate_metro_validated(params: &MetroParams, seed: u64) -> CityMap {
     let pitch = params.pitch_m();
     let archetypes = CityArchetype::cities();
     let mut footprints = Vec::new();
@@ -978,6 +1051,65 @@ mod tests {
                 "corridor blocked at {mid:?}"
             );
         }
+    }
+
+    #[test]
+    fn metro_params_validation_types_every_rejection() {
+        // Zero tiles in either dimension.
+        for (tx, ty) in [(0usize, 3usize), (3, 0), (0, 0)] {
+            let p = MetroParams {
+                tiles_x: tx,
+                tiles_y: ty,
+                ..MetroParams::with_tiles(1, 1)
+            };
+            assert_eq!(
+                p.validate(),
+                Err(MetroParamsError::ZeroTiles {
+                    tiles_x: tx,
+                    tiles_y: ty
+                })
+            );
+            assert!(try_generate_metro(&p, 1).is_err());
+        }
+        // Zero, negative, and non-finite corridor geometry.
+        for (field, mutate) in [
+            ("arterial_gap_m", 0usize),
+            ("relay_spacing_m", 1),
+            ("relay_size_m", 2),
+            ("ramp_depth_m", 3),
+        ] {
+            for bad in [0.0, -3.0, f64::NAN] {
+                if field == "ramp_depth_m" && bad == 0.0 {
+                    continue; // a zero ramp depth is legal (no ramps)
+                }
+                let mut p = MetroParams::with_tiles(1, 1);
+                match mutate {
+                    0 => p.arterial_gap_m = bad,
+                    1 => p.relay_spacing_m = bad,
+                    2 => p.relay_size_m = bad,
+                    _ => p.ramp_depth_m = bad,
+                }
+                match p.validate() {
+                    Err(MetroParamsError::NonPositiveGeometry { field: f, .. }) => {
+                        assert_eq!(f, field)
+                    }
+                    other => panic!("{field} = {bad} must be rejected, got {other:?}"),
+                }
+            }
+        }
+        // The defaults validate, and the typed path generates the same
+        // city as the panicking one.
+        assert_eq!(MetroParams::default().validate(), Ok(()));
+        let p = MetroParams::with_tiles(1, 1);
+        let a = try_generate_metro(&p, 9).expect("valid params");
+        let b = generate_metro(&p, 9);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn metro_zero_tiles_still_panics_on_the_legacy_path() {
+        generate_metro(&MetroParams::with_tiles(0, 1), 1);
     }
 
     #[test]

@@ -1,0 +1,1553 @@
+//! The always-on streaming engine.
+//!
+//! [`run_stream`] drives an open-loop arrival stream through a
+//! prepared [`CityExperiment`] as a *queueing system*, not a batch:
+//! flows arrive when the [arrival process](crate::arrivals) says they
+//! do, are admitted to one of a fixed set of bounded per-server
+//! queues, and are either served (planned through the shared
+//! [`RouteCache`], simulated with the flow's own RNG sub-stream) or
+//! **shed with an explicit, counted outcome** — never silently
+//! dropped. Overload is a first-class regime with a graceful
+//! degradation ladder (see [`ServerQueue`]), and the whole run keeps
+//! the fleet engine's headline property: the report digest is
+//! bit-identical across worker counts.
+//!
+//! # Determinism under parallelism
+//!
+//! Queueing state is *shared mutable state over time* — exactly what
+//! the fleet engine's free-for-all chunk claiming cannot parallelize
+//! deterministically. The engine therefore splits the thread count
+//! from the **modeled server count** ([`StreamConfig::servers`]):
+//!
+//! * flows are assigned to servers by `flow.id % servers` — a pure
+//!   function of the workload;
+//! * each server's sub-stream is processed strictly serially, in
+//!   arrival order, against that server's own [`ServerQueue`];
+//! * worker threads claim whole servers, never slices of one.
+//!
+//! Admission, shedding, and the degradation rungs are then pure
+//! functions of `(workload, config)`, independent of how many threads
+//! raced over the servers — so 1 worker and 8 fold to the same
+//! [`StreamReport::digest`], and `servers` (a digest-bearing modeling
+//! knob) is free to exceed or trail the physical core count.
+//!
+//! # Virtual time
+//!
+//! The engine runs *faster than real time*: service is modeled, not
+//! slept. Each queue is a ring of modeled completion instants; an
+//! arrival at `t` first retires every completion `≤ t`, then admits or
+//! sheds based on the depth that remains. A flow's modeled service
+//! time is `base_ms + per_broadcast_ms × broadcasts`, tying queueing
+//! pressure to the *actual* flooding work the delivery simulation
+//! performed — congested conduits back the queue up more than clean
+//! ones, which is what produces the saturation knee the streaming
+//! bench sweeps for.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use citymesh_core::{
+    CityExperiment, DeliveryScratch, PairOutcome, PlanScratch, PlannedFlow, RetryPolicy,
+};
+use citymesh_dynamics::{InvalidationPolicy, Timeline};
+use citymesh_fleet::{
+    record_flow_metrics, FleetReport, FleetTelemetry, FlowSpec, RouteCache, DOMAIN_MSG, DOMAIN_SIM,
+};
+use citymesh_simcore::stats::Histogram;
+use citymesh_simcore::{substream_seed, SimRng};
+use citymesh_telemetry::{metrics as tm, MetricSet, Postmortem, TelemetryConfig};
+
+/// The modeled per-flow service-time law: `base_ms +
+/// per_broadcast_ms × broadcasts`. Broadcast count comes from the
+/// delivery simulation, so heavier flooding occupies a server longer.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceModel {
+    /// Fixed service cost per admitted flow, milliseconds.
+    pub base_ms: f64,
+    /// Additional service cost per broadcast the delivery performed,
+    /// milliseconds.
+    pub per_broadcast_ms: f64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel {
+            base_ms: 2.0,
+            per_broadcast_ms: 0.05,
+        }
+    }
+}
+
+/// Streaming-engine parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Worker threads. `0` means one per available CPU. Threads claim
+    /// whole servers, so the effective pool never exceeds `servers`.
+    /// **Not** digest-bearing.
+    pub workers: usize,
+    /// Modeled queueing servers. Flows map to servers by
+    /// `flow.id % servers`; each server is one bounded FIFO processed
+    /// serially. Digest-bearing: changing the server count changes
+    /// admission outcomes (it is a capacity knob, not a thread knob).
+    pub servers: usize,
+    /// Root seed for per-flow simulation sub-streams (use the seed the
+    /// stream workload was generated from).
+    pub seed: u64,
+    /// Plan cache misses with the district-overlay hierarchical
+    /// planner. Requires [`CityExperiment::enable_hier`].
+    pub use_hier_planner: bool,
+    /// Bounded admission-queue depth per server. An arrival finding
+    /// this many flows already queued is shed with
+    /// [`ShedReason::Backpressure`].
+    pub queue_capacity: usize,
+    /// Maximum tolerable queue wait, milliseconds. An arrival whose
+    /// modeled wait would exceed this is shed with
+    /// [`ShedReason::Deadline`] *before* any planning or simulation
+    /// work is spent on it. `f64::INFINITY` disables deadline shedding
+    /// (backpressure still bounds the queue).
+    pub deadline_ms: f64,
+    /// The modeled service-time law.
+    pub service: ServiceModel,
+    /// Route-cache invalidation policy at mid-stream event barriers.
+    pub invalidation: InvalidationPolicy,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            workers: 1,
+            servers: 4,
+            seed: 0,
+            use_hier_planner: false,
+            queue_capacity: 64,
+            deadline_ms: 250.0,
+            service: ServiceModel::default(),
+            invalidation: InvalidationPolicy::Incremental,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The effective worker count (resolves `0` to the CPU count; the
+    /// epoch loop additionally caps it at `servers`).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Checks this config against the experiment it is about to run
+    /// on; every degenerate knob is a typed [`StreamError`] instead of
+    /// a divide-by-zero or a hang deep inside a worker.
+    pub fn validate(&self, exp: &CityExperiment) -> Result<(), StreamError> {
+        if self.servers == 0 {
+            return Err(StreamError::ZeroServers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(StreamError::ZeroQueueCapacity);
+        }
+        if self.deadline_ms.is_nan() || self.deadline_ms <= 0.0 {
+            return Err(StreamError::InvalidDeadline {
+                value: self.deadline_ms,
+            });
+        }
+        if !self.service.base_ms.is_finite() || self.service.base_ms <= 0.0 {
+            return Err(StreamError::InvalidServiceModel {
+                field: "base_ms",
+                value: self.service.base_ms,
+            });
+        }
+        if !self.service.per_broadcast_ms.is_finite() || self.service.per_broadcast_ms < 0.0 {
+            return Err(StreamError::InvalidServiceModel {
+                field: "per_broadcast_ms",
+                value: self.service.per_broadcast_ms,
+            });
+        }
+        if self.use_hier_planner && exp.hier_planner().is_none() {
+            return Err(StreamError::HierPlannerNotEnabled);
+        }
+        Ok(())
+    }
+}
+
+/// A rejected streaming run: configuration or workload misuse caught
+/// before any worker spawns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StreamError {
+    /// [`StreamConfig::servers`] was zero — there is nowhere to queue.
+    ZeroServers,
+    /// [`StreamConfig::queue_capacity`] was zero — every arrival would
+    /// be shed and the run would measure nothing.
+    ZeroQueueCapacity,
+    /// [`StreamConfig::deadline_ms`] was zero, negative, or NaN
+    /// (`f64::INFINITY` is the sanctioned "no deadline" value).
+    InvalidDeadline {
+        /// The rejected deadline.
+        value: f64,
+    },
+    /// A [`ServiceModel`] knob was non-finite or out of range
+    /// (`base_ms` must be positive — a zero-cost server never queues —
+    /// and `per_broadcast_ms` nonnegative).
+    InvalidServiceModel {
+        /// Which knob.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// [`StreamConfig::use_hier_planner`] was set but
+    /// [`CityExperiment::enable_hier`] never ran on the experiment.
+    HierPlannerNotEnabled,
+    /// The timeline carries events but the experiment has no fault
+    /// state for them to mutate.
+    MissingFaultState,
+    /// The timeline carries events but the fault scenario plans on the
+    /// live map; mid-stream cache invalidation relies on routes being
+    /// a pure function of the pre-disaster (stale) map, exactly as the
+    /// churn engine does.
+    FreshMap,
+    /// An arrival-stream workload needs at least two buildings to draw
+    /// distinct endpoints from.
+    TooFewBuildings {
+        /// The offending building count.
+        buildings: usize,
+    },
+    /// An [`ArrivalProcess`](crate::ArrivalProcess) knob was
+    /// non-finite or out of range (rates must be positive — a zero
+    /// background rate would hang the thinning sampler — and peaks
+    /// must not dip below their base).
+    InvalidArrivals {
+        /// Which knob.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::ZeroServers => {
+                write!(f, "StreamConfig::servers must be at least 1")
+            }
+            StreamError::ZeroQueueCapacity => {
+                write!(
+                    f,
+                    "StreamConfig::queue_capacity must be at least 1 \
+                     (a zero-depth queue sheds every arrival)"
+                )
+            }
+            StreamError::InvalidDeadline { value } => {
+                write!(
+                    f,
+                    "StreamConfig::deadline_ms must be positive (or infinite \
+                     to disable deadline shedding), got {value}"
+                )
+            }
+            StreamError::InvalidServiceModel { field, value } => {
+                write!(f, "invalid service model: `{field}` = {value}")
+            }
+            StreamError::HierPlannerNotEnabled => {
+                write!(
+                    f,
+                    "StreamConfig::use_hier_planner requires CityExperiment::enable_hier \
+                     to have run on the experiment"
+                )
+            }
+            StreamError::MissingFaultState => {
+                write!(
+                    f,
+                    "a timeline with events requires a fault state; prepare the \
+                     experiment with a scenario"
+                )
+            }
+            StreamError::FreshMap => {
+                write!(
+                    f,
+                    "a timeline with events requires stale-map planning (mid-stream \
+                     invalidation relies on routes being a pure function of the \
+                     pre-disaster map)"
+                )
+            }
+            StreamError::TooFewBuildings { buildings } => {
+                write!(
+                    f,
+                    "stream workloads need at least two buildings to draw distinct \
+                     endpoints, got {buildings}"
+                )
+            }
+            StreamError::InvalidArrivals { field, value } => {
+                write!(f, "invalid arrival process: `{field}` = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Why an arrival was turned away. Shedding is always explicit: every
+/// offered flow ends up in exactly one of
+/// [`admitted`](StreamReport::admitted),
+/// [`shed_backpressure`](StreamReport::shed_backpressure), or
+/// [`shed_deadline`](StreamReport::shed_deadline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The server's bounded queue was full.
+    Backpressure,
+    /// The modeled queue wait would have exceeded
+    /// [`StreamConfig::deadline_ms`] — the flow would be stale by the
+    /// time a server got to it, so no work is spent on it at all.
+    Deadline,
+}
+
+impl ShedReason {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::Backpressure => "backpressure",
+            ShedReason::Deadline => "deadline",
+        }
+    }
+}
+
+/// An admission decision from [`ServerQueue::offer`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Admission {
+    /// Admitted: service begins at `start_ms` (modeled virtual time).
+    Admit {
+        /// When a server frees up for this flow, ms.
+        start_ms: f64,
+        /// Queue depth found on arrival (after retiring completions).
+        depth: u32,
+        /// Degradation rung 1 fired: optional tracing work is shed for
+        /// this flow.
+        shed_tracing: bool,
+        /// Degradation rung 2 fired: the retry ladder is capped to a
+        /// single attempt for this flow.
+        cap_retries: bool,
+    },
+    /// Turned away, with the reason and the depth that forced it.
+    Shed {
+        /// Why.
+        reason: ShedReason,
+        /// Queue depth found on arrival.
+        depth: u32,
+    },
+}
+
+/// One server's bounded admission queue in modeled virtual time: a
+/// preallocated ring of completion instants.
+///
+/// An arrival at `t` first retires every completion `≤ t` (those
+/// flows have left the system), then decides from the surviving depth:
+///
+/// 1. **depth ≥ capacity** → shed, [`ShedReason::Backpressure`];
+/// 2. **wait > deadline** → shed, [`ShedReason::Deadline`] — decided
+///    *before* planning or simulating, so overload never wastes work
+///    on flows that would be discarded anyway;
+/// 3. otherwise **admit**, flagging the degradation rungs: at depth
+///    `≥ ⌈capacity/2⌉` optional work (trace capture) is shed first; at
+///    depth `≥ ⌈3·capacity/4⌉` the retry ladder is capped to one
+///    attempt. Load shedding of whole flows is the ladder's last rung,
+///    not its first.
+///
+/// The ring never reallocates after construction — this type is what
+/// the fleet crate's zero-allocation guard test drives.
+#[derive(Clone, Debug)]
+pub struct ServerQueue {
+    /// Modeled completion instants, ms, a FIFO ring.
+    completions: Vec<f64>,
+    head: usize,
+    len: usize,
+    deadline_ms: f64,
+    rung_trace: usize,
+    rung_retry: usize,
+    high_water: usize,
+}
+
+impl ServerQueue {
+    /// A fresh empty queue sized and tuned by `cfg`.
+    pub fn new(cfg: &StreamConfig) -> Self {
+        let cap = cfg.queue_capacity;
+        ServerQueue {
+            completions: vec![0.0; cap],
+            head: 0,
+            len: 0,
+            deadline_ms: cfg.deadline_ms,
+            rung_trace: cap.div_ceil(2),
+            rung_retry: (3 * cap).div_ceil(4),
+            high_water: 0,
+        }
+    }
+
+    /// The bounded capacity.
+    pub fn capacity(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Flows currently queued (as of the last `offer`).
+    pub fn depth(&self) -> usize {
+        self.len
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Offers an arrival at modeled time `arrival_ms`; see the type
+    /// docs for the decision ladder. Arrivals must be offered in
+    /// nondecreasing time order.
+    pub fn offer(&mut self, arrival_ms: f64) -> Admission {
+        let cap = self.capacity();
+        while self.len > 0 && self.completions[self.head] <= arrival_ms {
+            self.head = (self.head + 1) % cap;
+            self.len -= 1;
+        }
+        let depth = self.len;
+        if depth >= cap {
+            return Admission::Shed {
+                reason: ShedReason::Backpressure,
+                depth: depth as u32,
+            };
+        }
+        let start_ms = if depth == 0 {
+            arrival_ms
+        } else {
+            self.completions[(self.head + depth - 1) % cap]
+        };
+        if start_ms - arrival_ms > self.deadline_ms {
+            return Admission::Shed {
+                reason: ShedReason::Deadline,
+                depth: depth as u32,
+            };
+        }
+        self.high_water = self.high_water.max(depth + 1);
+        Admission::Admit {
+            start_ms,
+            depth: depth as u32,
+            shed_tracing: depth >= self.rung_trace,
+            cap_retries: depth >= self.rung_retry,
+        }
+    }
+
+    /// Commits an admitted flow's service: records its completion
+    /// instant and returns it. `start_ms` must be the value `offer`
+    /// handed back for this flow.
+    pub fn commit(&mut self, start_ms: f64, service_ms: f64) -> f64 {
+        debug_assert!(self.len < self.capacity(), "commit without admission");
+        let completion = start_ms + service_ms;
+        let tail = (self.head + self.len) % self.capacity();
+        self.completions[tail] = completion;
+        self.len += 1;
+        completion
+    }
+}
+
+/// What one flow became. Workers record these; the fold after the pool
+/// joins turns them into the report in ascending-id order.
+enum FlowRecord {
+    Shed {
+        reason: ShedReason,
+        depth: u32,
+    },
+    Served {
+        outcome: PairOutcome,
+        wait_ms: f64,
+        service_ms: f64,
+        depth: u32,
+        shed_tracing: bool,
+        retry_capped: bool,
+    },
+}
+
+/// Aggregated results of one streaming run.
+///
+/// Everything except the wall-clock/work fields (`elapsed_secs`,
+/// `workers`, `routes_evicted`) is deterministic in
+/// `(world, workload, timeline, config)` and covered by
+/// [`digest`](StreamReport::digest).
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Flows the arrival stream offered.
+    pub offered: u64,
+    /// Flows admitted and served.
+    pub admitted: u64,
+    /// Flows shed because a bounded queue was full.
+    pub shed_backpressure: u64,
+    /// Flows shed because their modeled wait would exceed the
+    /// deadline.
+    pub shed_deadline: u64,
+    /// Admitted flows that crossed degradation rung 1 (trace capture
+    /// suppressed).
+    pub degraded_tracing: u64,
+    /// Admitted flows that crossed degradation rung 2 (retry ladder
+    /// capped to one attempt).
+    pub degraded_retry: u64,
+    /// Delivery outcomes of the *admitted* flows, folded exactly as
+    /// the fleet engine folds a batch — on an underloaded stream this
+    /// digest equals a plain `run_fleet` over the same flows and seed.
+    pub fleet: FleetReport,
+    /// Sojourn time (queue wait + service) of admitted flows, ms.
+    pub sojourn_ms: Histogram,
+    /// Queue wait of admitted flows, ms.
+    pub wait_ms: Histogram,
+    /// Modeled service time of admitted flows, ms.
+    pub service_ms: Histogram,
+    /// Queue depth observed by every offered flow (admitted or shed).
+    pub queue_depth: Histogram,
+    /// Deepest any server queue ever got.
+    pub max_depth: u64,
+    /// Completion instant of the last served flow, ms.
+    pub makespan_ms: f64,
+    /// Modeled servers.
+    pub servers: usize,
+    /// Epochs executed (`timeline.len() + 1`).
+    pub epochs: u64,
+    /// Mid-stream world events applied.
+    pub events_applied: u64,
+    /// Cached routes evicted at event barriers. **Not** covered by the
+    /// digest.
+    pub routes_evicted: u64,
+    /// Wall-clock run time, seconds. **Not** covered by the digest.
+    pub elapsed_secs: f64,
+    /// Worker threads used. **Not** covered by the digest.
+    pub workers: usize,
+}
+
+impl StreamReport {
+    fn new(servers: usize) -> Self {
+        StreamReport {
+            offered: 0,
+            admitted: 0,
+            shed_backpressure: 0,
+            shed_deadline: 0,
+            degraded_tracing: 0,
+            degraded_retry: 0,
+            fleet: FleetReport::empty(),
+            // Millisecond scales: 10 µs floor, ~10 % resolution.
+            sojourn_ms: Histogram::new(1e-2, 1.1),
+            wait_ms: Histogram::new(1e-2, 1.1),
+            service_ms: Histogram::new(1e-2, 1.1),
+            queue_depth: Histogram::new(1.0, 1.5),
+            max_depth: 0,
+            makespan_ms: 0.0,
+            servers,
+            epochs: 0,
+            events_applied: 0,
+            routes_evicted: 0,
+            elapsed_secs: 0.0,
+            workers: 0,
+        }
+    }
+
+    /// Total flows shed (both reasons).
+    pub fn shed(&self) -> u64 {
+        self.shed_backpressure + self.shed_deadline
+    }
+
+    /// Shed fraction over all offered flows.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed() as f64 / self.offered as f64
+    }
+
+    /// Admitted fraction over all offered flows.
+    pub fn admit_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.admitted as f64 / self.offered as f64
+    }
+
+    /// A sojourn-time quantile of the admitted flows, ms.
+    pub fn sojourn_quantile(&self, q: f64) -> Option<f64> {
+        self.sojourn_ms.quantile(q)
+    }
+
+    /// A 64-bit digest over every deterministic field. Equal digests ⇒
+    /// byte-identical aggregate results; the engine's "N workers ==
+    /// serial" invariant is checked by comparing these.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.offered);
+        mix(self.admitted);
+        mix(self.shed_backpressure);
+        mix(self.shed_deadline);
+        mix(self.degraded_tracing);
+        mix(self.degraded_retry);
+        mix(self.fleet.digest());
+        mix(self.sojourn_ms.fingerprint());
+        mix(self.wait_ms.fingerprint());
+        mix(self.service_ms.fingerprint());
+        mix(self.queue_depth.fingerprint());
+        mix(self.max_depth);
+        mix(self.makespan_ms.to_bits());
+        mix(self.servers as u64);
+        mix(self.epochs);
+        mix(self.events_applied);
+        h
+    }
+}
+
+/// What one worker brings home from an epoch.
+#[derive(Default)]
+struct EpochYield {
+    records: Vec<(u64, FlowRecord)>,
+    metrics: Option<MetricSet>,
+    postmortems: Vec<Postmortem>,
+}
+
+impl EpochYield {
+    fn empty(metrics: bool) -> Self {
+        EpochYield {
+            records: Vec::new(),
+            metrics: metrics.then(MetricSet::new),
+            postmortems: Vec::new(),
+        }
+    }
+}
+
+/// Runs an arrival stream through `exp`, shedding under overload.
+///
+/// `flows` must be sorted by ascending id with nondecreasing
+/// `arrival_ms` (streams from
+/// [`generate_stream_flows`](crate::generate_stream_flows) are). A
+/// timeline event at time `t` is applied before flows with
+/// `arrival_ms ≥ t`, exactly like the churn engine; pass an empty
+/// timeline (e.g. a zero-event
+/// [`Timeline::materialize`]) for a static world. Server queues
+/// persist across event barriers — an event does not flush in-flight
+/// work, only routes.
+///
+/// Returns the report plus merged telemetry when `tel` asks for any.
+/// The report digest is identical traced or untraced and across
+/// worker counts.
+///
+/// # Panics
+/// Panics on a rejected configuration or workload
+/// ([`StreamConfig::validate`] — use [`try_run_stream`] for a
+/// `Result`) or when a worker thread panics.
+pub fn run_stream(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    timeline: &Timeline,
+    cfg: &StreamConfig,
+    tel: &TelemetryConfig,
+) -> (StreamReport, Option<FleetTelemetry>) {
+    try_run_stream(exp, flows, timeline, cfg, tel).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_stream`] with configuration and prerequisite misuse as typed
+/// [`StreamError`]s.
+///
+/// # Panics
+/// Still panics when a worker thread panics mid-run.
+pub fn try_run_stream(
+    exp: &CityExperiment,
+    flows: &[FlowSpec],
+    timeline: &Timeline,
+    cfg: &StreamConfig,
+    tel: &TelemetryConfig,
+) -> Result<(StreamReport, Option<FleetTelemetry>), StreamError> {
+    cfg.validate(exp)?;
+    let has_events = !timeline.is_empty();
+    if has_events {
+        let state = exp.fault_state().ok_or(StreamError::MissingFaultState)?;
+        if !state.stale_map() {
+            return Err(StreamError::FreshMap);
+        }
+    }
+    debug_assert!(
+        flows.windows(2).all(|w| w[0].id < w[1].id),
+        "flows must be sorted by ascending id"
+    );
+    debug_assert!(
+        flows.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
+        "flow arrivals must be nondecreasing"
+    );
+
+    let started = Instant::now();
+
+    // The live world. Only cloned when events will mutate it.
+    let mut owned_primary: Option<CityExperiment> = has_events.then(|| exp.clone());
+    // Degradation rung 2's single-attempt twin: same map, same plans,
+    // same fault geometry, retry ladder capped to one attempt. Retry
+    // policy never reaches the planner, so the twin shares the route
+    // cache; it is only consulted at simulation time. Built once —
+    // not per flow — and only when a ladder exists to cap.
+    let mut degraded: Option<CityExperiment> = exp
+        .fault_state()
+        .filter(|fs| fs.retry().max_attempts > 1)
+        .map(|fs| {
+            let mut capped = fs.clone();
+            capped.set_retry(RetryPolicy::none());
+            exp.clone().with_fault_state(capped)
+        });
+
+    let cache = RouteCache::new();
+    let mut queues: Vec<ServerQueue> = (0..cfg.servers).map(|_| ServerQueue::new(cfg)).collect();
+    let mut records: Vec<(u64, FlowRecord)> = Vec::with_capacity(flows.len());
+    let mut metrics = (!tel.is_off()).then(MetricSet::new);
+    let mut postmortems: Vec<Postmortem> = Vec::new();
+    let mut epochs = 0u64;
+    let mut events_applied = 0u64;
+    let mut routes_evicted = 0u64;
+
+    let mut next = 0usize;
+    for k in 0..=timeline.len() {
+        let end = match timeline.events().get(k) {
+            Some(ev) => next + flows[next..].partition_point(|f| f.arrival_ms < ev.at_ms),
+            None => flows.len(),
+        };
+        let slice = &flows[next..end];
+        next = end;
+        epochs += 1;
+
+        let world: &CityExperiment = owned_primary.as_ref().unwrap_or(exp);
+        for y in run_epoch(
+            world,
+            degraded.as_ref(),
+            slice,
+            cfg,
+            &cache,
+            &mut queues,
+            tel,
+        ) {
+            records.extend(y.records);
+            if let (Some(m), Some(ym)) = (metrics.as_mut(), y.metrics.as_ref()) {
+                m.merge(ym);
+            }
+            postmortems.extend(y.postmortems);
+        }
+
+        if let Some(ev) = timeline.events().get(k) {
+            let primary = owned_primary
+                .as_mut()
+                .expect("events imply an owned primary world");
+            let transition = primary.apply_world_event(&ev.changes);
+            if let Some(d) = degraded.as_mut() {
+                d.apply_world_event(&ev.changes);
+            }
+            // Server queues deliberately survive the barrier: an
+            // aftershock does not un-queue flows already admitted.
+            let evicted = match cfg.invalidation {
+                InvalidationPolicy::FullFlush => cache.clear(),
+                InvalidationPolicy::Incremental => {
+                    let touched: HashSet<u32> =
+                        transition.touched_buildings.iter().copied().collect();
+                    let changed_aps: HashSet<u32> = ev.changes.iter().map(|&(ap, _)| ap).collect();
+                    let apg = primary.ap_graph();
+                    let mut candidates = Vec::new();
+                    cache.evict_where(|plan| {
+                        if touched.contains(&plan.src) || touched.contains(&plan.dst) {
+                            return true;
+                        }
+                        let mut hit = false;
+                        apg.for_each_ap_in_conduits(&plan.conduits, &mut candidates, |id, _| {
+                            hit |= changed_aps.contains(&id);
+                        });
+                        hit
+                    })
+                }
+            };
+            events_applied += 1;
+            routes_evicted += evicted;
+            if let Some(m) = metrics.as_mut() {
+                m.inc(tm::EVENTS_APPLIED);
+                m.inc(tm::EPOCH_TRANSITIONS);
+                m.add(tm::ROUTES_EVICTED, evicted);
+            }
+        }
+    }
+
+    // Deterministic fold: order by flow id, absorb serially.
+    records.sort_unstable_by_key(|(id, _)| *id);
+    let mut report = StreamReport::new(cfg.servers);
+    for ((id, rec), spec) in records.iter().zip(flows) {
+        debug_assert_eq!(*id, spec.id, "flows must be sorted by ascending id");
+        report.offered += 1;
+        match rec {
+            FlowRecord::Shed { reason, depth } => {
+                match reason {
+                    ShedReason::Backpressure => report.shed_backpressure += 1,
+                    ShedReason::Deadline => report.shed_deadline += 1,
+                }
+                report.queue_depth.record(f64::from(*depth));
+            }
+            FlowRecord::Served {
+                outcome,
+                wait_ms,
+                service_ms,
+                depth,
+                shed_tracing,
+                retry_capped,
+            } => {
+                report.admitted += 1;
+                report.fleet.absorb_outcome(spec, outcome);
+                report.wait_ms.record(*wait_ms);
+                report.service_ms.record(*service_ms);
+                report.sojourn_ms.record(wait_ms + service_ms);
+                report.queue_depth.record(f64::from(*depth));
+                if *shed_tracing {
+                    report.degraded_tracing += 1;
+                }
+                if *retry_capped {
+                    report.degraded_retry += 1;
+                }
+                report.makespan_ms = report
+                    .makespan_ms
+                    .max(spec.arrival_ms + wait_ms + service_ms);
+            }
+        }
+    }
+    report.max_depth = queues
+        .iter()
+        .map(|q| q.high_water() as u64)
+        .max()
+        .unwrap_or(0);
+    report.epochs = epochs;
+    report.events_applied = events_applied;
+    report.routes_evicted = routes_evicted;
+    report.fleet.workers = cfg.effective_workers().min(cfg.servers).max(1);
+    report.fleet.cache_hits = cache.hits();
+    report.fleet.cache_misses = cache.misses();
+    report.workers = report.fleet.workers;
+    report.elapsed_secs = started.elapsed().as_secs_f64();
+    report.fleet.elapsed_secs = report.elapsed_secs;
+
+    if let Some(m) = metrics.as_mut() {
+        m.gauge_max(tm::QUEUE_DEPTH_HIGH_WATER, report.max_depth);
+    }
+    postmortems.sort_by_key(|p: &Postmortem| (p.key, p.summary.src, p.summary.dst));
+    let telemetry = metrics.map(|metrics| FleetTelemetry {
+        metrics,
+        postmortems,
+    });
+    Ok((report, telemetry))
+}
+
+/// One epoch: the slice's flows dealt to servers by `id % servers`,
+/// each server processed serially, threads claiming whole servers.
+fn run_epoch(
+    world: &CityExperiment,
+    degraded: Option<&CityExperiment>,
+    slice: &[FlowSpec],
+    cfg: &StreamConfig,
+    cache: &RouteCache,
+    queues: &mut [ServerQueue],
+    tel: &TelemetryConfig,
+) -> Vec<EpochYield> {
+    let servers = queues.len();
+    let workers = cfg.effective_workers().min(servers).max(1);
+
+    // `base` is the server index of `qs[0]`.
+    let process_servers = |base: usize, qs: &mut [ServerQueue]| -> EpochYield {
+        let mut y = EpochYield::empty(tel.metrics);
+        let mut plan_scratch = PlanScratch::new();
+        // Two delivery scratches per worker: the plain one, and (when
+        // tracing is on) a traced one. Degradation rung 1 routes a
+        // flow through the plain scratch instead of configuring the
+        // tracer per flow — same simulation, no capture work.
+        let mut scratch = DeliveryScratch::new();
+        let mut traced = tel
+            .trace
+            .enabled
+            .then(|| DeliveryScratch::with_tracing(tel.trace));
+        for (j, q) in qs.iter_mut().enumerate() {
+            let s = (base + j) as u64;
+            for flow in slice.iter().filter(|f| f.id % servers as u64 == s) {
+                match q.offer(flow.arrival_ms) {
+                    Admission::Shed { reason, depth } => {
+                        if let Some(m) = y.metrics.as_mut() {
+                            m.inc(match reason {
+                                ShedReason::Backpressure => tm::SHED_BACKPRESSURE,
+                                ShedReason::Deadline => tm::SHED_DEADLINE,
+                            });
+                            m.observe(tm::QUEUE_DEPTH, u64::from(depth));
+                        }
+                        y.records
+                            .push((flow.id, FlowRecord::Shed { reason, depth }));
+                    }
+                    Admission::Admit {
+                        start_ms,
+                        depth,
+                        shed_tracing,
+                        cap_retries,
+                    } => {
+                        // Plans always come from the primary world:
+                        // retry policy never reaches the planner, so
+                        // the shared cache stays coherent for both.
+                        let plan = cache.get_or_plan(flow.src, flow.dst, || {
+                            let mut plan = PlannedFlow::empty(flow.src, flow.dst);
+                            if cfg.use_hier_planner {
+                                world.plan_flow_hier_into(
+                                    flow.src,
+                                    flow.dst,
+                                    &mut plan_scratch,
+                                    &mut plan,
+                                );
+                            } else {
+                                world.plan_flow_into(
+                                    flow.src,
+                                    flow.dst,
+                                    &mut plan_scratch,
+                                    &mut plan,
+                                );
+                            }
+                            plan
+                        });
+                        let sim_world = match (cap_retries, degraded) {
+                            (true, Some(d)) => d,
+                            _ => world,
+                        };
+                        let msg_id = substream_seed(cfg.seed, DOMAIN_MSG, flow.id);
+                        let mut rng = SimRng::new(substream_seed(cfg.seed, DOMAIN_SIM, flow.id));
+                        let outcome = match traced.as_mut() {
+                            Some(ts) if !shed_tracing => {
+                                ts.tracer_mut().set_next_key(flow.id);
+                                sim_world.simulate_flow_with(&plan, msg_id, &mut rng, ts)
+                            }
+                            _ => {
+                                sim_world.simulate_flow_with(&plan, msg_id, &mut rng, &mut scratch)
+                            }
+                        };
+                        let service_ms = cfg.service.base_ms
+                            + cfg.service.per_broadcast_ms * outcome.broadcasts as f64;
+                        q.commit(start_ms, service_ms);
+                        let wait_ms = start_ms - flow.arrival_ms;
+                        if let Some(m) = y.metrics.as_mut() {
+                            record_flow_metrics(m, &outcome);
+                            m.inc(tm::ADMITTED);
+                            m.observe(tm::QUEUE_DEPTH, u64::from(depth));
+                            m.observe(tm::STREAM_WAIT, (wait_ms * 1000.0).round() as u64);
+                            m.observe(
+                                tm::STREAM_SOJOURN,
+                                ((wait_ms + service_ms) * 1000.0).round() as u64,
+                            );
+                            if shed_tracing {
+                                m.inc(tm::DEGRADED_TRACING);
+                            }
+                            if cap_retries {
+                                m.inc(tm::DEGRADED_RETRY);
+                            }
+                        }
+                        y.records.push((
+                            flow.id,
+                            FlowRecord::Served {
+                                outcome,
+                                wait_ms,
+                                service_ms,
+                                depth,
+                                shed_tracing,
+                                retry_capped: cap_retries,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(ts) = traced.as_mut() {
+            let tracer = ts.tracer_mut();
+            if let Some(m) = y.metrics.as_mut() {
+                m.add(tm::POSTMORTEMS, tracer.captured());
+                m.add(tm::TRACE_DROPPED, tracer.dropped_total());
+                m.gauge_max(tm::TRACE_HIGH_WATER, tracer.high_water() as u64);
+            }
+            y.postmortems = tracer.take_postmortems();
+        }
+        if let Some(m) = y.metrics.as_mut() {
+            let h = plan_scratch.hier_stats();
+            m.add(tm::HIER_QUERIES, h.queries);
+            m.add(tm::HIER_DIRECT_ROUTES, h.direct_routes);
+            m.add(tm::HIER_OVERLAY_SETTLED, h.overlay_settled);
+            m.add(tm::HIER_EXPANSIONS, h.expansions);
+        }
+        y
+    };
+
+    if workers == 1 {
+        return vec![process_servers(0, queues)];
+    }
+    let chunk = servers.div_ceil(workers);
+    let nchunks = servers.div_ceil(chunk);
+    let mut slots: Vec<Option<EpochYield>> = Vec::new();
+    slots.resize_with(nchunks, || None);
+    crossbeam::thread::scope(|sc| {
+        for (i, (qs, slot)) in queues.chunks_mut(chunk).zip(slots.iter_mut()).enumerate() {
+            let process_servers = &process_servers;
+            sc.spawn(move |_| {
+                *slot = Some(process_servers(i * chunk, qs));
+            });
+        }
+    })
+    .expect("stream worker panicked");
+    slots.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{generate_stream_flows, ArrivalProcess, StreamWorkload};
+    use citymesh_core::{ExperimentConfig, FaultScenario, HierParams, RetryPolicy};
+    use citymesh_dynamics::ChurnConfig;
+    use citymesh_fleet::{run_fleet, FleetConfig};
+    use citymesh_map::CityArchetype;
+
+    fn world(seed: u64) -> CityExperiment {
+        CityExperiment::prepare(
+            CityArchetype::SurveyDowntown.generate(seed),
+            ExperimentConfig {
+                seed,
+                ..ExperimentConfig::default()
+            },
+        )
+    }
+
+    fn faulted_world(seed: u64, scenario: FaultScenario) -> CityExperiment {
+        CityExperiment::prepare(
+            CityArchetype::SurveyDowntown.generate(seed),
+            ExperimentConfig {
+                seed,
+                faults: Some(scenario),
+                ..ExperimentConfig::default()
+            },
+        )
+    }
+
+    fn poisson_flows(exp: &CityExperiment, flows: usize, rate_hz: f64, seed: u64) -> Vec<FlowSpec> {
+        generate_stream_flows(
+            exp.map().len(),
+            &StreamWorkload {
+                flows,
+                process: ArrivalProcess::Poisson { rate_hz },
+                seed,
+            },
+        )
+    }
+
+    fn empty_timeline(exp: &CityExperiment) -> Timeline {
+        Timeline::materialize(
+            exp,
+            &ChurnConfig {
+                aftershocks: 0,
+                battery_waves: 0,
+                crew_repairs: 0,
+                ..ChurnConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn digest_is_worker_count_invariant() {
+        let exp = world(21);
+        let flows = poisson_flows(&exp, 600, 900.0, 21);
+        let tl = empty_timeline(&exp);
+        let digests: Vec<u64> = [1usize, 4, 8]
+            .iter()
+            .map(|&w| {
+                let cfg = StreamConfig {
+                    workers: w,
+                    servers: 8,
+                    seed: 21,
+                    queue_capacity: 16,
+                    deadline_ms: 60.0,
+                    ..StreamConfig::default()
+                };
+                run_stream(&exp, &flows, &tl, &cfg, &TelemetryConfig::off())
+                    .0
+                    .digest()
+            })
+            .collect();
+        assert_eq!(digests[0], digests[1], "1 vs 4 workers");
+        assert_eq!(digests[0], digests[2], "1 vs 8 workers");
+    }
+
+    #[test]
+    fn underloaded_stream_matches_plain_fleet() {
+        // Far below saturation nothing queues long and nothing sheds,
+        // and the embedded fleet report is exactly a batch run of the
+        // same flows: same seed, same sub-stream domains, same plans.
+        let exp = world(22);
+        let flows = poisson_flows(&exp, 300, 30.0, 22);
+        let tl = empty_timeline(&exp);
+        let cfg = StreamConfig {
+            workers: 2,
+            servers: 4,
+            seed: 22,
+            ..StreamConfig::default()
+        };
+        let (r, _) = run_stream(&exp, &flows, &tl, &cfg, &TelemetryConfig::off());
+        assert_eq!(r.offered, 300);
+        assert_eq!(r.admitted, 300);
+        assert_eq!(r.shed(), 0);
+        let batch = run_fleet(
+            &exp,
+            &flows,
+            &FleetConfig {
+                workers: 2,
+                seed: 22,
+                ..FleetConfig::default()
+            },
+        );
+        assert_eq!(
+            r.fleet.digest(),
+            batch.digest(),
+            "an underloaded stream is a batch in disguise"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_explicitly_and_bounds_sojourn() {
+        // 2 servers at ~2 ms base service ≈ 1000 flows/s of capacity;
+        // offer ~4000/s. The engine must stay up, account for every
+        // flow, and bound the admitted flows' sojourn by construction.
+        let exp = world(23);
+        let flows = poisson_flows(&exp, 1500, 4000.0, 23);
+        let tl = empty_timeline(&exp);
+        let cfg = StreamConfig {
+            workers: 2,
+            servers: 2,
+            seed: 23,
+            queue_capacity: 16,
+            deadline_ms: 40.0,
+            ..StreamConfig::default()
+        };
+        let (r, _) = run_stream(&exp, &flows, &tl, &cfg, &TelemetryConfig::off());
+        assert_eq!(r.offered, 1500);
+        assert_eq!(
+            r.offered,
+            r.admitted + r.shed_backpressure + r.shed_deadline,
+            "every offered flow is accounted for"
+        );
+        assert!(r.shed() > 0, "2-4x overload must shed");
+        assert!(r.admitted > 0, "overload must not collapse to zero service");
+        // Wait is bounded by the deadline at admission, so sojourn is
+        // bounded by deadline + the longest service time.
+        let p99 = r.sojourn_quantile(0.99).expect("admitted flows exist");
+        let service_max = r.service_ms.max().expect("admitted flows exist");
+        assert!(
+            p99 <= cfg.deadline_ms + service_max + 1e-9,
+            "p99 sojourn {p99} ms must stay under deadline {} + max service {service_max}",
+            cfg.deadline_ms
+        );
+        assert!(r.wait_ms.max().expect("served") <= cfg.deadline_ms + 1e-9);
+        // The depth histogram saw every offered flow.
+        assert_eq!(r.queue_depth.len(), r.offered);
+        assert!(r.max_depth as usize <= cfg.queue_capacity);
+    }
+
+    #[test]
+    fn degradation_ladder_sheds_optional_work_before_flows() {
+        // Moderate overload: queues climb through the tracing rung and
+        // the retry rung before backpressure bites.
+        let mut scenario = FaultScenario::iid(0.25);
+        scenario.retry = RetryPolicy::ladder();
+        let exp = faulted_world(24, scenario);
+        let flows = poisson_flows(&exp, 1200, 3000.0, 24);
+        let tl = empty_timeline(&exp);
+        let cfg = StreamConfig {
+            workers: 2,
+            servers: 2,
+            seed: 24,
+            queue_capacity: 32,
+            deadline_ms: 200.0,
+            ..StreamConfig::default()
+        };
+        let (r, _) = run_stream(&exp, &flows, &tl, &cfg, &TelemetryConfig::off());
+        assert!(
+            r.degraded_tracing > 0,
+            "rung 1 (shed tracing) must fire under sustained overload"
+        );
+        assert!(
+            r.degraded_retry > 0,
+            "rung 2 (cap retries) must fire under sustained overload"
+        );
+        assert!(
+            r.degraded_tracing >= r.degraded_retry,
+            "rung 1 triggers at a shallower depth than rung 2"
+        );
+        // Tracing is optional work: shedding it must not perturb
+        // outcomes. Traced and untraced digests agree even while the
+        // ladder is firing.
+        let (traced, telemetry) = run_stream(&exp, &flows, &tl, &cfg, &TelemetryConfig::full(5));
+        assert_eq!(
+            r.digest(),
+            traced.digest(),
+            "telemetry must not perturb outcomes"
+        );
+        let telemetry = telemetry.expect("telemetry requested");
+        let m = &telemetry.metrics;
+        assert_eq!(m.counter(tm::ADMITTED), r.admitted);
+        assert_eq!(m.counter(tm::SHED_BACKPRESSURE), r.shed_backpressure);
+        assert_eq!(m.counter(tm::SHED_DEADLINE), r.shed_deadline);
+        assert_eq!(m.counter(tm::DEGRADED_TRACING), r.degraded_tracing);
+        assert_eq!(m.counter(tm::DEGRADED_RETRY), r.degraded_retry);
+        assert_eq!(m.gauge(tm::QUEUE_DEPTH_HIGH_WATER), r.max_depth);
+        // Rung-1 flows produce no postmortems, so captures can only
+        // come from the still-traced majority.
+        assert_eq!(
+            m.counter(tm::POSTMORTEMS),
+            telemetry.postmortems.len() as u64
+        );
+    }
+
+    #[test]
+    fn retry_capping_actually_caps_attempts() {
+        // Deep overload with a retry ladder: rung-2 flows must be
+        // observable as single-attempt outcomes. Compare against the
+        // same stream with an effectively infinite queue (no rungs
+        // fire) — fewer total attempts under pressure.
+        let mut scenario = FaultScenario::iid(0.3);
+        scenario.retry = RetryPolicy::ladder();
+        let exp = faulted_world(25, scenario);
+        let flows = poisson_flows(&exp, 800, 4000.0, 25);
+        let tl = empty_timeline(&exp);
+        let pressured = StreamConfig {
+            servers: 2,
+            seed: 25,
+            queue_capacity: 24,
+            deadline_ms: f64::INFINITY,
+            ..StreamConfig::default()
+        };
+        let relaxed = StreamConfig {
+            queue_capacity: 100_000,
+            ..pressured
+        };
+        let (p, _) = run_stream(&exp, &flows, &tl, &pressured, &TelemetryConfig::off());
+        let (rl, _) = run_stream(&exp, &flows, &tl, &relaxed, &TelemetryConfig::off());
+        assert!(p.degraded_retry > 0, "pressured run must cap retries");
+        assert_eq!(rl.degraded_retry, 0, "relaxed run must not");
+        assert_eq!(rl.admitted, rl.offered, "unbounded queue admits everything");
+        // Same admitted flow under capping can only spend fewer (or
+        // equal) attempts; with hundreds of capped flows the totals
+        // must strictly separate.
+        let attempts = |r: &StreamReport| {
+            r.fleet.retry_attempts.len() as f64 * r.fleet.retry_attempts.mean().unwrap_or(0.0)
+        };
+        assert!(
+            attempts(&p) / p.admitted as f64 <= attempts(&rl) / rl.admitted as f64,
+            "capped streams must average fewer attempts per admitted flow"
+        );
+    }
+
+    #[test]
+    fn mid_stream_events_apply_at_epoch_barriers() {
+        let exp = faulted_world(26, FaultScenario::district_blackouts(1, 100.0));
+        let flows = poisson_flows(&exp, 900, 600.0, 26);
+        let tl = Timeline::materialize(
+            &exp,
+            &ChurnConfig {
+                seed: 26,
+                horizon_ms: flows.last().unwrap().arrival_ms,
+                ..ChurnConfig::default()
+            },
+        );
+        assert!(!tl.is_empty(), "churn config must produce events");
+        let cfg = StreamConfig {
+            workers: 3,
+            servers: 6,
+            seed: 26,
+            queue_capacity: 32,
+            deadline_ms: 100.0,
+            ..StreamConfig::default()
+        };
+        let (r, _) = run_stream(&exp, &flows, &tl, &cfg, &TelemetryConfig::off());
+        assert_eq!(r.epochs, tl.len() as u64 + 1);
+        assert_eq!(r.events_applied, tl.len() as u64);
+        assert_eq!(r.offered, 900);
+        // Worker-count invariance holds across event barriers too.
+        let serial = run_stream(
+            &exp,
+            &flows,
+            &tl,
+            &StreamConfig { workers: 1, ..cfg },
+            &TelemetryConfig::off(),
+        )
+        .0;
+        assert_eq!(r.digest(), serial.digest(), "1 vs 3 workers with churn");
+        // And invalidation policy changes work, not outcomes.
+        let flushed = run_stream(
+            &exp,
+            &flows,
+            &tl,
+            &StreamConfig {
+                invalidation: InvalidationPolicy::FullFlush,
+                ..cfg
+            },
+            &TelemetryConfig::off(),
+        )
+        .0;
+        assert_eq!(r.digest(), flushed.digest());
+        assert!(r.routes_evicted <= flushed.routes_evicted);
+    }
+
+    #[test]
+    fn hier_stream_matches_flat_digest() {
+        let mut exp = world(27);
+        exp.enable_hier(&HierParams::default());
+        let flows = poisson_flows(&exp, 400, 1500.0, 27);
+        let tl = empty_timeline(&exp);
+        let flat = StreamConfig {
+            servers: 3,
+            seed: 27,
+            queue_capacity: 16,
+            deadline_ms: 50.0,
+            ..StreamConfig::default()
+        };
+        let hier = StreamConfig {
+            use_hier_planner: true,
+            ..flat
+        };
+        let (rf, _) = run_stream(&exp, &flows, &tl, &flat, &TelemetryConfig::off());
+        let (rh, _) = run_stream(&exp, &flows, &tl, &hier, &TelemetryConfig::off());
+        // The hierarchical planner is exact, so identical routes feed
+        // identical service times and identical queueing decisions.
+        assert_eq!(rf.digest(), rh.digest());
+    }
+
+    #[test]
+    fn server_queue_ring_sheds_and_drains() {
+        let cfg = StreamConfig {
+            queue_capacity: 2,
+            deadline_ms: 10.0,
+            ..StreamConfig::default()
+        };
+        let mut q = ServerQueue::new(&cfg);
+        // Two 5 ms jobs arriving back-to-back fill the queue.
+        for t in [0.0, 1.0] {
+            match q.offer(t) {
+                Admission::Admit { start_ms, .. } => {
+                    q.commit(start_ms, 5.0);
+                }
+                other => panic!("expected admit at t={t}, got {other:?}"),
+            }
+        }
+        assert_eq!(q.depth(), 2);
+        // A third immediate arrival hits backpressure.
+        assert_eq!(
+            q.offer(1.5),
+            Admission::Shed {
+                reason: ShedReason::Backpressure,
+                depth: 2
+            }
+        );
+        // At t=6 the first job (0..5) has completed: depth drains to 1
+        // and the wait (10-6=4 ms... job 2 completes at 10) fits the
+        // 10 ms deadline.
+        match q.offer(6.0) {
+            Admission::Admit {
+                start_ms, depth, ..
+            } => {
+                assert_eq!(depth, 1);
+                assert!((start_ms - 10.0).abs() < 1e-12, "starts when job 2 ends");
+                q.commit(start_ms, 30.0);
+            }
+            other => panic!("expected admit at t=6, got {other:?}"),
+        }
+        // At t=11 job 2 (done at 10) has retired, leaving only the
+        // 30 ms job (10..40): an arrival would wait 29 ms > 10 ms.
+        assert_eq!(
+            q.offer(11.0),
+            Admission::Shed {
+                reason: ShedReason::Deadline,
+                depth: 1
+            }
+        );
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn degradation_rungs_order_by_depth() {
+        let cfg = StreamConfig {
+            queue_capacity: 8,
+            deadline_ms: f64::INFINITY,
+            ..StreamConfig::default()
+        };
+        let mut q = ServerQueue::new(&cfg);
+        let mut saw = Vec::new();
+        // Back-to-back arrivals with long service build depth 0..=7.
+        for t in 0..8 {
+            match q.offer(t as f64) {
+                Admission::Admit {
+                    start_ms,
+                    depth,
+                    shed_tracing,
+                    cap_retries,
+                } => {
+                    saw.push((depth, shed_tracing, cap_retries));
+                    q.commit(start_ms, 1000.0);
+                }
+                other => panic!("unexpected shed: {other:?}"),
+            }
+        }
+        // capacity 8 → rung 1 at depth ≥ 4, rung 2 at depth ≥ 6.
+        for (depth, shed_tracing, cap_retries) in saw {
+            assert_eq!(shed_tracing, depth >= 4, "rung 1 at depth {depth}");
+            assert_eq!(cap_retries, depth >= 6, "rung 2 at depth {depth}");
+            if cap_retries {
+                assert!(shed_tracing, "rung 2 implies rung 1");
+            }
+        }
+        assert_eq!(
+            q.offer(7.5),
+            Admission::Shed {
+                reason: ShedReason::Backpressure,
+                depth: 8
+            }
+        );
+    }
+
+    #[test]
+    fn config_validation_types_every_rejection() {
+        let exp = world(28);
+        let ok = StreamConfig::default();
+        assert_eq!(ok.validate(&exp), Ok(()));
+        let cases: Vec<(StreamConfig, StreamError)> = vec![
+            (StreamConfig { servers: 0, ..ok }, StreamError::ZeroServers),
+            (
+                StreamConfig {
+                    queue_capacity: 0,
+                    ..ok
+                },
+                StreamError::ZeroQueueCapacity,
+            ),
+            (
+                StreamConfig {
+                    deadline_ms: 0.0,
+                    ..ok
+                },
+                StreamError::InvalidDeadline { value: 0.0 },
+            ),
+            (
+                StreamConfig {
+                    deadline_ms: -5.0,
+                    ..ok
+                },
+                StreamError::InvalidDeadline { value: -5.0 },
+            ),
+            (
+                StreamConfig {
+                    service: ServiceModel {
+                        base_ms: 0.0,
+                        per_broadcast_ms: 0.05,
+                    },
+                    ..ok
+                },
+                StreamError::InvalidServiceModel {
+                    field: "base_ms",
+                    value: 0.0,
+                },
+            ),
+            (
+                StreamConfig {
+                    service: ServiceModel {
+                        base_ms: 2.0,
+                        per_broadcast_ms: -1.0,
+                    },
+                    ..ok
+                },
+                StreamError::InvalidServiceModel {
+                    field: "per_broadcast_ms",
+                    value: -1.0,
+                },
+            ),
+            (
+                StreamConfig {
+                    use_hier_planner: true,
+                    ..ok
+                },
+                StreamError::HierPlannerNotEnabled,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(&exp), Err(want));
+        }
+        // NaN deadline (can't use assert_eq: NaN != NaN).
+        assert!(matches!(
+            StreamConfig {
+                deadline_ms: f64::NAN,
+                ..ok
+            }
+            .validate(&exp),
+            Err(StreamError::InvalidDeadline { .. })
+        ));
+        // Infinite deadline is the sanctioned "no deadline" spelling.
+        assert_eq!(
+            StreamConfig {
+                deadline_ms: f64::INFINITY,
+                ..ok
+            }
+            .validate(&exp),
+            Ok(())
+        );
+        // Timeline prerequisites surface as typed errors too.
+        let flows = poisson_flows(&exp, 50, 100.0, 28);
+        let faulted = faulted_world(28, FaultScenario::district_blackouts(1, 100.0));
+        let tl = Timeline::materialize(
+            &faulted,
+            &ChurnConfig {
+                seed: 28,
+                horizon_ms: 2000.0,
+                ..ChurnConfig::default()
+            },
+        );
+        assert!(!tl.is_empty());
+        let err = try_run_stream(&exp, &flows, &tl, &ok, &TelemetryConfig::off()).unwrap_err();
+        assert_eq!(err, StreamError::MissingFaultState);
+        let mut fresh_scenario = FaultScenario::district_blackouts(1, 100.0);
+        fresh_scenario.stale_map = false;
+        let fresh = faulted_world(28, fresh_scenario);
+        let err = try_run_stream(&fresh, &flows, &tl, &ok, &TelemetryConfig::off()).unwrap_err();
+        assert_eq!(err, StreamError::FreshMap);
+        // Error messages surface the prerequisite by name.
+        assert!(StreamError::HierPlannerNotEnabled
+            .to_string()
+            .contains("enable_hier"));
+        assert!(StreamError::FreshMap.to_string().contains("stale"));
+    }
+
+    #[test]
+    fn server_count_is_a_modeling_knob_not_a_thread_knob() {
+        // Changing workers never changes the digest; changing servers
+        // legitimately does (it is capacity).
+        let exp = world(29);
+        let flows = poisson_flows(&exp, 500, 2500.0, 29);
+        let tl = empty_timeline(&exp);
+        let base = StreamConfig {
+            servers: 2,
+            seed: 29,
+            queue_capacity: 8,
+            deadline_ms: 30.0,
+            ..StreamConfig::default()
+        };
+        let two = run_stream(&exp, &flows, &tl, &base, &TelemetryConfig::off()).0;
+        let eight = run_stream(
+            &exp,
+            &flows,
+            &tl,
+            &StreamConfig { servers: 8, ..base },
+            &TelemetryConfig::off(),
+        )
+        .0;
+        assert_ne!(
+            two.digest(),
+            eight.digest(),
+            "4x the servers must change admission outcomes"
+        );
+        assert!(
+            eight.shed() < two.shed(),
+            "more servers shed less ({} vs {})",
+            eight.shed(),
+            two.shed()
+        );
+    }
+}

@@ -113,6 +113,19 @@ pub const HIER_OVERLAY_SETTLED: CounterId = CounterId(20);
 /// Vertex expansions performed by hier intra-district searches.
 /// Schedule-dependent; excluded from digests.
 pub const HIER_EXPANSIONS: CounterId = CounterId(21);
+/// Flows the streaming engine admitted past its bounded queues.
+pub const ADMITTED: CounterId = CounterId(22);
+/// Flows shed at admission because the server's queue was full.
+pub const SHED_BACKPRESSURE: CounterId = CounterId(23);
+/// Flows shed at admission because their queueing wait would have
+/// exceeded the configured deadline.
+pub const SHED_DEADLINE: CounterId = CounterId(24);
+/// Served flows whose trace capture was shed by the degradation
+/// ladder (queue depth past the first rung).
+pub const DEGRADED_TRACING: CounterId = CounterId(25);
+/// Served flows whose retry ladder was capped to a single attempt by
+/// the degradation ladder (queue depth past the second rung).
+pub const DEGRADED_RETRY: CounterId = CounterId(26);
 
 /// The counter registry; indexed by [`CounterId`].
 pub const COUNTERS: &[CounterDef] = &[
@@ -204,12 +217,35 @@ pub const COUNTERS: &[CounterDef] = &[
         name: "hier_expansions_total",
         help: "Vertex expansions in hier intra-district searches",
     },
+    CounterDef {
+        name: "stream_admitted_total",
+        help: "Flows admitted past the streaming engine's bounded queues",
+    },
+    CounterDef {
+        name: "stream_shed_backpressure_total",
+        help: "Flows shed at admission: server queue full",
+    },
+    CounterDef {
+        name: "stream_shed_deadline_total",
+        help: "Flows shed at admission: queueing wait past the deadline",
+    },
+    CounterDef {
+        name: "stream_degraded_tracing_total",
+        help: "Served flows whose trace capture the ladder shed",
+    },
+    CounterDef {
+        name: "stream_degraded_retry_total",
+        help: "Served flows whose retry ladder the ladder capped",
+    },
 ];
 
 /// Highest ring occupancy any tracer reached.
 pub const TRACE_HIGH_WATER: GaugeId = GaugeId(0);
 /// Most attempts any single flow consumed.
 pub const MAX_ATTEMPTS: GaugeId = GaugeId(1);
+/// Deepest any streaming admission queue got (flows in system at an
+/// arrival instant).
+pub const QUEUE_DEPTH_HIGH_WATER: GaugeId = GaugeId(2);
 
 /// The gauge registry; indexed by [`GaugeId`]. All fleet gauges are
 /// high-water marks (merged by `max`).
@@ -221,6 +257,10 @@ pub const GAUGES: &[GaugeDef] = &[
     GaugeDef {
         name: "max_attempts_per_flow",
         help: "Most attempts any single flow consumed",
+    },
+    GaugeDef {
+        name: "queue_depth_high_water",
+        help: "Deepest streaming admission queue reached",
     },
 ];
 
@@ -267,6 +307,17 @@ pub const OVERHEAD_WIDEN: HistogramId = HistogramId(6);
 pub const OVERHEAD_REPLAN: HistogramId = HistogramId(7);
 /// Attempts each flow consumed before resolution.
 pub const ATTEMPTS_PER_FLOW: HistogramId = HistogramId(8);
+/// Streaming sojourn time (arrival → virtual completion) of admitted
+/// flows, µs.
+pub const STREAM_SOJOURN: HistogramId = HistogramId(9);
+/// Streaming queueing wait (arrival → virtual service start) of
+/// admitted flows, µs.
+pub const STREAM_WAIT: HistogramId = HistogramId(10);
+/// Queue depth (flows in system) observed at each arrival instant.
+pub const QUEUE_DEPTH: HistogramId = HistogramId(11);
+
+/// Queue-depth buckets, flows in system at an arrival.
+const DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
 
 /// The histogram registry; indexed by [`HistogramId`].
 pub const HISTOGRAMS: &[HistogramDef] = &[
@@ -323,6 +374,24 @@ pub const HISTOGRAMS: &[HistogramDef] = &[
         help: "Attempts each flow consumed",
         unit: "attempts",
         bounds: &[1, 2, 3, 4],
+    },
+    HistogramDef {
+        name: "stream_sojourn_us",
+        help: "Sojourn time of admitted streaming flows",
+        unit: "us",
+        bounds: LATENCY_BOUNDS_US,
+    },
+    HistogramDef {
+        name: "stream_queue_wait_us",
+        help: "Queueing wait of admitted streaming flows",
+        unit: "us",
+        bounds: LATENCY_BOUNDS_US,
+    },
+    HistogramDef {
+        name: "queue_depth_at_arrival",
+        help: "Flows in system at each streaming arrival",
+        unit: "flows",
+        bounds: DEPTH_BOUNDS,
     },
 ];
 
@@ -562,8 +631,22 @@ mod tests {
 
     #[test]
     fn registry_ids_line_up() {
-        assert_eq!(COUNTERS.len(), 22);
+        assert_eq!(COUNTERS.len(), 27);
         assert_eq!(COUNTERS[HIER_QUERIES.0].name, "hier_queries_total");
+        assert_eq!(COUNTERS[ADMITTED.0].name, "stream_admitted_total");
+        assert_eq!(
+            COUNTERS[SHED_BACKPRESSURE.0].name,
+            "stream_shed_backpressure_total"
+        );
+        assert_eq!(COUNTERS[SHED_DEADLINE.0].name, "stream_shed_deadline_total");
+        assert_eq!(
+            COUNTERS[DEGRADED_TRACING.0].name,
+            "stream_degraded_tracing_total"
+        );
+        assert_eq!(
+            COUNTERS[DEGRADED_RETRY.0].name,
+            "stream_degraded_retry_total"
+        );
         assert_eq!(COUNTERS[HIER_EXPANSIONS.0].name, "hier_expansions_total");
         assert_eq!(COUNTERS[TRACE_DROPPED.0].name, "trace_dropped_total");
         assert_eq!(COUNTERS[EVENTS_APPLIED.0].name, "churn_events_total");
@@ -573,7 +656,14 @@ mod tests {
             "epoch_transitions_total"
         );
         assert_eq!(GAUGES[MAX_ATTEMPTS.0].name, "max_attempts_per_flow");
+        assert_eq!(
+            GAUGES[QUEUE_DEPTH_HIGH_WATER.0].name,
+            "queue_depth_high_water"
+        );
         assert_eq!(HISTOGRAMS[ATTEMPTS_PER_FLOW.0].name, "attempts_per_flow");
+        assert_eq!(HISTOGRAMS[STREAM_SOJOURN.0].name, "stream_sojourn_us");
+        assert_eq!(HISTOGRAMS[STREAM_WAIT.0].name, "stream_queue_wait_us");
+        assert_eq!(HISTOGRAMS[QUEUE_DEPTH.0].name, "queue_depth_at_arrival");
         for rung in Rung::ALL {
             let c = rung_delivery_counter(rung);
             assert!(COUNTERS[c.0].name.contains(rung.label()));

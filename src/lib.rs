@@ -56,6 +56,7 @@
 //! | [`telemetry`] | metrics registry, flow tracer, failure postmortems |
 //! | [`baselines`] | flooding, greedy geographic, reactive repair, MANET cost models |
 //! | [`dynamics`] | churn engine: event timelines, epoch barriers, cache invalidation |
+//! | [`stream`] | always-on engine: open-loop arrivals, backpressure, load shedding |
 //! | [`measure`] | the synthetic §2 wardriving study |
 //!
 //! The [`DfnNetwork`] type in this crate wires all of it into a
@@ -76,6 +77,7 @@ pub use citymesh_map as map;
 pub use citymesh_measure as measure;
 pub use citymesh_net as net;
 pub use citymesh_simcore as simcore;
+pub use citymesh_stream as stream;
 pub use citymesh_telemetry as telemetry;
 
 mod network;
@@ -101,5 +103,9 @@ pub mod prelude {
     pub use citymesh_map::{generate_metro, CityArchetype, CityMap, MetroParams};
     pub use citymesh_net::CityMeshHeader;
     pub use citymesh_simcore::{SimRng, SimTime};
+    pub use citymesh_stream::{
+        generate_stream_flows, run_stream, ArrivalProcess, ShedReason, StreamConfig, StreamReport,
+        StreamWorkload,
+    };
     pub use citymesh_telemetry::{MetricSet, Postmortem, Rung, TelemetryConfig, TraceConfig};
 }
