@@ -8,13 +8,14 @@
 //!
 //! Artifacts: `table1 fig1a fig1b fig2 fig5 fig6 fig7 headers scaling
 //! ablations fleet planner resilience churn telemetry metro
-//! streaming`. Text goes to stdout; SVGs are written to `figures/`;
+//! streaming placement`. Text goes to stdout; SVGs are written to `figures/`;
 //! the fleet sweep writes `BENCH_fleet.json`, the planner sweep
 //! `BENCH_planner.json`, the resilience sweep `BENCH_resilience.json`,
 //! the churn sweep `BENCH_churn.json`, the telemetry sweep
 //! `BENCH_telemetry.json` plus one captured flow trace in
 //! `figures/postmortem_sample.json`, the metro sweep
-//! `BENCH_metro.json`, and the streaming sweep `BENCH_streaming.json`.
+//! `BENCH_metro.json`, the streaming sweep `BENCH_streaming.json`,
+//! and the placement sweep `BENCH_placement.json`.
 //!
 //! The `fleet` artifact takes value flags: `--flows N` runs one flow
 //! count instead of the default 1k/10k/100k sweep, `--workers N` one
@@ -27,17 +28,21 @@
 //! `--smoke` too: a CI-sized load sweep that *asserts* the engine
 //! sheds explicitly (and keeps accounting balanced) past 2x the
 //! estimated capacity on both the flat and the hierarchical scenario.
-//! Every sweep ends with a `[sweep …]` line reporting its wall time
+//! The `placement` artifact takes `--smoke` as well: a downtown-only
+//! deployment search that *asserts* the annealed placement does not
+//! trail the random baseline on blackout delivery rate and prints the
+//! annealed score digest CI pins. Every sweep ends with a `[sweep …]`
+//! line reporting its wall time
 //! and the process peak RSS so regressions in either are visible from
 //! the log alone.
 
 use std::fs;
 use std::path::Path;
-use std::time::Instant;
 
+use citymesh_bench::sweep::SweepTimer;
 use citymesh_bench::{
-    ablation, churn_figs, eval_figs, fleet_figs, metro_figs, planner_figs, render, resilience_figs,
-    scaling, streaming_figs, survey_figs, telemetry_figs, text,
+    ablation, churn_figs, eval_figs, fleet_figs, metro_figs, placement_figs, planner_figs, render,
+    resilience_figs, scaling, streaming_figs, survey_figs, telemetry_figs, text,
 };
 use citymesh_core::{
     compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
@@ -62,18 +67,6 @@ impl Opts {
             (1.0, 1000, 50) // the paper's §4 protocol
         }
     }
-}
-
-/// Prints one sweep's wall time and the process peak RSS so far —
-/// the footer every heavy sweep ends with.
-fn sweep_stats(name: &str, started: Instant) {
-    let rss = metro_figs::peak_rss_kb()
-        .map(|kb| format!("{:.0} MiB", kb as f64 / 1024.0))
-        .unwrap_or_else(|| "n/a".into());
-    println!(
-        "[sweep {name}: {:.1} s wall, peak RSS {rss}]\n",
-        started.elapsed().as_secs_f64()
-    );
 }
 
 /// Removes `name <value>` from `args` and returns the parsed value.
@@ -494,7 +487,7 @@ fn main() {
     }
 
     if want("fleet") {
-        let sweep_started = Instant::now();
+        let sweep = SweepTimer::start();
         let flow_counts: Vec<usize> = match flows_override {
             Some(n) => vec![n],
             None if opts.fast => vec![500, 2_000],
@@ -550,11 +543,11 @@ fn main() {
         fs::write("BENCH_fleet.json", fleet_figs::to_json(&figs).render())
             .expect("write BENCH_fleet.json");
         println!("wrote BENCH_fleet.json");
-        sweep_stats("fleet", sweep_started);
+        sweep.finish("fleet");
     }
 
     if want("planner") {
-        let sweep_started = Instant::now();
+        let sweep = SweepTimer::start();
         let pairs = match flows_override {
             Some(n) => n,
             None if opts.fast => 1_500,
@@ -609,11 +602,11 @@ fn main() {
         fs::write("BENCH_planner.json", planner_figs::to_json(&figs).render())
             .expect("write BENCH_planner.json");
         println!("wrote BENCH_planner.json");
-        sweep_stats("planner", sweep_started);
+        sweep.finish("planner");
     }
 
     if want("resilience") {
-        let sweep_started = Instant::now();
+        let sweep = SweepTimer::start();
         // Failure probabilities swept per archetype; flows per point.
         let failure_ps = [0.0, 0.1, 0.2, 0.3, 0.4];
         let flows = flows_override.unwrap_or(if opts.fast { 150 } else { 500 });
@@ -671,11 +664,11 @@ fn main() {
         )
         .expect("write BENCH_resilience.json");
         println!("wrote BENCH_resilience.json");
-        sweep_stats("resilience", sweep_started);
+        sweep.finish("resilience");
     }
 
     if want("churn") {
-        let sweep_started = Instant::now();
+        let sweep = SweepTimer::start();
         // Total scheduled events per point; mechanism mix is fixed
         // inside the sweep (half aftershocks, a quarter battery waves,
         // the rest crew repairs).
@@ -740,11 +733,11 @@ fn main() {
         fs::write("BENCH_churn.json", churn_figs::to_json(&figs).render())
             .expect("write BENCH_churn.json");
         println!("wrote BENCH_churn.json");
-        sweep_stats("churn", sweep_started);
+        sweep.finish("churn");
     }
 
     if want("telemetry") {
-        let sweep_started = Instant::now();
+        let sweep = SweepTimer::start();
         let flows = flows_override.unwrap_or(if opts.fast { 150 } else { 500 });
         let worker_counts: Vec<usize> = match workers_override {
             Some(w) => vec![w.max(1)],
@@ -814,11 +807,11 @@ fn main() {
         )
         .expect("write BENCH_telemetry.json");
         println!("wrote BENCH_telemetry.json");
-        sweep_stats("telemetry", sweep_started);
+        sweep.finish("telemetry");
     }
 
     if want("metro") {
-        let sweep_started = Instant::now();
+        let sweep = SweepTimer::start();
         let smoke = args.iter().any(|a| a == "--smoke");
         // (tiles_x, tiles_y, sampled pairs). Pair counts shrink as the
         // flat planner's per-query cost grows with city size.
@@ -935,11 +928,11 @@ fn main() {
         fs::write("BENCH_metro.json", metro_figs::to_json(&figs).render())
             .expect("write BENCH_metro.json");
         println!("wrote BENCH_metro.json");
-        sweep_stats("metro", sweep_started);
+        sweep.finish("metro");
     }
 
     if want("streaming") {
-        let sweep_started = Instant::now();
+        let sweep = SweepTimer::start();
         let smoke = args.iter().any(|a| a == "--smoke");
         // Offered load as multiples of the per-scenario estimated
         // capacity; flow counts keep overload points long enough to
@@ -1065,7 +1058,125 @@ fn main() {
         )
         .expect("write BENCH_streaming.json");
         println!("wrote BENCH_streaming.json");
-        sweep_stats("streaming", sweep_started);
+        sweep.finish("streaming");
+    }
+
+    if want("placement") {
+        let sweep = SweepTimer::start();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let cfg = if smoke {
+            placement_figs::PlacementSweepConfig::smoke()
+        } else if opts.fast {
+            placement_figs::PlacementSweepConfig {
+                flows: 200,
+                anneal_iters: 24,
+                ..placement_figs::PlacementSweepConfig::full()
+            }
+        } else {
+            placement_figs::PlacementSweepConfig::full()
+        };
+        eprintln!(
+            "[running the placement sweep: {} archetype(s), k={}, {} flows/eval, \
+             {} anneal iters, digest checks at {:?} workers…]",
+            cfg.archetypes.len(),
+            cfg.k,
+            cfg.flows,
+            cfg.anneal_iters,
+            cfg.worker_checks
+        );
+        let figs = placement_figs::run_placement_figs(SEED, &cfg);
+        println!("== placement: hardened-site deployment, random vs greedy vs annealed ==");
+        for row in &figs.rows {
+            let rows: Vec<Vec<String>> = row
+                .cells
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.strategy.to_string(),
+                        c.sites
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                        format!("{:.3}", c.healthy_delivery),
+                        format!("{:.3}", c.blackout_delivery),
+                        format!("{:.1}", c.blackout_p99_ms),
+                        c.evaluations.to_string(),
+                        format!("{}/{}", c.accepted_moves, c.proposed_moves),
+                        format!("{:016x}", c.digest),
+                    ]
+                })
+                .collect();
+            println!(
+                "-- {} ({} buildings, {} candidates, k={}, {} evals, {} routes evicted) --\n{}",
+                row.label,
+                row.buildings,
+                row.candidates,
+                row.k,
+                row.evaluations,
+                row.routes_evicted,
+                text::table(
+                    &[
+                        "strategy",
+                        "sites",
+                        "healthy",
+                        "blackout",
+                        "bo p99 ms",
+                        "evals",
+                        "acc/prop",
+                        "digest"
+                    ],
+                    &rows
+                )
+            );
+            println!(
+                "blackout delivery gap, annealed - random: {:+.3}",
+                row.blackout_gap()
+            );
+        }
+        let wins = figs.archetypes_where_annealed_beats_random();
+        println!(
+            "annealed beats random on blackout delivery in {wins} of {} archetype(s); \
+             every annealed digest reproduced at {:?} workers\n",
+            figs.rows.len(),
+            figs.worker_checks
+        );
+        if !smoke && figs.rows.len() >= 4 {
+            assert!(
+                wins >= 3,
+                "placement gate: annealed must beat random on blackout delivery \
+                 in at least 3 of {} archetypes, got {wins}",
+                figs.rows.len()
+            );
+        }
+        if smoke {
+            let row = figs.rows.first().expect("smoke sweeps downtown");
+            let annealed = row.cell("annealed").expect("annealed ran");
+            let random = row.cell("random").expect("random ran");
+            assert!(
+                annealed.blackout_delivery >= random.blackout_delivery,
+                "smoke gate: annealed blackout delivery {:.3} must not trail random {:.3}",
+                annealed.blackout_delivery,
+                random.blackout_delivery
+            );
+            println!(
+                "smoke gate passed: annealed blackout delivery {:.3} >= random {:.3}; \
+                 annealed-downtown digest {:016x}",
+                annealed.blackout_delivery, random.blackout_delivery, annealed.digest
+            );
+        }
+        write_svg(
+            "figures/placement_blackout.svg",
+            &placement_figs::placement_svg(&figs),
+        );
+        println!("wrote figures/placement_blackout.svg");
+        fs::write(
+            "BENCH_placement.json",
+            placement_figs::to_json(&figs).render(),
+        )
+        .expect("write BENCH_placement.json");
+        println!("wrote BENCH_placement.json");
+        sweep.finish("placement");
     }
 }
 

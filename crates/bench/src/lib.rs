@@ -38,6 +38,11 @@
 //!   sojourn, explicit shed counts, and the saturation knee vs offered
 //!   load, flat downtown and hierarchical metro
 //!   (`BENCH_streaming.json`).
+//! * [`placement_figs`] — deployment optimization: random vs greedy vs
+//!   annealed hardened-site placement per archetype, healthy and
+//!   blackout (`BENCH_placement.json`).
+//! * [`sweep`] — shared wall-time/peak-RSS instrumentation every sweep
+//!   reports through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,11 +52,13 @@ pub mod churn_figs;
 pub mod eval_figs;
 pub mod fleet_figs;
 pub mod metro_figs;
+pub mod placement_figs;
 pub mod planner_figs;
 pub mod render;
 pub mod resilience_figs;
 pub mod scaling;
 pub mod streaming_figs;
 pub mod survey_figs;
+pub mod sweep;
 pub mod telemetry_figs;
 pub mod text;

@@ -29,6 +29,7 @@ use citymesh_graph::PlannerScratch;
 use citymesh_map::{generate_metro, MetroParams};
 use citymesh_simcore::{substream_seed, SimRng};
 
+use crate::sweep::SweepTimer;
 use crate::text::json::Value;
 
 /// Sub-stream domain for metro benchmark pair sampling.
@@ -127,16 +128,6 @@ impl MetroSize {
 pub struct MetroFigures {
     /// Size points in sweep order (ascending building count).
     pub sizes: Vec<MetroSize>,
-}
-
-/// Process peak resident set size in KiB, read from
-/// `/proc/self/status` (`VmHWM`). Returns `None` off Linux or when
-/// the file is unreadable — callers report 0 rather than failing a
-/// benchmark over an observability nicety.
-pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// FNV-1a over one pair's outcome, keyed by the pair index so the
@@ -246,7 +237,7 @@ pub fn run_metro_figs(
 ) -> MetroFigures {
     let mut sizes = Vec::new();
     for (ordinal, &(tx, ty, pairs)) in specs.iter().enumerate() {
-        let point_started = Instant::now();
+        let point = SweepTimer::start();
         let params = MetroParams::with_tiles(tx, ty);
         let t = Instant::now();
         let map = generate_metro(&params, seed);
@@ -321,6 +312,7 @@ pub fn run_metro_figs(
             "{tx}x{ty}: flat and hier disagree on routability"
         );
 
+        let (wall_ms, peak_rss_kb) = point.point_stats();
         sizes.push(MetroSize {
             tiles: (tx, ty),
             buildings,
@@ -334,8 +326,8 @@ pub fn run_metro_figs(
             graph_bytes: bg.memory_bytes(),
             hier_bytes: planner.memory_bytes(),
             runs,
-            wall_ms: point_started.elapsed().as_secs_f64() * 1e3,
-            peak_rss_kb: peak_rss_kb().unwrap_or(0),
+            wall_ms,
+            peak_rss_kb,
         });
     }
     MetroFigures { sizes }

@@ -1,0 +1,438 @@
+//! Deployment-optimization sweep: where should the hardened
+//! relay/postbox sites go?
+//!
+//! For each survey archetype the sweep builds one [`Evaluator`] over a
+//! healthy world and a district-blackout world, then runs the three
+//! placement strategies of `citymesh-place` — uniform random (the
+//! baseline any optimizer must beat), the greedy k-median
+//! constructive, and Metropolis simulated annealing — under the same
+//! site budget and the same seeded workload. The headline comparison
+//! is **blackout delivery rate**: hardened sites earn their budget
+//! when the lights are out, not when the mesh is healthy.
+//!
+//! Determinism is load-bearing twice over: every strategy is a pure
+//! function of `(seed, k)`, and after the anneal the winning
+//! deployment is re-scored through *fresh* evaluators at several
+//! fleet worker counts — the sweep asserts all of them reproduce the
+//! anneal's score digest bit-for-bit.
+//!
+//! The data lands in `BENCH_placement.json` via [`to_json`]; the
+//! binary renders the per-archetype strategy comparison via
+//! [`placement_svg`].
+
+use citymesh_core::{ExperimentConfig, FaultScenario};
+use citymesh_fleet::FlowModel;
+use citymesh_map::CityArchetype;
+use citymesh_place::{
+    Annealer, Evaluator, GreedyPlacer, Metric, Objective, PlacementOptimizer, RandomPlacer,
+    ScenarioSpec, Score,
+};
+
+use crate::sweep::SweepTimer;
+use crate::text::json::Value;
+
+/// Knobs of one placement sweep.
+#[derive(Clone, Debug)]
+pub struct PlacementSweepConfig {
+    /// Archetypes to optimize over.
+    pub archetypes: Vec<CityArchetype>,
+    /// Hardened sites per deployment (the budget).
+    pub k: usize,
+    /// Flows per evaluation, per scenario world.
+    pub flows: usize,
+    /// Annealer proposal iterations.
+    pub anneal_iters: usize,
+    /// Districts darkened by the blackout scenario.
+    pub blackout_districts: usize,
+    /// Blackout district radius, metres.
+    pub blackout_radius_m: f64,
+    /// Fleet worker counts the annealed winner is re-scored at (all
+    /// must reproduce the same score digest).
+    pub worker_checks: Vec<usize>,
+}
+
+impl PlacementSweepConfig {
+    /// The full four-archetype sweep.
+    pub fn full() -> Self {
+        PlacementSweepConfig {
+            archetypes: CityArchetype::survey_areas().to_vec(),
+            k: 4,
+            flows: 320,
+            anneal_iters: 40,
+            blackout_districts: 2,
+            blackout_radius_m: 150.0,
+            worker_checks: vec![1, 4, 8],
+        }
+    }
+
+    /// The CI smoke sweep: downtown only, a short anneal.
+    pub fn smoke() -> Self {
+        PlacementSweepConfig {
+            archetypes: vec![CityArchetype::SurveyDowntown],
+            flows: 160,
+            anneal_iters: 10,
+            ..PlacementSweepConfig::full()
+        }
+    }
+}
+
+/// One strategy's result on one archetype.
+#[derive(Clone, Debug)]
+pub struct PlacementCell {
+    /// Strategy label (`random`, `greedy`, `annealed`).
+    pub strategy: &'static str,
+    /// The chosen site buildings, ascending.
+    pub sites: Vec<u32>,
+    /// Scalar objective value (mean delivery rate; higher is better).
+    pub value: f64,
+    /// Delivery rate in the healthy world.
+    pub healthy_delivery: f64,
+    /// Delivery rate in the blackout world.
+    pub blackout_delivery: f64,
+    /// p99 first-delivery latency in the blackout world, ms.
+    pub blackout_p99_ms: f64,
+    /// Full fleet evaluations this strategy spent.
+    pub evaluations: u64,
+    /// Annealer proposals evaluated (0 for the constructives).
+    pub proposed_moves: u64,
+    /// Annealer proposals accepted (0 for the constructives).
+    pub accepted_moves: u64,
+    /// The deterministic score digest.
+    pub digest: u64,
+}
+
+/// One archetype's strategy comparison.
+#[derive(Clone, Debug)]
+pub struct PlacementRow {
+    /// Archetype label.
+    pub label: &'static str,
+    /// Buildings in the map.
+    pub buildings: usize,
+    /// Candidate site buildings (those owning at least one AP).
+    pub candidates: usize,
+    /// Site budget.
+    pub k: usize,
+    /// Strategy results, in `random, greedy, annealed` order.
+    pub cells: Vec<PlacementCell>,
+    /// Cached routes evicted by incremental invalidation across the
+    /// whole archetype's search.
+    pub routes_evicted: u64,
+    /// Total fleet evaluations across the whole archetype's search.
+    pub evaluations: u64,
+    /// Wall time of this archetype, ms.
+    pub wall_ms: f64,
+    /// Process peak RSS after this archetype, KiB (0 where
+    /// unavailable).
+    pub peak_rss_kb: u64,
+}
+
+impl PlacementRow {
+    /// The cell for `strategy`, if the sweep ran it.
+    pub fn cell(&self, strategy: &str) -> Option<&PlacementCell> {
+        self.cells.iter().find(|c| c.strategy == strategy)
+    }
+
+    /// Annealed minus random blackout delivery rate — the headline
+    /// "did the optimizer earn its budget" gap.
+    pub fn blackout_gap(&self) -> f64 {
+        let annealed = self.cell("annealed").map(|c| c.blackout_delivery);
+        let random = self.cell("random").map(|c| c.blackout_delivery);
+        annealed.unwrap_or(0.0) - random.unwrap_or(0.0)
+    }
+}
+
+/// All archetypes of one placement sweep.
+pub struct PlacementFigures {
+    /// Per-archetype comparisons, in sweep order.
+    pub rows: Vec<PlacementRow>,
+    /// Worker counts every annealed winner's digest was verified at.
+    pub worker_checks: Vec<usize>,
+}
+
+impl PlacementFigures {
+    /// Archetypes where annealed strictly beats random on blackout
+    /// delivery rate.
+    pub fn archetypes_where_annealed_beats_random(&self) -> usize {
+        self.rows.iter().filter(|r| r.blackout_gap() > 0.0).count()
+    }
+}
+
+fn world_field(score: &Score, label: &str, f: impl Fn(&citymesh_place::WorldScore) -> f64) -> f64 {
+    score
+        .worlds
+        .iter()
+        .find(|w| w.label == label)
+        .map(f)
+        .unwrap_or(0.0)
+}
+
+fn evaluator(
+    archetype: CityArchetype,
+    seed: u64,
+    cfg: &PlacementSweepConfig,
+    workers: usize,
+) -> Evaluator {
+    Evaluator::new(
+        archetype.generate(seed),
+        ExperimentConfig {
+            seed,
+            ..ExperimentConfig::default()
+        },
+        &[
+            ScenarioSpec::healthy(),
+            ScenarioSpec::faulted(
+                "blackout",
+                FaultScenario::district_blackouts(cfg.blackout_districts, cfg.blackout_radius_m),
+            ),
+        ],
+        Objective {
+            metric: Metric::DeliveryRate,
+            flows: cfg.flows,
+            model: FlowModel::UniformPairs { rate_hz: 200.0 },
+            seed,
+            workers,
+        },
+    )
+    .expect("placement sweep objective is well-formed")
+}
+
+/// Runs the sweep.
+///
+/// # Panics
+/// Panics when the annealed winner's score digest fails to reproduce
+/// at any checked worker count — the subsystem's determinism headline.
+pub fn run_placement_figs(seed: u64, cfg: &PlacementSweepConfig) -> PlacementFigures {
+    let mut rows = Vec::new();
+    for &archetype in &cfg.archetypes {
+        let timer = SweepTimer::start();
+        let mut ev = evaluator(
+            archetype,
+            seed,
+            cfg,
+            cfg.worker_checks.first().copied().unwrap_or(1),
+        );
+        let annealer = Annealer {
+            iters: cfg.anneal_iters,
+            ..Annealer::default()
+        };
+        let strategies: [&dyn PlacementOptimizer; 3] = [&RandomPlacer, &GreedyPlacer, &annealer];
+        let mut cells = Vec::new();
+        for strategy in strategies {
+            let r = strategy
+                .optimize(&mut ev, cfg.k, seed)
+                .expect("placement sweep k fits every archetype");
+            cells.push(PlacementCell {
+                strategy: strategy.name(),
+                sites: r.deployment.sites().to_vec(),
+                value: r.score.value,
+                healthy_delivery: world_field(&r.score, "healthy", |w| w.delivery_rate),
+                blackout_delivery: world_field(&r.score, "blackout", |w| w.delivery_rate),
+                blackout_p99_ms: world_field(&r.score, "blackout", |w| w.p99_latency_ms),
+                evaluations: r.evaluations,
+                proposed_moves: r.proposed_moves,
+                accepted_moves: r.accepted_moves,
+                digest: r.score.digest,
+            });
+        }
+        // Determinism gate: the annealed winner, re-scored through a
+        // fresh evaluator at every checked worker count, must
+        // reproduce the exact score digest the search recorded.
+        let annealed = cells.last().expect("three strategies ran");
+        let winner = citymesh_place::Deployment::new(annealed.sites.clone(), cfg.k)
+            .expect("recorded sites form a valid deployment");
+        for &w in &cfg.worker_checks {
+            let fresh = evaluator(archetype, seed, cfg, w).score(&winner);
+            assert_eq!(
+                fresh.digest,
+                annealed.digest,
+                "{}: annealed score digest must reproduce at {w} workers",
+                archetype.label()
+            );
+        }
+        let (wall_ms, peak_rss_kb) = timer.point_stats();
+        rows.push(PlacementRow {
+            label: archetype.label(),
+            buildings: ev.map().len(),
+            candidates: ev.candidates().len(),
+            k: cfg.k,
+            cells,
+            routes_evicted: ev.routes_evicted(),
+            evaluations: ev.evaluations(),
+            wall_ms,
+            peak_rss_kb,
+        });
+    }
+    PlacementFigures {
+        rows,
+        worker_checks: cfg.worker_checks.clone(),
+    }
+}
+
+/// Serializes the sweep for `BENCH_placement.json`.
+pub fn to_json(figs: &PlacementFigures) -> Value {
+    Value::Obj(vec![
+        (
+            "worker_checks".into(),
+            Value::Arr(
+                figs.worker_checks
+                    .iter()
+                    .map(|&w| Value::Int(w as i64))
+                    .collect(),
+            ),
+        ),
+        (
+            "rows".into(),
+            Value::Arr(
+                figs.rows
+                    .iter()
+                    .map(|r| {
+                        Value::Obj(vec![
+                            ("label".into(), Value::Str(r.label.into())),
+                            ("buildings".into(), Value::Int(r.buildings as i64)),
+                            ("candidates".into(), Value::Int(r.candidates as i64)),
+                            ("k".into(), Value::Int(r.k as i64)),
+                            ("blackout_gap".into(), Value::Num(r.blackout_gap())),
+                            ("routes_evicted".into(), Value::Int(r.routes_evicted as i64)),
+                            ("evaluations".into(), Value::Int(r.evaluations as i64)),
+                            ("wall_ms".into(), Value::Num(r.wall_ms)),
+                            ("peak_rss_kb".into(), Value::Int(r.peak_rss_kb as i64)),
+                            (
+                                "strategies".into(),
+                                Value::Arr(
+                                    r.cells
+                                        .iter()
+                                        .map(|c| {
+                                            Value::Obj(vec![
+                                                ("strategy".into(), Value::Str(c.strategy.into())),
+                                                (
+                                                    "sites".into(),
+                                                    Value::Arr(
+                                                        c.sites
+                                                            .iter()
+                                                            .map(|&s| Value::Int(s as i64))
+                                                            .collect(),
+                                                    ),
+                                                ),
+                                                ("value".into(), Value::Num(c.value)),
+                                                (
+                                                    "healthy_delivery".into(),
+                                                    Value::Num(c.healthy_delivery),
+                                                ),
+                                                (
+                                                    "blackout_delivery".into(),
+                                                    Value::Num(c.blackout_delivery),
+                                                ),
+                                                (
+                                                    "blackout_p99_ms".into(),
+                                                    Value::Num(c.blackout_p99_ms),
+                                                ),
+                                                (
+                                                    "evaluations".into(),
+                                                    Value::Int(c.evaluations as i64),
+                                                ),
+                                                (
+                                                    "proposed_moves".into(),
+                                                    Value::Int(c.proposed_moves as i64),
+                                                ),
+                                                (
+                                                    "accepted_moves".into(),
+                                                    Value::Int(c.accepted_moves as i64),
+                                                ),
+                                                (
+                                                    "digest".into(),
+                                                    Value::Str(format!("{:016x}", c.digest)),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Grouped bars of blackout delivery rate per archetype × strategy,
+/// with the healthy-world rate of the annealed deployment as a dashed
+/// reference line per group.
+pub fn placement_svg(figs: &PlacementFigures) -> String {
+    const W: f64 = 460.0;
+    const H: f64 = 280.0;
+    const M: f64 = 48.0;
+    const COLORS: [&str; 3] = ["#bbbbbb", "#6699cc", "#cc3333"];
+    let groups = figs.rows.len().max(1) as f64;
+    let group_w = (W - 2.0 * M) / groups;
+    let bar_w = group_w / 4.0;
+    let y = |v: f64| H - M - v.clamp(0.0, 1.0) * (H - 2.0 * M);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\" font-size=\"11\">\n"
+    ));
+    s.push_str(&format!(
+        "<text x=\"{}\" y=\"16\" text-anchor=\"middle\" font-size=\"13\">blackout delivery \
+         rate by placement strategy</text>\n",
+        W / 2.0
+    ));
+    s.push_str(&format!(
+        "<line x1=\"{M}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"#444\"/>\n\
+         <line x1=\"{M}\" y1=\"{M}\" x2=\"{M}\" y2=\"{0}\" stroke=\"#444\"/>\n",
+        H - M,
+        W - M
+    ));
+    for tick in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        s.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{tick:.2}</text>\n",
+            M - 4.0,
+            y(tick) + 4.0
+        ));
+    }
+    for (g, row) in figs.rows.iter().enumerate() {
+        let gx = M + g as f64 * group_w;
+        for (i, cell) in row.cells.iter().enumerate() {
+            let x = gx + (i as f64 + 0.5) * bar_w;
+            let top = y(cell.blackout_delivery);
+            s.push_str(&format!(
+                "<rect x=\"{x:.1}\" y=\"{top:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"{}\"><title>{} {}: blackout {:.3}</title></rect>\n",
+                bar_w * 0.9,
+                (H - M) - top,
+                COLORS[i.min(COLORS.len() - 1)],
+                row.label,
+                cell.strategy,
+                cell.blackout_delivery
+            ));
+        }
+        if let Some(annealed) = row.cell("annealed") {
+            let hy = y(annealed.healthy_delivery);
+            s.push_str(&format!(
+                "<line x1=\"{:.1}\" y1=\"{hy:.1}\" x2=\"{:.1}\" y2=\"{hy:.1}\" \
+                 stroke=\"#338833\" stroke-dasharray=\"3,2\"/>\n",
+                gx + 0.25 * bar_w,
+                gx + 3.65 * bar_w
+            ));
+        }
+        s.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            gx + group_w / 2.0,
+            H - M + 14.0,
+            row.label
+        ));
+    }
+    for (i, name) in ["random", "greedy", "annealed"].iter().enumerate() {
+        let lx = M + i as f64 * 90.0;
+        s.push_str(&format!(
+            "<rect x=\"{lx:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{}\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\">{name}</text>\n",
+            H - 18.0,
+            COLORS[i],
+            lx + 14.0,
+            H - 9.0
+        ));
+    }
+    s.push_str("</svg>\n");
+    s
+}

@@ -36,7 +36,7 @@ use citymesh_stream::{
 };
 use citymesh_telemetry::TelemetryConfig;
 
-use crate::metro_figs::peak_rss_kb;
+use crate::sweep::SweepTimer;
 use crate::text::json::Value;
 
 /// One scenario of the sweep: which world, and how many flows per
@@ -230,7 +230,7 @@ pub fn run_streaming_figs(
     assert!(!worker_counts.is_empty(), "need at least one worker count");
     let mut curves = Vec::new();
     for scenario in scenarios {
-        let curve_started = Instant::now();
+        let curve = SweepTimer::start();
         let (exp, timeline) = build_world(seed, scenario);
         let use_hier = scenario.metro_tiles.is_some();
         let base_cfg = sweep_config(seed, worker_counts[0], use_hier);
@@ -304,6 +304,7 @@ pub fn run_streaming_figs(
             points.push(first.expect("worker_counts is non-empty"));
         }
 
+        let (wall_ms, peak_rss_kb) = curve.point_stats();
         curves.push(StreamCurve {
             label: scenario.label,
             buildings: exp.map().len(),
@@ -314,8 +315,8 @@ pub fn run_streaming_figs(
             capacity_hz,
             knee_multiplier: detect_knee(&points),
             points,
-            wall_ms: curve_started.elapsed().as_secs_f64() * 1e3,
-            peak_rss_kb: peak_rss_kb().unwrap_or(0),
+            wall_ms,
+            peak_rss_kb,
         });
     }
     StreamingFigures {

@@ -1,0 +1,64 @@
+//! Shared sweep instrumentation: wall time and peak RSS, reported the
+//! same way by every sweep.
+//!
+//! Each heavy sweep used to carry its own `Instant::now()` bookkeeping
+//! and a copy of the `/proc/self/status` peak-RSS probe. This module
+//! is the single implementation: [`SweepTimer`] wraps the clock and
+//! the probe, prints the standard `[sweep …]` footer, and hands size
+//! points their `(wall_ms, peak_rss_kb)` pair.
+
+use std::time::Instant;
+
+/// Process peak resident set size in KiB, read from
+/// `/proc/self/status` (`VmHWM`). Returns `None` off Linux or when
+/// the file is unreadable — callers report 0 rather than failing a
+/// benchmark over an observability nicety.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// A running wall clock over one sweep (or one point within it).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepTimer {
+    started: Instant,
+}
+
+impl SweepTimer {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        SweepTimer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`SweepTimer::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Milliseconds elapsed since [`SweepTimer::start`].
+    pub fn wall_ms(&self) -> f64 {
+        self.elapsed_secs() * 1e3
+    }
+
+    /// The `(wall_ms, peak_rss_kb)` pair a sweep point records (RSS 0
+    /// where the probe is unavailable).
+    pub fn point_stats(&self) -> (f64, u64) {
+        (self.wall_ms(), peak_rss_kb().unwrap_or(0))
+    }
+
+    /// Prints the standard sweep footer — wall time plus the process
+    /// peak RSS so far — so regressions in either are visible from the
+    /// log alone.
+    pub fn finish(&self, name: &str) {
+        let rss = peak_rss_kb()
+            .map(|kb| format!("{:.0} MiB", kb as f64 / 1024.0))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "[sweep {name}: {:.1} s wall, peak RSS {rss}]\n",
+            self.elapsed_secs()
+        );
+    }
+}

@@ -47,6 +47,7 @@ pub mod apgraph;
 pub mod bridge;
 pub mod buildgraph;
 pub mod conduit;
+pub mod deploy;
 pub mod faults;
 pub mod hier;
 pub mod pipeline;
@@ -63,6 +64,7 @@ pub use conduit::{
     compress_route, compress_route_into, reconstruct_conduits, reconstruct_conduits_into,
     within_conduits, CompressedRoute, ConduitError,
 };
+pub use deploy::{Deployment, DeploymentError};
 pub use faults::{ApHealth, FaultScenario, FaultState, RecoveryStage, RetryPolicy};
 pub use hier::{HierPlanScratch, HierPlanner};
 // Hier tuning/stats types live in `citymesh-graph`; re-exported here so
@@ -70,8 +72,8 @@ pub use hier::{HierPlanScratch, HierPlanner};
 // planner without a direct graph dependency.
 pub use citymesh_graph::{HierParams, HierStats};
 pub use pipeline::{
-    CityExperiment, CityResult, ConfigError, EpochTransition, ExperimentConfig, PairOutcome,
-    PlanScratch, PlannedFlow,
+    CityExperiment, CityResult, ConfigError, DeploymentTransition, EpochTransition,
+    ExperimentConfig, PairOutcome, PlanScratch, PlannedFlow,
 };
 pub use placement::{place_aps, postbox_ap, Ap};
 pub use postbox::{Postbox, PostboxError, StoredMessage};

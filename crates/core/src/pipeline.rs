@@ -29,6 +29,7 @@ use crate::buildgraph::{BuildingGraph, BuildingGraphParams};
 use crate::conduit::{
     compress_route, compress_route_into, reconstruct_conduits, reconstruct_conduits_into,
 };
+use crate::deploy::Deployment;
 use crate::faults::{ApHealth, FaultScenario, FaultState, RecoveryStage, RetryPolicy};
 use crate::hier::{HierPlanScratch, HierPlanner};
 use crate::placement::{place_aps, postbox_ap, Ap};
@@ -238,6 +239,14 @@ pub struct PlannedFlow {
     /// waypoints, and the Replan-vs-Resend rung label feeds the fleet
     /// digest). Empty in the healthy world.
     replan_route: Vec<u32>,
+    /// The designated site actually carrying the delivery when the
+    /// destination's own postbox is dark and a [`crate::Deployment`]
+    /// redirected the flow there (`None` otherwise — including always
+    /// when no deployment is active, so the field is digest-inert for
+    /// every pre-placement workload). `src`/`dst` keep the *requested*
+    /// endpoints: they are the route-cache key, and cache invalidation
+    /// reasons about them.
+    redirect: Option<u32>,
     /// Retry-ladder geometry (widened conduits, replanned detour),
     /// materialized lazily the first time a simulation climbs to rung
     /// 3 — the healthy path, and every flow that delivers within two
@@ -333,6 +342,7 @@ impl PlannedFlow {
             src_ap: None,
             ideal_hops: None,
             replan_route: Vec::new(),
+            redirect: None,
             recovery: RecoveryCell::default(),
         }
     }
@@ -350,6 +360,7 @@ impl PlannedFlow {
         self.src_ap = None;
         self.ideal_hops = None;
         self.replan_route.clear();
+        self.redirect = None;
         self.recovery.clear();
     }
 
@@ -364,6 +375,20 @@ impl PlannedFlow {
     /// first blocked building after a failure notification.
     pub fn primary_route(&self) -> &[u32] {
         &self.replan_route
+    }
+
+    /// The building the route actually ends at: the designated
+    /// fallback site when an active [`crate::Deployment`] redirected a
+    /// dark destination's mail there, otherwise `dst` itself.
+    pub fn delivery_dst(&self) -> u32 {
+        self.redirect.unwrap_or(self.dst)
+    }
+
+    /// The designated site this flow was redirected to, when the
+    /// destination's own postbox was dark under an active
+    /// [`crate::Deployment`].
+    pub fn redirect(&self) -> Option<u32> {
+        self.redirect
     }
 }
 
@@ -504,6 +529,30 @@ pub struct EpochTransition {
     pub fingerprint: u64,
 }
 
+/// Summary of one [`CityExperiment::set_deployment`] call: what the
+/// deployment change touched, in exactly the shape the churn-style
+/// incremental route-cache invalidation predicate consumes. A plan is
+/// stale iff its `src`/`dst` is in `epoch`'s touched buildings or in
+/// `retargeted_buildings`, or its conduits contain an AP from
+/// `changed_aps` — the same rule `citymesh-dynamics` proves
+/// digest-equal to a full flush.
+#[derive(Clone, Debug, Default)]
+pub struct DeploymentTransition {
+    /// The world-event transition from hardening/un-hardening site
+    /// APs. `None` when the experiment has no fault state (healthy
+    /// world: hardening is a no-op, only the fallback table moves) or
+    /// when the site set did not change.
+    pub epoch: Option<EpochTransition>,
+    /// APs whose health the deployment change rewrote (hardened at new
+    /// sites, restored at vacated ones), in site order.
+    pub changed_aps: Vec<u32>,
+    /// Buildings that are currently dark (no live postbox) and whose
+    /// nearest designated site changed — exactly the destinations
+    /// whose cached plans may carry a stale redirect. Sorted
+    /// ascending.
+    pub retargeted_buildings: Vec<u32>,
+}
+
 /// A prepared city: placement + graphs, ready to run pairs.
 #[derive(Clone, Debug)]
 pub struct CityExperiment {
@@ -530,6 +579,21 @@ pub struct CityExperiment {
     /// [`CityExperiment::plan_flow_hier_into`] is unavailable; the flat
     /// path never consults it.
     hier: Option<HierPlanner>,
+    /// Active hardened-site deployment, installed by
+    /// [`CityExperiment::set_deployment`]. `None` — the default —
+    /// leaves every plan, RNG stream, and digest untouched.
+    deployment: Option<Deployment>,
+    /// Per-building nearest designated site (by centroid distance,
+    /// lowest building id on ties) for the active deployment; empty
+    /// when none. Consulted only for buildings whose own postbox is
+    /// dark.
+    fallback_site: Vec<Option<u32>>,
+    /// Per-AP health as scenario materialization (plus any churn
+    /// applied before the first deployment) drew it, captured the
+    /// first time a deployment hardens a site so a later
+    /// [`CityExperiment::set_deployment`] can restore a vacated
+    /// site's APs to their un-hardened state.
+    pristine_health: Option<Vec<ApHealth>>,
 }
 
 impl CityExperiment {
@@ -585,6 +649,9 @@ impl CityExperiment {
             postbox,
             postbox_live,
             hier: None,
+            deployment: None,
+            fallback_site: Vec::new(),
+            pristine_health: None,
         }
     }
 
@@ -611,6 +678,12 @@ impl CityExperiment {
         );
         self.faults = Some(state);
         self.postbox_live = live_postbox_table(&self.map, &self.aps, self.faults.as_ref());
+        // A caller-built fault state supersedes any hardening a prior
+        // deployment applied; drop the deployment so the world holds
+        // exactly the state the caller handed in.
+        self.deployment = None;
+        self.fallback_site = Vec::new();
+        self.pristine_health = None;
         self
     }
 
@@ -651,6 +724,115 @@ impl CityExperiment {
             touched_buildings: touched,
             fingerprint: faults.fingerprint(),
         }
+    }
+
+    /// Installs (or removes, with `None`) a hardened-site
+    /// [`Deployment`] and returns what changed.
+    ///
+    /// Two effects, both strictly opt-in:
+    ///
+    /// * **fault layer** — every AP in a designated building is forced
+    ///   [`ApHealth::Up`] (hardened sites survive blackout/battery
+    ///   scenarios), applied through
+    ///   [`CityExperiment::apply_world_event`] so the blocked set,
+    ///   live-postbox table, and fault-state epoch stay coherent and
+    ///   cached plans recompute their lazy ladder geometry. Vacated
+    ///   sites are restored to the health the scenario originally drew
+    ///   for them. No-op in the healthy world.
+    /// * **planner** — a per-building nearest-site table is rebuilt;
+    ///   [`CityExperiment::plan_flow_into`] consults it via
+    ///   [`CityExperiment::delivery_target`] to redirect mail for a
+    ///   building with no live postbox to its nearest designated site
+    ///   (the site's postbox holds it, as the paper's postboxes hold
+    ///   sealed messages for offline recipients).
+    ///
+    /// Calling this repeatedly with different deployments is the
+    /// optimizer's move loop: each call applies only the *diff*
+    /// against the previous deployment, and the returned
+    /// [`DeploymentTransition`] carries exactly what a route cache
+    /// must invalidate.
+    ///
+    /// # Panics
+    /// Panics when a site id is outside the map.
+    pub fn set_deployment(&mut self, deployment: Option<Deployment>) -> DeploymentTransition {
+        if let Some(d) = &deployment {
+            assert!(
+                d.sites().iter().all(|&b| (b as usize) < self.map.len()),
+                "deployment site outside the map"
+            );
+        }
+        let mut changes: Vec<(u32, ApHealth)> = Vec::new();
+        if let Some(st) = &self.faults {
+            if self.pristine_health.is_none() {
+                self.pristine_health = Some((0..st.len() as u32).map(|ap| st.health(ap)).collect());
+            }
+            let pristine = self.pristine_health.as_ref().expect("captured above");
+            let old: &[u32] = self.deployment.as_ref().map(|d| d.sites()).unwrap_or(&[]);
+            let new: &[u32] = deployment.as_ref().map(|d| d.sites()).unwrap_or(&[]);
+            for &b in old {
+                if new.binary_search(&b).is_err() {
+                    for &ap in self.apg.aps_of_building(b) {
+                        changes.push((ap, pristine[ap as usize]));
+                    }
+                }
+            }
+            for &b in new {
+                if old.binary_search(&b).is_err() {
+                    for &ap in self.apg.aps_of_building(b) {
+                        changes.push((ap, ApHealth::Up));
+                    }
+                }
+            }
+        }
+        let epoch = (!changes.is_empty()).then(|| self.apply_world_event(&changes));
+        let old_fallback = std::mem::take(&mut self.fallback_site);
+        self.deployment = deployment;
+        self.fallback_site = match &self.deployment {
+            Some(d) => fallback_site_table(&self.map, d.sites()),
+            None => Vec::new(),
+        };
+        // Only destinations that are dark *now* consult the fallback
+        // table; buildings whose liveness itself flipped are already in
+        // the epoch transition's touched set.
+        let mut retargeted = Vec::new();
+        for b in 0..self.map.len() {
+            let old_t = old_fallback.get(b).copied().flatten();
+            let new_t = self.fallback_site.get(b).copied().flatten();
+            if old_t != new_t && self.postbox_for(b as u32).is_none() {
+                retargeted.push(b as u32);
+            }
+        }
+        DeploymentTransition {
+            epoch,
+            changed_aps: changes.iter().map(|&(ap, _)| ap).collect(),
+            retargeted_buildings: retargeted,
+        }
+    }
+
+    /// The active hardened-site deployment, when one is installed.
+    pub fn deployment(&self) -> Option<&Deployment> {
+        self.deployment.as_ref()
+    }
+
+    /// The building's postbox AP in the world currently in effect:
+    /// the live table under a fault state, the healthy table otherwise.
+    fn postbox_for(&self, building: u32) -> Option<u32> {
+        match &self.faults {
+            Some(_) => self.postbox_live[building as usize],
+            None => self.postbox[building as usize],
+        }
+    }
+
+    /// Where mail addressed to `dst` is actually delivered: `dst`
+    /// itself when its postbox is live (or no deployment is active),
+    /// otherwise the nearest designated site of the active
+    /// [`Deployment`]. Pure in the prepared world, so redirected plans
+    /// remain cacheable by their requested `(src, dst)`.
+    pub fn delivery_target(&self, dst: u32) -> u32 {
+        if self.deployment.is_none() || self.postbox_for(dst).is_some() {
+            return dst;
+        }
+        self.fallback_site[dst as usize].unwrap_or(dst)
     }
 
     /// The city map.
@@ -751,7 +933,12 @@ impl CityExperiment {
         plan: &mut PlannedFlow,
     ) {
         plan.reset(src, dst);
-        plan.reachable = self.reachable(src, dst);
+        // Mail for a dark destination is carried to its nearest
+        // designated site when a deployment is active; `target == dst`
+        // always when none is (the pre-placement fast path).
+        let target = self.delivery_target(dst);
+        plan.redirect = (target != dst).then_some(target);
+        plan.reachable = self.reachable(src, target);
         let faults = self.faults.as_ref();
         // Plan over the map the sender believes in: the cached
         // pre-disaster graph when the map is stale (the paper's
@@ -761,17 +948,23 @@ impl CityExperiment {
             Some(f) if !f.stale_map() => plan_route_avoiding_into(
                 &self.bg,
                 src,
-                dst,
+                target,
                 f.blocked_buildings(),
                 &mut scratch.search,
                 &mut scratch.route,
             ),
-            _ => plan_route_into(&self.bg, src, dst, &mut scratch.search, &mut scratch.route),
+            _ => plan_route_into(
+                &self.bg,
+                src,
+                target,
+                &mut scratch.search,
+                &mut scratch.route,
+            ),
         };
         if routed.is_err() {
             return;
         }
-        self.finish_plan(src, dst, scratch, plan);
+        self.finish_plan(src, target, scratch, plan);
     }
 
     /// Hierarchical counterpart of [`CityExperiment::plan_flow_into`]:
@@ -798,29 +991,45 @@ impl CityExperiment {
             .as_ref()
             .expect("plan_flow_hier_into requires CityExperiment::enable_hier");
         plan.reset(src, dst);
-        plan.reachable = self.reachable(src, dst);
+        let target = self.delivery_target(dst);
+        plan.redirect = (target != dst).then_some(target);
+        plan.reachable = self.reachable(src, target);
         let faults = self.faults.as_ref();
         let routed = match faults {
             Some(f) if !f.stale_map() => planner.plan_route_avoiding_into(
                 &self.bg,
                 src,
-                dst,
+                target,
                 f.blocked_buildings(),
                 &mut scratch.hier,
                 &mut scratch.route,
             ),
-            _ => planner.plan_route_into(&self.bg, src, dst, &mut scratch.hier, &mut scratch.route),
+            _ => planner.plan_route_into(
+                &self.bg,
+                src,
+                target,
+                &mut scratch.hier,
+                &mut scratch.route,
+            ),
         };
         if routed.is_err() {
             return;
         }
-        self.finish_plan(src, dst, scratch, plan);
+        self.finish_plan(src, target, scratch, plan);
     }
 
     /// The planner-independent tail of flow planning: compression,
     /// header probing, source-AP lookup, ideal hops, conduit
-    /// reconstruction. `scratch.route` holds the routed buildings.
-    fn finish_plan(&self, src: u32, dst: u32, scratch: &mut PlanScratch, plan: &mut PlannedFlow) {
+    /// reconstruction. `scratch.route` holds the routed buildings;
+    /// `target` is the delivery target (the redirect site when a
+    /// deployment rerouted a dark destination, `plan.dst` otherwise).
+    fn finish_plan(
+        &self,
+        src: u32,
+        target: u32,
+        scratch: &mut PlanScratch,
+        plan: &mut PlannedFlow,
+    ) {
         let faults = self.faults.as_ref();
         plan.route_len = scratch.route.len();
         compress_route_into(
@@ -847,7 +1056,7 @@ impl CityExperiment {
         if let Some(src_ap) = plan.src_ap {
             plan.ideal_hops =
                 self.apg
-                    .ideal_hops_to_building_with(src_ap, dst, &mut scratch.search);
+                    .ideal_hops_to_building_with(src_ap, target, &mut scratch.search);
         }
         // Conduits are what every relaying AP reconstructs from the
         // header; using the header's round-tripped width keeps them
@@ -909,9 +1118,12 @@ impl CityExperiment {
         // the plan kept for exactly this purpose.
         if policy.max_attempts >= 4 && faults.stale_map() && !faults.blocked_buildings().is_empty()
         {
-            let Ok(detour) =
-                plan_route_avoiding(&self.bg, plan.src, plan.dst, faults.blocked_buildings())
-            else {
+            let Ok(detour) = plan_route_avoiding(
+                &self.bg,
+                plan.src,
+                plan.delivery_dst(),
+                faults.blocked_buildings(),
+            ) else {
                 return rec;
             };
             if detour == plan.replan_route {
@@ -1211,6 +1423,27 @@ fn live_postbox_table(map: &CityMap, aps: &[Ap], faults: Option<&FaultState>) ->
     }
 }
 
+/// Precomputes each building's nearest designated site by centroid
+/// distance (lowest site id on exact ties — sites are iterated in
+/// sorted order). A building that is itself a site maps to itself, so
+/// a redirect through the table is a no-op for hardened buildings.
+fn fallback_site_table(map: &CityMap, sites: &[u32]) -> Vec<Option<u32>> {
+    (0..map.len())
+        .map(|b| {
+            let here = map.buildings()[b].centroid;
+            let mut best: Option<(f64, u32)> = None;
+            for &s in sites {
+                let c = map.buildings()[s as usize].centroid;
+                let d2 = (c.x - here.x).powi(2) + (c.y - here.y).powi(2);
+                if best.map(|(bd, _)| d2 < bd).unwrap_or(true) {
+                    best = Some((d2, s));
+                }
+            }
+            best.map(|(_, s)| s)
+        })
+        .collect()
+}
+
 /// Closes the scratch's active flow trace with the outcome's summary
 /// (a branch-only no-op when tracing is off or inactive).
 fn finish_flow_trace(scratch: &mut DeliveryScratch, outcome: &PairOutcome) {
@@ -1379,6 +1612,117 @@ mod tests {
                     .iter()
                     .any(|e| matches!(e, TraceEvent::Delivered { .. })));
             }
+        }
+    }
+
+    #[test]
+    fn no_deployment_plans_are_bit_identical() {
+        // `set_deployment(None)` on a world that never had one must be
+        // a perfect no-op: no epoch bump, no retargets, identical
+        // plans — the guarantee that keeps every pre-placement golden
+        // digest pinned in CI bit-identical.
+        let map = CityArchetype::SurveyDowntown.generate(6);
+        let cfg = ExperimentConfig {
+            faults: Some(FaultScenario::district_blackouts(1, 150.0)),
+            ..small_config(6)
+        };
+        let baseline = CityExperiment::prepare(map.clone(), cfg);
+        let mut exp = CityExperiment::prepare(map, cfg);
+        let t = exp.set_deployment(None);
+        assert!(t.epoch.is_none());
+        assert!(t.changed_aps.is_empty());
+        assert!(t.retargeted_buildings.is_empty());
+        let mut rng = SimRng::new(3);
+        for (src, dst) in baseline.sample_pairs(40, &mut rng) {
+            let a = baseline.plan_flow(src, dst);
+            let b = exp.plan_flow(src, dst);
+            assert_eq!(a.waypoints, b.waypoints);
+            assert_eq!(a.src_ap, b.src_ap);
+            assert_eq!(a.reachable, b.reachable);
+            assert_eq!(b.redirect(), None);
+        }
+    }
+
+    #[test]
+    fn hardened_sites_survive_blackout_and_catch_redirected_mail() {
+        let map = CityArchetype::SurveyDowntown.generate(6);
+        let mut exp = CityExperiment::prepare(
+            map,
+            ExperimentConfig {
+                faults: Some(FaultScenario::district_blackouts(2, 150.0)),
+                ..small_config(6)
+            },
+        );
+        // Two dark buildings that own APs: one becomes the hardened
+        // site, the other's mail must redirect to it.
+        let dark: Vec<u32> = (0..exp.map().len() as u32)
+            .filter(|&b| {
+                !exp.ap_graph().aps_of_building(b).is_empty()
+                    && exp
+                        .fault_state()
+                        .unwrap()
+                        .postbox_ap_live(exp.aps(), exp.map(), b)
+                        .is_none()
+            })
+            .collect();
+        assert!(dark.len() >= 2, "blackout should darken several buildings");
+        let site = dark[0];
+        let t = exp.set_deployment(Some(Deployment::new(vec![site], 1).unwrap()));
+        let epoch = t.epoch.expect("hardening a dark building flips AP health");
+        assert!(epoch.aps_changed > 0);
+        assert!(epoch.touched_buildings.contains(&site));
+        // The fault layer respects the site: every AP up, not blocked,
+        // postbox live again.
+        let st = exp.fault_state().unwrap();
+        for &ap in exp.ap_graph().aps_of_building(site) {
+            assert_eq!(st.health(ap), ApHealth::Up);
+        }
+        assert!(!st.building_blocked(site));
+        assert!(st.postbox_ap_live(exp.aps(), exp.map(), site).is_some());
+        // The planner respects it too: a still-dark destination's mail
+        // is carried to the site (the only designated one).
+        let other = dark[1];
+        assert_eq!(exp.delivery_target(other), site);
+        let src = (0..exp.map().len() as u32)
+            .find(|&b| b != other && st.postbox_ap_live(exp.aps(), exp.map(), b).is_some())
+            .expect("some building kept a live postbox");
+        let plan = exp.plan_flow(src, other);
+        assert_eq!(plan.redirect(), Some(site));
+        assert_eq!(plan.delivery_dst(), site);
+        assert_eq!(plan.dst, other, "cache key keeps the requested destination");
+    }
+
+    #[test]
+    fn vacating_a_site_restores_scenario_health() {
+        let map = CityArchetype::SurveyDowntown.generate(7);
+        let cfg = ExperimentConfig {
+            faults: Some(FaultScenario::district_blackouts(1, 140.0)),
+            ..small_config(7)
+        };
+        let pristine = CityExperiment::prepare(map.clone(), cfg);
+        let mut exp = CityExperiment::prepare(map, cfg);
+        let dark: Vec<u32> = (0..exp.map().len() as u32)
+            .filter(|&b| {
+                !exp.ap_graph().aps_of_building(b).is_empty()
+                    && exp.fault_state().unwrap().building_blocked(b)
+            })
+            .collect();
+        assert!(dark.len() >= 2);
+        exp.set_deployment(Some(Deployment::new(vec![dark[0]], 1).unwrap()));
+        let t = exp.set_deployment(Some(Deployment::new(vec![dark[1]], 1).unwrap()));
+        assert!(t.epoch.is_some(), "relocation flips health at both sites");
+        // The vacated site is back to exactly what the scenario drew.
+        let st = exp.fault_state().unwrap();
+        let want = pristine.fault_state().unwrap();
+        for &ap in exp.ap_graph().aps_of_building(dark[0]) {
+            assert_eq!(st.health(ap), want.health(ap));
+        }
+        assert!(st.building_blocked(dark[0]));
+        // And dropping the deployment restores the whole world.
+        exp.set_deployment(None);
+        let st = exp.fault_state().unwrap();
+        for ap in 0..st.len() as u32 {
+            assert_eq!(st.health(ap), want.health(ap));
         }
     }
 

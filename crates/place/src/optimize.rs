@@ -1,0 +1,275 @@
+//! The placement search itself: a random baseline, a greedy
+//! k-medoids-style constructive baseline, and a Metropolis
+//! simulated-annealing search — all bit-reproducible from a seed.
+
+use citymesh_core::Deployment;
+use citymesh_simcore::{substream_seed, SimRng};
+
+use crate::eval::Evaluator;
+use crate::objective::Score;
+use crate::{PlaceError, DOMAIN_PLACE_ACCEPT, DOMAIN_PLACE_INIT, DOMAIN_PLACE_MOVE};
+
+/// A finished placement search.
+#[derive(Clone, Debug)]
+pub struct PlacementResult {
+    /// The best deployment found.
+    pub deployment: Deployment,
+    /// Its evaluated score. The evaluator's worlds are left with this
+    /// deployment installed, so the score describes the state the
+    /// caller observes.
+    pub score: Score,
+    /// Full fleet evaluations this search spent.
+    pub evaluations: u64,
+    /// Proposals actually evaluated (annealer only; equals
+    /// `evaluations - 2` there, 0 for the constructive baselines).
+    pub proposed_moves: u64,
+    /// Proposals accepted by the Metropolis criterion (annealer only).
+    pub accepted_moves: u64,
+}
+
+/// A deployment search strategy over a prepared [`Evaluator`].
+///
+/// Implementations must be pure functions of `(evaluator state, k,
+/// seed)`: every random draw comes from sub-streams of `seed`, and
+/// every candidate is scored through the evaluator's worker-count
+/// invariant fleet runs — so the same inputs yield the same
+/// deployment and the same [`Score::digest`] on any machine at any
+/// worker count.
+pub trait PlacementOptimizer {
+    /// Stable label for tables and JSON.
+    fn name(&self) -> &'static str;
+
+    /// Searches for the best `k`-site deployment.
+    fn optimize(
+        &self,
+        ev: &mut Evaluator,
+        k: usize,
+        seed: u64,
+    ) -> Result<PlacementResult, PlaceError>;
+}
+
+fn require_candidates(ev: &Evaluator, k: usize) -> Result<(), PlaceError> {
+    if ev.candidates().len() < k || k == 0 {
+        return Err(PlaceError::NotEnoughCandidates {
+            candidates: ev.candidates().len(),
+            k,
+        });
+    }
+    Ok(())
+}
+
+/// `k` sites drawn uniformly (without replacement) from the candidate
+/// buildings — the baseline every optimizer must beat.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomPlacer;
+
+impl RandomPlacer {
+    /// The site set alone, without an evaluation.
+    pub fn construct(ev: &Evaluator, k: usize, seed: u64) -> Result<Vec<u32>, PlaceError> {
+        require_candidates(ev, k)?;
+        let mut rng = SimRng::new(substream_seed(seed, DOMAIN_PLACE_INIT, 0));
+        let cands = ev.candidates();
+        let mut sites: Vec<u32> = Vec::with_capacity(k);
+        while sites.len() < k {
+            let b = cands[rng.below(cands.len() as u64) as usize];
+            if !sites.contains(&b) {
+                sites.push(b);
+            }
+        }
+        Ok(sites)
+    }
+}
+
+impl PlacementOptimizer for RandomPlacer {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn optimize(
+        &self,
+        ev: &mut Evaluator,
+        k: usize,
+        seed: u64,
+    ) -> Result<PlacementResult, PlaceError> {
+        let deployment = Deployment::new(Self::construct(ev, k, seed)?, k)?;
+        let score = ev.score(&deployment);
+        Ok(PlacementResult {
+            deployment,
+            score,
+            evaluations: 1,
+            proposed_moves: 0,
+            accepted_moves: 0,
+        })
+    }
+}
+
+/// Greedy k-medoids-style constructive baseline: sites are added one
+/// at a time, each minimizing the total building-to-nearest-site
+/// centroid distance (the k-median objective) — a pure geometric
+/// heuristic that spends exactly one fleet evaluation, on its final
+/// answer. Fully deterministic; ties break to the lowest building id.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyPlacer;
+
+impl GreedyPlacer {
+    /// The site set alone, without an evaluation.
+    pub fn construct(ev: &Evaluator, k: usize) -> Result<Vec<u32>, PlaceError> {
+        require_candidates(ev, k)?;
+        let map = ev.map();
+        let n = map.len();
+        let centroid = |b: u32| map.buildings()[b as usize].centroid;
+        let mut best_dist = vec![f64::INFINITY; n];
+        let mut sites: Vec<u32> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut best: Option<(f64, u32)> = None;
+            for &c in ev.candidates() {
+                if sites.contains(&c) {
+                    continue;
+                }
+                let cc = centroid(c);
+                let mut total = 0.0;
+                for (b, &best) in best_dist.iter().enumerate() {
+                    let bc = centroid(b as u32);
+                    let d = ((bc.x - cc.x).powi(2) + (bc.y - cc.y).powi(2)).sqrt();
+                    total += d.min(best);
+                }
+                if best.map(|(t, _)| total < t).unwrap_or(true) {
+                    best = Some((total, c));
+                }
+            }
+            let (_, chosen) = best.expect("candidate pool outlasts k");
+            sites.push(chosen);
+            let sc = centroid(chosen);
+            for (b, best) in best_dist.iter_mut().enumerate() {
+                let bc = centroid(b as u32);
+                let d = ((bc.x - sc.x).powi(2) + (bc.y - sc.y).powi(2)).sqrt();
+                *best = best.min(d);
+            }
+        }
+        Ok(sites)
+    }
+}
+
+impl PlacementOptimizer for GreedyPlacer {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn optimize(
+        &self,
+        ev: &mut Evaluator,
+        k: usize,
+        _seed: u64,
+    ) -> Result<PlacementResult, PlaceError> {
+        let deployment = Deployment::new(Self::construct(ev, k)?, k)?;
+        let score = ev.score(&deployment);
+        Ok(PlacementResult {
+            deployment,
+            score,
+            evaluations: 1,
+            proposed_moves: 0,
+            accepted_moves: 0,
+        })
+    }
+}
+
+/// Metropolis simulated annealing over deployments (after the rural
+/// mesh-router placement literature): start from the greedy
+/// constructive solution, propose relocating one uniformly chosen
+/// site to a uniformly chosen candidate building, accept improving
+/// moves always and worsening moves with probability `exp(Δ/T)` under
+/// a geometric cooling schedule.
+///
+/// Proposal draws come from the `DOMAIN_PLACE_MOVE` sub-stream and
+/// acceptance draws from `DOMAIN_PLACE_ACCEPT` — separate streams, so
+/// the move sequence is independent of how many proposals get
+/// accepted. Combined with worker-count invariant scoring, the entire
+/// anneal is bit-reproducible.
+#[derive(Clone, Copy, Debug)]
+pub struct Annealer {
+    /// Proposal iterations.
+    pub iters: usize,
+    /// Initial temperature, in objective-value units (delivery rate
+    /// is a fraction in `[0, 1]`, so deltas are a few hundredths).
+    pub t0: f64,
+    /// Geometric cooling factor applied every iteration.
+    pub cooling: f64,
+}
+
+impl Default for Annealer {
+    fn default() -> Self {
+        Annealer {
+            iters: 48,
+            t0: 0.02,
+            cooling: 0.94,
+        }
+    }
+}
+
+impl PlacementOptimizer for Annealer {
+    fn name(&self) -> &'static str {
+        "annealed"
+    }
+
+    fn optimize(
+        &self,
+        ev: &mut Evaluator,
+        k: usize,
+        seed: u64,
+    ) -> Result<PlacementResult, PlaceError> {
+        require_candidates(ev, k)?;
+        let mut move_rng = SimRng::new(substream_seed(seed, DOMAIN_PLACE_MOVE, 0));
+        let mut acc_rng = SimRng::new(substream_seed(seed, DOMAIN_PLACE_ACCEPT, 0));
+        let mut cur = Deployment::new(GreedyPlacer::construct(ev, k)?, k)?;
+        let mut cur_score = ev.score(&cur);
+        let mut best = cur.clone();
+        let mut best_score = cur_score.clone();
+        let mut evaluations = 1u64;
+        let mut proposed = 0u64;
+        let mut accepted = 0u64;
+        let mut t = self.t0;
+        for _ in 0..self.iters {
+            // Cool every iteration — including skipped proposals — so
+            // the schedule depends only on the iteration count.
+            t *= self.cooling;
+            let slot = move_rng.below(cur.sites().len() as u64) as usize;
+            let to = ev.candidates()[move_rng.below(ev.candidates().len() as u64) as usize];
+            let Some(proposal) = cur.relocated(slot, to) else {
+                // `to` is already a site: a null move, skipped without
+                // spending an evaluation or an acceptance draw.
+                continue;
+            };
+            proposed += 1;
+            let score = ev.score(&proposal);
+            evaluations += 1;
+            let delta = score.value - cur_score.value;
+            let accept = delta >= 0.0 || acc_rng.uniform() < (delta / t.max(1e-12)).exp();
+            if accept {
+                accepted += 1;
+                cur = proposal;
+                cur_score = score;
+                if cur_score.value > best_score.value {
+                    best = cur.clone();
+                    best_score = cur_score.clone();
+                }
+            }
+        }
+        // Reinstall the winner so the evaluator's worlds describe the
+        // returned deployment; the rescore must reproduce the recorded
+        // score exactly — a built-in check that incremental cache
+        // reuse is digest-equal to the evaluation that found it.
+        let score = ev.score(&best);
+        evaluations += 1;
+        assert_eq!(
+            score.digest, best_score.digest,
+            "re-evaluating the best deployment must be bit-identical"
+        );
+        Ok(PlacementResult {
+            deployment: best,
+            score,
+            evaluations,
+            proposed_moves: proposed,
+            accepted_moves: accepted,
+        })
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the placement subsystem's determinism claims.
+//!
+//! Two invariants, each over random seeds, budgets, and anneal
+//! lengths:
+//!
+//! 1. an entire anneal — proposal moves, acceptance draws, winner,
+//!    score digest — is invariant under the fleet evaluation worker
+//!    count (1, 4, and 8 workers bit-agree), and
+//! 2. scoring a deployment through a *reused* evaluator (after other
+//!    deployments were installed and incrementally evicted) matches
+//!    scoring it through a fresh evaluator's first-ever evaluation,
+//!    field by field.
+
+use std::sync::OnceLock;
+
+use citymesh_core::{ExperimentConfig, FaultScenario};
+use citymesh_fleet::FlowModel;
+use citymesh_map::{CityArchetype, CityMap};
+use citymesh_place::{
+    Annealer, Deployment, Evaluator, GreedyPlacer, Metric, Objective, PlacementOptimizer,
+    RandomPlacer, ScenarioSpec,
+};
+use proptest::prelude::*;
+
+/// One river map shared by every case: map synthesis is the only part
+/// of evaluator construction the properties do not exercise.
+fn shared_map() -> &'static CityMap {
+    static MAP: OnceLock<CityMap> = OnceLock::new();
+    MAP.get_or_init(|| CityArchetype::SurveyRiver.generate(11))
+}
+
+fn evaluator(flows: usize, workers: usize) -> Evaluator {
+    Evaluator::new(
+        shared_map().clone(),
+        ExperimentConfig {
+            seed: 11,
+            ..ExperimentConfig::default()
+        },
+        &[
+            ScenarioSpec::healthy(),
+            ScenarioSpec::faulted("blackout", FaultScenario::district_blackouts(1, 140.0)),
+        ],
+        Objective {
+            metric: Metric::DeliveryRate,
+            flows,
+            model: FlowModel::UniformPairs { rate_hz: 200.0 },
+            seed: 11,
+            workers,
+        },
+    )
+    .expect("river evaluator is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The whole anneal is a pure function of `(k, seed)` — the fleet
+    /// worker count is a speed knob that changes no bit of the result.
+    #[test]
+    fn anneal_is_invariant_under_evaluation_workers(
+        seed in any::<u64>(),
+        k in 2usize..5,
+        iters in 4usize..9,
+        flows in 50usize..90,
+    ) {
+        let annealer = Annealer { iters, ..Annealer::default() };
+        let runs: Vec<_> = [1usize, 4, 8]
+            .iter()
+            .map(|&workers| {
+                let mut ev = evaluator(flows, workers);
+                annealer.optimize(&mut ev, k, seed).expect("k fits the river")
+            })
+            .collect();
+        for (r, label) in [(&runs[1], "4"), (&runs[2], "8")] {
+            prop_assert_eq!(
+                &runs[0].deployment, &r.deployment,
+                "1 vs {} workers picked different sites", label
+            );
+            prop_assert_eq!(
+                &runs[0].score, &r.score,
+                "1 vs {} workers scored differently", label
+            );
+            prop_assert_eq!(runs[0].evaluations, r.evaluations);
+            prop_assert_eq!(runs[0].proposed_moves, r.proposed_moves);
+            prop_assert_eq!(runs[0].accepted_moves, r.accepted_moves);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Incremental reuse is invisible: scoring a deployment after the
+    /// evaluator has installed (and incrementally evicted around)
+    /// other deployments reproduces a fresh evaluator's very first
+    /// evaluation of that deployment, field by field.
+    #[test]
+    fn reused_scoring_matches_fresh_experiment_scoring(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        k in 2usize..5,
+        flows in 50usize..90,
+    ) {
+        let mut reused = evaluator(flows, 1);
+        let a = Deployment::new(
+            RandomPlacer::construct(&reused, k, seed_a).expect("k fits"), k,
+        ).expect("distinct sites");
+        let b = Deployment::new(
+            RandomPlacer::construct(&reused, k, seed_b).expect("k fits"), k,
+        ).expect("distinct sites");
+        let greedy = Deployment::new(
+            GreedyPlacer::construct(&reused, k).expect("k fits"), k,
+        ).expect("distinct sites");
+        // Drag the reused evaluator through unrelated deployments so
+        // its caches carry real history before the measured score.
+        reused.score(&b);
+        reused.score(&greedy);
+        reused.score(&b);
+        let via_reuse = reused.score(&a);
+        prop_assert!(reused.routes_evicted() > 0, "site moves must evict something");
+
+        let fresh = evaluator(flows, 1).score(&a);
+        prop_assert_eq!(via_reuse.value.to_bits(), fresh.value.to_bits());
+        prop_assert_eq!(via_reuse.delivery_rate.to_bits(), fresh.delivery_rate.to_bits());
+        prop_assert_eq!(via_reuse.p99_latency_ms.to_bits(), fresh.p99_latency_ms.to_bits());
+        prop_assert_eq!(via_reuse.digest, fresh.digest);
+        prop_assert_eq!(via_reuse.worlds.len(), fresh.worlds.len());
+        for (r, f) in via_reuse.worlds.iter().zip(&fresh.worlds) {
+            prop_assert_eq!(&r.label, &f.label);
+            prop_assert_eq!(r.delivered, f.delivered);
+            prop_assert_eq!(r.flows, f.flows);
+            prop_assert_eq!(r.delivery_rate.to_bits(), f.delivery_rate.to_bits());
+            prop_assert_eq!(r.p99_latency_ms.to_bits(), f.p99_latency_ms.to_bits());
+            prop_assert_eq!(r.fleet_digest, f.fleet_digest);
+        }
+    }
+}

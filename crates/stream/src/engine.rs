@@ -110,6 +110,19 @@ pub struct StreamConfig {
     pub service: ServiceModel,
     /// Route-cache invalidation policy at mid-stream event barriers.
     pub invalidation: InvalidationPolicy,
+    /// Fraction of offered flows classed [`FlowClass::Emergency`],
+    /// drawn per flow from a dedicated seeded sub-stream
+    /// ([`DOMAIN_CLASS`]) — a pure function of `(seed, flow.id)`, so
+    /// class assignment is worker-count invariant. `0.0` (the default)
+    /// keeps every flow [`FlowClass::Bulk`] and the engine
+    /// byte-identical to its single-class behavior.
+    pub emergency_fraction: f64,
+    /// Queue slots per server reserved for emergency flows: bulk
+    /// arrivals shed [`ShedReason::Backpressure`] at depth
+    /// `queue_capacity − priority_reserve`, emergency arrivals only at
+    /// the full capacity. `0` (the default) disables the reservation.
+    /// Must be strictly less than `queue_capacity`.
+    pub priority_reserve: usize,
 }
 
 impl Default for StreamConfig {
@@ -123,6 +136,8 @@ impl Default for StreamConfig {
             deadline_ms: 250.0,
             service: ServiceModel::default(),
             invalidation: InvalidationPolicy::Incremental,
+            emergency_fraction: 0.0,
+            priority_reserve: 0,
         }
     }
 }
@@ -169,6 +184,17 @@ impl StreamConfig {
         if self.use_hier_planner && exp.hier_planner().is_none() {
             return Err(StreamError::HierPlannerNotEnabled);
         }
+        if !self.emergency_fraction.is_finite() || !(0.0..=1.0).contains(&self.emergency_fraction) {
+            return Err(StreamError::InvalidEmergencyFraction {
+                value: self.emergency_fraction,
+            });
+        }
+        if self.priority_reserve >= self.queue_capacity {
+            return Err(StreamError::ReserveExceedsCapacity {
+                reserve: self.priority_reserve,
+                capacity: self.queue_capacity,
+            });
+        }
         Ok(())
     }
 }
@@ -200,6 +226,21 @@ pub enum StreamError {
     /// [`StreamConfig::use_hier_planner`] was set but
     /// [`CityExperiment::enable_hier`] never ran on the experiment.
     HierPlannerNotEnabled,
+    /// [`StreamConfig::emergency_fraction`] was non-finite or outside
+    /// `[0, 1]`.
+    InvalidEmergencyFraction {
+        /// The rejected fraction.
+        value: f64,
+    },
+    /// [`StreamConfig::priority_reserve`] was at least
+    /// [`StreamConfig::queue_capacity`] — bulk flows would have no
+    /// admissible depth at all.
+    ReserveExceedsCapacity {
+        /// The rejected reservation.
+        reserve: usize,
+        /// The queue capacity it must stay under.
+        capacity: usize,
+    },
     /// The timeline carries events but the experiment has no fault
     /// state for them to mutate.
     MissingFaultState,
@@ -256,6 +297,20 @@ impl std::fmt::Display for StreamError {
                      to have run on the experiment"
                 )
             }
+            StreamError::InvalidEmergencyFraction { value } => {
+                write!(
+                    f,
+                    "StreamConfig::emergency_fraction must lie in [0, 1], got {value}"
+                )
+            }
+            StreamError::ReserveExceedsCapacity { reserve, capacity } => {
+                write!(
+                    f,
+                    "StreamConfig::priority_reserve ({reserve}) must be strictly less \
+                     than queue_capacity ({capacity}); bulk flows need at least one \
+                     admissible slot"
+                )
+            }
             StreamError::MissingFaultState => {
                 write!(
                     f,
@@ -286,6 +341,34 @@ impl std::fmt::Display for StreamError {
 }
 
 impl std::error::Error for StreamError {}
+
+/// Sub-stream domain for per-flow admission-class draws
+/// ([`StreamConfig::emergency_fraction`]).
+pub const DOMAIN_CLASS: u64 = 0xC1A5;
+
+/// An offered flow's admission class. Class is decided per flow from a
+/// seeded sub-stream of its id ([`DOMAIN_CLASS`]), never from queue
+/// state, so it is a pure function of `(workload, config)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowClass {
+    /// Priority traffic (SOS check-ins, dispatch): admitted up to the
+    /// full queue capacity, including the reserved headroom.
+    Emergency,
+    /// Everything else: sheds backpressure once depth reaches
+    /// `queue_capacity − priority_reserve`, leaving the reserve for
+    /// emergency arrivals.
+    Bulk,
+}
+
+impl FlowClass {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowClass::Emergency => "emergency",
+            FlowClass::Bulk => "bulk",
+        }
+    }
+}
 
 /// Why an arrival was turned away. Shedding is always explicit: every
 /// offered flow ends up in exactly one of
@@ -343,7 +426,12 @@ pub enum Admission {
 /// An arrival at `t` first retires every completion `≤ t` (those
 /// flows have left the system), then decides from the surviving depth:
 ///
-/// 1. **depth ≥ capacity** → shed, [`ShedReason::Backpressure`];
+/// 1. **depth ≥ the class cap** → shed,
+///    [`ShedReason::Backpressure`]. The cap is the full capacity for
+///    [`FlowClass::Emergency`] arrivals and `capacity −
+///    priority_reserve` for [`FlowClass::Bulk`] — with a nonzero
+///    reserve the last slots are headroom only priority traffic may
+///    occupy, so emergency preempts bulk at the admission door;
 /// 2. **wait > deadline** → shed, [`ShedReason::Deadline`] — decided
 ///    *before* planning or simulating, so overload never wastes work
 ///    on flows that would be discarded anyway;
@@ -362,6 +450,7 @@ pub struct ServerQueue {
     head: usize,
     len: usize,
     deadline_ms: f64,
+    bulk_cap: usize,
     rung_trace: usize,
     rung_retry: usize,
     high_water: usize,
@@ -376,6 +465,9 @@ impl ServerQueue {
             head: 0,
             len: 0,
             deadline_ms: cfg.deadline_ms,
+            // Validation rejects reserve ≥ capacity; clamp anyway so a
+            // hand-built queue still admits at least one bulk flow.
+            bulk_cap: cap.saturating_sub(cfg.priority_reserve).max(1),
             rung_trace: cap.div_ceil(2),
             rung_retry: (3 * cap).div_ceil(4),
             high_water: 0,
@@ -397,17 +489,28 @@ impl ServerQueue {
         self.high_water
     }
 
-    /// Offers an arrival at modeled time `arrival_ms`; see the type
-    /// docs for the decision ladder. Arrivals must be offered in
-    /// nondecreasing time order.
+    /// Offers a [`FlowClass::Bulk`] arrival at modeled time
+    /// `arrival_ms` — with a zero reserve this is the whole admission
+    /// story; see [`ServerQueue::offer_class`].
     pub fn offer(&mut self, arrival_ms: f64) -> Admission {
+        self.offer_class(arrival_ms, FlowClass::Bulk)
+    }
+
+    /// Offers an arrival of `class` at modeled time `arrival_ms`; see
+    /// the type docs for the decision ladder. Arrivals must be offered
+    /// in nondecreasing time order.
+    pub fn offer_class(&mut self, arrival_ms: f64, class: FlowClass) -> Admission {
         let cap = self.capacity();
         while self.len > 0 && self.completions[self.head] <= arrival_ms {
             self.head = (self.head + 1) % cap;
             self.len -= 1;
         }
         let depth = self.len;
-        if depth >= cap {
+        let class_cap = match class {
+            FlowClass::Emergency => cap,
+            FlowClass::Bulk => self.bulk_cap,
+        };
+        if depth >= class_cap {
             return Admission::Shed {
                 reason: ShedReason::Backpressure,
                 depth: depth as u32,
@@ -452,6 +555,7 @@ enum FlowRecord {
     Shed {
         reason: ShedReason,
         depth: u32,
+        class: FlowClass,
     },
     Served {
         outcome: PairOutcome,
@@ -460,6 +564,7 @@ enum FlowRecord {
         depth: u32,
         shed_tracing: bool,
         retry_capped: bool,
+        class: FlowClass,
     },
 }
 
@@ -486,6 +591,17 @@ pub struct StreamReport {
     /// Admitted flows that crossed degradation rung 2 (retry ladder
     /// capped to one attempt).
     pub degraded_retry: u64,
+    /// Offered flows classed [`FlowClass::Emergency`]. Zero unless
+    /// [`StreamConfig::emergency_fraction`] is set; the per-class
+    /// counters join the digest only when this is nonzero, so
+    /// single-class runs keep their historical digests.
+    pub offered_emergency: u64,
+    /// Offered flows classed [`FlowClass::Bulk`].
+    pub offered_bulk: u64,
+    /// Emergency flows shed (either reason).
+    pub shed_emergency: u64,
+    /// Bulk flows shed (either reason).
+    pub shed_bulk: u64,
     /// Delivery outcomes of the *admitted* flows, folded exactly as
     /// the fleet engine folds a batch — on an underloaded stream this
     /// digest equals a plain `run_fleet` over the same flows and seed.
@@ -526,6 +642,10 @@ impl StreamReport {
             shed_deadline: 0,
             degraded_tracing: 0,
             degraded_retry: 0,
+            offered_emergency: 0,
+            offered_bulk: 0,
+            shed_emergency: 0,
+            shed_bulk: 0,
             fleet: FleetReport::empty(),
             // Millisecond scales: 10 µs floor, ~10 % resolution.
             sojourn_ms: Histogram::new(1e-2, 1.1),
@@ -569,6 +689,24 @@ impl StreamReport {
         self.sojourn_ms.quantile(q)
     }
 
+    /// Shed fraction among emergency-class flows (0 when none were
+    /// offered).
+    pub fn emergency_shed_rate(&self) -> f64 {
+        if self.offered_emergency == 0 {
+            return 0.0;
+        }
+        self.shed_emergency as f64 / self.offered_emergency as f64
+    }
+
+    /// Shed fraction among bulk-class flows (0 when none were
+    /// offered).
+    pub fn bulk_shed_rate(&self) -> f64 {
+        if self.offered_bulk == 0 {
+            return 0.0;
+        }
+        self.shed_bulk as f64 / self.offered_bulk as f64
+    }
+
     /// A 64-bit digest over every deterministic field. Equal digests ⇒
     /// byte-identical aggregate results; the engine's "N workers ==
     /// serial" invariant is checked by comparing these.
@@ -584,6 +722,15 @@ impl StreamReport {
         mix(self.shed_deadline);
         mix(self.degraded_tracing);
         mix(self.degraded_retry);
+        // Two-class admission is strictly opt-in: the class counters
+        // join the digest only when emergency traffic exists, so
+        // single-class runs keep their historical digests bit-for-bit.
+        if self.offered_emergency > 0 {
+            mix(self.offered_emergency);
+            mix(self.offered_bulk);
+            mix(self.shed_emergency);
+            mix(self.shed_bulk);
+        }
         mix(self.fleet.digest());
         mix(self.sojourn_ms.fingerprint());
         mix(self.wait_ms.fingerprint());
@@ -776,10 +923,24 @@ pub fn try_run_stream(
         debug_assert_eq!(*id, spec.id, "flows must be sorted by ascending id");
         report.offered += 1;
         match rec {
-            FlowRecord::Shed { reason, depth } => {
+            FlowRecord::Shed {
+                reason,
+                depth,
+                class,
+            } => {
                 match reason {
                     ShedReason::Backpressure => report.shed_backpressure += 1,
                     ShedReason::Deadline => report.shed_deadline += 1,
+                }
+                match class {
+                    FlowClass::Emergency => {
+                        report.offered_emergency += 1;
+                        report.shed_emergency += 1;
+                    }
+                    FlowClass::Bulk => {
+                        report.offered_bulk += 1;
+                        report.shed_bulk += 1;
+                    }
                 }
                 report.queue_depth.record(f64::from(*depth));
             }
@@ -790,7 +951,12 @@ pub fn try_run_stream(
                 depth,
                 shed_tracing,
                 retry_capped,
+                class,
             } => {
+                match class {
+                    FlowClass::Emergency => report.offered_emergency += 1,
+                    FlowClass::Bulk => report.offered_bulk += 1,
+                }
                 report.admitted += 1;
                 report.fleet.absorb_outcome(spec, outcome);
                 report.wait_ms.record(*wait_ms);
@@ -865,7 +1031,19 @@ fn run_epoch(
         for (j, q) in qs.iter_mut().enumerate() {
             let s = (base + j) as u64;
             for flow in slice.iter().filter(|f| f.id % servers as u64 == s) {
-                match q.offer(flow.arrival_ms) {
+                // Class is a pure function of (seed, flow.id) — never
+                // of queue state — so it survives any worker layout.
+                let class = if cfg.emergency_fraction > 0.0 {
+                    let mut rng = SimRng::new(substream_seed(cfg.seed, DOMAIN_CLASS, flow.id));
+                    if rng.chance(cfg.emergency_fraction) {
+                        FlowClass::Emergency
+                    } else {
+                        FlowClass::Bulk
+                    }
+                } else {
+                    FlowClass::Bulk
+                };
+                match q.offer_class(flow.arrival_ms, class) {
                     Admission::Shed { reason, depth } => {
                         if let Some(m) = y.metrics.as_mut() {
                             m.inc(match reason {
@@ -874,8 +1052,14 @@ fn run_epoch(
                             });
                             m.observe(tm::QUEUE_DEPTH, u64::from(depth));
                         }
-                        y.records
-                            .push((flow.id, FlowRecord::Shed { reason, depth }));
+                        y.records.push((
+                            flow.id,
+                            FlowRecord::Shed {
+                                reason,
+                                depth,
+                                class,
+                            },
+                        ));
                     }
                     Admission::Admit {
                         start_ms,
@@ -949,6 +1133,7 @@ fn run_epoch(
                                 depth,
                                 shed_tracing,
                                 retry_capped: cap_retries,
+                                class,
                             },
                         ));
                     }
@@ -1407,6 +1592,140 @@ mod tests {
     }
 
     #[test]
+    fn reserved_headroom_admits_emergency_after_bulk_sheds() {
+        let cfg = StreamConfig {
+            queue_capacity: 4,
+            priority_reserve: 2,
+            deadline_ms: f64::INFINITY,
+            ..StreamConfig::default()
+        };
+        let mut q = ServerQueue::new(&cfg);
+        // Two long jobs fill the bulk share (capacity 4 − reserve 2).
+        for t in [0.0, 0.5] {
+            match q.offer_class(t, FlowClass::Bulk) {
+                Admission::Admit { start_ms, .. } => {
+                    q.commit(start_ms, 1000.0);
+                }
+                other => panic!("expected bulk admit at t={t}, got {other:?}"),
+            }
+        }
+        // The next bulk arrival sheds; an emergency arrival at the very
+        // same instant still gets a reserved slot.
+        assert_eq!(
+            q.offer_class(1.0, FlowClass::Bulk),
+            Admission::Shed {
+                reason: ShedReason::Backpressure,
+                depth: 2
+            }
+        );
+        match q.offer_class(1.0, FlowClass::Emergency) {
+            Admission::Admit {
+                start_ms, depth, ..
+            } => {
+                assert_eq!(depth, 2);
+                q.commit(start_ms, 1000.0);
+            }
+            other => panic!("expected emergency admit, got {other:?}"),
+        }
+        match q.offer_class(1.5, FlowClass::Emergency) {
+            Admission::Admit {
+                start_ms, depth, ..
+            } => {
+                assert_eq!(depth, 3);
+                q.commit(start_ms, 1000.0);
+            }
+            other => panic!("expected emergency admit, got {other:?}"),
+        }
+        // Full is full, even for emergency traffic.
+        assert_eq!(
+            q.offer_class(2.0, FlowClass::Emergency),
+            Admission::Shed {
+                reason: ShedReason::Backpressure,
+                depth: 4
+            }
+        );
+    }
+
+    #[test]
+    fn priority_classes_shed_bulk_before_emergency_at_overload() {
+        // 2 servers at ~2 ms base service ≈ 1000 flows/s of capacity,
+        // offered ~4000/s: sustained backpressure. With a quarter of
+        // the queue reserved, emergency flows must shed at a strictly
+        // lower rate than bulk.
+        let exp = world(31);
+        let flows = poisson_flows(&exp, 1500, 4000.0, 31);
+        let tl = empty_timeline(&exp);
+        let cfg = StreamConfig {
+            workers: 1,
+            servers: 2,
+            seed: 31,
+            queue_capacity: 16,
+            priority_reserve: 4,
+            emergency_fraction: 0.25,
+            deadline_ms: f64::INFINITY,
+            ..StreamConfig::default()
+        };
+        let (r, _) = run_stream(&exp, &flows, &tl, &cfg, &TelemetryConfig::off());
+        assert_eq!(r.offered_emergency + r.offered_bulk, r.offered);
+        assert_eq!(r.shed_emergency + r.shed_bulk, r.shed());
+        assert!(r.offered_emergency > 100, "fraction 0.25 of 1500 flows");
+        assert!(r.shed_bulk > 0, "4x overload must shed bulk");
+        assert!(
+            r.emergency_shed_rate() < r.bulk_shed_rate(),
+            "reserved headroom must protect emergency traffic: \
+             emergency {:.3} vs bulk {:.3}",
+            r.emergency_shed_rate(),
+            r.bulk_shed_rate()
+        );
+        // Class assignment is a pure function of (seed, flow.id), so
+        // the invariance headline survives the two-class path.
+        let parallel = run_stream(
+            &exp,
+            &flows,
+            &tl,
+            &StreamConfig { workers: 4, ..cfg },
+            &TelemetryConfig::off(),
+        )
+        .0;
+        assert_eq!(r.digest(), parallel.digest(), "1 vs 4 workers with classes");
+    }
+
+    #[test]
+    fn class_split_with_zero_reserve_keeps_outcomes() {
+        // With no reserved headroom both classes share one cap, so
+        // classing flows changes only the accounting: every legacy
+        // field matches the single-class run bit-for-bit, and only the
+        // per-class counters (which then join the digest) differ.
+        let exp = world(32);
+        let flows = poisson_flows(&exp, 800, 3000.0, 32);
+        let tl = empty_timeline(&exp);
+        let plain = StreamConfig {
+            servers: 2,
+            seed: 32,
+            queue_capacity: 16,
+            deadline_ms: 50.0,
+            ..StreamConfig::default()
+        };
+        let classed = StreamConfig {
+            emergency_fraction: 0.3,
+            ..plain
+        };
+        let (p, _) = run_stream(&exp, &flows, &tl, &plain, &TelemetryConfig::off());
+        let (c, _) = run_stream(&exp, &flows, &tl, &classed, &TelemetryConfig::off());
+        assert_eq!(p.offered_emergency, 0, "default config stays single-class");
+        assert!(c.offered_emergency > 0);
+        assert_eq!(p.admitted, c.admitted);
+        assert_eq!(p.shed_backpressure, c.shed_backpressure);
+        assert_eq!(p.shed_deadline, c.shed_deadline);
+        assert_eq!(p.fleet.digest(), c.fleet.digest());
+        assert_ne!(
+            p.digest(),
+            c.digest(),
+            "emergency traffic folds the class counters into the digest"
+        );
+    }
+
+    #[test]
     fn config_validation_types_every_rejection() {
         let exp = world(28);
         let ok = StreamConfig::default();
@@ -1466,6 +1785,31 @@ mod tests {
                     ..ok
                 },
                 StreamError::HierPlannerNotEnabled,
+            ),
+            (
+                StreamConfig {
+                    emergency_fraction: 1.5,
+                    ..ok
+                },
+                StreamError::InvalidEmergencyFraction { value: 1.5 },
+            ),
+            (
+                StreamConfig {
+                    emergency_fraction: -0.1,
+                    ..ok
+                },
+                StreamError::InvalidEmergencyFraction { value: -0.1 },
+            ),
+            (
+                StreamConfig {
+                    queue_capacity: 8,
+                    priority_reserve: 8,
+                    ..ok
+                },
+                StreamError::ReserveExceedsCapacity {
+                    reserve: 8,
+                    capacity: 8,
+                },
             ),
         ];
         for (cfg, want) in cases {

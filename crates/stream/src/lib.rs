@@ -22,6 +22,12 @@
 //!   sheds *optional* work first — trace capture at half capacity,
 //!   retry-ladder rungs at three quarters — and whole flows only at
 //!   the top. Load shedding is the last rung, not the first.
+//! * **two-class priority admission**: an optional per-server headroom
+//!   ([`StreamConfig::priority_reserve`]) that only
+//!   [`FlowClass::Emergency`] arrivals may occupy. Class is drawn per
+//!   flow from a seeded sub-stream, so under overload emergency
+//!   traffic keeps getting through while bulk sheds first —
+//!   deterministically.
 //! * **mid-stream churn**: a [`Timeline`](citymesh_dynamics::Timeline)
 //!   of world events applies at epoch barriers exactly as in
 //!   `citymesh-dynamics`, with incremental route-cache invalidation;
@@ -78,6 +84,6 @@ pub use arrivals::{
     generate_stream_flows, try_generate_stream_flows, ArrivalProcess, StreamWorkload,
 };
 pub use engine::{
-    run_stream, try_run_stream, Admission, ServerQueue, ServiceModel, ShedReason, StreamConfig,
-    StreamError, StreamReport,
+    run_stream, try_run_stream, Admission, FlowClass, ServerQueue, ServiceModel, ShedReason,
+    StreamConfig, StreamError, StreamReport, DOMAIN_CLASS,
 };

@@ -56,7 +56,8 @@
 //! | [`telemetry`] | metrics registry, flow tracer, failure postmortems |
 //! | [`baselines`] | flooding, greedy geographic, reactive repair, MANET cost models |
 //! | [`dynamics`] | churn engine: event timelines, epoch barriers, cache invalidation |
-//! | [`stream`] | always-on engine: open-loop arrivals, backpressure, load shedding |
+//! | [`stream`] | always-on engine: open-loop arrivals, backpressure, load shedding, priority classes |
+//! | [`place`] | deployment optimization: hardened-site placement via greedy / simulated annealing |
 //! | [`measure`] | the synthetic §2 wardriving study |
 //!
 //! The [`DfnNetwork`] type in this crate wires all of it into a
@@ -76,6 +77,7 @@ pub use citymesh_graph as graph;
 pub use citymesh_map as map;
 pub use citymesh_measure as measure;
 pub use citymesh_net as net;
+pub use citymesh_place as place;
 pub use citymesh_simcore as simcore;
 pub use citymesh_stream as stream;
 pub use citymesh_telemetry as telemetry;
@@ -88,8 +90,9 @@ pub use network::{DfnNetwork, SendReceipt, User};
 pub mod prelude {
     pub use crate::network::{DfnNetwork, SendReceipt, User};
     pub use citymesh_core::{
-        CityExperiment, ExperimentConfig, FaultScenario, FaultState, HierParams, HierPlanScratch,
-        HierPlanner, HierStats, Postbox, RebroadcastScope, RecoveryStage, RetryPolicy,
+        CityExperiment, Deployment, ExperimentConfig, FaultScenario, FaultState, HierParams,
+        HierPlanScratch, HierPlanner, HierStats, Postbox, RebroadcastScope, RecoveryStage,
+        RetryPolicy,
     };
     pub use citymesh_crypto::{Keypair, NodeId, PostboxAddress};
     pub use citymesh_dynamics::{
@@ -102,10 +105,14 @@ pub mod prelude {
     pub use citymesh_geo::{Point, Polygon};
     pub use citymesh_map::{generate_metro, CityArchetype, CityMap, MetroParams};
     pub use citymesh_net::CityMeshHeader;
+    pub use citymesh_place::{
+        Annealer, Evaluator, GreedyPlacer, Metric, Objective, PlacementOptimizer, PlacementResult,
+        RandomPlacer, ScenarioSpec, Score,
+    };
     pub use citymesh_simcore::{SimRng, SimTime};
     pub use citymesh_stream::{
-        generate_stream_flows, run_stream, ArrivalProcess, ShedReason, StreamConfig, StreamReport,
-        StreamWorkload,
+        generate_stream_flows, run_stream, ArrivalProcess, FlowClass, ShedReason, StreamConfig,
+        StreamReport, StreamWorkload,
     };
     pub use citymesh_telemetry::{MetricSet, Postmortem, Rung, TelemetryConfig, TraceConfig};
 }
