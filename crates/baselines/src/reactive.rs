@@ -102,6 +102,9 @@ pub fn deliver_with_local_repair(
             overhead: None,
             attempts: 0,
             recovered_by: None,
+            sealed: false,
+            opened: false,
+            auth_failed: false,
         },
         repairs: 0,
         full_replans: 0,
@@ -336,6 +339,9 @@ mod tests {
                 overhead: None,
                 attempts: 0,
                 recovered_by: None,
+                sealed: false,
+                opened: false,
+                auth_failed: false,
             },
             repairs: 0,
             full_replans: 0,

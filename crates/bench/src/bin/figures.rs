@@ -8,7 +8,7 @@
 //!
 //! Artifacts: `table1 fig1a fig1b fig2 fig5 fig6 fig7 headers scaling
 //! ablations fleet planner resilience churn telemetry metro
-//! streaming placement`. Text goes to stdout; SVGs are written to `figures/`;
+//! streaming placement crypto`. Text goes to stdout; SVGs are written to `figures/`;
 //! the fleet sweep writes `BENCH_fleet.json`, the planner sweep
 //! `BENCH_planner.json`, the resilience sweep `BENCH_resilience.json`,
 //! the churn sweep `BENCH_churn.json`, the telemetry sweep
@@ -31,7 +31,10 @@
 //! The `placement` artifact takes `--smoke` as well: a downtown-only
 //! deployment search that *asserts* the annealed placement does not
 //! trail the random baseline on blackout delivery rate and prints the
-//! annealed score digest CI pins. Every sweep ends with a `[sweep …]`
+//! annealed score digest CI pins. The `crypto` artifact writes
+//! `BENCH_crypto.json` and under `--smoke` *asserts* that warm
+//! encrypted throughput stays within 2x of plaintext at every worker
+//! count. Every sweep ends with a `[sweep …]`
 //! line reporting its wall time
 //! and the process peak RSS so regressions in either are visible from
 //! the log alone.
@@ -41,8 +44,9 @@ use std::path::Path;
 
 use citymesh_bench::sweep::SweepTimer;
 use citymesh_bench::{
-    ablation, churn_figs, eval_figs, fleet_figs, metro_figs, placement_figs, planner_figs, render,
-    resilience_figs, scaling, streaming_figs, survey_figs, telemetry_figs, text,
+    ablation, churn_figs, crypto_figs, eval_figs, fleet_figs, metro_figs, placement_figs,
+    planner_figs, render, resilience_figs, scaling, streaming_figs, survey_figs, telemetry_figs,
+    text,
 };
 use citymesh_core::{
     compress_route, place_aps, plan_route, postbox_ap, simulate_delivery, ApGraph, BuildingGraph,
@@ -1059,6 +1063,82 @@ fn main() {
         .expect("write BENCH_streaming.json");
         println!("wrote BENCH_streaming.json");
         sweep.finish("streaming");
+    }
+
+    if want("crypto") {
+        let sweep = SweepTimer::start();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let flows = flows_override.unwrap_or(if smoke {
+            400
+        } else if opts.fast {
+            1_000
+        } else {
+            10_000
+        });
+        let worker_counts: Vec<usize> = match workers_override {
+            Some(w) => vec![w.max(1)],
+            None => vec![1, 4, 8],
+        };
+        eprintln!(
+            "[running the secure-message-plane sweep: {flows} flows × workers {worker_counts:?} \
+             × plaintext/encrypted-cold/encrypted-warm…]"
+        );
+        let figs = crypto_figs::run_crypto_figs(SEED, flows, &worker_counts);
+        println!(
+            "== crypto: secure message plane cost ({}, {} buildings, {} flows) ==",
+            figs.city, figs.buildings, figs.flows
+        );
+        let rows: Vec<Vec<String>> = figs
+            .runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.label().to_string(),
+                    r.workers.to_string(),
+                    format!("{:.0}", r.flows_per_sec),
+                    r.keys_derived.to_string(),
+                    format!("{:016x}", r.digest),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text::table(
+                &["mode", "workers", "flows/s", "keys derived", "digest"],
+                &rows
+            )
+        );
+        let plain = figs.rate(crypto_figs::CryptoMode::Plaintext, worker_counts[0]);
+        let warm = figs.rate(crypto_figs::CryptoMode::EncryptedWarm, worker_counts[0]);
+        println!(
+            "all plaintext digests agree; all encrypted digests agree across cache \
+             temperature and workers; both modes deliver the same flow set"
+        );
+        println!(
+            "warm encrypted: {:.2}x plaintext throughput at {} worker(s) \
+             (encrypted-downtown digest {:016x})\n",
+            if plain > 0.0 { warm / plain } else { 0.0 },
+            worker_counts[0],
+            figs.encrypted_digest
+        );
+        if smoke {
+            for &w in &worker_counts {
+                let plain = figs.rate(crypto_figs::CryptoMode::Plaintext, w);
+                let warm = figs.rate(crypto_figs::CryptoMode::EncryptedWarm, w);
+                assert!(
+                    warm >= 0.5 * plain,
+                    "smoke gate: warm encrypted throughput ({warm:.0}/s) must stay within \
+                     2x of plaintext ({plain:.0}/s) at {w} worker(s)"
+                );
+            }
+            println!(
+                "smoke gate passed: warm encrypted within 2x of plaintext at every worker count"
+            );
+        }
+        fs::write("BENCH_crypto.json", crypto_figs::to_json(&figs).render())
+            .expect("write BENCH_crypto.json");
+        println!("wrote BENCH_crypto.json");
+        sweep.finish("crypto");
     }
 
     if want("placement") {

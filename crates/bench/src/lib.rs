@@ -41,6 +41,9 @@
 //! * [`placement_figs`] — deployment optimization: random vs greedy vs
 //!   annealed hardened-site placement per archetype, healthy and
 //!   blackout (`BENCH_placement.json`).
+//! * [`crypto_figs`] — secure message plane cost: plaintext vs
+//!   encrypted-cold vs encrypted-warm fleet throughput with
+//!   digest-checked outcome equality (`BENCH_crypto.json`).
 //! * [`sweep`] — shared wall-time/peak-RSS instrumentation every sweep
 //!   reports through.
 
@@ -49,6 +52,7 @@
 
 pub mod ablation;
 pub mod churn_figs;
+pub mod crypto_figs;
 pub mod eval_figs;
 pub mod fleet_figs;
 pub mod metro_figs;

@@ -35,6 +35,10 @@
 //! * [`faults`] — deterministic fault injection (AP outages, district
 //!   blackouts, degraded radios, stale maps) and the sender's
 //!   graceful-degradation retry ladder.
+//! * [`secure`] — the secure message plane: deterministic per-building
+//!   keypairs (`NodeId = SHA-256(pubkey)`), the amortized per-pair
+//!   session-key cache, and key rotation with churn-style session
+//!   invalidation.
 //! * [`pipeline`] — one-call experiment runs producing the numbers
 //!   behind every figure (reachability, deliverability, overhead,
 //!   header sizes).
@@ -54,6 +58,7 @@ pub mod pipeline;
 pub mod placement;
 pub mod postbox;
 pub mod route;
+pub mod secure;
 pub mod sim;
 
 pub use agent::{ApAgent, RebroadcastScope};
@@ -80,6 +85,7 @@ pub use postbox::{Postbox, PostboxError, StoredMessage};
 pub use route::{
     plan_route, plan_route_avoiding, plan_route_avoiding_into, plan_route_into, RouteError,
 };
+pub use secure::{SecureState, TamperMode, DOMAIN_KEYS};
 pub use sim::{
     simulate_delivery, simulate_delivery_faulted, simulate_delivery_into, ApRole, DeliveryParams,
     DeliveryReport, DeliveryScratch, OverheadOutcome,

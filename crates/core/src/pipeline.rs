@@ -34,6 +34,7 @@ use crate::faults::{ApHealth, FaultScenario, FaultState, RecoveryStage, RetryPol
 use crate::hier::{HierPlanScratch, HierPlanner};
 use crate::placement::{place_aps, postbox_ap, Ap};
 use crate::route::{plan_route_avoiding, plan_route_avoiding_into, plan_route_into};
+use crate::secure::{SecureState, TamperMode};
 use crate::sim::{simulate_delivery_faulted, DeliveryParams, DeliveryScratch};
 use citymesh_telemetry::{FlowSummary, TraceEvent};
 
@@ -428,6 +429,17 @@ pub struct PairOutcome {
     /// more than one attempt. `None` for first-try deliveries and for
     /// failures.
     pub recovered_by: Option<RecoveryStage>,
+    /// Was the payload sealed under the secure message plane before
+    /// transmission? Always `false` on the plaintext path
+    /// ([`CityExperiment::simulate_flow_with`]).
+    pub sealed: bool,
+    /// Was the sealed payload delivered *and* opened successfully by
+    /// the receiver (header tag and AEAD tag both verified)?
+    pub opened: bool,
+    /// Did receiver-side authentication fail (tampered header or
+    /// ciphertext)? An auth failure forces `delivered: false` — a
+    /// forged message is never a delivery.
+    pub auth_failed: bool,
 }
 
 /// Aggregated per-city results.
@@ -594,6 +606,14 @@ pub struct CityExperiment {
     /// [`CityExperiment::set_deployment`] can restore a vacated
     /// site's APs to their un-hardened state.
     pristine_health: Option<Vec<ApHealth>>,
+    /// Secure message plane, installed by
+    /// [`CityExperiment::enable_encryption`]. `None` — the default —
+    /// leaves every plan, RNG stream, and digest untouched; `Some`
+    /// makes [`CityExperiment::simulate_flow_secure_with`] available.
+    /// Behind an `Arc` so experiment clones (the stream engine's
+    /// degraded twin) share one key registry and one warm session
+    /// cache.
+    secure: Option<Arc<SecureState>>,
 }
 
 impl CityExperiment {
@@ -652,6 +672,7 @@ impl CityExperiment {
             deployment: None,
             fallback_site: Vec::new(),
             pristine_health: None,
+            secure: None,
         }
     }
 
@@ -870,6 +891,44 @@ impl CityExperiment {
     /// [`CityExperiment::enable_hier`] has run.
     pub fn hier_planner(&self) -> Option<&HierPlanner> {
         self.hier.as_ref()
+    }
+
+    /// Installs the secure message plane: a deterministic per-building
+    /// keypair registry (drawn from the [`DOMAIN_KEYS`] sub-stream of
+    /// the experiment seed, so identical across workers and reruns)
+    /// plus an empty per-pair session-key cache. This is the one-time
+    /// prepare-phase cost of encryption; per-pair key derivation
+    /// afterwards is amortized by the cache, and per-message sealing is
+    /// symmetric-only. Makes
+    /// [`CityExperiment::simulate_flow_secure_with`] available.
+    ///
+    /// Strictly opt-in: never calling this leaves every RNG stream,
+    /// plan field, and digest bit-identical to a pre-encryption build.
+    ///
+    /// [`DOMAIN_KEYS`]: crate::secure::DOMAIN_KEYS
+    pub fn enable_encryption(&mut self) {
+        self.secure = Some(Arc::new(SecureState::new(self.config.seed, self.map.len())));
+    }
+
+    /// The secure message plane, when
+    /// [`CityExperiment::enable_encryption`] has run. Clones of this
+    /// experiment share the same state (same registry, same warm
+    /// cache).
+    pub fn secure_state(&self) -> Option<&Arc<SecureState>> {
+        self.secure.as_ref()
+    }
+
+    /// Rotates one building's keypair — the key-material analogue of a
+    /// churn event — evicting every cached session that touches it.
+    /// Returns the number of sessions evicted.
+    ///
+    /// # Panics
+    /// Panics when [`CityExperiment::enable_encryption`] has not run.
+    pub fn rotate_keys(&self, building: u32) -> usize {
+        self.secure
+            .as_ref()
+            .expect("CityExperiment::rotate_keys requires enable_encryption")
+            .rotate_keys(building)
     }
 
     /// The configuration in effect.
@@ -1207,6 +1266,9 @@ impl CityExperiment {
             overhead: None,
             attempts: 0,
             recovered_by: None,
+            sealed: false,
+            opened: false,
+            auth_failed: false,
         };
         if !plan.route_found() {
             finish_flow_trace(scratch, &outcome);
@@ -1340,6 +1402,121 @@ impl CityExperiment {
         outcome
     }
 
+    /// [`CityExperiment::simulate_flow_with`] over the secure message
+    /// plane: the payload is sealed under the per-pair session key
+    /// (ChaCha20-Poly1305, nonce from the message id) with an
+    /// HMAC-authenticated header before the delivery simulation, and
+    /// opened + verified by the receiver afterwards.
+    ///
+    /// **Delivery outcomes are unchanged.** Sealing draws no
+    /// randomness — the payload is a pure function of the message id,
+    /// the session key a pure function of the pair — so `delivered`,
+    /// `broadcasts`, `latency`, and every other plaintext field is
+    /// bit-identical to the plaintext path. Encryption adds *work*
+    /// (one ECDH + HKDF per pair, amortized by the session cache, plus
+    /// symmetric sealing per message) and the three secure outcome
+    /// fields (`sealed` / `opened` / `auth_failed`).
+    ///
+    /// Steady state stays allocation-free: a cache hit is a shard read
+    /// plus an `Arc` clone, sealing reuses the scratch's warmed
+    /// buffers, and only the per-pair derivation (the amortized cost)
+    /// allocates.
+    ///
+    /// # Panics
+    /// Panics when [`CityExperiment::enable_encryption`] has not run —
+    /// engines gate on their config's `encrypted` knob and validate
+    /// before any worker spawns.
+    pub fn simulate_flow_secure_with(
+        &self,
+        plan: &PlannedFlow,
+        msg_id: u64,
+        rng: &mut SimRng,
+        scratch: &mut DeliveryScratch,
+    ) -> PairOutcome {
+        self.simulate_flow_secure_tampered(plan, msg_id, rng, scratch, None)
+    }
+
+    /// [`CityExperiment::simulate_flow_secure_with`] with adversarial
+    /// fault injection: `tamper` corrupts the message between seal and
+    /// receiver-side open, exactly where an on-path adversary could.
+    /// A tampered flow that the simulation delivered must come back
+    /// `auth_failed: true, delivered: false` — a forged message is
+    /// never a delivery. `tamper: None` is the production path.
+    pub fn simulate_flow_secure_tampered(
+        &self,
+        plan: &PlannedFlow,
+        msg_id: u64,
+        rng: &mut SimRng,
+        scratch: &mut DeliveryScratch,
+        tamper: Option<TamperMode>,
+    ) -> PairOutcome {
+        let secure = self
+            .secure
+            .as_ref()
+            .expect("CityExperiment::simulate_flow_secure_with requires enable_encryption");
+        // Sender side: session key from the sharded cache (the
+        // derivation — ECDH + HKDF — runs once per pair), then seal
+        // the deterministic payload and authenticate the header.
+        let (key, derived) = secure.session(plan.src, plan.dst);
+        if derived {
+            scratch.keys_derived += 1;
+        }
+        fill_secure_payload(msg_id, &mut scratch.payload);
+        let aad = secure_header(plan.src, plan.dst, msg_id, plan.route_bits);
+        key.seal_into(msg_id, &aad, &scratch.payload, &mut scratch.sealed_buf);
+        let header_tag = key.header_tag(&aad);
+
+        // The delivery simulation is byte-identical to the plaintext
+        // path: sealing added work, not randomness.
+        let mut outcome = self.simulate_flow_with(plan, msg_id, rng, scratch);
+        outcome.sealed = true;
+        if !outcome.delivered {
+            // Nothing arrived; there is nothing to open (or forge).
+            return outcome;
+        }
+
+        // Receiver side: verify the header tag, then open. Tamper
+        // injection corrupts what the receiver sees, never what the
+        // sender computed.
+        let mut rx_header = aad;
+        match tamper {
+            Some(TamperMode::Header) => rx_header[0] ^= 0x01,
+            Some(TamperMode::Ciphertext) => {
+                if let Some(byte) = scratch.sealed_buf.first_mut() {
+                    *byte ^= 0x01;
+                }
+            }
+            None => {}
+        }
+        let header_ok = key.verify_header(&rx_header, &header_tag);
+        let opened = header_ok
+            && key
+                .open_into(
+                    msg_id,
+                    &rx_header,
+                    &scratch.sealed_buf,
+                    &mut scratch.opened_buf,
+                )
+                .is_ok();
+        if opened {
+            debug_assert_eq!(
+                scratch.opened_buf, scratch.payload,
+                "AEAD round trip must reproduce the payload"
+            );
+            outcome.opened = true;
+        } else {
+            // Authentication failed: the transport delivered bytes,
+            // but they are not the sender's message. Explicitly not a
+            // delivery.
+            outcome.auth_failed = true;
+            outcome.delivered = false;
+            outcome.latency = None;
+            outcome.overhead = None;
+            outcome.recovered_by = None;
+        }
+        outcome
+    }
+
     /// Plans, compresses, simulates, and scores one pair.
     pub fn run_pair(&self, src: u32, dst: u32, msg_id: u64, rng: &mut SimRng) -> PairOutcome {
         let plan = self.plan_flow(src, dst);
@@ -1442,6 +1619,41 @@ fn fallback_site_table(map: &CityMap, sites: &[u32]) -> Vec<Option<u32>> {
             best.map(|(_, s)| s)
         })
         .collect()
+}
+
+/// Bytes of deterministic payload every sealed flow carries.
+const SECURE_PAYLOAD_LEN: usize = 64;
+
+/// Fills `out` with the flow's deterministic payload: a SplitMix64
+/// expansion of the message id. A pure function of `msg_id` — crucially
+/// **not** a draw from the flow's simulation RNG stream, so enabling
+/// encryption leaves every delivery outcome bit-identical, and a warm
+/// (cached-session) run reproduces a cold run exactly.
+fn fill_secure_payload(msg_id: u64, out: &mut Vec<u8>) {
+    out.clear();
+    let mut x = msg_id;
+    for _ in 0..SECURE_PAYLOAD_LEN / 8 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.extend_from_slice(&z.to_le_bytes());
+    }
+}
+
+/// The authenticated header bytes: the flow's identity and routing
+/// commitment `(src, dst, msg_id, route_bits)`, fixed-size so the hot
+/// path builds it on the stack. Doubles as the AEAD's associated data,
+/// binding ciphertext to header — swapping either between flows fails
+/// authentication.
+fn secure_header(src: u32, dst: u32, msg_id: u64, route_bits: usize) -> [u8; 24] {
+    let mut header = [0u8; 24];
+    header[..4].copy_from_slice(&src.to_le_bytes());
+    header[4..8].copy_from_slice(&dst.to_le_bytes());
+    header[8..16].copy_from_slice(&msg_id.to_le_bytes());
+    header[16..].copy_from_slice(&(route_bits as u64).to_le_bytes());
+    header
 }
 
 /// Closes the scratch's active flow trace with the outcome's summary

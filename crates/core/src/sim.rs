@@ -233,6 +233,19 @@ pub struct DeliveryScratch {
     /// disabled every tracer call is a branch, preserving the
     /// zero-allocation steady state.
     pub(crate) tracer: FlowTracer,
+    /// Secure-plane buffers, used only by
+    /// `CityExperiment::simulate_flow_secure_with`: the deterministic
+    /// plaintext payload, the sealed ciphertext‖tag, and the
+    /// receiver-side opened plaintext. Their capacities warm up on the
+    /// first sealed flow and are reused after that, keeping the
+    /// encrypted steady state allocation-free.
+    pub(crate) payload: Vec<u8>,
+    pub(crate) sealed_buf: Vec<u8>,
+    pub(crate) opened_buf: Vec<u8>,
+    /// Session keys this scratch's owner derived on cache misses —
+    /// the amortized cost. Schedule-dependent (racing workers may
+    /// double-derive), so telemetry-only.
+    pub(crate) keys_derived: u64,
 }
 
 impl Default for DeliveryScratch {
@@ -278,7 +291,19 @@ impl DeliveryScratch {
                 encoding: RouteEncoding::Absolute,
             },
             tracer: FlowTracer::new(cfg),
+            payload: Vec::new(),
+            sealed_buf: Vec::new(),
+            opened_buf: Vec::new(),
+            keys_derived: 0,
         }
+    }
+
+    /// Session-key derivations performed through this scratch by the
+    /// secure flow path — the amortized (cache-miss) cost. Schedule-
+    /// dependent across workers, so engines report it as digest-
+    /// excluded telemetry only. `0` on the plaintext path.
+    pub fn keys_derived(&self) -> u64 {
+        self.keys_derived
     }
 
     /// The report of the most recent [`simulate_delivery_into`] run.

@@ -50,11 +50,30 @@ fn pad16(len: usize) -> usize {
 /// Encrypts `plaintext` with associated data `aad`; returns
 /// `ciphertext ‖ tag`.
 pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-    let mut out = plaintext.to_vec();
-    chacha20::xor_stream(key, nonce, 1, &mut out);
-    let tag = compute_tag(key, nonce, aad, &out);
-    out.extend_from_slice(&tag);
+    let mut out = Vec::new();
+    seal_into(key, nonce, aad, plaintext, &mut out);
     out
+}
+
+/// [`seal`] into a caller-owned buffer: `out` is cleared and refilled
+/// with `ciphertext ‖ tag`.
+///
+/// Once `out`'s capacity has grown past `plaintext.len() + TAG_LEN` it
+/// is never reallocated, so a scratch buffer reused across messages
+/// makes sealing allocation-free in steady state — the property the
+/// secure message plane's hot path is built on.
+pub fn seal_into(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    plaintext: &[u8],
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.extend_from_slice(plaintext);
+    chacha20::xor_stream(key, nonce, 1, out);
+    let tag = compute_tag(key, nonce, aad, out);
+    out.extend_from_slice(&tag);
 }
 
 /// Decrypts `ciphertext ‖ tag` produced by [`seal`], verifying `aad`.
@@ -67,6 +86,25 @@ pub fn open(
     aad: &[u8],
     sealed: &[u8],
 ) -> Result<Vec<u8>, AeadError> {
+    let mut out = Vec::new();
+    open_into(key, nonce, aad, sealed, &mut out)?;
+    Ok(out)
+}
+
+/// [`open`] into a caller-owned buffer: on success `out` is cleared
+/// and refilled with the plaintext; on authentication failure `out` is
+/// left cleared and nothing is decrypted.
+///
+/// Like [`seal_into`], a reused scratch buffer makes receiving
+/// allocation-free once warm.
+pub fn open_into(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    sealed: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), AeadError> {
+    out.clear();
     if sealed.len() < TAG_LEN {
         return Err(AeadError);
     }
@@ -75,9 +113,9 @@ pub fn open(
     if !crate::ct_eq(&expected, tag) {
         return Err(AeadError);
     }
-    let mut out = ciphertext.to_vec();
-    chacha20::xor_stream(key, nonce, 1, &mut out);
-    Ok(out)
+    out.extend_from_slice(ciphertext);
+    chacha20::xor_stream(key, nonce, 1, out);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -166,6 +204,31 @@ mod tests {
         let nonce = [0u8; 12];
         assert_eq!(open(&key, &nonce, b"", &[]), Err(AeadError));
         assert_eq!(open(&key, &nonce, b"", &[0u8; 15]), Err(AeadError));
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_capacity() {
+        let key = [5u8; 32];
+        let nonce = [6u8; 12];
+        let mut sealed = Vec::new();
+        let mut opened = Vec::new();
+        for len in [0usize, 1, 64, 100, 7] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 17) as u8).collect();
+            seal_into(&key, &nonce, b"aad", &pt, &mut sealed);
+            assert_eq!(sealed, seal(&key, &nonce, b"aad", &pt));
+            open_into(&key, &nonce, b"aad", &sealed, &mut opened).unwrap();
+            assert_eq!(opened, pt);
+        }
+        // Tamper: the out buffer must stay empty on failure.
+        let pt = b"payload";
+        seal_into(&key, &nonce, b"aad", pt, &mut sealed);
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert_eq!(
+            open_into(&key, &nonce, b"aad", &sealed, &mut opened),
+            Err(AeadError)
+        );
+        assert!(opened.is_empty());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   keypairs, and [`identity::SealedMessage`]: sender-ephemeral
 //!   ECDH → HKDF → AEAD, the construction postboxes use to cache
 //!   messages they cannot read (§3 step 4).
+//! * [`session`] — [`session::SessionKey`]: static-static ECDH → HKDF
+//!   derived once per node pair and reused for every message between
+//!   them, the amortized construction the secure message plane's hot
+//!   path caches like routes.
 //!
 //! ## Scope
 //!
@@ -37,12 +41,14 @@ pub mod hkdf;
 pub mod hmac;
 pub mod identity;
 pub mod poly1305;
+pub mod session;
 pub mod sha256;
 pub mod sha512;
 pub mod x25519;
 
-pub use aead::{open, seal, AeadError};
+pub use aead::{open, open_into, seal, seal_into, AeadError};
 pub use identity::{Keypair, NodeId, PostboxAddress, SealedMessage};
+pub use session::{SessionKey, HEADER_TAG_LEN};
 pub use sha256::sha256;
 pub use sha512::sha512;
 

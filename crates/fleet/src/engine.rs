@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use citymesh_core::{CityExperiment, DeliveryScratch, PairOutcome, PlanScratch, PlannedFlow};
 use citymesh_simcore::stats::Histogram;
-use citymesh_simcore::{substream_seed, SimRng};
+use citymesh_simcore::{substream_seed, Fnv64, SimRng};
 use citymesh_telemetry::{metrics as tm, MetricSet, Postmortem, Rung, TelemetryConfig};
 
 use crate::cache::RouteCache;
@@ -59,6 +59,16 @@ pub struct FleetConfig {
     /// digests are expected to match the flat planner's bit for bit
     /// whenever route costs are untied. Defaults to `false`.
     pub use_hier_planner: bool,
+    /// Run every flow through the secure message plane: payloads are
+    /// sealed with the per-pair session key (ChaCha20-Poly1305 +
+    /// HMAC-authenticated header) before the delivery simulation and
+    /// opened by the receiver afterwards. Requires
+    /// `CityExperiment::enable_encryption` to have run on the
+    /// experiment. Delivery outcomes (and therefore the plaintext
+    /// digest fields) are unchanged — encryption adds work, not
+    /// randomness — but the report's sealed/opened counters join the
+    /// digest once nonzero. Defaults to `false`.
+    pub encrypted: bool,
 }
 
 impl FleetConfig {
@@ -79,6 +89,9 @@ impl FleetConfig {
         if self.use_hier_planner && exp.hier_planner().is_none() {
             return Err(FleetError::HierPlannerNotEnabled);
         }
+        if self.encrypted && exp.secure_state().is_none() {
+            return Err(FleetError::EncryptionNotEnabled);
+        }
         Ok(())
     }
 }
@@ -91,6 +104,10 @@ pub enum FleetError {
     /// [`CityExperiment::enable_hier`] never ran on the experiment, so
     /// there is no district overlay to query.
     HierPlannerNotEnabled,
+    /// [`FleetConfig::encrypted`] was set but
+    /// `CityExperiment::enable_encryption` never ran on the experiment,
+    /// so there is no key registry or session cache to seal with.
+    EncryptionNotEnabled,
 }
 
 impl std::fmt::Display for FleetError {
@@ -99,6 +116,11 @@ impl std::fmt::Display for FleetError {
             FleetError::HierPlannerNotEnabled => write!(
                 f,
                 "FleetConfig::use_hier_planner requires CityExperiment::enable_hier \
+                 to have run on the experiment"
+            ),
+            FleetError::EncryptionNotEnabled => write!(
+                f,
+                "FleetConfig::encrypted requires CityExperiment::enable_encryption \
                  to have run on the experiment"
             ),
         }
@@ -164,6 +186,23 @@ pub struct FleetReport {
     ///
     /// Joins the digest only when `retried > 0` (see the struct docs).
     pub retry_attempts: Histogram,
+    /// Flows whose payload was sealed before transmission (encrypted
+    /// runs only; always `0` when [`FleetConfig::encrypted`] is off).
+    ///
+    /// Joins [`FleetReport::digest`] only when nonzero, exactly like
+    /// the retry fields — plaintext runs keep their historical digests.
+    pub sealed: u64,
+    /// Sealed flows that were delivered *and* opened successfully by
+    /// the receiver (tag verified, payload decrypted).
+    ///
+    /// Joins the digest only when `sealed > 0`.
+    pub opened: u64,
+    /// Sealed flows whose header or ciphertext failed authentication at
+    /// the receiver. Always `0` outside tamper-injection tests: the
+    /// simulation itself never corrupts a sealed message.
+    ///
+    /// Joins the digest only when `sealed > 0`.
+    pub auth_failures: u64,
     /// Workload span: the last flow's arrival offset, ms.
     pub span_ms: f64,
     /// Wall-clock run time, seconds. **Not** covered by the digest.
@@ -202,6 +241,9 @@ impl FleetReport {
             retried: 0,
             recovered: 0,
             retry_attempts: Histogram::new(1.0, 1.2),
+            sealed: 0,
+            opened: 0,
+            auth_failures: 0,
             span_ms: 0.0,
             elapsed_secs: 0.0,
             workers: 0,
@@ -249,6 +291,15 @@ impl FleetReport {
                 self.recovered += 1;
             }
         }
+        if outcome.sealed {
+            self.sealed += 1;
+            if outcome.opened {
+                self.opened += 1;
+            }
+            if outcome.auth_failed {
+                self.auth_failures += 1;
+            }
+        }
         self.span_ms = self.span_ms.max(spec.arrival_ms);
     }
 
@@ -273,31 +324,35 @@ impl FleetReport {
     /// digests ⇒ byte-identical aggregate results; the engine's
     /// "N workers == serial" invariant is checked by comparing these.
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
-        mix(self.flows);
-        mix(self.reachable);
-        mix(self.route_found);
-        mix(self.delivered);
-        mix(self.checkins);
-        mix(self.span_ms.to_bits());
-        mix(self.latency_ms.fingerprint());
-        mix(self.broadcasts.fingerprint());
-        mix(self.hops.fingerprint());
-        mix(self.header_bits.fingerprint());
+        let mut h = Fnv64::new();
+        h.mix(self.flows);
+        h.mix(self.reachable);
+        h.mix(self.route_found);
+        h.mix(self.delivered);
+        h.mix(self.checkins);
+        h.mix(self.span_ms.to_bits());
+        h.mix(self.latency_ms.fingerprint());
+        h.mix(self.broadcasts.fingerprint());
+        h.mix(self.hops.fingerprint());
+        h.mix(self.header_bits.fingerprint());
         // Retry statistics join the digest only once a retry actually
         // happened: fault-free runs (where the ladder never fires and
         // `retry_attempts` is degenerate) keep their historical digests,
         // so golden values pinned before fault injection stay valid.
         if self.retried > 0 {
-            mix(self.retried);
-            mix(self.recovered);
-            mix(self.retry_attempts.fingerprint());
+            h.mix(self.retried);
+            h.mix(self.recovered);
+            h.mix(self.retry_attempts.fingerprint());
         }
-        h
+        // Sealed-message statistics join only when encryption actually
+        // ran, by the same rule: plaintext runs digest exactly as they
+        // did before the secure message plane existed.
+        if self.sealed > 0 {
+            h.mix(self.sealed);
+            h.mix(self.opened);
+            h.mix(self.auth_failures);
+        }
+        h.value()
     }
 
     /// Fraction of retried flows that a later ladder rung recovered.
@@ -553,6 +608,15 @@ pub fn record_flow_metrics(m: &mut MetricSet, o: &PairOutcome) {
             m.inc(tm::EXHAUSTED);
         }
     }
+    if o.sealed {
+        m.inc(tm::MSGS_SEALED);
+        if o.opened {
+            m.inc(tm::MSGS_OPENED);
+        }
+        if o.auth_failed {
+            m.inc(tm::AUTH_FAILURES);
+        }
+    }
 }
 
 /// One worker's loop: claim chunks until the cursor passes the end.
@@ -607,7 +671,11 @@ fn execute_range(
             // derived msg_id) so sampling and captures are stable and
             // schedule-independent.
             scratch.tracer_mut().set_next_key(flow.id);
-            let outcome = exp.simulate_flow_with(&plan, msg_id, &mut rng, &mut scratch);
+            let outcome = if cfg.encrypted {
+                exp.simulate_flow_secure_with(&plan, msg_id, &mut rng, &mut scratch)
+            } else {
+                exp.simulate_flow_with(&plan, msg_id, &mut rng, &mut scratch)
+            };
             if let Some(m) = metrics.as_mut() {
                 record_flow_metrics(m, &outcome);
             }
@@ -618,6 +686,7 @@ fn execute_range(
     // captured/dropped totals are sums of per-flow values and the
     // high-water mark is a max over flows, so both stay schedule-
     // independent after the worker-order merge.
+    let keys_derived = scratch.keys_derived();
     let tracer = scratch.tracer_mut();
     if let Some(m) = metrics.as_mut() {
         m.add(tm::POSTMORTEMS, tracer.captured());
@@ -632,6 +701,11 @@ fn execute_range(
         m.add(tm::HIER_DIRECT_ROUTES, h.direct_routes);
         m.add(tm::HIER_OVERLAY_SETTLED, h.overlay_settled);
         m.add(tm::HIER_EXPANSIONS, h.expansions);
+        // Session-key derivations this worker performed on cache
+        // misses. Schedule-dependent for the same reason as the route
+        // cache's counters (racing workers may double-derive a pair),
+        // so informational only and excluded from digests.
+        m.add(tm::KEYS_DERIVED, keys_derived);
     }
     WorkerYield {
         records: out,
@@ -1068,6 +1142,7 @@ mod tests {
                 workers: 1,
                 seed: 9,
                 use_hier_planner: true,
+                ..FleetConfig::default()
             },
             &TelemetryConfig::metrics_only(),
         );
@@ -1087,6 +1162,7 @@ mod tests {
                 workers: 4,
                 seed: 9,
                 use_hier_planner: true,
+                ..FleetConfig::default()
             },
         );
         assert_eq!(par.digest(), hier.0.digest());
@@ -1104,6 +1180,7 @@ mod tests {
                 workers: 1,
                 seed: 10,
                 use_hier_planner: true,
+                ..FleetConfig::default()
             },
         );
     }
@@ -1116,6 +1193,7 @@ mod tests {
             workers: 1,
             seed: 10,
             use_hier_planner: true,
+            ..FleetConfig::default()
         };
         assert_eq!(cfg.validate(&exp), Err(FleetError::HierPlannerNotEnabled));
         let err = try_run_fleet(&exp, &flows, &cfg).unwrap_err();

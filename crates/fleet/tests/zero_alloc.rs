@@ -221,6 +221,90 @@ fn steady_state_hier_flow_loop_allocates_nothing() {
 }
 
 #[test]
+fn steady_state_encrypted_flow_loop_allocates_nothing() {
+    // The secure message plane's per-flow hot path — session-key cache
+    // hit, deterministic payload fill, AEAD seal into the scratch
+    // buffer, header MAC, receiver-side verify + open — must stay
+    // zero-alloc once warm. Key *derivation* (X25519 + HKDF) allocates,
+    // but it is amortized: the warm-up pass derives every pair's
+    // session key into the shared cache, so the counted replay is all
+    // cache hits (a shard read-lock plus an `Arc` clone).
+    let map = CityArchetype::SurveyDowntown.generate(29);
+    let mut exp = CityExperiment::prepare(
+        map,
+        ExperimentConfig {
+            seed: 29,
+            ..ExperimentConfig::default()
+        },
+    );
+    exp.enable_encryption();
+    let flows = generate_flows(
+        exp.map().len(),
+        &WorkloadConfig {
+            flows: 64,
+            model: FlowModel::UniformPairs { rate_hz: 200.0 },
+            seed: 29,
+        },
+    );
+
+    let mut plan_scratch = PlanScratch::new();
+    let mut plan = PlannedFlow::empty(0, 0);
+    let mut scratch = DeliveryScratch::new();
+
+    // Warm-up: derives each pair's session key (allowed to allocate)
+    // and grows the seal/open scratch buffers to their final size.
+    let mut warm_opened = 0u64;
+    for flow in &flows {
+        exp.plan_flow_into(flow.src, flow.dst, &mut plan_scratch, &mut plan);
+        let msg_id = substream_seed(29, DOMAIN_MSG, flow.id);
+        let mut rng = SimRng::new(substream_seed(29, DOMAIN_SIM, flow.id));
+        let outcome = exp.simulate_flow_secure_with(&plan, msg_id, &mut rng, &mut scratch);
+        assert!(outcome.sealed, "encrypted path must seal every flow");
+        assert!(!outcome.auth_failed, "untampered flows must authenticate");
+        warm_opened += outcome.opened as u64;
+    }
+    assert!(
+        warm_opened > 0,
+        "workload must deliver and open at least one sealed message"
+    );
+    let derived_in_warmup = scratch.keys_derived();
+    assert!(
+        derived_in_warmup > 0,
+        "warm-up must have paid the key derivations"
+    );
+
+    // Measured pass: every session key is cached, every buffer warm.
+    let (allocs, measured_opened) = count_allocs(|| {
+        let mut total = 0u64;
+        for flow in &flows {
+            exp.plan_flow_into(flow.src, flow.dst, &mut plan_scratch, &mut plan);
+            let msg_id = substream_seed(29, DOMAIN_MSG, flow.id);
+            let mut rng = SimRng::new(substream_seed(29, DOMAIN_SIM, flow.id));
+            let outcome = exp.simulate_flow_secure_with(&plan, msg_id, &mut rng, &mut scratch);
+            total += outcome.opened as u64;
+        }
+        total
+    });
+
+    assert_eq!(
+        measured_opened, warm_opened,
+        "measured pass must replay the warm-up exactly"
+    );
+    assert_eq!(
+        scratch.keys_derived(),
+        derived_in_warmup,
+        "the measured pass must be pure cache hits — no new derivations"
+    );
+    assert_eq!(
+        allocs,
+        0,
+        "steady-state encrypted plan+seal+simulate+open path must \
+         perform zero heap allocations (counted {allocs} over {} flows)",
+        flows.len()
+    );
+}
+
+#[test]
 fn steady_state_flow_loop_allocates_nothing_under_faults() {
     // Recovery variants (wide conduits, fallback routes) are
     // materialized lazily, on the first ladder escalation of each

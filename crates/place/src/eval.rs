@@ -142,6 +142,7 @@ impl Evaluator {
                 workers: objective.workers,
                 seed: objective.seed,
                 use_hier_planner: false,
+                encrypted: false,
             },
             objective,
             candidates,

@@ -4,6 +4,7 @@
 
 use citymesh_core::Deployment;
 use citymesh_fleet::{FleetReport, FlowModel};
+use citymesh_simcore::Fnv64;
 
 /// The quantity a placement search optimizes. Both are folded into a
 /// scalar [`Score::value`] where **higher is better**, so the
@@ -113,23 +114,19 @@ impl Score {
             // scale an annealer temperature of ~1e-2 can reason about.
             Metric::P99LatencyMs => -p99_latency_ms / 1e3,
         };
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
-        mix(metric as u64);
-        mix(deployment.digest());
-        mix(worlds.len() as u64);
+        let mut h = Fnv64::new();
+        h.mix(metric as u64);
+        h.mix(deployment.digest());
+        h.mix(worlds.len() as u64);
         for w in &worlds {
-            mix(w.fleet_digest);
+            h.mix(w.fleet_digest);
         }
         Score {
             value,
             delivery_rate,
             p99_latency_ms,
             worlds,
-            digest: h,
+            digest: h.value(),
         }
     }
 }

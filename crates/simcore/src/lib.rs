@@ -21,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 mod event_queue;
 pub mod radio;
 mod rng;
 pub mod stats;
 mod time;
 
+pub use digest::Fnv64;
 pub use event_queue::{EventQueue, Simulation};
 pub use rng::{split_seed, substream_seed, SimRng};
 pub use stats::Histogram;

@@ -54,7 +54,7 @@ use citymesh_fleet::{
     record_flow_metrics, FleetReport, FleetTelemetry, FlowSpec, RouteCache, DOMAIN_MSG, DOMAIN_SIM,
 };
 use citymesh_simcore::stats::Histogram;
-use citymesh_simcore::{substream_seed, SimRng};
+use citymesh_simcore::{substream_seed, Fnv64, SimRng};
 use citymesh_telemetry::{metrics as tm, MetricSet, Postmortem, TelemetryConfig};
 
 /// The modeled per-flow service-time law: `base_ms +
@@ -123,6 +123,13 @@ pub struct StreamConfig {
     /// the full capacity. `0` (the default) disables the reservation.
     /// Must be strictly less than `queue_capacity`.
     pub priority_reserve: usize,
+    /// Run every admitted flow through the secure message plane (seal
+    /// with the per-pair session key, receiver-side open + auth
+    /// check). Requires [`CityExperiment::enable_encryption`]. Shed
+    /// decisions and delivery outcomes are unchanged — encryption adds
+    /// work, not randomness — but the per-class sealed counters join
+    /// the digest once nonzero. Defaults to `false`.
+    pub encrypted: bool,
 }
 
 impl Default for StreamConfig {
@@ -138,6 +145,7 @@ impl Default for StreamConfig {
             invalidation: InvalidationPolicy::Incremental,
             emergency_fraction: 0.0,
             priority_reserve: 0,
+            encrypted: false,
         }
     }
 }
@@ -184,6 +192,9 @@ impl StreamConfig {
         if self.use_hier_planner && exp.hier_planner().is_none() {
             return Err(StreamError::HierPlannerNotEnabled);
         }
+        if self.encrypted && exp.secure_state().is_none() {
+            return Err(StreamError::EncryptionNotEnabled);
+        }
         if !self.emergency_fraction.is_finite() || !(0.0..=1.0).contains(&self.emergency_fraction) {
             return Err(StreamError::InvalidEmergencyFraction {
                 value: self.emergency_fraction,
@@ -226,6 +237,10 @@ pub enum StreamError {
     /// [`StreamConfig::use_hier_planner`] was set but
     /// [`CityExperiment::enable_hier`] never ran on the experiment.
     HierPlannerNotEnabled,
+    /// [`StreamConfig::encrypted`] was set but
+    /// [`CityExperiment::enable_encryption`] never ran on the
+    /// experiment, so there is no key registry to seal with.
+    EncryptionNotEnabled,
     /// [`StreamConfig::emergency_fraction`] was non-finite or outside
     /// `[0, 1]`.
     InvalidEmergencyFraction {
@@ -294,6 +309,13 @@ impl std::fmt::Display for StreamError {
                 write!(
                     f,
                     "StreamConfig::use_hier_planner requires CityExperiment::enable_hier \
+                     to have run on the experiment"
+                )
+            }
+            StreamError::EncryptionNotEnabled => {
+                write!(
+                    f,
+                    "StreamConfig::encrypted requires CityExperiment::enable_encryption \
                      to have run on the experiment"
                 )
             }
@@ -602,6 +624,12 @@ pub struct StreamReport {
     pub shed_emergency: u64,
     /// Bulk flows shed (either reason).
     pub shed_bulk: u64,
+    /// Emergency-class flows whose payload was sealed (encrypted runs
+    /// only). Joins the digest only when `fleet.sealed > 0`.
+    pub sealed_emergency: u64,
+    /// Bulk-class flows whose payload was sealed (encrypted runs
+    /// only). Joins the digest only when `fleet.sealed > 0`.
+    pub sealed_bulk: u64,
     /// Delivery outcomes of the *admitted* flows, folded exactly as
     /// the fleet engine folds a batch — on an underloaded stream this
     /// digest equals a plain `run_fleet` over the same flows and seed.
@@ -646,6 +674,8 @@ impl StreamReport {
             offered_bulk: 0,
             shed_emergency: 0,
             shed_bulk: 0,
+            sealed_emergency: 0,
+            sealed_bulk: 0,
             fleet: FleetReport::empty(),
             // Millisecond scales: 10 µs floor, ~10 % resolution.
             sojourn_ms: Histogram::new(1e-2, 1.1),
@@ -711,37 +741,40 @@ impl StreamReport {
     /// byte-identical aggregate results; the engine's "N workers ==
     /// serial" invariant is checked by comparing these.
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
-        mix(self.offered);
-        mix(self.admitted);
-        mix(self.shed_backpressure);
-        mix(self.shed_deadline);
-        mix(self.degraded_tracing);
-        mix(self.degraded_retry);
+        let mut h = Fnv64::new();
+        h.mix(self.offered);
+        h.mix(self.admitted);
+        h.mix(self.shed_backpressure);
+        h.mix(self.shed_deadline);
+        h.mix(self.degraded_tracing);
+        h.mix(self.degraded_retry);
         // Two-class admission is strictly opt-in: the class counters
         // join the digest only when emergency traffic exists, so
         // single-class runs keep their historical digests bit-for-bit.
         if self.offered_emergency > 0 {
-            mix(self.offered_emergency);
-            mix(self.offered_bulk);
-            mix(self.shed_emergency);
-            mix(self.shed_bulk);
+            h.mix(self.offered_emergency);
+            h.mix(self.offered_bulk);
+            h.mix(self.shed_emergency);
+            h.mix(self.shed_bulk);
         }
-        mix(self.fleet.digest());
-        mix(self.sojourn_ms.fingerprint());
-        mix(self.wait_ms.fingerprint());
-        mix(self.service_ms.fingerprint());
-        mix(self.queue_depth.fingerprint());
-        mix(self.max_depth);
-        mix(self.makespan_ms.to_bits());
-        mix(self.servers as u64);
-        mix(self.epochs);
-        mix(self.events_applied);
-        h
+        // Encryption is opt-in by the same rule: the per-class sealed
+        // counters join only when the run actually sealed something
+        // (the embedded fleet digest grows its own sealed block then).
+        if self.fleet.sealed > 0 {
+            h.mix(self.sealed_emergency);
+            h.mix(self.sealed_bulk);
+        }
+        h.mix(self.fleet.digest());
+        h.mix(self.sojourn_ms.fingerprint());
+        h.mix(self.wait_ms.fingerprint());
+        h.mix(self.service_ms.fingerprint());
+        h.mix(self.queue_depth.fingerprint());
+        h.mix(self.max_depth);
+        h.mix(self.makespan_ms.to_bits());
+        h.mix(self.servers as u64);
+        h.mix(self.epochs);
+        h.mix(self.events_applied);
+        h.value()
     }
 }
 
@@ -957,6 +990,12 @@ pub fn try_run_stream(
                     FlowClass::Emergency => report.offered_emergency += 1,
                     FlowClass::Bulk => report.offered_bulk += 1,
                 }
+                if outcome.sealed {
+                    match class {
+                        FlowClass::Emergency => report.sealed_emergency += 1,
+                        FlowClass::Bulk => report.sealed_bulk += 1,
+                    }
+                }
                 report.admitted += 1;
                 report.fleet.absorb_outcome(spec, outcome);
                 report.wait_ms.record(*wait_ms);
@@ -1098,8 +1137,18 @@ fn run_epoch(
                         let outcome = match traced.as_mut() {
                             Some(ts) if !shed_tracing => {
                                 ts.tracer_mut().set_next_key(flow.id);
-                                sim_world.simulate_flow_with(&plan, msg_id, &mut rng, ts)
+                                if cfg.encrypted {
+                                    sim_world.simulate_flow_secure_with(&plan, msg_id, &mut rng, ts)
+                                } else {
+                                    sim_world.simulate_flow_with(&plan, msg_id, &mut rng, ts)
+                                }
                             }
+                            _ if cfg.encrypted => sim_world.simulate_flow_secure_with(
+                                &plan,
+                                msg_id,
+                                &mut rng,
+                                &mut scratch,
+                            ),
                             _ => {
                                 sim_world.simulate_flow_with(&plan, msg_id, &mut rng, &mut scratch)
                             }
@@ -1254,6 +1303,76 @@ mod tests {
             .collect();
         assert_eq!(digests[0], digests[1], "1 vs 4 workers");
         assert_eq!(digests[0], digests[2], "1 vs 8 workers");
+    }
+
+    #[test]
+    fn encrypted_stream_is_worker_count_invariant() {
+        // The encrypted always-on engine inherits the determinism
+        // contract: racing workers share one session-key cache, yet the
+        // digest — which now folds the per-class sealed counters — must
+        // not move with the worker count.
+        let mut exp = world(29);
+        exp.enable_encryption();
+        let flows = poisson_flows(&exp, 400, 600.0, 29);
+        let tl = empty_timeline(&exp);
+        let reports: Vec<StreamReport> = [1usize, 4, 8]
+            .iter()
+            .map(|&w| {
+                let cfg = StreamConfig {
+                    workers: w,
+                    servers: 8,
+                    seed: 29,
+                    queue_capacity: 16,
+                    deadline_ms: 60.0,
+                    encrypted: true,
+                    ..StreamConfig::default()
+                };
+                run_stream(&exp, &flows, &tl, &cfg, &TelemetryConfig::off()).0
+            })
+            .collect();
+        assert_eq!(reports[0].digest(), reports[1].digest(), "1 vs 4 workers");
+        assert_eq!(reports[0].digest(), reports[2].digest(), "1 vs 8 workers");
+        let r = &reports[0];
+        assert!(r.fleet.sealed > 0, "admitted flows must be sealed");
+        assert_eq!(
+            r.sealed_emergency + r.sealed_bulk,
+            r.fleet.sealed,
+            "per-class sealed counts must partition the sealed total"
+        );
+        assert_eq!(r.fleet.auth_failures, 0);
+    }
+
+    #[test]
+    fn encrypted_stream_off_matches_plain_digest() {
+        // Holding a key registry without opting in must be invisible:
+        // same digest as a world that never called enable_encryption.
+        let plain = world(34);
+        let mut keyed = world(34);
+        keyed.enable_encryption();
+        let flows = poisson_flows(&plain, 300, 200.0, 34);
+        let cfg = StreamConfig {
+            workers: 2,
+            servers: 4,
+            seed: 34,
+            ..StreamConfig::default()
+        };
+        let (a, _) = run_stream(
+            &plain,
+            &flows,
+            &empty_timeline(&plain),
+            &cfg,
+            &TelemetryConfig::off(),
+        );
+        let (b, _) = run_stream(
+            &keyed,
+            &flows,
+            &empty_timeline(&keyed),
+            &cfg,
+            &TelemetryConfig::off(),
+        );
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(b.sealed_emergency, 0);
+        assert_eq!(b.sealed_bulk, 0);
     }
 
     #[test]

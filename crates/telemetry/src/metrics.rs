@@ -126,6 +126,23 @@ pub const DEGRADED_TRACING: CounterId = CounterId(25);
 /// Served flows whose retry ladder was capped to a single attempt by
 /// the degradation ladder (queue depth past the second rung).
 pub const DEGRADED_RETRY: CounterId = CounterId(26);
+/// Payloads sealed under the secure message plane (one per encrypted
+/// flow). Deterministic per flow, so worker-count invariant — but like
+/// every metric it stays out of report digests, which carry their own
+/// conditional sealed counters.
+pub const MSGS_SEALED: CounterId = CounterId(27);
+/// Sealed payloads the receiver delivered, authenticated, and opened.
+pub const MSGS_OPENED: CounterId = CounterId(28);
+/// Per-pair session keys derived on cache misses (X25519 + HKDF — the
+/// amortized cost).
+///
+/// Like the route-cache and hier counters this is *schedule-dependent*:
+/// racing workers may both miss and double-derive a pair, so the total
+/// varies with worker count. Excluded from digests.
+pub const KEYS_DERIVED: CounterId = CounterId(29);
+/// Receiver-side authentication failures (tampered header or
+/// ciphertext). Zero outside tamper-injection runs.
+pub const AUTH_FAILURES: CounterId = CounterId(30);
 
 /// The counter registry; indexed by [`CounterId`].
 pub const COUNTERS: &[CounterDef] = &[
@@ -236,6 +253,22 @@ pub const COUNTERS: &[CounterDef] = &[
     CounterDef {
         name: "stream_degraded_retry_total",
         help: "Served flows whose retry ladder the ladder capped",
+    },
+    CounterDef {
+        name: "secure_msgs_sealed_total",
+        help: "Payloads sealed under the secure message plane",
+    },
+    CounterDef {
+        name: "secure_msgs_opened_total",
+        help: "Sealed payloads delivered, authenticated, and opened",
+    },
+    CounterDef {
+        name: "secure_keys_derived_total",
+        help: "Per-pair session keys derived on cache misses",
+    },
+    CounterDef {
+        name: "secure_auth_failures_total",
+        help: "Receiver-side authentication failures",
     },
 ];
 
@@ -631,8 +664,12 @@ mod tests {
 
     #[test]
     fn registry_ids_line_up() {
-        assert_eq!(COUNTERS.len(), 27);
+        assert_eq!(COUNTERS.len(), 31);
         assert_eq!(COUNTERS[HIER_QUERIES.0].name, "hier_queries_total");
+        assert_eq!(COUNTERS[MSGS_SEALED.0].name, "secure_msgs_sealed_total");
+        assert_eq!(COUNTERS[MSGS_OPENED.0].name, "secure_msgs_opened_total");
+        assert_eq!(COUNTERS[KEYS_DERIVED.0].name, "secure_keys_derived_total");
+        assert_eq!(COUNTERS[AUTH_FAILURES.0].name, "secure_auth_failures_total");
         assert_eq!(COUNTERS[ADMITTED.0].name, "stream_admitted_total");
         assert_eq!(
             COUNTERS[SHED_BACKPRESSURE.0].name,
